@@ -1,0 +1,131 @@
+// Figure 3: single-layer pruning WITHOUT fine-tuning under increasing
+// speedup (1.5–5x). For each selected VGG-16 layer the feature maps are
+// pruned by HeadStart / Li'17-L1 / APoZ / Random and the resulting
+// *inception* accuracy (no fine-tuning) is reported. The paper's claims:
+// HeadStart stays high and robust; metric baselines collapse at high
+// speedup, sometimes below random; lower layers are more sensitive.
+//
+// `bench_fig3 --ablation` additionally runs the design ablations called
+// out in DESIGN.md §5: REINFORCE baseline mode and Monte-Carlo k.
+
+#include <cstdio>
+#include <cstring>
+
+#include <cmath>
+
+#include "bench/common.h"
+#include "nn/conv2d.h"
+#include "nn/trainer.h"
+#include "pruning/mask.h"
+#include "util/stopwatch.h"
+#include "util/table.h"
+
+namespace {
+
+using namespace hs;
+
+double masked_test_accuracy(models::VggModel& model, int conv_pos,
+                            std::span<const int> keep,
+                            const data::SyntheticImageDataset& dataset) {
+    auto& conv = model.net.layer_as<nn::Conv2d>(conv_pos);
+    conv.set_output_mask(pruning::mask_from_keep(keep, conv.out_channels()));
+    const double acc = nn::evaluate(model.net, dataset.test());
+    conv.clear_output_mask();
+    return acc;
+}
+
+void run_ablation(models::VggModel& model,
+                  const data::SyntheticImageDataset& dataset, int layer) {
+    std::printf("\n== Ablation: REINFORCE baseline & Monte-Carlo k "
+                "(layer %s, sp=2) ==\n",
+                model.conv_names[static_cast<std::size_t>(layer)].c_str());
+    TablePrinter table({"BASELINE", "K", "ACC. (%, INC)", "#KEPT", "ITERS"});
+
+    const struct {
+        core::BaselineMode mode;
+        const char* name;
+    } modes[] = {{core::BaselineMode::kInferenceAction, "inference-action"},
+                 {core::BaselineMode::kMovingAverage, "moving-average"},
+                 {core::BaselineMode::kNone, "none"}};
+    for (const auto& m : modes) {
+        for (int k : {1, 3, 5}) {
+            core::HeadStartConfig cfg = bench::headstart_bench(2.0);
+            cfg.search.baseline = m.mode;
+            cfg.search.monte_carlo_k = k;
+            const auto result =
+                core::headstart_search_layer(model, layer, dataset, cfg);
+            const double acc = masked_test_accuracy(
+                model, model.conv_indices[static_cast<std::size_t>(layer)],
+                result.keep, dataset);
+            table.add_row({m.name, std::to_string(k), bench::pct(acc),
+                           std::to_string(result.keep.size()),
+                           std::to_string(result.iterations)});
+        }
+    }
+    table.print();
+}
+
+} // namespace
+
+int main(int argc, char** argv) {
+    const bool ablation = argc > 1 && std::strcmp(argv[1], "--ablation") == 0;
+
+    const data::SyntheticImageDataset dataset(bench::cifar_bench());
+    auto model = models::make_vgg16(bench::vgg_bench(dataset.config()));
+
+    hs::Stopwatch watch;
+    const double base_acc = bench::pretrain(model, dataset, bench::base_epochs());
+    std::printf("Figure 3 — single-layer pruning without fine-tuning "
+                "(VGG-16 on CIFAR-100-like)\n");
+    std::printf("base model test accuracy: %s%% (trained in %.0fs)\n\n",
+                bench::pct(base_acc).c_str(), watch.seconds());
+
+    const std::vector<int> layers = bench::full_scale()
+                                        ? std::vector<int>{0, 1, 2, 3, 4, 7}
+                                        : std::vector<int>{0, 2, 4, 7};
+    const std::vector<double> speedups{1.5, 2.0, 3.0, 4.0, 5.0};
+
+    TablePrinter table({"LAYER", "SPEEDUP", "HEADSTART", "LI'17", "APOZ",
+                        "RANDOM"});
+    Rng rng(2024);
+    const data::Batch sample = data::sample_subset(dataset.train(), 96, 77);
+
+    for (int layer : layers) {
+        const int conv_pos = model.conv_indices[static_cast<std::size_t>(layer)];
+        auto& conv = model.net.layer_as<nn::Conv2d>(conv_pos);
+        const int maps = conv.out_channels();
+        for (double sp : speedups) {
+            const int keep_count =
+                std::max(1, static_cast<int>(std::lround(maps / sp)));
+
+            core::HeadStartConfig cfg = bench::headstart_bench(sp);
+            const auto hs_result =
+                core::headstart_search_layer(model, layer, dataset, cfg);
+            const double acc_hs =
+                masked_test_accuracy(model, conv_pos, hs_result.keep, dataset);
+
+            auto metric_acc = [&](pruning::Metric metric) {
+                const auto keep = pruning::select_keep(metric, model.net,
+                                                       conv_pos, sample,
+                                                       keep_count, rng);
+                return masked_test_accuracy(model, conv_pos, keep, dataset);
+            };
+            const double acc_l1 = metric_acc(pruning::Metric::kL1Norm);
+            const double acc_apoz = metric_acc(pruning::Metric::kAPoZ);
+            const double acc_rand = metric_acc(pruning::Metric::kRandom);
+
+            table.add_row({model.conv_names[static_cast<std::size_t>(layer)],
+                           TablePrinter::num(sp, 1), bench::pct(acc_hs),
+                           bench::pct(acc_l1), bench::pct(acc_apoz),
+                           bench::pct(acc_rand)});
+        }
+    }
+    table.print();
+    std::printf("\n(accuracy %% on the test split; HeadStart column should "
+                "dominate, especially at speedup >= 3)\n");
+
+    if (ablation) run_ablation(model, dataset, /*layer=*/4);
+
+    std::printf("\ntotal %.0fs\n", watch.seconds());
+    return 0;
+}

@@ -1,0 +1,47 @@
+// Figure 4: per-group #PARAMETERS of the HeadStart block-pruned ResNet vs
+// the symmetric half-depth original. The paper's shape: HeadStart's learnt
+// group structure is asymmetric (e.g. <10,10,7> vs <9,9,9>), spending
+// slightly more parameters in groups 1–2 and much less in group 3, with a
+// smaller total and higher accuracy.
+
+#include <cstdio>
+
+#include "bench/common.h"
+#include "bench/resnet_shared.h"
+#include "util/stopwatch.h"
+#include "util/table.h"
+
+int main() {
+    using namespace hs;
+
+    Stopwatch watch;
+    std::printf("Figure 4 — per-group #PARAMETERS (residual blocks only)\n\n");
+    auto exp = bench::run_resnet_experiment();
+
+    auto hs_params = bench::per_group_params(exp.pruned.pruned);
+    auto small_params = bench::per_group_params(exp.small);
+
+    TablePrinter table({"GROUP", "HEADSTART (K)", "SYMMETRIC (K)",
+                        "HEADSTART blocks", "SYMMETRIC blocks"});
+    std::int64_t hs_total = 0, small_total = 0;
+    for (int g = 0; g < 3; ++g) {
+        hs_total += hs_params[static_cast<std::size_t>(g)];
+        small_total += small_params[static_cast<std::size_t>(g)];
+        table.add_row(
+            {"Group" + std::to_string(g + 1),
+             TablePrinter::num(hs_params[static_cast<std::size_t>(g)] / 1e3, 1),
+             TablePrinter::num(small_params[static_cast<std::size_t>(g)] / 1e3, 1),
+             std::to_string(exp.pruned.blocks_per_group[static_cast<std::size_t>(g)]),
+             std::to_string(
+                 exp.small_cfg.blocks_per_group[static_cast<std::size_t>(g)])});
+    }
+    table.add_row({"TOTAL", TablePrinter::num(hs_total / 1e3, 1),
+                   TablePrinter::num(small_total / 1e3, 1), "", ""});
+    table.print();
+
+    std::printf("\naccuracy: HeadStart %s%% vs symmetric %s%%\n",
+                bench::pct(exp.pruned.final_accuracy).c_str(),
+                bench::pct(exp.small_acc).c_str());
+    std::printf("total %.0fs\n", watch.seconds());
+    return 0;
+}

@@ -1,0 +1,47 @@
+// Figure 5: per-group #FLOPS of the HeadStart block-pruned ResNet vs the
+// symmetric half-depth original (companion of Figure 4: computations can
+// rise slightly in groups that keep one extra block and fall sharply where
+// HeadStart prunes harder, while the totals stay comparable).
+
+#include <cstdio>
+
+#include "bench/common.h"
+#include "bench/resnet_shared.h"
+#include "util/stopwatch.h"
+#include "util/table.h"
+
+int main() {
+    using namespace hs;
+
+    Stopwatch watch;
+    std::printf("Figure 5 — per-group #FLOPS (residual blocks only)\n\n");
+    auto exp = bench::run_resnet_experiment();
+
+    const Shape input{exp.data_cfg.channels, exp.data_cfg.image_size,
+                      exp.data_cfg.image_size};
+    auto hs_flops = bench::per_group_flops(exp.pruned.pruned, input);
+    auto small_flops = bench::per_group_flops(exp.small, input);
+
+    TablePrinter table({"GROUP", "HEADSTART (M)", "SYMMETRIC (M)"});
+    std::int64_t hs_total = 0, small_total = 0;
+    for (int g = 0; g < 3; ++g) {
+        hs_total += hs_flops[static_cast<std::size_t>(g)];
+        small_total += small_flops[static_cast<std::size_t>(g)];
+        table.add_row(
+            {"Group" + std::to_string(g + 1),
+             TablePrinter::num(hs_flops[static_cast<std::size_t>(g)] / 1e6, 2),
+             TablePrinter::num(small_flops[static_cast<std::size_t>(g)] / 1e6, 2)});
+    }
+    table.add_row({"TOTAL", TablePrinter::num(hs_total / 1e6, 2),
+                   TablePrinter::num(small_total / 1e6, 2)});
+    table.print();
+
+    std::printf("\nlearnt structure <%d,%d,%d> vs symmetric <%d,%d,%d>\n",
+                exp.pruned.blocks_per_group[0], exp.pruned.blocks_per_group[1],
+                exp.pruned.blocks_per_group[2],
+                exp.small_cfg.blocks_per_group[0],
+                exp.small_cfg.blocks_per_group[1],
+                exp.small_cfg.blocks_per_group[2]);
+    std::printf("total %.0fs\n", watch.seconds());
+    return 0;
+}

@@ -1,0 +1,145 @@
+// Figure 6: inference speed (fps) of original vs HeadStart-pruned models
+// on the four hardware targets — Jetson TX2 (Cortex-A57 CPU + Pascal GPU)
+// and the desktop (Xeon E5-2620 + GTX 1080Ti) — for both datasets.
+//
+// The roofline simulator (see DESIGN.md §2) needs no training, so this
+// bench evaluates the models at FULL paper scale: VGG-16 (width 1.0) at
+// 32 px (CIFAR-100) and 224 px (CUB-200), ResNet-110 at 32 px. The pruned
+// architectures mirror the paper's learnt results: VGG with every conv
+// halved except conv5_3 (Table 1), ResNet with <10,10,7> blocks (Fig. 4).
+// Expected shape: ~2x fps for VGG at sp=2 on GPUs where the model is
+// compute-bound, smaller gains for small inputs / CPU memory-bound cases.
+//
+// As a sanity anchor the bench also measures REAL wall-clock fps of this
+// library's own CPU engine on scaled models, confirming that halving the
+// widths yields the same shape of speedup outside the simulator.
+
+#include <cstdio>
+
+#include "bench/common.h"
+#include "gpusim/roofline.h"
+#include "models/resnet.h"
+#include "models/summary.h"
+#include "models/vgg.h"
+#include "nn/conv2d.h"
+#include "pruning/surgery.h"
+#include "util/stopwatch.h"
+#include "util/table.h"
+
+namespace {
+
+using namespace hs;
+
+/// Halve every conv width except the last (the paper's learnt sp=2 VGG).
+models::VggModel halved_vgg(const models::VggModel& original) {
+    auto pruned = original;
+    pruning::ConvChain chain{&pruned.net, pruned.conv_indices,
+                             pruned.classifier_index};
+    for (int i = 0; i < pruned.num_convs() - 1; ++i) {
+        auto& conv = pruned.net.layer_as<nn::Conv2d>(pruned.conv_indices[i]);
+        std::vector<int> keep;
+        for (int c = 0; c < conv.out_channels() / 2; ++c) keep.push_back(c);
+        pruning::prune_feature_maps(chain, i, keep);
+    }
+    return pruned;
+}
+
+void report_pair(TablePrinter& table, const char* model_name,
+                 const char* dataset, nn::Sequential& original,
+                 nn::Sequential& pruned, const Shape& input, int batch) {
+    for (const gpusim::Device& dev :
+         {gpusim::cortex_a57(), gpusim::jetson_tx2_gpu(), gpusim::xeon_e5_2620(),
+          gpusim::gtx_1080ti()}) {
+        const auto base = gpusim::estimate_inference(original, input, dev, batch);
+        const auto fast = gpusim::estimate_inference(pruned, input, dev, batch);
+        table.add_row({model_name, dataset, dev.name,
+                       TablePrinter::num(base.fps, 1),
+                       TablePrinter::num(fast.fps, 1),
+                       TablePrinter::num(fast.fps / base.fps, 2) + "x"});
+    }
+}
+
+double measured_fps(nn::Sequential& net, const Shape& input, int batch,
+                    int reps) {
+    Tensor x({batch, input[0], input[1], input[2]});
+    Rng rng(5);
+    rng.fill_normal(x, 0.0, 1.0);
+    (void)net.forward(x, false); // warm-up
+    Stopwatch watch;
+    for (int r = 0; r < reps; ++r) (void)net.forward(x, false);
+    return batch * reps / watch.seconds();
+}
+
+} // namespace
+
+int main() {
+    using namespace hs;
+
+    std::printf("Figure 6 — inference fps, original vs HeadStart-pruned\n\n");
+    Stopwatch watch;
+
+    TablePrinter table({"MODEL", "DATASET", "DEVICE", "ORI. FPS",
+                        "HEADSTART FPS", "SPEEDUP"});
+
+    // VGG-16 full width on CIFAR-100 (32 px) and CUB-200 (224 px).
+    {
+        models::VggConfig cfg;
+        cfg.width_scale = 1.0;
+        cfg.input_size = 32;
+        cfg.num_classes = 100;
+        auto original = models::make_vgg16(cfg);
+        auto pruned = halved_vgg(original);
+        report_pair(table, "VGG-16", "CIFAR-100", original.net, pruned.net,
+                    {3, 32, 32}, 1);
+    }
+    {
+        models::VggConfig cfg;
+        cfg.width_scale = 1.0;
+        cfg.input_size = 224;
+        cfg.num_classes = 200;
+        auto original = models::make_vgg16(cfg);
+        auto pruned = halved_vgg(original);
+        report_pair(table, "VGG-16", "CUB-200", original.net, pruned.net,
+                    {3, 224, 224}, 1);
+    }
+
+    // ResNet-110 → learnt <10,10,7> (paper Fig. 4) on both datasets.
+    for (const auto& [dataset, size] :
+         std::vector<std::pair<const char*, int>>{{"CIFAR-100", 32},
+                                                  {"CUB-200", 64}}) {
+        models::ResNetConfig cfg;
+        cfg.width_scale = 1.0;
+        cfg.input_size = size;
+        cfg.num_classes = 100;
+        cfg.blocks_per_group = {18, 18, 18};
+        auto original = models::make_resnet(cfg);
+        cfg.blocks_per_group = {10, 10, 7};
+        auto pruned = models::make_resnet(cfg);
+        report_pair(table, "ResNet-110", dataset, original.net, pruned.net,
+                    {3, size, size}, 1);
+    }
+
+    table.print();
+
+    // Real wall-clock anchor on this machine's CPU with the scaled models.
+    std::printf("\nReal measured fps of this library's CPU engine "
+                "(scaled models, batch 16):\n");
+    TablePrinter anchor({"MODEL", "ORI. FPS", "PRUNED FPS", "SPEEDUP"});
+    {
+        models::VggConfig cfg;
+        cfg.width_scale = 0.25;
+        cfg.input_size = 32;
+        cfg.num_classes = 20;
+        auto original = models::make_vgg16(cfg);
+        auto pruned = halved_vgg(original);
+        const double f0 = measured_fps(original.net, {3, 32, 32}, 16, 4);
+        const double f1 = measured_fps(pruned.net, {3, 32, 32}, 16, 4);
+        anchor.add_row({"VGG-16 x0.25", TablePrinter::num(f0, 1),
+                        TablePrinter::num(f1, 1),
+                        TablePrinter::num(f1 / f0, 2) + "x"});
+    }
+    anchor.print();
+
+    std::printf("\ntotal %.0fs\n", watch.seconds());
+    return 0;
+}

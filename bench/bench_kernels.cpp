@@ -1,0 +1,107 @@
+// Kernel microbenchmarks (google-benchmark): GEMM, im2col, conv forward /
+// backward, and whole-model inference. Not a paper table — these validate
+// the compute substrate and provide the CPU throughput numbers used to
+// sanity-check the roofline simulator's CPU device models.
+
+#include <benchmark/benchmark.h>
+
+#include "models/vgg.h"
+#include "nn/conv2d.h"
+#include "tensor/gemm.h"
+#include "tensor/im2col.h"
+#include "tensor/rng.h"
+
+namespace {
+
+using namespace hs;
+
+void BM_Gemm(benchmark::State& state) {
+    const int n = static_cast<int>(state.range(0));
+    Rng rng(1);
+    Tensor a({n, n}), b({n, n}), c({n, n});
+    rng.fill_normal(a, 0.0, 1.0);
+    rng.fill_normal(b, 0.0, 1.0);
+    for (auto _ : state) {
+        gemm(n, n, n, 1.0f, a.data(), b.data(), 0.0f, c.data());
+        benchmark::DoNotOptimize(c.data().data());
+    }
+    state.SetItemsProcessed(state.iterations() * 2LL * n * n * n);
+}
+BENCHMARK(BM_Gemm)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_GemmBt(benchmark::State& state) {
+    const int n = static_cast<int>(state.range(0));
+    Rng rng(2);
+    Tensor a({n, n}), b({n, n}), c({n, n});
+    rng.fill_normal(a, 0.0, 1.0);
+    rng.fill_normal(b, 0.0, 1.0);
+    for (auto _ : state) {
+        gemm_bt(n, n, n, 1.0f, a.data(), b.data(), 0.0f, c.data());
+        benchmark::DoNotOptimize(c.data().data());
+    }
+    state.SetItemsProcessed(state.iterations() * 2LL * n * n * n);
+}
+BENCHMARK(BM_GemmBt)->Arg(128);
+
+void BM_Im2col(benchmark::State& state) {
+    const int s = static_cast<int>(state.range(0));
+    ConvGeom g{16, s, s, 3, 1, 1};
+    Rng rng(3);
+    Tensor img({16 * s * s});
+    rng.fill_normal(img, 0.0, 1.0);
+    Tensor cols({static_cast<int>(g.col_rows() * g.col_cols())});
+    for (auto _ : state) {
+        im2col(g, img.data(), cols.data());
+        benchmark::DoNotOptimize(cols.data().data());
+    }
+    state.SetItemsProcessed(state.iterations() * cols.numel());
+}
+BENCHMARK(BM_Im2col)->Arg(16)->Arg(32);
+
+void BM_ConvForward(benchmark::State& state) {
+    const int c = static_cast<int>(state.range(0));
+    Rng rng(4);
+    nn::Conv2d conv(c, c, 3, 1, 1, true, rng);
+    Tensor x({8, c, 16, 16});
+    rng.fill_normal(x, 0.0, 1.0);
+    for (auto _ : state) {
+        Tensor y = conv.forward(x, false);
+        benchmark::DoNotOptimize(y.data().data());
+    }
+    state.SetItemsProcessed(state.iterations() * 8LL * c * c * 9 * 16 * 16);
+}
+BENCHMARK(BM_ConvForward)->Arg(16)->Arg(32)->Arg(64);
+
+void BM_ConvTrainStep(benchmark::State& state) {
+    Rng rng(5);
+    nn::Conv2d conv(16, 16, 3, 1, 1, true, rng);
+    Tensor x({8, 16, 16, 16});
+    rng.fill_normal(x, 0.0, 1.0);
+    for (auto _ : state) {
+        Tensor y = conv.forward(x, true);
+        conv.zero_grad();
+        Tensor dx = conv.backward(y);
+        benchmark::DoNotOptimize(dx.data().data());
+    }
+}
+BENCHMARK(BM_ConvTrainStep);
+
+void BM_VggInference(benchmark::State& state) {
+    models::VggConfig cfg;
+    cfg.width_scale = 0.125;
+    cfg.input_size = 16;
+    auto model = models::make_vgg16(cfg);
+    Rng rng(6);
+    Tensor x({16, 3, 16, 16});
+    rng.fill_normal(x, 0.0, 1.0);
+    for (auto _ : state) {
+        Tensor y = model.net.forward(x, false);
+        benchmark::DoNotOptimize(y.data().data());
+    }
+    state.SetItemsProcessed(state.iterations() * 16);
+}
+BENCHMARK(BM_VggInference);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,87 @@
+// Table 2: whole-model pruning comparison on the CUB-200 stand-in at
+// sp = 2 — VGG-16 original, Random, ThiNet'17, AutoPruner'18, Li'17,
+// HeadStart, and training the HeadStart architecture from scratch.
+// Expected shape (paper): HeadStart > AutoPruner >= ThiNet > Li'17 >
+// Random >> from-scratch, with HeadStart's learnt compression ratio close
+// to the 50% preset.
+
+#include <algorithm>
+#include <cstdio>
+
+#include "bench/common.h"
+#include "models/summary.h"
+#include "nn/conv2d.h"
+#include "util/stopwatch.h"
+#include "util/table.h"
+
+int main() {
+    using namespace hs;
+
+    const data::SyntheticImageDataset dataset(bench::cub_bench());
+    std::printf("Table 2 — pruning VGG-16 on CUB-200-like, sp=2\n");
+
+    auto base = models::make_vgg16(bench::vgg_bench(dataset.config()));
+    Stopwatch watch;
+    const double base_acc = bench::pretrain(base, dataset, bench::base_epochs());
+    const Shape input{dataset.config().channels, dataset.config().image_size,
+                      dataset.config().image_size};
+    const auto base_report = models::summarize(base.net, input);
+    std::printf("base trained in %.0fs\n\n", watch.seconds());
+
+    TablePrinter table(
+        {"METHOD", "#PARAMETERS (M)", "#FLOPS (M)", "ACC. (%)", "COMP. RATIO (%)"});
+    table.add_row({"VGG-16 ORI.", bench::millions(base_report.params),
+                   bench::millions(base_report.flops), bench::pct(base_acc),
+                   "100.00"});
+
+    const double conv_params_base = [&base]() mutable {
+        double total = 0.0;
+        for (int idx : base.conv_indices)
+            total += static_cast<double>(
+                base.net.layer_as<nn::Conv2d>(idx).weight().value.numel());
+        return total;
+    }();
+
+    auto run_scheme = [&](pruning::Scheme scheme, const char* label) {
+        auto model = base; // fresh deep copy of the trained base
+        const auto result = pruning::prune_vgg_pipeline(
+            model, dataset, scheme, bench::pipeline_bench(2.0));
+        double conv_params = 0.0;
+        for (int idx : model.conv_indices)
+            conv_params += static_cast<double>(
+                model.net.layer_as<nn::Conv2d>(idx).weight().value.numel());
+        table.add_row({label, bench::millions(result.params),
+                       bench::millions(result.flops),
+                       bench::pct(result.final_accuracy),
+                       bench::pct(conv_params / conv_params_base)});
+        return model;
+    };
+
+    (void)run_scheme(pruning::Scheme::kRandom, "RANDOM");
+    (void)run_scheme(pruning::Scheme::kThiNet, "THINET'17");
+    (void)run_scheme(pruning::Scheme::kAutoPruner, "AUTOPRUNER'18");
+    (void)run_scheme(pruning::Scheme::kL1, "LI'17");
+
+    auto hs_model = base;
+    const auto hs_result =
+        core::headstart_prune_vgg(hs_model, dataset, bench::headstart_bench(2.0));
+    table.add_row({"HEADSTART", bench::millions(hs_result.params),
+                   bench::millions(hs_result.flops),
+                   bench::pct(hs_result.final_accuracy),
+                   bench::pct(hs_result.compression_ratio)});
+
+    // From scratch: re-initialize the HeadStart-pruned architecture and
+    // train it with the total epoch budget the pruned model received.
+    const int scratch_epochs = std::min(
+        20, bench::base_epochs() +
+                bench::finetune_epochs() * (hs_model.num_convs() - 1));
+    const double scratch_acc = pruning::train_pruned_from_scratch(
+        hs_model, dataset, scratch_epochs, bench::pipeline_bench(2.0));
+    table.add_row({"FROM SCRATCH", bench::millions(hs_result.params),
+                   bench::millions(hs_result.flops), bench::pct(scratch_acc),
+                   bench::pct(hs_result.compression_ratio)});
+
+    table.print();
+    std::printf("\ntotal %.0fs\n", watch.seconds());
+    return 0;
+}

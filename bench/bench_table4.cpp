@@ -1,0 +1,67 @@
+// Table 4: block-level HeadStart pruning of the ResNet-110 stand-in on the
+// CIFAR-100-like dataset, compared against the original big model, the
+// symmetric half-depth model (ResNet-56 stand-in), and the learnt
+// architecture trained from scratch. Expected shape: HeadStart recovers
+// close to the original accuracy at ~half the FLOPs, beats the symmetric
+// comparator, and beats from-scratch.
+
+#include <cstdio>
+
+#include "bench/common.h"
+#include "bench/resnet_shared.h"
+#include "models/summary.h"
+#include "util/stopwatch.h"
+#include "util/table.h"
+
+int main() {
+    using namespace hs;
+
+    Stopwatch watch;
+    std::printf("Table 4 — block-level pruning of ResNet on CIFAR-100-like\n\n");
+    auto exp = bench::run_resnet_experiment();
+
+    const Shape input{exp.data_cfg.channels, exp.data_cfg.image_size,
+                      exp.data_cfg.image_size};
+    const auto big_report = models::summarize(exp.big.net, input);
+    const auto small_report = models::summarize(exp.small.net, input);
+    auto pruned_net = exp.pruned.pruned;  // copy: summarize needs mutability
+    const auto pruned_report = models::summarize(pruned_net.net, input);
+
+    const auto depth = [](const std::vector<int>& blocks) {
+        return models::resnet_depth(blocks);
+    };
+
+    TablePrinter table(
+        {"MODEL", "#PARAM. (M)", "#FLOPS (M)", "ACC. (%)", "C.R. (%)"});
+    const double big_params = static_cast<double>(big_report.params);
+    table.add_row({"RESNET-" + std::to_string(depth(exp.big_cfg.blocks_per_group)) +
+                       " ORIGINAL",
+                   bench::millions(big_report.params),
+                   bench::millions(big_report.flops), bench::pct(exp.big_acc),
+                   "100.00"});
+    table.add_row(
+        {"RESNET-" + std::to_string(depth(exp.small_cfg.blocks_per_group)) +
+             " ORIGINAL",
+         bench::millions(small_report.params), bench::millions(small_report.flops),
+         bench::pct(exp.small_acc), bench::pct(small_report.params / big_params)});
+    table.add_row({"HEADSTART (blocks <" +
+                       std::to_string(exp.pruned.blocks_per_group[0]) + "," +
+                       std::to_string(exp.pruned.blocks_per_group[1]) + "," +
+                       std::to_string(exp.pruned.blocks_per_group[2]) + ">)",
+                   bench::millions(pruned_report.params),
+                   bench::millions(pruned_report.flops),
+                   bench::pct(exp.pruned.final_accuracy),
+                   bench::pct(pruned_report.params / big_params)});
+    table.add_row({"HEADSTART F. SCRATCH", bench::millions(pruned_report.params),
+                   bench::millions(pruned_report.flops),
+                   bench::pct(exp.scratch_acc),
+                   bench::pct(pruned_report.params / big_params)});
+    table.print();
+
+    std::printf("\ninception accuracy before fine-tune: %s%%  |  search took %d "
+                "iterations\n",
+                bench::pct(exp.pruned.inception_accuracy).c_str(),
+                exp.pruned.search_iterations);
+    std::printf("total %.0fs\n", watch.seconds());
+    return 0;
+}

@@ -1,0 +1,37 @@
+#include "bench/common.h"
+
+#include <cstdio>
+
+#include "data/dataloader.h"
+#include "nn/trainer.h"
+#include "util/logging.h"
+#include "util/table.h"
+
+namespace hs::bench {
+
+double pretrain(models::VggModel& model, const data::SyntheticImageDataset& dataset,
+                int epochs) {
+    data::DataLoader loader(dataset.train(), 32, /*shuffle=*/true, 1234);
+    nn::SoftmaxCrossEntropy loss;
+    nn::SGD opt(model.net.params(), 0.02f, 0.9f, 5e-4f);
+    for (int e = 0; e < epochs; ++e) {
+        // Step decay: drop the lr 5x for the final 40% of the schedule.
+        opt.set_lr(e < epochs * 3 / 5 ? 0.02f : 0.004f);
+        const auto stats = nn::train_epoch(model.net, loss, opt, loader);
+        if (e % 4 == 3 || e == epochs - 1)
+            log_info("pretrain epoch " + std::to_string(e) + ": loss " +
+                     std::to_string(stats.loss) + ", train-acc " +
+                     std::to_string(stats.accuracy));
+    }
+    const double acc = nn::evaluate(model.net, dataset.test());
+    std::fflush(stdout);
+    return acc;
+}
+
+std::string pct(double fraction) { return TablePrinter::num(100.0 * fraction, 2); }
+
+std::string millions(std::int64_t count) {
+    return TablePrinter::num(static_cast<double>(count) / 1e6, 3);
+}
+
+} // namespace hs::bench

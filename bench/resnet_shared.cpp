@@ -1,0 +1,118 @@
+#include "bench/resnet_shared.h"
+
+#include <algorithm>
+
+#include "bench/common.h"
+#include "data/dataloader.h"
+#include "models/summary.h"
+#include "nn/trainer.h"
+#include "pruning/resnet_surgery.h"
+#include "util/logging.h"
+
+namespace hs::bench {
+namespace {
+
+double pretrain_resnet(models::ResNetModel& model,
+                       const data::SyntheticImageDataset& dataset, int epochs) {
+    data::DataLoader loader(dataset.train(), 32, /*shuffle=*/true, 4321);
+    nn::SoftmaxCrossEntropy loss;
+    nn::SGD opt(model.net.params(), 0.02f, 0.9f, 5e-4f);
+    for (int e = 0; e < epochs; ++e) {
+        const auto stats = nn::train_epoch(model.net, loss, opt, loader);
+        if (e % 4 == 3 || e == epochs - 1)
+            log_info("resnet pretrain epoch " + std::to_string(e) + ": loss " +
+                     std::to_string(stats.loss) + ", acc " +
+                     std::to_string(stats.accuracy));
+    }
+    return nn::evaluate(model.net, dataset.test());
+}
+
+} // namespace
+
+ResNetExperiment run_resnet_experiment() {
+    ResNetExperiment exp;
+    exp.data_cfg = cifar_bench();
+    if (scale() != Scale::kFull) {
+        // Residual networks solve the default generator too easily at the
+        // reduced scales (every row saturates at 100%); harden it so the
+        // Table-4 accuracy ordering is measurable.
+        exp.data_cfg.noise = 0.55;
+        exp.data_cfg.train_per_class =
+            std::max(10, exp.data_cfg.train_per_class * 3 / 5);
+    }
+    const data::SyntheticImageDataset dataset(exp.data_cfg);
+
+    const Scale s = scale();
+    const bool full = s == Scale::kFull;
+    exp.big_cfg.blocks_per_group = full            ? std::vector<int>{18, 18, 18}
+                                   : s == Scale::kQuick ? std::vector<int>{6, 6, 6}
+                                                        : std::vector<int>{4, 4, 4};
+    exp.small_cfg.blocks_per_group = full            ? std::vector<int>{9, 9, 9}
+                                     : s == Scale::kQuick ? std::vector<int>{3, 3, 3}
+                                                          : std::vector<int>{2, 2, 2};
+    for (auto* cfg : {&exp.big_cfg, &exp.small_cfg}) {
+        cfg->input_size = exp.data_cfg.image_size;
+        cfg->num_classes = exp.data_cfg.num_classes;
+        cfg->width_scale = full ? 1.0 : (s == Scale::kQuick ? 0.5 : 0.25);
+        cfg->seed = 42;
+    }
+
+    exp.big = models::make_resnet(exp.big_cfg);
+    exp.small = models::make_resnet(exp.small_cfg);
+    const int epochs = scale() == Scale::kQuick ? 10 : base_epochs();
+    exp.big_acc = pretrain_resnet(exp.big, dataset, epochs);
+    exp.small_acc = pretrain_resnet(exp.small, dataset, epochs);
+
+    core::BlockPruneConfig cfg;
+    cfg.search = headstart_bench(2.0).search;  // sp = 2 over blocks → C.R. 50%
+    cfg.search.max_iters = full ? 80 : (s == Scale::kQuick ? 30 : 8);
+    cfg.search.stable_window = full ? 16 : (s == Scale::kQuick ? 8 : 4);
+    cfg.finetune_epochs = finetune_epochs() * 2;
+    cfg.reward_subset = full ? 192 : (s == Scale::kQuick ? 96 : 48);
+    cfg.seed = 53;
+    exp.pruned = core::headstart_prune_blocks(exp.big, dataset, cfg);
+    // headstart_prune_blocks leaves the learnt gates applied on exp.big;
+    // restore it to the intact original so the "ORIGINAL" rows and the
+    // C.R. denominators report the unpruned model.
+    const std::vector<float> ones(static_cast<std::size_t>(exp.big.num_blocks()),
+                                  1.0f);
+    pruning::apply_block_gates(exp.big, ones);
+
+    // From-scratch control on the learnt architecture.
+    models::ResNetConfig scratch_cfg = exp.big_cfg;
+    scratch_cfg.blocks_per_group = exp.pruned.blocks_per_group;
+    scratch_cfg.seed = 2025;
+    auto scratch = models::make_resnet(scratch_cfg);
+    exp.scratch_acc = pretrain_resnet(scratch, dataset,
+                                      epochs + cfg.finetune_epochs);
+    return exp;
+}
+
+std::vector<std::int64_t> per_group_params(models::ResNetModel& model) {
+    std::vector<std::int64_t> out(3, 0);
+    for (int b = 0; b < model.num_blocks(); ++b) {
+        auto& block = model.block(b);
+        std::int64_t params = 0;
+        for (const nn::Param* p : block.params()) params += p->value.numel();
+        out[static_cast<std::size_t>(
+            model.block_group[static_cast<std::size_t>(b)])] += params;
+    }
+    return out;
+}
+
+std::vector<std::int64_t> per_group_flops(models::ResNetModel& model,
+                                          const Shape& input_chw) {
+    const auto report = models::summarize(model.net, input_chw);
+    std::vector<std::int64_t> out(3, 0);
+    std::size_t block_idx = 0;
+    for (const auto& layer : report.layers) {
+        if (layer.kind.rfind("resblock", 0) != 0) continue;
+        require(block_idx < model.block_group.size(),
+                "more resblock reports than blocks");
+        out[static_cast<std::size_t>(model.block_group[block_idx])] += layer.flops;
+        ++block_idx;
+    }
+    return out;
+}
+
+} // namespace hs::bench

@@ -1,0 +1,38 @@
+#pragma once
+
+// Shared driver for the ResNet experiments (Table 4, Figures 4 and 5).
+// All three bench binaries call run_resnet_experiment() with the same
+// fixed seeds, so they report one consistent result set.
+
+#include <vector>
+
+#include "core/block_pruner.h"
+#include "models/resnet.h"
+
+namespace hs::bench {
+
+/// All artifacts of the block-pruning experiment.
+struct ResNetExperiment {
+    data::SyntheticConfig data_cfg;
+    models::ResNetConfig big_cfg;    ///< ResNet-110 stand-in
+    models::ResNetConfig small_cfg;  ///< ResNet-56 stand-in
+    models::ResNetModel big;         ///< trained original
+    models::ResNetModel small;       ///< trained symmetric comparator
+    double big_acc = 0.0;
+    double small_acc = 0.0;
+    core::BlockPruneResult pruned;   ///< HeadStart result (from big)
+    double scratch_acc = 0.0;        ///< pruned architecture from scratch
+};
+
+/// Run (or re-run — deterministic) the whole Table-4 experiment.
+[[nodiscard]] ResNetExperiment run_resnet_experiment();
+
+/// Per-group parameter counts of a ResNet's residual blocks.
+[[nodiscard]] std::vector<std::int64_t> per_group_params(
+    models::ResNetModel& model);
+
+/// Per-group FLOPs (MACs/image) of a ResNet's residual blocks.
+[[nodiscard]] std::vector<std::int64_t> per_group_flops(
+    models::ResNetModel& model, const Shape& input_chw);
+
+} // namespace hs::bench

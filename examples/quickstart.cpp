@@ -1,0 +1,84 @@
+// Quickstart: train a small convnet on the synthetic dataset, let
+// HeadStart learn the optimal inception for one conv layer, apply the
+// surgery, and fine-tune — the whole library round trip in ~100 lines.
+//
+// Build & run:   cmake -B build -G Ninja && cmake --build build
+//                ./build/examples/quickstart
+
+#include <cstdio>
+
+#include "core/model_pruner.h"
+#include "data/dataloader.h"
+#include "models/lenet.h"
+#include "models/summary.h"
+#include "nn/trainer.h"
+#include "pruning/surgery.h"
+#include "util/stopwatch.h"
+
+int main() {
+    using namespace hs;
+
+    // 1. A small synthetic classification dataset (CIFAR-100 stand-in).
+    data::SyntheticConfig data_cfg = data::cifar100_like();
+    data_cfg.num_classes = 10;
+    data_cfg.train_per_class = 80;
+    data_cfg.test_per_class = 20;
+    const data::SyntheticImageDataset dataset(data_cfg);
+    std::printf("dataset: %d train / %d test images, %d classes, %dx%d px\n",
+                dataset.train().size(), dataset.test().size(),
+                dataset.num_classes(), data_cfg.image_size, data_cfg.image_size);
+
+    // 2. Train a LeNet to convergence.
+    models::LeNetConfig model_cfg;
+    model_cfg.num_classes = data_cfg.num_classes;
+    model_cfg.input_size = data_cfg.image_size;
+    auto model = models::make_lenet(model_cfg);
+
+    Stopwatch watch;
+    data::DataLoader loader(dataset.train(), 32, /*shuffle=*/true);
+    nn::SoftmaxCrossEntropy loss;
+    nn::SGD opt(model.net.params(), 0.01f, 0.9f, 5e-4f);
+    for (int epoch = 0; epoch < 12; ++epoch) {
+        const auto stats = nn::train_epoch(model.net, loss, opt, loader);
+        std::printf("epoch %2d  loss %.4f  train-acc %.3f\n", epoch, stats.loss,
+                    stats.accuracy);
+    }
+    const double acc_before = nn::evaluate(model.net, dataset.test());
+    const Shape input{data_cfg.channels, data_cfg.image_size, data_cfg.image_size};
+    const auto before = models::summarize(model.net, input);
+    std::printf("trained in %.1fs: test accuracy %.3f, %lld params, %lld flops\n",
+                watch.seconds(), acc_before,
+                static_cast<long long>(before.params),
+                static_cast<long long>(before.flops));
+
+    // 3. HeadStart: learn which feature maps of conv1 to keep (sp = 2).
+    core::HeadStartConfig hs_cfg;
+    hs_cfg.search.speedup = 2.0;
+    hs_cfg.search.max_iters = 40;
+    watch.reset();
+    const auto search = core::headstart_search_conv(
+        model.net, model.conv_indices[0], dataset, hs_cfg);
+    std::printf(
+        "headstart: kept %zu/%d maps of conv1 after %d iterations (%.1fs), "
+        "inception accuracy %.3f\n",
+        search.keep.size(), model_cfg.conv1_maps, search.iterations,
+        watch.seconds(), search.inception_accuracy);
+
+    // 4. Make it real: physical surgery, then fine-tune.
+    pruning::ConvChain chain{&model.net, model.conv_indices,
+                             model.classifier_index};
+    pruning::prune_feature_maps(chain, 0, search.keep);
+    const double acc_inception = nn::evaluate(model.net, dataset.test());
+    (void)nn::finetune(model.net, loader, /*epochs=*/4, /*lr=*/5e-3f);
+    const double acc_after = nn::evaluate(model.net, dataset.test());
+
+    const auto after = models::summarize(model.net, input);
+    std::printf("pruned model: %lld params (%.1f%%), %lld flops (%.1f%%)\n",
+                static_cast<long long>(after.params),
+                100.0 * after.params / before.params,
+                static_cast<long long>(after.flops),
+                100.0 * after.flops / before.flops);
+    std::printf("accuracy: original %.3f -> inception %.3f -> fine-tuned %.3f\n",
+                acc_before, acc_inception, acc_after);
+    return 0;
+}

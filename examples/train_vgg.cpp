@@ -1,0 +1,53 @@
+// Train the scaled VGG-16 substrate on the synthetic CIFAR-100 stand-in
+// and print a model summary — useful to check dataset difficulty and to
+// time one epoch on your machine before launching the paper benches.
+//
+// Usage: train_vgg [epochs] [width_scale] [noise] [classes]
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "data/dataloader.h"
+#include "models/summary.h"
+#include "models/vgg.h"
+#include "nn/trainer.h"
+#include "util/stopwatch.h"
+
+int main(int argc, char** argv) {
+    using namespace hs;
+    const int epochs = argc > 1 ? std::atoi(argv[1]) : 10;
+    const double width = argc > 2 ? std::atof(argv[2]) : 0.125;
+    const double noise = argc > 3 ? std::atof(argv[3]) : 0.25;
+    const int classes = argc > 4 ? std::atoi(argv[4]) : 20;
+
+    data::SyntheticConfig data_cfg = data::cifar100_like();
+    data_cfg.noise = noise;
+    data_cfg.num_classes = classes;
+    const data::SyntheticImageDataset dataset(data_cfg);
+
+    models::VggConfig cfg;
+    cfg.num_classes = dataset.num_classes();
+    cfg.input_size = data_cfg.image_size;
+    cfg.width_scale = width;
+    auto model = models::make_vgg16(cfg);
+
+    const Shape input{data_cfg.channels, data_cfg.image_size, data_cfg.image_size};
+    const auto report = models::summarize(model.net, input);
+    std::printf("VGG-16 x%.3f on %d classes: %lld params, %lld flops/image\n",
+                width, classes, static_cast<long long>(report.params),
+                static_cast<long long>(report.flops));
+
+    data::DataLoader loader(dataset.train(), 32, /*shuffle=*/true);
+    nn::SoftmaxCrossEntropy loss;
+    nn::SGD opt(model.net.params(), 0.01f, 0.9f, 5e-4f);
+    Stopwatch watch;
+    for (int e = 0; e < epochs; ++e) {
+        Stopwatch epoch_watch;
+        const auto stats = nn::train_epoch(model.net, loss, opt, loader);
+        std::printf("epoch %2d  loss %.4f  train-acc %.3f  test-acc %.3f  (%.1fs)\n",
+                    e, stats.loss, stats.accuracy,
+                    nn::evaluate(model.net, dataset.test()), epoch_watch.seconds());
+    }
+    std::printf("total %.1fs\n", watch.seconds());
+    return 0;
+}

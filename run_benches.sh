@@ -1,0 +1,12 @@
+#!/bin/sh
+# Regenerates every paper table/figure: one bench binary per artifact.
+# Usage: ./run_benches.sh [output-file]
+out="${1:-/root/repo/bench_output.txt}"
+: > "$out"
+for b in build/bench/*; do
+  [ -f "$b" ] && [ -x "$b" ] || continue
+  echo "##### $b" >> "$out"
+  "$b" >> "$out" 2>&1
+  echo "exit=$? $b" >> "$out"
+done
+echo "ALL_BENCHES_DONE" >> "$out"

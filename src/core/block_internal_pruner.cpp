@@ -1,0 +1,67 @@
+#include "core/block_internal_pruner.h"
+
+#include "models/summary.h"
+#include "nn/trainer.h"
+#include "pruning/surgery.h"
+#include "util/logging.h"
+
+namespace hs::core {
+
+BlockInternalResult headstart_prune_block_internals(
+    models::ResNetModel& model, const data::SyntheticImageDataset& dataset,
+    const BlockInternalConfig& config) {
+    data::DataLoader loader(dataset.train(), config.batch_size, /*shuffle=*/true,
+                            config.seed + 1);
+    const data::Batch reward_batch =
+        data::sample_subset(dataset.train(), config.reward_subset, config.seed + 5);
+    const Shape input{dataset.config().channels, dataset.config().image_size,
+                      dataset.config().image_size};
+
+    BlockInternalResult result;
+    for (int b = 0; b < model.num_blocks(); ++b) {
+        auto& block = model.block(b);
+        auto& conv1 = block.conv1();
+        const int maps_before = conv1.out_channels();
+        if (maps_before <= 1) continue; // nothing to decide
+
+        const double acc_orig =
+            std::max(nn::evaluate_batch(model.net, reward_batch), 1e-3);
+
+        SearchConfig search = config.search;
+        search.seed = config.seed * 37 + static_cast<std::uint64_t>(b);
+        auto evaluate = [&model, &conv1, &reward_batch](
+                            std::span<const float> action) {
+            conv1.set_output_mask(action);
+            return nn::evaluate_batch(model.net, reward_batch);
+        };
+        ActionSearch driver(maps_before, evaluate, acc_orig, search);
+        const SearchResult sr = driver.run();
+        conv1.clear_output_mask();
+
+        pruning::prune_block_internal(block, sr.keep);
+
+        BlockInternalTrace trace;
+        trace.block = b;
+        trace.maps_before = maps_before;
+        trace.maps_after = static_cast<int>(sr.keep.size());
+        trace.search_iterations = sr.iterations;
+        trace.acc_inception = nn::evaluate(model.net, dataset.test());
+        (void)nn::finetune(model.net, loader, config.finetune_epochs, config.lr,
+                           config.weight_decay);
+        trace.acc_finetuned = nn::evaluate(model.net, dataset.test());
+        result.trace.push_back(trace);
+
+        log_info("[headstart-intra] block " + std::to_string(b) + ": " +
+                 std::to_string(maps_before) + " -> " +
+                 std::to_string(trace.maps_after) + " internal maps, ft=" +
+                 std::to_string(trace.acc_finetuned));
+    }
+
+    const auto report = models::summarize(model.net, input);
+    result.params = report.params;
+    result.flops = report.flops;
+    result.final_accuracy = nn::evaluate(model.net, dataset.test());
+    return result;
+}
+
+} // namespace hs::core

@@ -1,0 +1,54 @@
+#pragma once
+
+// Intra-block HeadStart for ResNets — the paper's noted finer granularity
+// ("the HeadStart concept could be directly applied to prune the
+// convolutional layers in each block just like VGG", Section V.A.2).
+// For every residual block, a head-start policy selects which of the
+// block's *internal* feature maps (output of conv1) survive; the surgery
+// shrinks conv1's filters, bn1, and conv2's input channels while leaving
+// the block's external interface intact, so it composes freely with the
+// block-level pruner.
+
+#include "core/search.h"
+#include "data/synthetic.h"
+#include "models/resnet.h"
+#include "pruning/pipeline.h"
+
+namespace hs::core {
+
+/// Knobs of the intra-block pruning run.
+struct BlockInternalConfig {
+    SearchConfig search;       ///< per-block RL search (speedup over maps)
+    int finetune_epochs = 2;
+    int batch_size = 32;
+    float lr = 1e-3f;
+    float weight_decay = 5e-4f;
+    int reward_subset = 96;
+    std::uint64_t seed = 61;
+};
+
+/// Per-block trace row.
+struct BlockInternalTrace {
+    int block = 0;
+    int maps_before = 0;
+    int maps_after = 0;
+    double acc_inception = 0.0;
+    double acc_finetuned = 0.0;
+    int search_iterations = 0;
+};
+
+/// Result of intra-block pruning.
+struct BlockInternalResult {
+    std::vector<BlockInternalTrace> trace;
+    double final_accuracy = 0.0;
+    std::int64_t params = 0;
+    std::int64_t flops = 0;
+};
+
+/// Prune the internal maps of every residual block of `model` in place,
+/// block by block (fine-tuning after each), with the HeadStart search.
+[[nodiscard]] BlockInternalResult headstart_prune_block_internals(
+    models::ResNetModel& model, const data::SyntheticImageDataset& dataset,
+    const BlockInternalConfig& config);
+
+} // namespace hs::core

@@ -1,0 +1,87 @@
+#include "core/block_pruner.h"
+
+#include <algorithm>
+
+#include "nn/trainer.h"
+#include "pruning/mask.h"
+#include "pruning/resnet_surgery.h"
+#include "util/logging.h"
+
+namespace hs::core {
+
+BlockPruneResult headstart_prune_blocks(models::ResNetModel& model,
+                                        const data::SyntheticImageDataset& dataset,
+                                        const BlockPruneConfig& config) {
+    const auto droppable = pruning::droppable_blocks(model);
+    require(!droppable.empty(), "no droppable blocks in this ResNet");
+    const int total_blocks = model.num_blocks();
+    const int fixed = total_blocks - static_cast<int>(droppable.size());
+
+    const data::Batch reward_batch =
+        data::sample_subset(dataset.train(), config.reward_subset, config.seed + 5);
+    const double acc_orig =
+        std::max(nn::evaluate_batch(model.net, reward_batch), 1e-3);
+
+    // The preset speedup is defined over ALL blocks (C = total, Eq. 3); the
+    // action vector only covers the droppable ones, so rescale the target:
+    // target kept total = C/sp  =>  target kept droppable = C/sp − fixed.
+    const double target_total_kept =
+        static_cast<double>(total_blocks) / config.search.speedup;
+    const double target_droppable_kept =
+        std::max(1.0, target_total_kept - static_cast<double>(fixed));
+    SearchConfig search = config.search;
+    search.speedup = std::max(
+        1.0, static_cast<double>(droppable.size()) / target_droppable_kept);
+    search.seed = config.seed * 977 + 3;
+
+    auto evaluate = [&model, &droppable, &reward_batch,
+                     total_blocks](std::span<const float> action) {
+        std::vector<float> gates(static_cast<std::size_t>(total_blocks), 1.0f);
+        for (std::size_t i = 0; i < droppable.size(); ++i)
+            gates[static_cast<std::size_t>(droppable[i])] = action[i];
+        pruning::apply_block_gates(model, gates);
+        return nn::evaluate_batch(model.net, reward_batch);
+    };
+
+    ActionSearch driver(static_cast<int>(droppable.size()), evaluate, acc_orig,
+                        search);
+    const SearchResult sr = driver.run();
+
+    // Materialize the converged decision on the model's gates.
+    std::vector<float> final_gates(static_cast<std::size_t>(total_blocks), 0.0f);
+    for (int b = 0; b < total_blocks; ++b) {
+        const bool is_droppable =
+            std::find(droppable.begin(), droppable.end(), b) != droppable.end();
+        if (!is_droppable) final_gates[static_cast<std::size_t>(b)] = 1.0f;
+    }
+    for (int kept : sr.keep)
+        final_gates[static_cast<std::size_t>(droppable[static_cast<std::size_t>(kept)])] =
+            1.0f;
+    pruning::apply_block_gates(model, final_gates);
+
+    BlockPruneResult result;
+    result.search_iterations = sr.iterations;
+    for (int b = 0; b < total_blocks; ++b)
+        if (final_gates[static_cast<std::size_t>(b)] != 0.0f)
+            result.kept_blocks.push_back(b);
+
+    result.pruned = pruning::remove_dropped_blocks(model);
+    result.blocks_per_group = result.pruned.blocks_per_group();
+    result.inception_accuracy = nn::evaluate(result.pruned.net, dataset.test());
+
+    data::DataLoader loader(dataset.train(), config.batch_size, /*shuffle=*/true,
+                            config.seed + 1);
+    (void)nn::finetune(result.pruned.net, loader, config.finetune_epochs,
+                       config.lr, config.weight_decay);
+    result.final_accuracy = nn::evaluate(result.pruned.net, dataset.test());
+
+    log_info("[headstart-blocks] kept <" +
+             std::to_string(result.blocks_per_group[0]) + ", " +
+             std::to_string(result.blocks_per_group[1]) + ", " +
+             std::to_string(result.blocks_per_group[2]) + "> blocks, inc=" +
+             std::to_string(result.inception_accuracy) +
+             " ft=" + std::to_string(result.final_accuracy));
+    return result;
+}
+
+} // namespace hs::core

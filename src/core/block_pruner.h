@@ -1,0 +1,44 @@
+#pragma once
+
+// HeadStart at residual-block granularity (paper Section V.A.2): one
+// head-start network whose actions gate the droppable (identity-shortcut)
+// residual blocks of a ResNet. The reward is the same Eq. 4 tradeoff with
+// C = total block count, so the learnt block budget approaches C/sp. After
+// convergence the gate-0 blocks are physically removed and the compact
+// model is fine-tuned.
+
+#include "core/search.h"
+#include "data/synthetic.h"
+#include "models/resnet.h"
+
+namespace hs::core {
+
+/// Knobs of the block-level HeadStart run.
+struct BlockPruneConfig {
+    SearchConfig search;
+    int finetune_epochs = 4;
+    int batch_size = 32;
+    float lr = 1e-3f;
+    float weight_decay = 5e-4f;
+    int reward_subset = 128;
+    std::uint64_t seed = 53;
+};
+
+/// Result of block-level pruning.
+struct BlockPruneResult {
+    models::ResNetModel pruned;          ///< compact model (blocks removed)
+    std::vector<int> kept_blocks;        ///< indices into the original model
+    std::vector<int> blocks_per_group;   ///< learnt <g1, g2, g3> structure
+    double inception_accuracy = 0.0;     ///< test acc before fine-tuning
+    double final_accuracy = 0.0;         ///< test acc after fine-tuning
+    int search_iterations = 0;
+};
+
+/// Prune `model`'s residual blocks with HeadStart. The input model is left
+/// with its gates applied; the returned model is the physically compacted
+/// network.
+[[nodiscard]] BlockPruneResult headstart_prune_blocks(
+    models::ResNetModel& model, const data::SyntheticImageDataset& dataset,
+    const BlockPruneConfig& config);
+
+} // namespace hs::core

@@ -1,0 +1,55 @@
+#include "core/headstart_net.h"
+
+#include "nn/activations.h"
+#include "nn/conv2d.h"
+#include "nn/linear.h"
+#include "nn/pooling.h"
+#include "util/error.h"
+
+namespace hs::core {
+
+HeadStartNet::HeadStartNet(int actions, const PolicyConfig& config)
+    : actions_(actions), config_(config) {
+    require(actions > 0, "policy needs at least one action");
+    require(config.noise_size >= 4, "noise map too small");
+
+    Rng rng(config.seed);
+    const int h = config.hidden_channels;
+    // Three convolutions and one fully connected layer (paper, §III.A).
+    net_.emplace<nn::Conv2d>(1, h, 3, 1, 1, /*bias=*/true, rng);
+    net_.emplace<nn::ReLU>();
+    net_.emplace<nn::Conv2d>(h, 2 * h, 3, 2, 1, /*bias=*/true, rng);
+    net_.emplace<nn::ReLU>();
+    net_.emplace<nn::Conv2d>(2 * h, 2 * h, 3, 2, 1, /*bias=*/true, rng);
+    net_.emplace<nn::ReLU>();
+    net_.emplace<nn::Flatten>();
+    const int spatial = (config.noise_size + 3) / 4; // two stride-2 convs
+    auto& head = net_.emplace<nn::Linear>(2 * h * spatial * spatial, actions, rng);
+    head.bias().value.fill(config.output_bias);
+    net_.emplace<nn::Sigmoid>();
+
+    optimizer_ = std::make_unique<nn::RMSprop>(net_.params(), config.lr, 0.99f,
+                                               1e-8f, config.weight_decay);
+}
+
+std::vector<float> HeadStartNet::probs(Rng& rng) {
+    Tensor noise({1, 1, config_.noise_size, config_.noise_size});
+    rng.fill_normal(noise, 0.0, 1.0);
+    const Tensor out = net_.forward(noise, /*train=*/true);
+    require(out.numel() == actions_, "policy output size mismatch");
+    std::vector<float> p(static_cast<std::size_t>(actions_));
+    for (int i = 0; i < actions_; ++i) p[static_cast<std::size_t>(i)] = out[i];
+    return p;
+}
+
+void HeadStartNet::apply_gradient(std::span<const float> grad_probs) {
+    require(static_cast<int>(grad_probs.size()) == actions_,
+            "gradient size mismatch");
+    Tensor g({1, actions_});
+    for (int i = 0; i < actions_; ++i) g[i] = grad_probs[static_cast<std::size_t>(i)];
+    optimizer_->zero_grad();
+    (void)net_.backward(g);
+    optimizer_->step();
+}
+
+} // namespace hs::core

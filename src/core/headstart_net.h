@@ -1,0 +1,53 @@
+#pragma once
+
+// The head-start network: the dedicated per-layer policy network of the
+// paper (Figure 2). Its input is a Gaussian noise map, its body is three
+// convolution layers and one fully connected layer, and its sigmoid output
+// gives per-feature-map keep probabilities. One instance is created per
+// pruned layer and trained with REINFORCE + RMSprop.
+
+#include "nn/optimizer.h"
+#include "nn/sequential.h"
+#include "tensor/rng.h"
+
+namespace hs::core {
+
+/// Hyper-parameters of the policy network and its optimizer (Section IV:
+/// RMSprop, lr 1e-3, weight decay 5e-4).
+struct PolicyConfig {
+    int noise_size = 8;        ///< noise map is [1, 1, noise_size, noise_size]
+    int hidden_channels = 8;   ///< width of the three conv layers
+    float lr = 1e-3f;
+    float weight_decay = 5e-4f;
+    /// Initial bias of the output layer. Positive values start the policy
+    /// near "keep everything" (p ≈ σ(bias)), so early reward signals are
+    /// measured against a functioning model and the SPD term prunes it
+    /// down gradually — much more stable than starting from p = 0.5.
+    float output_bias = 1.5f;
+    std::uint64_t seed = 5;
+};
+
+/// Policy network producing keep probabilities for `actions` channels.
+class HeadStartNet {
+public:
+    HeadStartNet(int actions, const PolicyConfig& config);
+
+    /// Draw a fresh Gaussian noise map and return the keep probabilities
+    /// p_θ ∈ (0,1)^actions. Caches activations for apply_gradient().
+    [[nodiscard]] std::vector<float> probs(Rng& rng);
+
+    /// Backpropagate dL/d(probs) through the network and take one RMSprop
+    /// step on θ. `grad_probs` has `actions()` entries.
+    void apply_gradient(std::span<const float> grad_probs);
+
+    [[nodiscard]] int actions() const { return actions_; }
+    [[nodiscard]] const PolicyConfig& config() const { return config_; }
+
+private:
+    int actions_;
+    PolicyConfig config_;
+    nn::Sequential net_;
+    std::unique_ptr<nn::RMSprop> optimizer_;
+};
+
+} // namespace hs::core

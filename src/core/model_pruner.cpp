@@ -1,0 +1,145 @@
+#include "core/model_pruner.h"
+
+#include "models/summary.h"
+#include "nn/conv2d.h"
+#include "nn/trainer.h"
+#include "pruning/mask.h"
+#include "pruning/surgery.h"
+#include "util/logging.h"
+
+namespace hs::core {
+namespace {
+
+/// Evaluator over one conv layer: applies the action as an output mask and
+/// scores the model on the reward batch. The layers below the masked conv
+/// never change during the search, so their output is computed once and
+/// only the suffix is replayed per action — the dominant cost saving of
+/// the reward loop.
+ActionEvaluator make_layer_evaluator(nn::Sequential& net, nn::Conv2d& conv,
+                                     int conv_position,
+                                     const data::Batch& reward_batch) {
+    auto prefix = std::make_shared<Tensor>(
+        net.forward_range(reward_batch.images, 0, conv_position, false));
+    auto labels = std::make_shared<std::vector<int>>(reward_batch.labels);
+    return [&net, &conv, conv_position, prefix,
+            labels](std::span<const float> action) {
+        conv.set_output_mask(action);
+        const Tensor logits =
+            net.forward_range(*prefix, conv_position, net.size(), false);
+        return nn::accuracy(logits, *labels);
+    };
+}
+
+} // namespace
+
+SearchResult headstart_search_conv(nn::Sequential& net, int conv_position,
+                                   const data::SyntheticImageDataset& dataset,
+                                   const HeadStartConfig& config) {
+    auto& conv = net.layer_as<nn::Conv2d>(conv_position);
+
+    const data::Batch reward_batch =
+        data::sample_subset(dataset.train(), config.reward_subset, config.seed + 5);
+    const double acc_orig = nn::evaluate_batch(net, reward_batch);
+
+    SearchConfig search = config.search;
+    search.seed = config.seed * 131 + static_cast<std::uint64_t>(conv_position);
+    ActionSearch driver(conv.out_channels(),
+                        make_layer_evaluator(net, conv, conv_position, reward_batch),
+                        std::max(acc_orig, 1e-3), search);
+    SearchResult result = driver.run();
+    conv.clear_output_mask();
+    return result;
+}
+
+SearchResult headstart_search_layer(models::VggModel& model, int which,
+                                    const data::SyntheticImageDataset& dataset,
+                                    const HeadStartConfig& config) {
+    require(which >= 0 && which < model.num_convs(), "conv position out of range");
+    return headstart_search_conv(
+        model.net, model.conv_indices[static_cast<std::size_t>(which)], dataset,
+        config);
+}
+
+HeadStartResult headstart_prune_vgg(models::VggModel& model,
+                                    const data::SyntheticImageDataset& dataset,
+                                    const HeadStartConfig& config) {
+    data::DataLoader train_loader(dataset.train(), config.batch_size,
+                                  /*shuffle=*/true, config.seed + 1);
+    const data::Batch reward_batch =
+        data::sample_subset(dataset.train(), config.reward_subset, config.seed + 5);
+    const Shape input_chw{dataset.config().channels, dataset.config().image_size,
+                          dataset.config().image_size};
+    pruning::ConvChain chain{&model.net, model.conv_indices,
+                             model.classifier_index};
+
+    const std::int64_t conv_params_before = [&] {
+        std::int64_t total = 0;
+        for (int idx : model.conv_indices)
+            total += model.net.layer_as<nn::Conv2d>(idx).weight().value.numel();
+        return total;
+    }();
+
+    HeadStartResult result;
+    const int num_convs = model.num_convs();
+    const int last = config.prune_last_conv ? num_convs : num_convs - 1;
+
+    for (int i = 0; i < last; ++i) {
+        auto& conv = model.net.layer_as<nn::Conv2d>(
+            model.conv_indices[static_cast<std::size_t>(i)]);
+        const int maps_before = conv.out_channels();
+
+        // f_W(D|W): accuracy of the current (already partially pruned and
+        // fine-tuned) model before touching this layer.
+        const double acc_orig =
+            std::max(nn::evaluate_batch(model.net, reward_batch), 1e-3);
+
+        SearchConfig search = config.search;
+        search.seed = config.seed * 131 + static_cast<std::uint64_t>(i);
+        ActionSearch driver(
+            maps_before,
+            make_layer_evaluator(
+                model.net, conv,
+                model.conv_indices[static_cast<std::size_t>(i)], reward_batch),
+            acc_orig, search);
+        const SearchResult sr = driver.run();
+        conv.clear_output_mask();
+
+        pruning::prune_feature_maps(chain, i, sr.keep);
+
+        pruning::LayerTrace trace;
+        trace.name = model.conv_names[static_cast<std::size_t>(i)];
+        trace.maps_before = maps_before;
+        trace.maps_after = static_cast<int>(sr.keep.size());
+        trace.search_iterations = sr.iterations;
+        trace.acc_inception = nn::evaluate(model.net, dataset.test());
+
+        (void)nn::finetune(model.net, train_loader, config.finetune_epochs,
+                           config.lr, config.weight_decay);
+        trace.acc_finetuned = nn::evaluate(model.net, dataset.test());
+
+        const auto report = models::summarize(model.net, input_chw);
+        trace.params = report.params;
+        trace.flops = report.flops;
+        result.trace.push_back(trace);
+
+        log_info("[headstart] " + trace.name + ": " + std::to_string(maps_before) +
+                 " -> " + std::to_string(trace.maps_after) + " maps in " +
+                 std::to_string(sr.iterations) +
+                 " iters, inc=" + std::to_string(trace.acc_inception) +
+                 " ft=" + std::to_string(trace.acc_finetuned));
+    }
+
+    const auto report = models::summarize(model.net, input_chw);
+    result.params = report.params;
+    result.flops = report.flops;
+    result.final_accuracy = nn::evaluate(model.net, dataset.test());
+
+    std::int64_t conv_params_after = 0;
+    for (int idx : model.conv_indices)
+        conv_params_after += model.net.layer_as<nn::Conv2d>(idx).weight().value.numel();
+    result.compression_ratio = static_cast<double>(conv_params_after) /
+                               static_cast<double>(conv_params_before);
+    return result;
+}
+
+} // namespace hs::core

@@ -1,0 +1,90 @@
+#include "core/reward.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "util/error.h"
+
+namespace hs::core {
+
+double acc_reward(double acc_pruned, double acc_orig) {
+    require(acc_orig > 0.0, "original accuracy must be positive");
+    require(acc_pruned >= 0.0, "pruned accuracy must be non-negative");
+    return std::log(acc_pruned / acc_orig + 1.0);
+}
+
+double spd_penalty(int channels, int l0, double speedup) {
+    require(channels > 0 && l0 > 0, "channel counts must be positive");
+    require(speedup >= 1.0, "speedup target must be at least 1");
+    return std::fabs(static_cast<double>(channels) / l0 - speedup);
+}
+
+double reward(double acc_pruned, double acc_orig, int channels, int l0,
+              double speedup) {
+    return acc_reward(acc_pruned, acc_orig) - spd_penalty(channels, l0, speedup);
+}
+
+namespace {
+
+/// Force-keep the highest-probability channels until `min_keep` are set.
+void enforce_min_keep(std::span<const float> probs, std::vector<float>& action,
+                      int min_keep) {
+    int kept = 0;
+    for (float a : action)
+        if (a != 0.0f) ++kept;
+    if (kept >= min_keep) return;
+
+    std::vector<int> order(probs.size());
+    std::iota(order.begin(), order.end(), 0);
+    std::stable_sort(order.begin(), order.end(), [&probs](int a, int b) {
+        return probs[static_cast<std::size_t>(a)] > probs[static_cast<std::size_t>(b)];
+    });
+    for (int idx : order) {
+        if (kept >= min_keep) break;
+        if (action[static_cast<std::size_t>(idx)] == 0.0f) {
+            action[static_cast<std::size_t>(idx)] = 1.0f;
+            ++kept;
+        }
+    }
+}
+
+} // namespace
+
+std::vector<float> sample_action(std::span<const float> probs, Rng& rng,
+                                 int min_keep) {
+    require(!probs.empty(), "empty probability vector");
+    require(min_keep >= 1 && min_keep <= static_cast<int>(probs.size()),
+            "min_keep out of range");
+    std::vector<float> action(probs.size(), 0.0f);
+    for (std::size_t i = 0; i < probs.size(); ++i)
+        action[i] = rng.bernoulli(probs[i]) ? 1.0f : 0.0f;
+    enforce_min_keep(probs, action, min_keep);
+    return action;
+}
+
+std::vector<float> inference_action(std::span<const float> probs, float threshold,
+                                    int min_keep) {
+    require(!probs.empty(), "empty probability vector");
+    std::vector<float> action(probs.size(), 0.0f);
+    for (std::size_t i = 0; i < probs.size(); ++i)
+        action[i] = probs[i] >= threshold ? 1.0f : 0.0f;
+    enforce_min_keep(probs, action, min_keep);
+    return action;
+}
+
+void accumulate_policy_gradient(std::span<const float> probs,
+                                std::span<const float> action, double advantage,
+                                double weight, std::span<float> grad) {
+    require(probs.size() == action.size() && probs.size() == grad.size(),
+            "policy gradient size mismatch");
+    constexpr float kEps = 1e-4f;
+    for (std::size_t i = 0; i < probs.size(); ++i) {
+        const float p = std::clamp(probs[i], kEps, 1.0f - kEps);
+        const double dlogp =
+            action[i] != 0.0f ? 1.0 / p : -1.0 / (1.0 - p);
+        grad[i] += static_cast<float>(-advantage * dlogp * weight);
+    }
+}
+
+} // namespace hs::core

@@ -1,0 +1,48 @@
+#pragma once
+
+// The HeadStart reward (Eq. 2–4):
+//   ACC = log(f_pruned / f_orig + 1)          — accuracy proximity
+//   SPD = |C / ‖A‖₀ − sp|                      — speedup proximity
+//   R(A) = ACC − SPD
+// and the REINFORCE action machinery (Eq. 6–10): Bernoulli sampling of
+// binary actions, the thresholded inference action used as the
+// variance-reduction baseline, and the policy-gradient of the Bernoulli
+// log-likelihood.
+
+#include <span>
+#include <vector>
+
+#include "tensor/rng.h"
+
+namespace hs::core {
+
+/// Eq. 2. `acc_orig` must be positive.
+[[nodiscard]] double acc_reward(double acc_pruned, double acc_orig);
+
+/// Eq. 3. `l0` is the number of kept maps ‖A‖₀ (> 0), `channels` is C.
+[[nodiscard]] double spd_penalty(int channels, int l0, double speedup);
+
+/// Eq. 4.
+[[nodiscard]] double reward(double acc_pruned, double acc_orig, int channels,
+                            int l0, double speedup);
+
+/// Eq. 6: A^s ~ Bernoulli(p). Guarantees at least `min_keep` ones by
+/// force-keeping the highest-probability channels when the raw draw would
+/// keep fewer (an empty layer is not a valid model).
+[[nodiscard]] std::vector<float> sample_action(std::span<const float> probs,
+                                               Rng& rng, int min_keep = 1);
+
+/// Eq. 10: A^l = 1[p ≥ t], with the same min-keep fallback.
+[[nodiscard]] std::vector<float> inference_action(std::span<const float> probs,
+                                                  float threshold,
+                                                  int min_keep = 1);
+
+/// Accumulate the REINFORCE gradient contribution of one sampled action
+/// into `grad` (size = #channels):
+///   dL/dp_c += −(R − b) · (A_c/p_c − (1−A_c)/(1−p_c)) · weight
+/// Probabilities are clamped away from {0,1} for numerical stability.
+void accumulate_policy_gradient(std::span<const float> probs,
+                                std::span<const float> action, double advantage,
+                                double weight, std::span<float> grad);
+
+} // namespace hs::core

@@ -1,0 +1,117 @@
+#include "core/search.h"
+
+#include <algorithm>
+
+#include "pruning/mask.h"
+#include "util/error.h"
+#include "util/logging.h"
+
+namespace hs::core {
+
+ActionSearch::ActionSearch(int actions, ActionEvaluator evaluate, double acc_orig,
+                           const SearchConfig& config)
+    : actions_(actions),
+      evaluate_(std::move(evaluate)),
+      acc_orig_(acc_orig),
+      config_(config) {
+    require(actions_ > 0, "search needs at least one action");
+    require(evaluate_ != nullptr, "null evaluator");
+    require(acc_orig_ > 0.0, "original accuracy must be positive");
+    require(config_.monte_carlo_k >= 1, "k must be at least 1");
+}
+
+SearchResult ActionSearch::run() {
+    SearchConfig cfg = config_;
+    cfg.policy.seed = config_.seed * 0x9e37 + 1; // decorrelate policy init
+    HeadStartNet policy(actions_, cfg.policy);
+    Rng rng(config_.seed);
+
+    SearchResult result;
+    double moving_avg = 0.0;
+    bool moving_init = false;
+
+    auto action_reward = [&](std::span<const float> action) {
+        const int l0 = pruning::l0_norm(action);
+        const double acc = evaluate_(action);
+        return reward(acc, acc_orig_, actions_, l0, config_.speedup);
+    };
+
+    std::vector<float> best_action;
+    double best_reward = -1e30;
+
+    for (int iter = 0; iter < config_.max_iters; ++iter) {
+        const auto probs = policy.probs(rng);
+
+        // Baseline: reward of the thresholded inference action (Eq. 9–10).
+        const auto infer = inference_action(probs, config_.threshold, config_.min_keep);
+        const double infer_acc = evaluate_(infer);
+        const int infer_l0 = pruning::l0_norm(infer);
+        const double infer_reward =
+            reward(infer_acc, acc_orig_, actions_, infer_l0, config_.speedup);
+
+        double baseline = 0.0;
+        switch (config_.baseline) {
+        case BaselineMode::kInferenceAction: baseline = infer_reward; break;
+        case BaselineMode::kMovingAverage:
+            baseline = moving_init ? moving_avg : 0.0;
+            break;
+        case BaselineMode::kNone: baseline = 0.0; break;
+        }
+
+        // k Monte-Carlo samples (Eq. 6), accumulated policy gradient.
+        std::vector<float> grad(static_cast<std::size_t>(actions_), 0.0f);
+        double mean_sample_reward = 0.0;
+        for (int s = 0; s < config_.monte_carlo_k; ++s) {
+            const auto action = sample_action(probs, rng, config_.min_keep);
+            const double r = action_reward(action);
+            mean_sample_reward += r;
+            accumulate_policy_gradient(probs, action, r - baseline,
+                                       1.0 / config_.monte_carlo_k, grad);
+            if (r > best_reward) {
+                best_reward = r;
+                best_action.assign(action.begin(), action.end());
+            }
+        }
+        mean_sample_reward /= config_.monte_carlo_k;
+        if (infer_reward > best_reward) {
+            best_reward = infer_reward;
+            best_action.assign(infer.begin(), infer.end());
+        }
+
+        moving_avg = moving_init ? 0.9 * moving_avg + 0.1 * mean_sample_reward
+                                 : mean_sample_reward;
+        moving_init = true;
+
+        policy.apply_gradient(grad);
+
+        result.reward_history.push_back(infer_reward);
+        result.l0_history.push_back(infer_l0);
+        result.iterations = iter + 1;
+
+        // Convergence: the inference reward stays within stable_eps across
+        // the stability window ("nearly constant loss and reward").
+        if (static_cast<int>(result.reward_history.size()) >= config_.stable_window) {
+            const auto begin =
+                result.reward_history.end() - config_.stable_window;
+            const auto [mn, mx] = std::minmax_element(begin, result.reward_history.end());
+            if (*mx - *mn < config_.stable_eps) break;
+        }
+    }
+
+    // Final decision: the converged inference action. Fall back to the best
+    // sampled action if the policy collapsed to a worse point.
+    const auto final_probs = policy.probs(rng);
+    auto final_action =
+        inference_action(final_probs, config_.threshold, config_.min_keep);
+    double final_r = action_reward(final_action);
+    if (!best_action.empty() && best_reward > final_r) {
+        final_action = best_action;
+        final_r = best_reward;
+    }
+
+    result.inception_accuracy = evaluate_(final_action);
+    result.keep = pruning::keep_from_mask(final_action);
+    return result;
+}
+
+} // namespace hs::core

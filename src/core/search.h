@@ -1,0 +1,66 @@
+#pragma once
+
+// Generic REINFORCE action search (Section III.C). Both pruning
+// granularities — feature maps of one conv layer (VGG-style) and residual
+// blocks (ResNet) — reduce to the same problem: learn a Bernoulli policy
+// over `actions` binary decisions that maximizes
+//   R(A) = log(acc(A)/acc_orig + 1) − |C/‖A‖₀ − sp|.
+// The search owns a HeadStartNet policy; the caller supplies the accuracy
+// evaluator (which applies the action to the model being pruned).
+
+#include <functional>
+#include <vector>
+
+#include "core/headstart_net.h"
+#include "core/reward.h"
+
+namespace hs::core {
+
+/// Variance-reduction baseline choice (Eq. 8–9; kInferenceAction is the
+/// paper's choice, the others exist for the ablation study).
+enum class BaselineMode { kInferenceAction, kMovingAverage, kNone };
+
+/// Hyper-parameters of one per-layer (or per-model, for blocks) search.
+struct SearchConfig {
+    double speedup = 2.0;      ///< sp, the preset speedup (Eq. 1/3)
+    int monte_carlo_k = 3;     ///< k action samples per iteration (Eq. 6)
+    float threshold = 0.5f;    ///< t of the inference action (Eq. 10)
+    int max_iters = 30;        ///< hard iteration cap
+    int stable_window = 8;     ///< reward-stability window (iterations)
+    double stable_eps = 5e-3;  ///< max reward spread within the window
+    int min_keep = 1;          ///< never prune below this many units
+    BaselineMode baseline = BaselineMode::kInferenceAction;
+    PolicyConfig policy;
+    std::uint64_t seed = 11;
+};
+
+/// Outcome of a search.
+struct SearchResult {
+    std::vector<int> keep;               ///< kept unit indices (sorted)
+    std::vector<double> reward_history;  ///< R(A^l) per iteration
+    std::vector<int> l0_history;         ///< ‖A^l‖₀ per iteration
+    double inception_accuracy = 0.0;     ///< acc(A^l) at convergence
+    int iterations = 0;
+};
+
+/// Evaluator: accuracy (in [0,1]) of the model under a binary action.
+using ActionEvaluator = std::function<double(std::span<const float>)>;
+
+/// REINFORCE search driver.
+class ActionSearch {
+public:
+    /// `acc_orig` is f_W(D|W): the unpruned accuracy on the reward set.
+    ActionSearch(int actions, ActionEvaluator evaluate, double acc_orig,
+                 const SearchConfig& config);
+
+    /// Run until the inference-action reward is stable or max_iters.
+    [[nodiscard]] SearchResult run();
+
+private:
+    int actions_;
+    ActionEvaluator evaluate_;
+    double acc_orig_;
+    SearchConfig config_;
+};
+
+} // namespace hs::core

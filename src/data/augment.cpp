@@ -1,0 +1,96 @@
+#include "data/augment.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "util/error.h"
+
+namespace hs::data {
+namespace {
+
+struct ImageView {
+    float* data;
+    int channels, height, width;
+
+    [[nodiscard]] float* plane(int c) {
+        return data + static_cast<std::int64_t>(c) * height * width;
+    }
+};
+
+ImageView view(Tensor& images, int index) {
+    require(images.rank() == 4, "augment expects NCHW images");
+    require(index >= 0 && index < images.dim(0), "image index out of range");
+    const int c = images.dim(1), h = images.dim(2), w = images.dim(3);
+    return ImageView{images.data().data() +
+                         static_cast<std::int64_t>(index) * c * h * w,
+                     c, h, w};
+}
+
+} // namespace
+
+void flip_horizontal(Tensor& images, int index) {
+    ImageView img = view(images, index);
+    for (int c = 0; c < img.channels; ++c) {
+        float* plane = img.plane(c);
+        for (int y = 0; y < img.height; ++y) {
+            float* row = plane + static_cast<std::int64_t>(y) * img.width;
+            std::reverse(row, row + img.width);
+        }
+    }
+}
+
+void shift_image(Tensor& images, int index, int dy, int dx) {
+    ImageView img = view(images, index);
+    const int h = img.height, w = img.width;
+    std::vector<float> scratch(static_cast<std::size_t>(h) * w);
+    for (int c = 0; c < img.channels; ++c) {
+        float* plane = img.plane(c);
+        std::fill(scratch.begin(), scratch.end(), 0.0f);
+        for (int y = 0; y < h; ++y) {
+            const int sy = y - dy;
+            if (sy < 0 || sy >= h) continue;
+            for (int x = 0; x < w; ++x) {
+                const int sx = x - dx;
+                if (sx < 0 || sx >= w) continue;
+                scratch[static_cast<std::size_t>(y) * w + x] =
+                    plane[static_cast<std::int64_t>(sy) * w + sx];
+            }
+        }
+        std::memcpy(plane, scratch.data(), scratch.size() * sizeof(float));
+    }
+}
+
+void erase_patch(Tensor& images, int index, int y, int x, int size) {
+    ImageView img = view(images, index);
+    for (int c = 0; c < img.channels; ++c) {
+        float* plane = img.plane(c);
+        for (int py = y; py < std::min(y + size, img.height); ++py)
+            for (int px = x; px < std::min(x + size, img.width); ++px)
+                plane[static_cast<std::int64_t>(py) * img.width + px] = 0.0f;
+    }
+}
+
+void augment_batch(Batch& batch, const AugmentConfig& config, Rng& rng) {
+    const int n = batch.size();
+    for (int i = 0; i < n; ++i) {
+        if (config.horizontal_flip && rng.bernoulli(0.5))
+            flip_horizontal(batch.images, i);
+        if (config.max_shift > 0) {
+            const int dy = static_cast<int>(
+                rng.uniform_int(2 * config.max_shift + 1) - config.max_shift);
+            const int dx = static_cast<int>(
+                rng.uniform_int(2 * config.max_shift + 1) - config.max_shift);
+            if (dy != 0 || dx != 0) shift_image(batch.images, i, dy, dx);
+        }
+        if (config.erase_prob > 0.0 && rng.bernoulli(config.erase_prob)) {
+            const int h = batch.images.dim(2), w = batch.images.dim(3);
+            const int y = static_cast<int>(
+                rng.uniform_int(std::max(1, h - config.erase_size + 1)));
+            const int x = static_cast<int>(
+                rng.uniform_int(std::max(1, w - config.erase_size + 1)));
+            erase_patch(batch.images, i, y, x, config.erase_size);
+        }
+    }
+}
+
+} // namespace hs::data

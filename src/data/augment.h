@@ -1,0 +1,34 @@
+#pragma once
+
+// Training-time data augmentation: random horizontal flips and random
+// shift-crops with zero padding — the standard CIFAR recipe. Operating on
+// gathered Batches keeps the generator deterministic while making every
+// epoch's views distinct, which matters for the longer `full`-scale runs
+// where the small synthetic datasets otherwise overfit.
+
+#include "data/dataloader.h"
+#include "tensor/rng.h"
+
+namespace hs::data {
+
+/// Augmentation policy.
+struct AugmentConfig {
+    bool horizontal_flip = true;  ///< flip each image with p = 0.5
+    int max_shift = 2;            ///< random crop shift in pixels (0 = off)
+    double erase_prob = 0.0;      ///< random-erasing probability per image
+    int erase_size = 4;           ///< square side of the erased patch
+};
+
+/// Apply the policy to a batch in place (images only; labels unchanged).
+void augment_batch(Batch& batch, const AugmentConfig& config, Rng& rng);
+
+/// Flip one CHW image horizontally in place.
+void flip_horizontal(Tensor& images, int index);
+
+/// Shift one CHW image by (dy, dx), zero-filling the exposed border.
+void shift_image(Tensor& images, int index, int dy, int dx);
+
+/// Zero a size×size square at (y, x) in every channel of one image.
+void erase_patch(Tensor& images, int index, int y, int x, int size);
+
+} // namespace hs::data

@@ -1,0 +1,71 @@
+#include "data/dataloader.h"
+
+#include <algorithm>
+#include <cstring>
+#include <numeric>
+
+#include "util/error.h"
+
+namespace hs::data {
+
+Batch gather(const Split& split, std::span<const int> indices) {
+    require(split.images.rank() == 4, "split images must be NCHW");
+    const int c = split.images.dim(1);
+    const int h = split.images.dim(2);
+    const int w = split.images.dim(3);
+    const std::int64_t chw = static_cast<std::int64_t>(c) * h * w;
+
+    Batch b;
+    b.images = Tensor({static_cast<int>(indices.size()), c, h, w});
+    b.labels.resize(indices.size());
+    auto dst = b.images.data();
+    auto src = split.images.data();
+    for (std::size_t i = 0; i < indices.size(); ++i) {
+        const int idx = indices[i];
+        require(idx >= 0 && idx < split.size(), "gather index out of range");
+        std::memcpy(dst.data() + static_cast<std::int64_t>(i) * chw,
+                    src.data() + idx * chw,
+                    static_cast<std::size_t>(chw) * sizeof(float));
+        b.labels[i] = split.labels[static_cast<std::size_t>(idx)];
+    }
+    return b;
+}
+
+DataLoader::DataLoader(const Split& split, int batch_size, bool shuffle,
+                       std::uint64_t seed)
+    : split_(&split), batch_size_(batch_size), shuffle_(shuffle), rng_(seed) {
+    require(batch_size_ > 0, "batch size must be positive");
+    require(split_->size() > 0, "cannot iterate an empty split");
+    order_.resize(static_cast<std::size_t>(split_->size()));
+    std::iota(order_.begin(), order_.end(), 0);
+    if (shuffle_) rng_.shuffle(order_);
+}
+
+int DataLoader::batches_per_epoch() const {
+    return (split_->size() + batch_size_ - 1) / batch_size_;
+}
+
+void DataLoader::start_epoch() {
+    if (shuffle_) rng_.shuffle(order_);
+}
+
+Batch DataLoader::batch(int index) const {
+    require(index >= 0 && index < batches_per_epoch(), "batch index out of range");
+    const int begin = index * batch_size_;
+    const int end = std::min(begin + batch_size_, split_->size());
+    return gather(*split_, std::span<const int>(order_.data() + begin,
+                                                static_cast<std::size_t>(end - begin)));
+}
+
+Batch sample_subset(const Split& split, int count, std::uint64_t seed) {
+    require(count > 0, "subset must be non-empty");
+    count = std::min(count, split.size());
+    std::vector<int> order(static_cast<std::size_t>(split.size()));
+    std::iota(order.begin(), order.end(), 0);
+    Rng rng(seed);
+    rng.shuffle(order);
+    return gather(split, std::span<const int>(order.data(),
+                                              static_cast<std::size_t>(count)));
+}
+
+} // namespace hs::data

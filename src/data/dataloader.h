@@ -1,0 +1,57 @@
+#pragma once
+
+// Mini-batch iteration over a Split: shuffled epochs for training,
+// sequential order for evaluation. Batches are materialized as dense
+// tensors (copy) because downstream layers want contiguous NCHW input.
+
+#include <vector>
+
+#include "data/synthetic.h"
+#include "tensor/rng.h"
+
+namespace hs::data {
+
+/// One mini-batch: images [B, C, H, W] plus labels.
+struct Batch {
+    Tensor images;
+    std::vector<int> labels;
+
+    [[nodiscard]] int size() const { return static_cast<int>(labels.size()); }
+};
+
+/// Batching view over a Split. Not owning: the Split must outlive it.
+class DataLoader {
+public:
+    /// `shuffle` picks a fresh permutation every epoch (seeded).
+    DataLoader(const Split& split, int batch_size, bool shuffle,
+               std::uint64_t seed = 99);
+
+    /// Number of batches in one epoch (ceil division).
+    [[nodiscard]] int batches_per_epoch() const;
+
+    /// Begin a new epoch (reshuffles when shuffling is enabled).
+    void start_epoch();
+
+    /// Fetch batch `index` of the current epoch (0-based).
+    [[nodiscard]] Batch batch(int index) const;
+
+    [[nodiscard]] int batch_size() const { return batch_size_; }
+    [[nodiscard]] int dataset_size() const { return split_->size(); }
+
+private:
+    const Split* split_;
+    int batch_size_;
+    bool shuffle_;
+    Rng rng_;
+    std::vector<int> order_;
+};
+
+/// Copy `count` samples from `split` at positions `indices` into a Batch.
+[[nodiscard]] Batch gather(const Split& split, std::span<const int> indices);
+
+/// Deterministic fixed subset of a split (first `count` of a seeded
+/// shuffle) — used as the held-out "reward set" during policy search so
+/// every candidate action is scored on identical data.
+[[nodiscard]] Batch sample_subset(const Split& split, int count, std::uint64_t seed);
+
+} // namespace hs::data

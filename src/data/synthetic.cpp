@@ -1,0 +1,171 @@
+#include "data/synthetic.h"
+
+#include <cmath>
+#include <numbers>
+
+#include "util/error.h"
+
+namespace hs::data {
+namespace {
+
+/// One oriented grating: class prototypes are mixtures of these.
+struct Grating {
+    double fx = 0.0;     ///< spatial frequency, x
+    double fy = 0.0;     ///< spatial frequency, y
+    double amp = 1.0;
+    double color[3] = {0.0, 0.0, 0.0}; ///< per-channel weights
+};
+
+struct Prototype {
+    std::vector<Grating> gratings;
+    double blob_x = 0.5, blob_y = 0.5; ///< class-colored blob position (0..1)
+    double blob_color[3] = {0.0, 0.0, 0.0};
+    double blob_sigma = 0.2;
+};
+
+std::vector<Prototype> make_prototypes(const SyntheticConfig& cfg, Rng& rng) {
+    std::vector<Prototype> protos(static_cast<std::size_t>(cfg.num_classes));
+
+    // Fine-grained mode: all classes inherit a shared "family" grating set
+    // and differ only in one or two private components plus blob details,
+    // so the discriminative signal is sparse — like telling bird species
+    // apart by small plumage marks.
+    std::vector<Grating> family;
+    if (cfg.fine_grained) {
+        for (int i = 0; i < cfg.components; ++i) {
+            Grating g;
+            g.fx = rng.uniform(0.5, 3.0);
+            g.fy = rng.uniform(0.5, 3.0);
+            g.amp = rng.uniform(0.3, 0.6);
+            for (double& c : g.color) c = rng.uniform(-1.0, 1.0);
+            family.push_back(g);
+        }
+    }
+
+    for (auto& p : protos) {
+        p.gratings = family;
+        const int privates = cfg.fine_grained ? 2 : cfg.components;
+        for (int i = 0; i < privates; ++i) {
+            Grating g;
+            g.fx = rng.uniform(0.5, cfg.fine_grained ? 5.0 : 3.5);
+            g.fy = rng.uniform(0.5, cfg.fine_grained ? 5.0 : 3.5);
+            g.amp = cfg.fine_grained ? rng.uniform(0.6, 1.1) : rng.uniform(0.7, 1.3);
+            for (double& c : g.color) c = rng.uniform(-1.0, 1.0);
+            p.gratings.push_back(g);
+        }
+        p.blob_x = rng.uniform(0.2, 0.8);
+        p.blob_y = rng.uniform(0.2, 0.8);
+        p.blob_sigma = rng.uniform(0.12, 0.3);
+        for (double& c : p.blob_color)
+            c = cfg.fine_grained ? rng.uniform(-0.9, 0.9) : rng.uniform(-1.2, 1.2);
+    }
+    return protos;
+}
+
+void render_sample(const SyntheticConfig& cfg, const Prototype& proto, Rng& rng,
+                   std::span<float> out) {
+    const int s = cfg.image_size;
+    const int hw = s * s;
+    const double tau = 2.0 * std::numbers::pi;
+
+    // Per-sample jitter.
+    const double phase = rng.uniform(0.0, tau);
+    const double amp_jitter = rng.uniform(0.8, 1.2);
+    const double dx = rng.uniform(-0.08, 0.08);
+    const double dy = rng.uniform(-0.08, 0.08);
+
+    for (int y = 0; y < s; ++y) {
+        const double v = static_cast<double>(y) / s;
+        for (int x = 0; x < s; ++x) {
+            const double u = static_cast<double>(x) / s;
+            double wave = 0.0;
+            double per_c[3] = {0.0, 0.0, 0.0};
+            for (const auto& g : proto.gratings) {
+                wave = amp_jitter * g.amp *
+                       std::sin(tau * (g.fx * u + g.fy * v) + phase);
+                for (int c = 0; c < cfg.channels && c < 3; ++c)
+                    per_c[c] += wave * g.color[c];
+            }
+            // Class-colored Gaussian blob.
+            const double r2 = (u - proto.blob_x - dx) * (u - proto.blob_x - dx) +
+                              (v - proto.blob_y - dy) * (v - proto.blob_y - dy);
+            const double blob = std::exp(-r2 / (2.0 * proto.blob_sigma * proto.blob_sigma));
+            for (int c = 0; c < cfg.channels && c < 3; ++c)
+                per_c[c] += blob * proto.blob_color[c];
+
+            for (int c = 0; c < cfg.channels; ++c) {
+                const double base = c < 3 ? per_c[c] : per_c[c % 3];
+                out[static_cast<std::size_t>(c * hw + y * s + x)] =
+                    static_cast<float>(base + rng.normal(0.0, cfg.noise));
+            }
+        }
+    }
+}
+
+Split make_split(const SyntheticConfig& cfg, const std::vector<Prototype>& protos,
+                 int per_class, Rng& rng) {
+    const int n = cfg.num_classes * per_class;
+    const int chw = cfg.channels * cfg.image_size * cfg.image_size;
+    Split split;
+    split.images = Tensor({n, cfg.channels, cfg.image_size, cfg.image_size});
+    split.labels.resize(static_cast<std::size_t>(n));
+
+    auto all = split.images.data();
+    int idx = 0;
+    for (int cls = 0; cls < cfg.num_classes; ++cls) {
+        for (int i = 0; i < per_class; ++i, ++idx) {
+            render_sample(cfg, protos[static_cast<std::size_t>(cls)], rng,
+                          all.subspan(static_cast<std::size_t>(idx) *
+                                          static_cast<std::size_t>(chw),
+                                      static_cast<std::size_t>(chw)));
+            split.labels[static_cast<std::size_t>(idx)] = cls;
+        }
+    }
+    return split;
+}
+
+} // namespace
+
+SyntheticConfig cifar100_like() {
+    SyntheticConfig cfg;
+    cfg.num_classes = 20;
+    cfg.image_size = 16;
+    cfg.train_per_class = 100;
+    cfg.test_per_class = 30;
+    cfg.components = 3;
+    cfg.fine_grained = false;
+    cfg.noise = 0.25;
+    cfg.seed = 1001;
+    return cfg;
+}
+
+SyntheticConfig cub200_like() {
+    SyntheticConfig cfg;
+    cfg.num_classes = 30;
+    cfg.image_size = 32;
+    cfg.train_per_class = 60;
+    cfg.test_per_class = 20;
+    cfg.components = 4;
+    cfg.fine_grained = true;
+    cfg.noise = 0.2;
+    cfg.seed = 2002;
+    return cfg;
+}
+
+SyntheticImageDataset::SyntheticImageDataset(const SyntheticConfig& config)
+    : config_(config) {
+    require(config_.num_classes > 1, "need at least two classes");
+    require(config_.image_size >= 4, "image size too small");
+    require(config_.channels >= 1, "need at least one channel");
+    require(config_.train_per_class > 0 && config_.test_per_class > 0,
+            "splits must be non-empty");
+
+    Rng rng(config_.seed);
+    const auto protos = make_prototypes(config_, rng);
+    Rng train_rng = rng.fork();
+    Rng test_rng = rng.fork();
+    train_ = make_split(config_, protos, config_.train_per_class, train_rng);
+    test_ = make_split(config_, protos, config_.test_per_class, test_rng);
+}
+
+} // namespace hs::data

@@ -1,0 +1,21 @@
+#include "gpusim/device.h"
+
+namespace hs::gpusim {
+
+Device gtx_1080ti() {
+    return Device{"GTX 1080Ti", 11.3e12, 484.0e9, 12e-6, 28, 2048, 0.03, 18432.0};
+}
+
+Device jetson_tx2_gpu() {
+    return Device{"Jetson TX2 GPU", 1.33e12, 59.7e9, 30e-6, 2, 2048, 0.05, 9216.0};
+}
+
+Device xeon_e5_2620() {
+    return Device{"Xeon E5-2620", 0.192e12, 42.6e9, 2e-6, 6, 8, 0.2, 2304.0};
+}
+
+Device cortex_a57() {
+    return Device{"Cortex-A57", 0.032e12, 25.6e9, 2e-6, 4, 8, 0.2, 2304.0};
+}
+
+} // namespace hs::gpusim

@@ -1,0 +1,47 @@
+#pragma once
+
+// Device catalog for the inference-latency simulator. The paper measures
+// fps on a GTX 1080Ti + Xeon E5-2620 desktop and a Jetson TX2 (Pascal
+// 256-core GPU + Cortex-A57 CPU). No GPU is available in this environment,
+// so DESIGN.md §2 substitutes an analytic roofline model: these records
+// hold the published peak arithmetic throughput, memory bandwidth and
+// parallelism of each device.
+
+#include <string>
+
+namespace hs::gpusim {
+
+/// One execution target of the roofline model.
+struct Device {
+    std::string name;
+    double peak_flops;       ///< sustained dense f32 FLOP/s (2·MAC/s)
+    double mem_bandwidth;    ///< DRAM bytes/s
+    double launch_overhead;  ///< per-layer kernel/dispatch overhead, seconds
+    int parallel_units;      ///< SMs (GPU) or cores (CPU)
+    int threads_per_unit;    ///< work items needed to saturate one unit
+    double min_efficiency;   ///< utilization floor for tiny layers
+    /// FLOPs per output element needed to reach peak throughput (the
+    /// depth-efficiency knee). Dense kernels with a short reduction
+    /// dimension (thin GEMMs — exactly what channel pruning produces)
+    /// cannot keep the pipelines full; efficiency scales ~linearly below
+    /// this knee. This is the first-order reason measured fps gains on
+    /// real GPUs (paper Fig. 6: 1.03–2.25x) sit far below the ~4x FLOP
+    /// reduction of sp=2 pruning.
+    double flops_per_output_saturation;
+};
+
+/// NVIDIA GTX 1080Ti (28 SMs, 11.3 TFLOP/s, 484 GB/s).
+[[nodiscard]] Device gtx_1080ti();
+
+/// NVIDIA Jetson TX2 integrated Pascal GPU (2 SMs / 256 cores,
+/// ~1.3 TFLOP/s fp32, 59.7 GB/s shared LPDDR4).
+[[nodiscard]] Device jetson_tx2_gpu();
+
+/// Intel Xeon E5-2620 (6 cores, AVX, ~190 GFLOP/s, 42.6 GB/s).
+[[nodiscard]] Device xeon_e5_2620();
+
+/// ARM Cortex-A57 cluster of the TX2 (4 cores, NEON, ~32 GFLOP/s,
+/// 25.6 GB/s shared).
+[[nodiscard]] Device cortex_a57();
+
+} // namespace hs::gpusim

@@ -1,0 +1,45 @@
+#pragma once
+
+// Energy estimation on top of the roofline latency model. The paper's
+// motivation is "high-throughput and energy-efficient inference" on edge
+// devices; this module turns the per-layer time breakdown into energy per
+// image using the standard board-level model
+//
+//   E = P_idle · t_total + P_dyn_compute · Σ t_compute
+//              + P_dyn_memory · Σ t_memory
+//
+// with published TDP/idle figures per device. Structured pruning helps
+// twice: less busy time (dynamic energy) and earlier race-to-idle.
+
+#include "gpusim/roofline.h"
+
+namespace hs::gpusim {
+
+/// Power characteristics of one device (watts).
+struct PowerModel {
+    double idle = 0.0;         ///< board idle draw
+    double dynamic_compute = 0.0; ///< extra draw when ALUs are busy
+    double dynamic_memory = 0.0;  ///< extra draw when DRAM is busy
+};
+
+/// Published (approximate) power figures for the catalog devices.
+[[nodiscard]] PowerModel power_of(const Device& device);
+
+/// Energy estimate for one batch.
+struct EnergyEstimate {
+    double joules = 0.0;          ///< total energy for the batch
+    double joules_per_image = 0.0;
+    double avg_power = 0.0;       ///< joules / latency
+};
+
+/// Combine a latency estimate with a power model.
+[[nodiscard]] EnergyEstimate estimate_energy(const InferenceEstimate& latency,
+                                             const PowerModel& power);
+
+/// Convenience: full pipeline model → latency → energy.
+[[nodiscard]] EnergyEstimate estimate_energy(nn::Layer& model,
+                                             const Shape& input_chw,
+                                             const Device& device,
+                                             int batch = 1);
+
+} // namespace hs::gpusim

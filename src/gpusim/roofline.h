@@ -1,0 +1,55 @@
+#pragma once
+
+// Roofline inference-latency estimator. For each layer of a model it takes
+// the FLOP count and the memory traffic (weights + input + output
+// activations), computes
+//
+//   t_layer = overhead + max( flops / (peak · eff),  bytes / bandwidth )
+//
+// where eff models GPU occupancy: thin layers (few output elements) cannot
+// fill all SMs, so eff = clamp(work_items / (units · threads_per_unit),
+// min_eff, 1). This reproduces the two first-order effects the paper's
+// Figure 6 depends on: structured pruning shrinks dense GEMMs (compute
+// time falls ~linearly with FLOPs) but small/memory-bound layers cap the
+// realizable speedup below the FLOP ratio.
+
+#include <vector>
+
+#include "gpusim/device.h"
+#include "nn/layer.h"
+#include "tensor/tensor.h"
+
+namespace hs::gpusim {
+
+/// Per-layer cost breakdown.
+struct LayerCost {
+    std::string kind;
+    double flops = 0.0;      ///< floating-point ops (2·MAC)
+    double bytes = 0.0;      ///< DRAM traffic
+    double compute_s = 0.0;
+    double memory_s = 0.0;
+    double total_s = 0.0;    ///< overhead + max(compute, memory)
+};
+
+/// Whole-model estimate.
+struct InferenceEstimate {
+    std::vector<LayerCost> layers;
+    double latency = 0.0;  ///< seconds per batch
+    double fps = 0.0;      ///< images per second
+    int batch = 1;
+};
+
+/// Estimate inference cost of `model` on `device` for per-image input
+/// shape [C, H, W] at the given batch size.
+[[nodiscard]] InferenceEstimate estimate_inference(nn::Layer& model,
+                                                   const Shape& input_chw,
+                                                   const Device& device,
+                                                   int batch = 1);
+
+/// fps ratio of `pruned` over `original` on one device (same input/batch):
+/// the quantity Figure 6 reports.
+[[nodiscard]] double speedup_ratio(nn::Layer& original, nn::Layer& pruned,
+                                   const Shape& input_chw, const Device& device,
+                                   int batch = 1);
+
+} // namespace hs::gpusim

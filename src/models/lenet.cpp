@@ -1,0 +1,39 @@
+#include "models/lenet.h"
+
+#include "nn/activations.h"
+#include "nn/conv2d.h"
+#include "nn/linear.h"
+#include "nn/pooling.h"
+#include "util/error.h"
+
+namespace hs::models {
+
+LeNetModel make_lenet(const LeNetConfig& config) {
+    require(config.input_size >= 8, "LeNet needs at least 8-pixel input");
+    LeNetModel model;
+    model.config = config;
+    Rng rng(config.seed);
+
+    model.conv_indices.push_back(model.net.size());
+    model.conv_names.emplace_back("conv1");
+    model.net.emplace<nn::Conv2d>(config.input_channels, config.conv1_maps, 5, 1,
+                                  2, /*bias=*/true, rng);
+    model.net.emplace<nn::ReLU>();
+    model.net.emplace<nn::MaxPool2d>(2, 2);
+
+    model.conv_indices.push_back(model.net.size());
+    model.conv_names.emplace_back("conv2");
+    model.net.emplace<nn::Conv2d>(config.conv1_maps, config.conv2_maps, 5, 1, 2,
+                                  /*bias=*/true, rng);
+    model.net.emplace<nn::ReLU>();
+    model.net.emplace<nn::MaxPool2d>(2, 2);
+
+    const int spatial = config.input_size / 4;
+    model.net.emplace<nn::Flatten>();
+    model.classifier_index = model.net.size();
+    model.net.emplace<nn::Linear>(config.conv2_maps * spatial * spatial,
+                                  config.num_classes, rng);
+    return model;
+}
+
+} // namespace hs::models

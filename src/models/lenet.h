@@ -1,0 +1,34 @@
+#pragma once
+
+// LeNet-5-style small convnet. The paper lists LeNet among the
+// single-branch networks HeadStart generalizes to (Section I); we use it
+// as the fast model for unit tests and the quickstart example.
+
+#include "nn/sequential.h"
+#include "tensor/rng.h"
+
+namespace hs::models {
+
+/// Configuration of the LeNet builder.
+struct LeNetConfig {
+    int input_channels = 3;
+    int input_size = 16;
+    int num_classes = 10;
+    int conv1_maps = 8;
+    int conv2_maps = 16;
+    std::uint64_t seed = 42;
+};
+
+/// A built LeNet with conv metadata (same shape as VggModel for reuse).
+struct LeNetModel {
+    nn::Sequential net;
+    std::vector<int> conv_indices;
+    std::vector<std::string> conv_names;
+    int classifier_index = -1;
+    LeNetConfig config;
+};
+
+/// conv5x5 → ReLU → pool → conv5x5 → ReLU → pool → Flatten → Linear.
+[[nodiscard]] LeNetModel make_lenet(const LeNetConfig& config);
+
+} // namespace hs::models

@@ -1,0 +1,89 @@
+#include "models/resnet.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "nn/activations.h"
+#include "nn/batchnorm.h"
+#include "nn/conv2d.h"
+#include "nn/linear.h"
+#include "nn/pooling.h"
+#include "util/error.h"
+
+namespace hs::models {
+
+nn::ResidualBlock& ResNetModel::block(int b) {
+    require(b >= 0 && b < num_blocks(), "block index out of range");
+    return net.layer_as<nn::ResidualBlock>(block_indices[static_cast<std::size_t>(b)]);
+}
+
+std::vector<int> ResNetModel::blocks_per_group() const {
+    std::vector<int> counts(3, 0);
+    for (int g : block_group) {
+        require(g >= 0 && g < 3, "corrupt block group metadata");
+        ++counts[static_cast<std::size_t>(g)];
+    }
+    return counts;
+}
+
+int resnet_depth(const std::vector<int>& blocks_per_group) {
+    const int blocks = std::accumulate(blocks_per_group.begin(),
+                                       blocks_per_group.end(), 0);
+    return 2 * blocks + 2;
+}
+
+ResNetModel make_resnet(const ResNetConfig& config) {
+    require(config.blocks_per_group.size() == 3,
+            "CIFAR ResNet has exactly three groups");
+    for (int n : config.blocks_per_group)
+        require(n >= 1, "each group needs at least one block");
+
+    ResNetModel model;
+    model.config = config;
+    Rng rng(config.seed);
+
+    const auto scaled = [&](int base) {
+        return std::max(config.min_channels,
+                        static_cast<int>(std::lround(base * config.width_scale)));
+    };
+    const int c1 = scaled(16), c2 = scaled(32), c3 = scaled(64);
+
+    // Stem.
+    model.net.emplace<nn::Conv2d>(config.input_channels, c1, 3, 1, 1,
+                                  /*bias=*/false, rng);
+    model.net.emplace<nn::BatchNorm2d>(c1);
+    model.net.emplace<nn::ReLU>();
+
+    int in_c = c1;
+    const int group_channels[3] = {c1, c2, c3};
+    for (int g = 0; g < 3; ++g) {
+        const int out_c = group_channels[g];
+        for (int b = 0; b < config.blocks_per_group[static_cast<std::size_t>(g)]; ++b) {
+            const int stride = (g > 0 && b == 0) ? 2 : 1;
+            model.block_indices.push_back(model.net.size());
+            model.block_group.push_back(g);
+            model.net.emplace<nn::ResidualBlock>(in_c, out_c, stride, rng);
+            in_c = out_c;
+        }
+    }
+
+    model.net.emplace<nn::GlobalAvgPool>();
+    model.net.emplace<nn::Flatten>();
+    model.net.emplace<nn::Linear>(c3, config.num_classes, rng);
+    return model;
+}
+
+ResNetConfig resnet110_config() {
+    ResNetConfig cfg;
+    cfg.blocks_per_group = {18, 18, 18};
+    return cfg;
+}
+
+ResNetConfig resnet56_config() {
+    ResNetConfig cfg;
+    cfg.blocks_per_group = {9, 9, 9};
+    return cfg;
+}
+
+} // namespace hs::models

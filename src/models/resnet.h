@@ -1,0 +1,56 @@
+#pragma once
+
+// CIFAR-style ResNet builder (He et al. 2016): a 3×3 stem, three groups of
+// basic residual blocks with 16/32/64 base channels (scaled), stride-2 at
+// each group boundary, global average pooling and a linear classifier.
+// Depth = 6n + 2 (n blocks per group): n = 18 → ResNet-110, n = 9 →
+// ResNet-56, matching the paper's Table 4 / Figures 4–5.
+
+#include <string>
+#include <vector>
+
+#include "nn/residual.h"
+#include "nn/sequential.h"
+#include "tensor/rng.h"
+
+namespace hs::models {
+
+/// Configuration of the CIFAR ResNet builder.
+struct ResNetConfig {
+    int input_channels = 3;
+    int input_size = 16;
+    int num_classes = 20;
+    std::vector<int> blocks_per_group{18, 18, 18}; ///< ResNet-110 default
+    double width_scale = 0.5;  ///< multiplies the canonical 16/32/64 widths
+    int min_channels = 4;
+    std::uint64_t seed = 42;
+};
+
+/// A built ResNet plus block metadata for block-level pruning.
+struct ResNetModel {
+    nn::Sequential net;
+    std::vector<int> block_indices;   ///< positions of ResidualBlocks in `net`
+    std::vector<int> block_group;     ///< group id (0..2) per block
+    ResNetConfig config;
+
+    [[nodiscard]] int num_blocks() const {
+        return static_cast<int>(block_indices.size());
+    }
+    /// Typed access to block `b` (0-based, model order).
+    [[nodiscard]] nn::ResidualBlock& block(int b);
+    /// Number of blocks in each group (by current metadata).
+    [[nodiscard]] std::vector<int> blocks_per_group() const;
+};
+
+/// Depth of a CIFAR ResNet with these per-group block counts (6n+2 rule:
+/// 2 convs per block + stem + classifier).
+[[nodiscard]] int resnet_depth(const std::vector<int>& blocks_per_group);
+
+/// Build the ResNet; `blocks_per_group` must have exactly three entries.
+[[nodiscard]] ResNetModel make_resnet(const ResNetConfig& config);
+
+/// Convenience presets used by Table 4.
+[[nodiscard]] ResNetConfig resnet110_config();
+[[nodiscard]] ResNetConfig resnet56_config();
+
+} // namespace hs::models

@@ -1,0 +1,152 @@
+#include "models/summary.h"
+
+#include <sstream>
+
+#include "nn/activations.h"
+#include "nn/batchnorm.h"
+#include "nn/conv2d.h"
+#include "nn/linear.h"
+#include "nn/pooling.h"
+#include "nn/residual.h"
+#include "nn/sequential.h"
+#include "util/error.h"
+
+namespace hs::models {
+namespace {
+
+std::int64_t conv_flops(const nn::Conv2d& conv, int oh, int ow) {
+    return static_cast<std::int64_t>(conv.out_channels()) * conv.in_channels() *
+           conv.kernel() * conv.kernel() * oh * ow;
+}
+
+std::int64_t conv_params(const nn::Conv2d& conv) {
+    std::int64_t p = static_cast<std::int64_t>(conv.out_channels()) *
+                     conv.in_channels() * conv.kernel() * conv.kernel();
+    if (conv.has_bias()) p += conv.out_channels();
+    return p;
+}
+
+/// Propagate the per-image shape through one layer and append reports.
+Shape visit(nn::Layer& layer, const Shape& in, std::vector<LayerReport>& out);
+
+Shape visit_conv(nn::Conv2d& conv, const Shape& in, std::vector<LayerReport>& out) {
+    require(in.size() == 3, "conv input must be [C, H, W]");
+    require(in[0] == conv.in_channels(), "conv channel mismatch in summary");
+    const int oh = (in[1] + 2 * conv.pad() - conv.kernel()) / conv.stride() + 1;
+    const int ow = (in[2] + 2 * conv.pad() - conv.kernel()) / conv.stride() + 1;
+    out.push_back({"conv", {conv.out_channels(), oh, ow}, conv_params(conv),
+                   conv_flops(conv, oh, ow)});
+    return {conv.out_channels(), oh, ow};
+}
+
+Shape visit_block(nn::ResidualBlock& block, const Shape& in,
+                  std::vector<LayerReport>& out) {
+    if (block.is_passthrough()) {
+        out.push_back({"resblock(dropped)", in, 0, 0});
+        return in;
+    }
+    std::vector<LayerReport> inner;
+    Shape s = visit_conv(block.conv1(), in, inner);
+    inner.push_back({"batchnorm", s, 2LL * s[0], 0});
+    s = visit_conv(block.conv2(), s, inner);
+    inner.push_back({"batchnorm", s, 2LL * s[0], 0});
+    if (block.has_projection()) {
+        std::vector<LayerReport> proj;
+        // The projection consumes the block input.
+        (void)visit_conv(const_cast<nn::Conv2d&>(*block.projection()), in, proj);
+        inner.push_back({"batchnorm", s, 2LL * s[0], 0});
+        inner.insert(inner.end(), proj.begin(), proj.end());
+    }
+    LayerReport report{"resblock", s, 0, 0};
+    for (const auto& r : inner) {
+        report.params += r.params;
+        report.flops += r.flops;
+    }
+    out.push_back(report);
+    return s;
+}
+
+Shape visit(nn::Layer& layer, const Shape& in, std::vector<LayerReport>& out) {
+    if (auto* conv = dynamic_cast<nn::Conv2d*>(&layer)) return visit_conv(*conv, in, out);
+    if (auto* block = dynamic_cast<nn::ResidualBlock*>(&layer))
+        return visit_block(*block, in, out);
+    if (auto* seq = dynamic_cast<nn::Sequential*>(&layer)) {
+        Shape s = in;
+        for (int i = 0; i < seq->size(); ++i) s = visit(seq->layer(i), s, out);
+        return s;
+    }
+    if (auto* linear = dynamic_cast<nn::Linear*>(&layer)) {
+        require(in.size() == 1 && in[0] == linear->in_features(),
+                "linear input mismatch in summary");
+        const std::int64_t p =
+            static_cast<std::int64_t>(linear->out_features()) * linear->in_features() +
+            linear->out_features();
+        const std::int64_t f =
+            static_cast<std::int64_t>(linear->out_features()) * linear->in_features();
+        out.push_back({"linear", {linear->out_features()}, p, f});
+        return {linear->out_features()};
+    }
+    if (auto* bn = dynamic_cast<nn::BatchNorm2d*>(&layer)) {
+        require(in.size() == 3 && in[0] == bn->channels(),
+                "batchnorm input mismatch in summary");
+        out.push_back({"batchnorm", in, 2LL * bn->channels(), 0});
+        return in;
+    }
+    if (auto* pool = dynamic_cast<nn::MaxPool2d*>(&layer)) {
+        require(in.size() == 3, "maxpool input must be [C, H, W]");
+        const int oh = (in[1] - pool->kernel()) / pool->stride() + 1;
+        const int ow = (in[2] - pool->kernel()) / pool->stride() + 1;
+        out.push_back({"maxpool", {in[0], oh, ow}, 0, 0});
+        return {in[0], oh, ow};
+    }
+    if (dynamic_cast<nn::GlobalAvgPool*>(&layer) != nullptr) {
+        require(in.size() == 3, "gavgpool input must be [C, H, W]");
+        out.push_back({"gavgpool", {in[0], 1, 1}, 0, 0});
+        return {in[0], 1, 1};
+    }
+    if (dynamic_cast<nn::Flatten*>(&layer) != nullptr) {
+        const int total = static_cast<int>(shape_numel(in));
+        out.push_back({"flatten", {total}, 0, 0});
+        return {total};
+    }
+    // Shape-preserving, parameter-free layers (activations).
+    out.push_back({layer.kind(), in, 0, 0});
+    return in;
+}
+
+} // namespace
+
+std::string ModelReport::str() const {
+    std::ostringstream os;
+    os << "layer              output            params      flops\n";
+    os << "------------------------------------------------------\n";
+    for (const auto& r : layers) {
+        os << r.kind;
+        for (std::size_t i = r.kind.size(); i < 19; ++i) os << ' ';
+        const std::string shp = shape_str(r.output_shape);
+        os << shp;
+        for (std::size_t i = shp.size(); i < 18; ++i) os << ' ';
+        os << r.params << "  " << r.flops << '\n';
+    }
+    os << "total params: " << params << "  total flops: " << flops << '\n';
+    return os.str();
+}
+
+ModelReport summarize(nn::Layer& model, const Shape& input_chw) {
+    require(input_chw.size() == 3, "summarize expects a [C, H, W] input shape");
+    ModelReport report;
+    (void)visit(model, input_chw, report.layers);
+    for (const auto& r : report.layers) {
+        report.params += r.params;
+        report.flops += r.flops;
+    }
+    return report;
+}
+
+std::int64_t count_params(nn::Layer& model) {
+    std::int64_t total = 0;
+    for (const nn::Param* p : model.params()) total += p->value.numel();
+    return total;
+}
+
+} // namespace hs::models

@@ -1,0 +1,45 @@
+#pragma once
+
+// Static model analysis: per-layer output shapes, parameter counts and
+// FLOPs, computed by shape propagation (no forward pass). FLOPs follow the
+// paper's convention of counting multiply-accumulate operations, so a
+// k×k conv over C channels producing F×oh×ow costs F·C·k²·oh·ow.
+//
+// Residual blocks whose gate is 0 and whose shortcut is the identity are
+// counted as free (they are removed entirely at deployment); pooling and
+// activation layers are counted as parameter- and FLOP-free, matching how
+// the paper's #FLOPS column is dominated by convolutions.
+
+#include <string>
+#include <vector>
+
+#include "nn/layer.h"
+#include "tensor/tensor.h"
+
+namespace hs::models {
+
+/// Per-layer entry of a model summary.
+struct LayerReport {
+    std::string kind;
+    Shape output_shape;        ///< per-image shape (no batch dimension)
+    std::int64_t params = 0;
+    std::int64_t flops = 0;    ///< multiply-accumulates per image
+};
+
+/// Whole-model summary.
+struct ModelReport {
+    std::vector<LayerReport> layers;
+    std::int64_t params = 0;
+    std::int64_t flops = 0;
+
+    /// Render a human-readable table.
+    [[nodiscard]] std::string str() const;
+};
+
+/// Analyze `model` applied to per-image input shape [C, H, W].
+[[nodiscard]] ModelReport summarize(nn::Layer& model, const Shape& input_chw);
+
+/// Parameter count only (sum over Layer::params()).
+[[nodiscard]] std::int64_t count_params(nn::Layer& model);
+
+} // namespace hs::models

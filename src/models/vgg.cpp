@@ -1,0 +1,85 @@
+#include "models/vgg.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "nn/activations.h"
+#include "nn/conv2d.h"
+#include "nn/linear.h"
+#include "nn/pooling.h"
+#include "util/error.h"
+
+namespace hs::models {
+namespace {
+
+VggModel build(const std::vector<int>& widths, const VggConfig& config) {
+    require(config.input_size >= 8, "VGG needs at least 8-pixel input");
+    require(widths.size() == vgg16_widths().size(),
+            "VGG-16 takes exactly 13 conv widths");
+    for (int w : widths) require(w >= 1, "conv widths must be positive");
+
+    // Stage boundaries after conv indices 1, 3, 6, 9, 12 (0-based).
+    const std::vector<int> pool_after{1, 3, 6, 9, 12};
+
+    VggModel model;
+    model.config = config;
+    Rng rng(config.seed);
+
+    int in_c = config.input_channels;
+    int spatial = config.input_size;
+
+    for (std::size_t i = 0; i < widths.size(); ++i) {
+        const int out_c = widths[i];
+        model.conv_indices.push_back(model.net.size());
+        model.conv_names.push_back(vgg16_names()[i]);
+        model.net.emplace<nn::Conv2d>(in_c, out_c, 3, 1, 1, /*bias=*/true, rng);
+        model.net.emplace<nn::ReLU>();
+        in_c = out_c;
+        if (std::find(pool_after.begin(), pool_after.end(), static_cast<int>(i)) !=
+            pool_after.end()) {
+            if (spatial >= 2) {
+                model.net.emplace<nn::MaxPool2d>(2, 2);
+                spatial /= 2;
+            }
+        }
+    }
+
+    model.net.emplace<nn::Flatten>();
+    model.classifier_index = model.net.size();
+    model.net.emplace<nn::Linear>(in_c * spatial * spatial, config.num_classes, rng);
+    return model;
+}
+
+} // namespace
+
+const std::vector<int>& vgg16_widths() {
+    static const std::vector<int> widths{64,  64,  128, 128, 256, 256, 256,
+                                         512, 512, 512, 512, 512, 512};
+    return widths;
+}
+
+const std::vector<std::string>& vgg16_names() {
+    static const std::vector<std::string> names{
+        "conv1_1", "conv1_2", "conv2_1", "conv2_2", "conv3_1", "conv3_2",
+        "conv3_3", "conv4_1", "conv4_2", "conv4_3", "conv5_1", "conv5_2",
+        "conv5_3"};
+    return names;
+}
+
+VggModel make_vgg16(const VggConfig& config) {
+    require(config.width_scale > 0.0, "width scale must be positive");
+    std::vector<int> widths;
+    widths.reserve(vgg16_widths().size());
+    for (int w : vgg16_widths())
+        widths.push_back(std::max(
+            config.min_channels,
+            static_cast<int>(std::lround(w * config.width_scale))));
+    return build(widths, config);
+}
+
+VggModel make_vgg16_widths(const std::vector<int>& widths,
+                           const VggConfig& config) {
+    return build(widths, config);
+}
+
+} // namespace hs::models

@@ -1,0 +1,57 @@
+#pragma once
+
+// Scaled VGG-16 builder. Topology is exactly the paper's 13-conv VGG-16
+// (conv1_1 … conv5_3 with max-pools after each stage); the width factor
+// shrinks every channel count uniformly so experiments run on CPUs.
+// Pools that would drive the spatial size below 1 are skipped, which makes
+// the same topology valid for 16- and 32-pixel inputs.
+
+#include <string>
+#include <vector>
+
+#include "nn/sequential.h"
+#include "tensor/rng.h"
+
+namespace hs::models {
+
+/// Configuration of the VGG-16 builder.
+struct VggConfig {
+    int input_channels = 3;
+    int input_size = 16;      ///< square input resolution
+    int num_classes = 20;
+    double width_scale = 0.125; ///< multiplies the canonical 64..512 widths
+    int min_channels = 4;     ///< floor after scaling
+    std::uint64_t seed = 42;
+};
+
+/// A built VGG model plus the metadata pruning and benches need.
+struct VggModel {
+    nn::Sequential net;
+    std::vector<int> conv_indices;        ///< position of each conv in `net`
+    std::vector<std::string> conv_names;  ///< "conv1_1" … "conv5_3"
+    int classifier_index = -1;            ///< position of the final Linear
+    VggConfig config;
+
+    /// Number of convolutional layers (13 for VGG-16).
+    [[nodiscard]] int num_convs() const {
+        return static_cast<int>(conv_indices.size());
+    }
+};
+
+/// Canonical VGG-16 conv widths (64, 64, 128, … 512), before scaling.
+[[nodiscard]] const std::vector<int>& vgg16_widths();
+
+/// Canonical VGG-16 conv layer names matching the paper's Table 1.
+[[nodiscard]] const std::vector<std::string>& vgg16_names();
+
+/// Build a scaled VGG-16 (13 convs + ReLU + pools + Flatten + Linear).
+[[nodiscard]] VggModel make_vgg16(const VggConfig& config);
+
+/// Build a VGG-16-topology net with explicit per-conv widths (13 entries,
+/// already final — width_scale/min_channels are ignored). Used by the
+/// from-scratch baseline to re-instantiate a pruned architecture with
+/// fresh random weights.
+[[nodiscard]] VggModel make_vgg16_widths(const std::vector<int>& widths,
+                                         const VggConfig& config);
+
+} // namespace hs::models

@@ -1,0 +1,49 @@
+#include "nn/activations.h"
+
+#include <cmath>
+
+namespace hs::nn {
+
+Tensor ReLU::forward(const Tensor& input, bool train) {
+    Tensor output = input;
+    for (float& v : output.data())
+        if (v < 0.0f) v = 0.0f;
+    if (train) cached_input_ = input;
+    return output;
+}
+
+Tensor ReLU::backward(const Tensor& grad_output) {
+    require(cached_input_.numel() == grad_output.numel(),
+            "ReLU::backward shape mismatch");
+    Tensor grad = grad_output;
+    auto in = cached_input_.data();
+    auto g = grad.data();
+    for (std::size_t i = 0; i < g.size(); ++i)
+        if (in[i] <= 0.0f) g[i] = 0.0f;
+    return grad;
+}
+
+std::unique_ptr<Layer> ReLU::clone() const { return std::make_unique<ReLU>(*this); }
+
+Tensor Sigmoid::forward(const Tensor& input, bool train) {
+    Tensor output = input;
+    for (float& v : output.data()) v = 1.0f / (1.0f + std::exp(-v));
+    if (train) cached_output_ = output;
+    return output;
+}
+
+Tensor Sigmoid::backward(const Tensor& grad_output) {
+    require(cached_output_.numel() == grad_output.numel(),
+            "Sigmoid::backward shape mismatch");
+    Tensor grad = grad_output;
+    auto y = cached_output_.data();
+    auto g = grad.data();
+    for (std::size_t i = 0; i < g.size(); ++i) g[i] *= y[i] * (1.0f - y[i]);
+    return grad;
+}
+
+std::unique_ptr<Layer> Sigmoid::clone() const {
+    return std::make_unique<Sigmoid>(*this);
+}
+
+} // namespace hs::nn

@@ -1,0 +1,33 @@
+#pragma once
+
+// Elementwise activation layers: ReLU and Sigmoid.
+
+#include "nn/layer.h"
+
+namespace hs::nn {
+
+/// max(0, x) with the usual subgradient (0 at x <= 0).
+class ReLU : public Layer {
+public:
+    [[nodiscard]] Tensor forward(const Tensor& input, bool train) override;
+    [[nodiscard]] Tensor backward(const Tensor& grad_output) override;
+    [[nodiscard]] std::string kind() const override { return "relu"; }
+    [[nodiscard]] std::unique_ptr<Layer> clone() const override;
+
+private:
+    Tensor cached_input_;
+};
+
+/// 1 / (1 + e^-x); used as the head-start policy output nonlinearity.
+class Sigmoid : public Layer {
+public:
+    [[nodiscard]] Tensor forward(const Tensor& input, bool train) override;
+    [[nodiscard]] Tensor backward(const Tensor& grad_output) override;
+    [[nodiscard]] std::string kind() const override { return "sigmoid"; }
+    [[nodiscard]] std::unique_ptr<Layer> clone() const override;
+
+private:
+    Tensor cached_output_;
+};
+
+} // namespace hs::nn

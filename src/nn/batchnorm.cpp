@@ -1,0 +1,165 @@
+#include "nn/batchnorm.h"
+
+#include <cmath>
+
+namespace hs::nn {
+
+BatchNorm2d::BatchNorm2d(int channels, float momentum, float eps)
+    : channels_(channels),
+      momentum_(momentum),
+      eps_(eps),
+      gamma_({channels}, "bn.gamma"),
+      beta_({channels}, "bn.beta"),
+      running_mean_({channels}),
+      running_var_({channels}) {
+    require(channels > 0, "BatchNorm2d needs at least one channel");
+    gamma_.value.fill(1.0f);
+    running_var_.fill(1.0f);
+}
+
+Tensor BatchNorm2d::forward(const Tensor& input, bool train) {
+    require(input.rank() == 4 && input.dim(1) == channels_,
+            "BatchNorm2d expects NCHW input with " + std::to_string(channels_) +
+                " channels");
+    const int n = input.dim(0), h = input.dim(2), w = input.dim(3);
+    const std::int64_t hw = static_cast<std::int64_t>(h) * w;
+    const std::int64_t m = static_cast<std::int64_t>(n) * hw; // per-channel count
+
+    Tensor output(input.shape());
+    auto in = input.data();
+    auto out = output.data();
+
+    if (train) {
+        cached_mean_.assign(static_cast<std::size_t>(channels_), 0.0f);
+        cached_invstd_.assign(static_cast<std::size_t>(channels_), 0.0f);
+        cached_xhat_ = Tensor(input.shape());
+        cached_input_ = input;
+    }
+
+    for (int c = 0; c < channels_; ++c) {
+        float mean = 0.0f;
+        float var = 0.0f;
+        if (train) {
+            double acc = 0.0;
+            for (int i = 0; i < n; ++i) {
+                const float* plane =
+                    in.data() + (static_cast<std::int64_t>(i) * channels_ + c) * hw;
+                for (std::int64_t j = 0; j < hw; ++j) acc += plane[j];
+            }
+            mean = static_cast<float>(acc / static_cast<double>(m));
+            double vacc = 0.0;
+            for (int i = 0; i < n; ++i) {
+                const float* plane =
+                    in.data() + (static_cast<std::int64_t>(i) * channels_ + c) * hw;
+                for (std::int64_t j = 0; j < hw; ++j) {
+                    const double d = plane[j] - mean;
+                    vacc += d * d;
+                }
+            }
+            var = static_cast<float>(vacc / static_cast<double>(m));
+            running_mean_[c] = (1.0f - momentum_) * running_mean_[c] + momentum_ * mean;
+            running_var_[c] = (1.0f - momentum_) * running_var_[c] + momentum_ * var;
+        } else {
+            mean = running_mean_[c];
+            var = running_var_[c];
+        }
+
+        const float invstd = 1.0f / std::sqrt(var + eps_);
+        const float g = gamma_.value[c];
+        const float b = beta_.value[c];
+        for (int i = 0; i < n; ++i) {
+            const std::int64_t base = (static_cast<std::int64_t>(i) * channels_ + c) * hw;
+            const float* src = in.data() + base;
+            float* dst = out.data() + base;
+            float* xhat = train ? cached_xhat_.data().data() + base : nullptr;
+            for (std::int64_t j = 0; j < hw; ++j) {
+                const float xh = (src[j] - mean) * invstd;
+                if (xhat) xhat[j] = xh;
+                dst[j] = g * xh + b;
+            }
+        }
+        if (train) {
+            cached_mean_[static_cast<std::size_t>(c)] = mean;
+            cached_invstd_[static_cast<std::size_t>(c)] = invstd;
+        }
+    }
+    return output;
+}
+
+Tensor BatchNorm2d::backward(const Tensor& grad_output) {
+    require(cached_xhat_.numel() > 0, "BatchNorm2d::backward without training forward");
+    require(grad_output.shape() == cached_xhat_.shape(),
+            "BatchNorm2d::backward gradient shape mismatch");
+    const int n = grad_output.dim(0), h = grad_output.dim(2), w = grad_output.dim(3);
+    const std::int64_t hw = static_cast<std::int64_t>(h) * w;
+    const auto m = static_cast<double>(static_cast<std::int64_t>(n) * hw);
+
+    Tensor grad_input(grad_output.shape());
+    auto go = grad_output.data();
+    auto xh = cached_xhat_.data();
+    auto gi = grad_input.data();
+
+    for (int c = 0; c < channels_; ++c) {
+        // Accumulate dgamma, dbeta and the two reduction terms of dx.
+        double sum_dy = 0.0;
+        double sum_dy_xhat = 0.0;
+        for (int i = 0; i < n; ++i) {
+            const std::int64_t base = (static_cast<std::int64_t>(i) * channels_ + c) * hw;
+            const float* dy = go.data() + base;
+            const float* x = xh.data() + base;
+            for (std::int64_t j = 0; j < hw; ++j) {
+                sum_dy += dy[j];
+                sum_dy_xhat += static_cast<double>(dy[j]) * x[j];
+            }
+        }
+        gamma_.grad[c] += static_cast<float>(sum_dy_xhat);
+        beta_.grad[c] += static_cast<float>(sum_dy);
+
+        const float g = gamma_.value[c];
+        const float invstd = cached_invstd_[static_cast<std::size_t>(c)];
+        const float k1 = static_cast<float>(sum_dy / m);
+        const float k2 = static_cast<float>(sum_dy_xhat / m);
+        for (int i = 0; i < n; ++i) {
+            const std::int64_t base = (static_cast<std::int64_t>(i) * channels_ + c) * hw;
+            const float* dy = go.data() + base;
+            const float* x = xh.data() + base;
+            float* dx = gi.data() + base;
+            for (std::int64_t j = 0; j < hw; ++j)
+                dx[j] = g * invstd * (dy[j] - k1 - x[j] * k2);
+        }
+    }
+    return grad_input;
+}
+
+std::vector<Param*> BatchNorm2d::params() { return {&gamma_, &beta_}; }
+
+std::unique_ptr<Layer> BatchNorm2d::clone() const {
+    return std::make_unique<BatchNorm2d>(*this);
+}
+
+void BatchNorm2d::keep_channels(std::span<const int> keep) {
+    require(!keep.empty(), "cannot prune every BatchNorm channel");
+    Tensor g({static_cast<int>(keep.size())});
+    Tensor b({static_cast<int>(keep.size())});
+    Tensor rm({static_cast<int>(keep.size())});
+    Tensor rv({static_cast<int>(keep.size())});
+    int prev = -1;
+    for (std::size_t i = 0; i < keep.size(); ++i) {
+        const int c = keep[i];
+        require(c > prev && c < channels_, "keep indices must be increasing, in range");
+        prev = c;
+        g[static_cast<std::int64_t>(i)] = gamma_.value[c];
+        b[static_cast<std::int64_t>(i)] = beta_.value[c];
+        rm[static_cast<std::int64_t>(i)] = running_mean_[c];
+        rv[static_cast<std::int64_t>(i)] = running_var_[c];
+    }
+    channels_ = static_cast<int>(keep.size());
+    gamma_.reset(std::move(g));
+    beta_.reset(std::move(b));
+    running_mean_ = std::move(rm);
+    running_var_ = std::move(rv);
+    cached_xhat_ = Tensor();
+    cached_input_ = Tensor();
+}
+
+} // namespace hs::nn

@@ -1,0 +1,48 @@
+#pragma once
+
+// Batch normalization over NCHW channels (used by the ResNet models).
+// Training mode uses batch statistics and maintains exponential running
+// averages; eval mode normalizes with the running statistics.
+
+#include "nn/layer.h"
+
+namespace hs::nn {
+
+/// Per-channel batch normalization with affine parameters.
+class BatchNorm2d : public Layer {
+public:
+    explicit BatchNorm2d(int channels, float momentum = 0.1f, float eps = 1e-5f);
+
+    [[nodiscard]] Tensor forward(const Tensor& input, bool train) override;
+    [[nodiscard]] Tensor backward(const Tensor& grad_output) override;
+    [[nodiscard]] std::vector<Param*> params() override;
+    [[nodiscard]] std::string kind() const override { return "batchnorm"; }
+    [[nodiscard]] std::unique_ptr<Layer> clone() const override;
+
+    [[nodiscard]] int channels() const { return channels_; }
+    [[nodiscard]] Param& gamma() { return gamma_; }
+    [[nodiscard]] Param& beta() { return beta_; }
+    [[nodiscard]] const Tensor& running_mean() const { return running_mean_; }
+    [[nodiscard]] const Tensor& running_var() const { return running_var_; }
+
+    /// Keep only the listed channels (pruning surgery). Indices must be
+    /// strictly increasing and in range.
+    void keep_channels(std::span<const int> keep);
+
+private:
+    int channels_;
+    float momentum_;
+    float eps_;
+    Param gamma_;
+    Param beta_;
+    Tensor running_mean_;
+    Tensor running_var_;
+
+    // backward caches (training forward only)
+    Tensor cached_xhat_;
+    Tensor cached_input_;
+    std::vector<float> cached_mean_;
+    std::vector<float> cached_invstd_;
+};
+
+} // namespace hs::nn

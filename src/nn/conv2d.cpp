@@ -1,0 +1,218 @@
+#include "nn/conv2d.h"
+
+#include <cmath>
+#include <cstring>
+
+#include "tensor/gemm.h"
+
+namespace hs::nn {
+
+Conv2d::Conv2d(int in_channels, int out_channels, int kernel, int stride,
+               int pad, bool bias, Rng& rng)
+    : in_channels_(in_channels),
+      out_channels_(out_channels),
+      kernel_(kernel),
+      stride_(stride),
+      pad_(pad),
+      has_bias_(bias),
+      weight_({out_channels, in_channels, kernel, kernel}, "conv.weight"),
+      bias_(bias ? Param({out_channels}, "conv.bias") : Param()) {
+    require(in_channels > 0 && out_channels > 0 && kernel > 0 && stride > 0 &&
+                pad >= 0,
+            "invalid Conv2d geometry");
+    // He-normal: std = sqrt(2 / fan_in), standard for ReLU networks.
+    const double fan_in = static_cast<double>(in_channels) * kernel * kernel;
+    rng.fill_normal(weight_.value, 0.0, std::sqrt(2.0 / fan_in));
+}
+
+ConvGeom Conv2d::geom_for(const Tensor& input) const {
+    require(input.rank() == 4, "Conv2d expects NCHW input");
+    require(input.dim(1) == in_channels_,
+            "Conv2d channel mismatch: expected " + std::to_string(in_channels_) +
+                " got " + std::to_string(input.dim(1)));
+    ConvGeom g;
+    g.channels = in_channels_;
+    g.height = input.dim(2);
+    g.width = input.dim(3);
+    g.kernel = kernel_;
+    g.stride = stride_;
+    g.pad = pad_;
+    return g;
+}
+
+Tensor Conv2d::forward(const Tensor& input, bool train) {
+    const ConvGeom g = geom_for(input);
+    const int n = input.dim(0);
+    const int oh = g.out_h();
+    const int ow = g.out_w();
+    const std::int64_t ckk = g.col_rows();
+    const std::int64_t ohw = g.col_cols();
+
+    Tensor output({n, out_channels_, oh, ow});
+    if (cols_scratch_.numel() < ckk * ohw)
+        cols_scratch_ = Tensor({static_cast<int>(ckk), static_cast<int>(ohw)});
+
+    const std::int64_t in_chw = static_cast<std::int64_t>(in_channels_) * g.height * g.width;
+    const std::int64_t out_chw = static_cast<std::int64_t>(out_channels_) * oh * ow;
+
+    for (int i = 0; i < n; ++i) {
+        im2col(g, input.data().subspan(static_cast<std::size_t>(i * in_chw),
+                                       static_cast<std::size_t>(in_chw)),
+               cols_scratch_.data());
+        gemm(out_channels_, static_cast<int>(ohw), static_cast<int>(ckk), 1.0f,
+             weight_.value.data(), cols_scratch_.data(), 0.0f,
+             output.data().subspan(static_cast<std::size_t>(i * out_chw),
+                                   static_cast<std::size_t>(out_chw)));
+    }
+
+    if (has_bias_) {
+        auto out = output.data();
+        for (int i = 0; i < n; ++i)
+            for (int f = 0; f < out_channels_; ++f) {
+                const float b = bias_.value[f];
+                float* row = out.data() + i * out_chw +
+                             static_cast<std::int64_t>(f) * ohw;
+                for (std::int64_t j = 0; j < ohw; ++j) row[j] += b;
+            }
+    }
+
+    if (collect_stats_) stats_output_ = output; // pre-mask activations
+
+    if (mask_) {
+        auto out = output.data();
+        const auto& m = *mask_;
+        for (int i = 0; i < n; ++i)
+            for (int f = 0; f < out_channels_; ++f) {
+                const float s = m[static_cast<std::size_t>(f)];
+                if (s == 1.0f) continue;
+                float* row = out.data() + i * out_chw +
+                             static_cast<std::int64_t>(f) * ohw;
+                for (std::int64_t j = 0; j < ohw; ++j) row[j] *= s;
+            }
+    }
+
+    if (train) {
+        cached_input_ = input;
+        cached_geom_ = g;
+    }
+    return output;
+}
+
+Tensor Conv2d::backward(const Tensor& grad_output) {
+    require(cached_input_.numel() > 0,
+            "Conv2d::backward without a training forward");
+    const ConvGeom& g = cached_geom_;
+    const int n = cached_input_.dim(0);
+    const int oh = g.out_h();
+    const int ow = g.out_w();
+    const std::int64_t ckk = g.col_rows();
+    const std::int64_t ohw = g.col_cols();
+    const std::int64_t in_chw = static_cast<std::int64_t>(in_channels_) * g.height * g.width;
+    const std::int64_t out_chw = static_cast<std::int64_t>(out_channels_) * oh * ow;
+
+    require(grad_output.rank() == 4 && grad_output.dim(0) == n &&
+                grad_output.dim(1) == out_channels_ && grad_output.dim(2) == oh &&
+                grad_output.dim(3) == ow,
+            "Conv2d::backward gradient shape mismatch");
+
+    if (collect_stats_) stats_grad_ = grad_output;
+
+    // Apply the output mask to the incoming gradient (chain rule through
+    // the gating multiply).
+    Tensor grad = grad_output;
+    if (mask_) {
+        auto gd = grad.data();
+        const auto& m = *mask_;
+        for (int i = 0; i < n; ++i)
+            for (int f = 0; f < out_channels_; ++f) {
+                const float s = m[static_cast<std::size_t>(f)];
+                if (s == 1.0f) continue;
+                float* row = gd.data() + i * out_chw +
+                             static_cast<std::int64_t>(f) * ohw;
+                for (std::int64_t j = 0; j < ohw; ++j) row[j] *= s;
+            }
+    }
+
+    Tensor grad_input({n, in_channels_, g.height, g.width});
+    Tensor dcols({static_cast<int>(ckk), static_cast<int>(ohw)});
+
+    for (int i = 0; i < n; ++i) {
+        // Recompute cols for this image (memory over speed tradeoff).
+        im2col(g, cached_input_.data().subspan(
+                      static_cast<std::size_t>(i * in_chw),
+                      static_cast<std::size_t>(in_chw)),
+               cols_scratch_.data());
+
+        const auto gout = grad.data().subspan(static_cast<std::size_t>(i * out_chw),
+                                              static_cast<std::size_t>(out_chw));
+        // dW += dY(F×OHW) · colsᵀ(OHW×CKK)
+        gemm_bt(out_channels_, static_cast<int>(ckk), static_cast<int>(ohw), 1.0f,
+                gout, cols_scratch_.data(), 1.0f, weight_.grad.data());
+        // dcols = Wᵀ(CKK×F) · dY(F×OHW)
+        gemm_at(static_cast<int>(ckk), static_cast<int>(ohw), out_channels_, 1.0f,
+                weight_.value.data(), gout, 0.0f, dcols.data());
+        col2im(g, dcols.data(),
+               grad_input.data().subspan(static_cast<std::size_t>(i * in_chw),
+                                         static_cast<std::size_t>(in_chw)));
+    }
+
+    if (has_bias_) {
+        auto gd = grad.data();
+        for (int i = 0; i < n; ++i)
+            for (int f = 0; f < out_channels_; ++f) {
+                const float* row = gd.data() + i * out_chw +
+                                   static_cast<std::int64_t>(f) * ohw;
+                double acc = 0.0;
+                for (std::int64_t j = 0; j < ohw; ++j) acc += row[j];
+                bias_.grad[f] += static_cast<float>(acc);
+            }
+    }
+
+    return grad_input;
+}
+
+std::vector<Param*> Conv2d::params() {
+    std::vector<Param*> out{&weight_};
+    if (has_bias_) out.push_back(&bias_);
+    return out;
+}
+
+std::unique_ptr<Layer> Conv2d::clone() const {
+    return std::make_unique<Conv2d>(*this);
+}
+
+void Conv2d::set_output_mask(std::span<const float> mask) {
+    if (mask.empty()) {
+        mask_.reset();
+        return;
+    }
+    require(static_cast<int>(mask.size()) == out_channels_,
+            "mask size must equal out_channels");
+    mask_.emplace(mask.begin(), mask.end());
+}
+
+std::span<const float> Conv2d::output_mask() const {
+    require(mask_.has_value(), "no output mask set");
+    return {mask_->data(), mask_->size()};
+}
+
+void Conv2d::replace_parameters(Tensor new_weight, std::optional<Tensor> new_bias) {
+    require(new_weight.rank() == 4 && new_weight.dim(2) == kernel_ &&
+                new_weight.dim(3) == kernel_,
+            "replacement weight must be [F', C', k, k] with the same kernel");
+    require(has_bias_ == new_bias.has_value(),
+            "bias presence cannot change during surgery");
+    out_channels_ = new_weight.dim(0);
+    in_channels_ = new_weight.dim(1);
+    if (new_bias) {
+        require(new_bias->rank() == 1 && new_bias->dim(0) == out_channels_,
+                "replacement bias must be [F']");
+        bias_.reset(std::move(*new_bias));
+    }
+    weight_.reset(std::move(new_weight));
+    mask_.reset();
+    cached_input_ = Tensor();
+    cols_scratch_ = Tensor();
+}
+
+} // namespace hs::nn

@@ -1,0 +1,52 @@
+#pragma once
+
+// Abstract layer interface. Layers implement explicit reverse-mode
+// differentiation: forward() caches whatever backward() needs, backward()
+// receives dL/d(output), accumulates dL/d(params) into Param::grad, and
+// returns dL/d(input). This manual scheme (vs a tape autograd) keeps the
+// hot loop allocation-light and makes pruning surgery on the stored
+// parameters straightforward.
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "nn/param.h"
+#include "tensor/tensor.h"
+
+namespace hs::nn {
+
+/// Base class of every network component (including containers).
+class Layer {
+public:
+    Layer() = default;
+    Layer(const Layer&) = default;
+    Layer& operator=(const Layer&) = default;
+    Layer(Layer&&) = default;
+    Layer& operator=(Layer&&) = default;
+    virtual ~Layer() = default;
+
+    /// Compute the layer output. `train` selects training behaviour
+    /// (batch statistics, caching for backward).
+    [[nodiscard]] virtual Tensor forward(const Tensor& input, bool train) = 0;
+
+    /// Propagate gradients. Must follow a forward(train=true) call with the
+    /// matching input. Accumulates into Param::grad; returns dL/d(input).
+    [[nodiscard]] virtual Tensor backward(const Tensor& grad_output) = 0;
+
+    /// Non-owning views of the trainable parameters (possibly empty).
+    [[nodiscard]] virtual std::vector<Param*> params() { return {}; }
+
+    /// Short type tag, e.g. "conv", "linear", "relu".
+    [[nodiscard]] virtual std::string kind() const = 0;
+
+    /// Deep copy (needed to snapshot models during pruning trials).
+    [[nodiscard]] virtual std::unique_ptr<Layer> clone() const = 0;
+
+    /// Zero every parameter gradient in this layer (and children).
+    void zero_grad() {
+        for (Param* p : params()) p->zero_grad();
+    }
+};
+
+} // namespace hs::nn

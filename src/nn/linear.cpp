@@ -1,0 +1,73 @@
+#include "nn/linear.h"
+
+#include <cmath>
+
+#include "tensor/gemm.h"
+
+namespace hs::nn {
+
+Linear::Linear(int in_features, int out_features, Rng& rng)
+    : in_features_(in_features),
+      out_features_(out_features),
+      weight_({out_features, in_features}, "linear.weight"),
+      bias_({out_features}, "linear.bias") {
+    require(in_features > 0 && out_features > 0, "invalid Linear dimensions");
+    const double bound = std::sqrt(6.0 / (in_features + out_features));
+    rng.fill_uniform(weight_.value, -bound, bound);
+}
+
+Tensor Linear::forward(const Tensor& input, bool train) {
+    require(input.rank() == 2 && input.dim(1) == in_features_,
+            "Linear expects [N, " + std::to_string(in_features_) + "] input, got " +
+                shape_str(input.shape()));
+    const int n = input.dim(0);
+    Tensor output({n, out_features_});
+    // y = x(N×in) · Wᵀ(in×out)  via gemm_bt with B stored out×in.
+    gemm_bt(n, out_features_, in_features_, 1.0f, input.data(),
+            weight_.value.data(), 0.0f, output.data());
+    for (int i = 0; i < n; ++i)
+        for (int j = 0; j < out_features_; ++j)
+            output.at(i, j) += bias_.value[j];
+    if (train) cached_input_ = input;
+    return output;
+}
+
+Tensor Linear::backward(const Tensor& grad_output) {
+    require(cached_input_.numel() > 0, "Linear::backward without training forward");
+    const int n = cached_input_.dim(0);
+    require(grad_output.rank() == 2 && grad_output.dim(0) == n &&
+                grad_output.dim(1) == out_features_,
+            "Linear::backward gradient shape mismatch");
+
+    // dW += dYᵀ(out×N) · X(N×in)
+    gemm_at(out_features_, in_features_, n, 1.0f, grad_output.data(),
+            cached_input_.data(), 1.0f, weight_.grad.data());
+    // db += column sums of dY
+    for (int i = 0; i < n; ++i)
+        for (int j = 0; j < out_features_; ++j)
+            bias_.grad[j] += grad_output.at(i, j);
+    // dX = dY(N×out) · W(out×in)
+    Tensor grad_input({n, in_features_});
+    gemm(n, in_features_, out_features_, 1.0f, grad_output.data(),
+         weight_.value.data(), 0.0f, grad_input.data());
+    return grad_input;
+}
+
+std::vector<Param*> Linear::params() { return {&weight_, &bias_}; }
+
+std::unique_ptr<Layer> Linear::clone() const {
+    return std::make_unique<Linear>(*this);
+}
+
+void Linear::replace_parameters(Tensor new_weight, Tensor new_bias) {
+    require(new_weight.rank() == 2, "replacement weight must be rank 2");
+    require(new_bias.rank() == 1 && new_bias.dim(0) == new_weight.dim(0),
+            "replacement bias must match weight rows");
+    out_features_ = new_weight.dim(0);
+    in_features_ = new_weight.dim(1);
+    weight_.reset(std::move(new_weight));
+    bias_.reset(std::move(new_bias));
+    cached_input_ = Tensor();
+}
+
+} // namespace hs::nn

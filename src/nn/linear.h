@@ -1,0 +1,45 @@
+#pragma once
+
+// Fully connected layer: y = x·Wᵀ + b over [N, in] batches.
+// Exposes its Params so pruning surgery can drop input columns when the
+// preceding conv layer loses feature maps.
+
+#include <optional>
+
+#include "nn/layer.h"
+#include "tensor/rng.h"
+
+namespace hs::nn {
+
+/// Affine map with weight [out, in] and bias [out].
+class Linear : public Layer {
+public:
+    /// Xavier-uniform initialized linear layer.
+    Linear(int in_features, int out_features, Rng& rng);
+
+    [[nodiscard]] Tensor forward(const Tensor& input, bool train) override;
+    [[nodiscard]] Tensor backward(const Tensor& grad_output) override;
+    [[nodiscard]] std::vector<Param*> params() override;
+    [[nodiscard]] std::string kind() const override { return "linear"; }
+    [[nodiscard]] std::unique_ptr<Layer> clone() const override;
+
+    [[nodiscard]] int in_features() const { return in_features_; }
+    [[nodiscard]] int out_features() const { return out_features_; }
+    [[nodiscard]] Param& weight() { return weight_; }
+    [[nodiscard]] const Param& weight() const { return weight_; }
+    [[nodiscard]] Param& bias() { return bias_; }
+    [[nodiscard]] const Param& bias() const { return bias_; }
+
+    /// Replace parameters after pruning surgery; weight [out', in'],
+    /// bias [out'].
+    void replace_parameters(Tensor new_weight, Tensor new_bias);
+
+private:
+    int in_features_;
+    int out_features_;
+    Param weight_;
+    Param bias_;
+    Tensor cached_input_;
+};
+
+} // namespace hs::nn

@@ -1,0 +1,69 @@
+#include "nn/loss.h"
+
+#include <cmath>
+
+#include "util/error.h"
+
+namespace hs::nn {
+
+Tensor softmax(const Tensor& logits) {
+    require(logits.rank() == 2, "softmax expects [N, K] logits");
+    const int n = logits.dim(0), k = logits.dim(1);
+    Tensor out(logits.shape());
+    for (int i = 0; i < n; ++i) {
+        float mx = logits.at(i, 0);
+        for (int j = 1; j < k; ++j) mx = std::max(mx, logits.at(i, j));
+        double denom = 0.0;
+        for (int j = 0; j < k; ++j) {
+            const float e = std::exp(logits.at(i, j) - mx);
+            out.at(i, j) = e;
+            denom += e;
+        }
+        const float inv = static_cast<float>(1.0 / denom);
+        for (int j = 0; j < k; ++j) out.at(i, j) *= inv;
+    }
+    return out;
+}
+
+double SoftmaxCrossEntropy::forward(const Tensor& logits,
+                                    std::span<const int> labels) {
+    require(logits.rank() == 2, "loss expects [N, K] logits");
+    require(static_cast<int>(labels.size()) == logits.dim(0),
+            "label count must match batch size");
+    const int n = logits.dim(0), k = logits.dim(1);
+    probs_ = softmax(logits);
+    labels_.assign(labels.begin(), labels.end());
+
+    double loss = 0.0;
+    for (int i = 0; i < n; ++i) {
+        const int y = labels[static_cast<std::size_t>(i)];
+        require(y >= 0 && y < k, "label out of range");
+        loss -= std::log(std::max(1e-12f, probs_.at(i, y)));
+    }
+    return loss / n;
+}
+
+Tensor SoftmaxCrossEntropy::grad() const {
+    require(probs_.numel() > 0, "grad() before forward()");
+    const int n = probs_.dim(0);
+    Tensor g = probs_;
+    for (int i = 0; i < n; ++i) g.at(i, labels_[static_cast<std::size_t>(i)]) -= 1.0f;
+    g.scale_(1.0f / static_cast<float>(n));
+    return g;
+}
+
+double accuracy(const Tensor& logits, std::span<const int> labels) {
+    require(logits.rank() == 2, "accuracy expects [N, K] logits");
+    require(static_cast<int>(labels.size()) == logits.dim(0),
+            "label count must match batch size");
+    const int n = logits.dim(0), k = logits.dim(1);
+    if (n == 0) return 0.0;
+    int correct = 0;
+    for (int i = 0; i < n; ++i) {
+        const auto pred = logits.argmax_range(static_cast<std::int64_t>(i) * k, k);
+        if (static_cast<int>(pred) == labels[static_cast<std::size_t>(i)]) ++correct;
+    }
+    return static_cast<double>(correct) / n;
+}
+
+} // namespace hs::nn

@@ -1,0 +1,36 @@
+#pragma once
+
+// Classification loss and metrics.
+
+#include <span>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace hs::nn {
+
+/// Softmax + cross-entropy, fused for numerical stability.
+class SoftmaxCrossEntropy {
+public:
+    /// Mean cross-entropy of `logits` [N, K] against integer labels.
+    /// Caches softmax probabilities for grad().
+    [[nodiscard]] double forward(const Tensor& logits, std::span<const int> labels);
+
+    /// dL/d(logits) of the last forward: (softmax - onehot) / N.
+    [[nodiscard]] Tensor grad() const;
+
+    /// Softmax probabilities of the last forward ([N, K]).
+    [[nodiscard]] const Tensor& probs() const { return probs_; }
+
+private:
+    Tensor probs_;
+    std::vector<int> labels_;
+};
+
+/// Fraction of rows whose argmax equals the label (top-1 accuracy, in [0,1]).
+[[nodiscard]] double accuracy(const Tensor& logits, std::span<const int> labels);
+
+/// Row-wise softmax of a [N, K] tensor (standalone helper).
+[[nodiscard]] Tensor softmax(const Tensor& logits);
+
+} // namespace hs::nn

@@ -1,0 +1,68 @@
+#include "nn/optimizer.h"
+
+#include <cmath>
+
+#include "util/error.h"
+
+namespace hs::nn {
+
+Optimizer::Optimizer(std::vector<Param*> params) : params_(std::move(params)) {
+    for (const Param* p : params_)
+        require(p != nullptr, "null parameter handed to optimizer");
+}
+
+void Optimizer::zero_grad() {
+    for (Param* p : params_) p->zero_grad();
+}
+
+SGD::SGD(std::vector<Param*> params, float lr, float momentum, float weight_decay)
+    : Optimizer(std::move(params)),
+      lr_(lr),
+      momentum_(momentum),
+      weight_decay_(weight_decay) {
+    velocity_.reserve(params_.size());
+    for (const Param* p : params_) velocity_.emplace_back(p->value.shape());
+}
+
+void SGD::step() {
+    for (std::size_t i = 0; i < params_.size(); ++i) {
+        Param& p = *params_[i];
+        Tensor& v = velocity_[i];
+        auto pv = p.value.data();
+        auto pg = p.grad.data();
+        auto vel = v.data();
+        for (std::size_t j = 0; j < pv.size(); ++j) {
+            const float g = pg[j] + weight_decay_ * pv[j];
+            vel[j] = momentum_ * vel[j] + g;
+            pv[j] -= lr_ * vel[j];
+        }
+    }
+}
+
+RMSprop::RMSprop(std::vector<Param*> params, float lr, float alpha, float eps,
+                 float weight_decay)
+    : Optimizer(std::move(params)),
+      lr_(lr),
+      alpha_(alpha),
+      eps_(eps),
+      weight_decay_(weight_decay) {
+    sq_avg_.reserve(params_.size());
+    for (const Param* p : params_) sq_avg_.emplace_back(p->value.shape());
+}
+
+void RMSprop::step() {
+    for (std::size_t i = 0; i < params_.size(); ++i) {
+        Param& p = *params_[i];
+        Tensor& s = sq_avg_[i];
+        auto pv = p.value.data();
+        auto pg = p.grad.data();
+        auto sq = s.data();
+        for (std::size_t j = 0; j < pv.size(); ++j) {
+            const float g = pg[j] + weight_decay_ * pv[j];
+            sq[j] = alpha_ * sq[j] + (1.0f - alpha_) * g * g;
+            pv[j] -= lr_ * g / (std::sqrt(sq[j]) + eps_);
+        }
+    }
+}
+
+} // namespace hs::nn

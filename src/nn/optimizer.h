@@ -1,0 +1,72 @@
+#pragma once
+
+// First-order optimizers over a fixed parameter set. The paper fine-tunes
+// with SGD and trains the head-start policy with RMSprop (Section IV.A),
+// so both are provided. State is allocated per parameter at construction;
+// after pruning surgery changes parameter shapes, build a fresh optimizer.
+
+#include <vector>
+
+#include "nn/param.h"
+
+namespace hs::nn {
+
+/// Interface: apply one update step from the accumulated gradients.
+class Optimizer {
+public:
+    explicit Optimizer(std::vector<Param*> params);
+    Optimizer(const Optimizer&) = delete;
+    Optimizer& operator=(const Optimizer&) = delete;
+    virtual ~Optimizer() = default;
+
+    /// Consume Param::grad into a parameter update (does not zero grads).
+    virtual void step() = 0;
+
+    /// Zero every parameter gradient.
+    void zero_grad();
+
+    [[nodiscard]] const std::vector<Param*>& params() const { return params_; }
+
+protected:
+    std::vector<Param*> params_;
+};
+
+/// SGD with classical momentum and decoupled L2 weight decay.
+class SGD : public Optimizer {
+public:
+    SGD(std::vector<Param*> params, float lr, float momentum = 0.9f,
+        float weight_decay = 0.0f);
+
+    void step() override;
+
+    void set_lr(float lr) { lr_ = lr; }
+    [[nodiscard]] float lr() const { return lr_; }
+
+private:
+    float lr_;
+    float momentum_;
+    float weight_decay_;
+    std::vector<Tensor> velocity_;
+};
+
+/// RMSprop (Hinton lecture 6a), with L2 weight decay. Used for the
+/// head-start policy parameters θ.
+class RMSprop : public Optimizer {
+public:
+    RMSprop(std::vector<Param*> params, float lr, float alpha = 0.99f,
+            float eps = 1e-8f, float weight_decay = 0.0f);
+
+    void step() override;
+
+    void set_lr(float lr) { lr_ = lr; }
+    [[nodiscard]] float lr() const { return lr_; }
+
+private:
+    float lr_;
+    float alpha_;
+    float eps_;
+    float weight_decay_;
+    std::vector<Tensor> sq_avg_;
+};
+
+} // namespace hs::nn

@@ -1,0 +1,33 @@
+#pragma once
+
+// Trainable parameter: value plus accumulated gradient, both same shape.
+// Layers own their Params by value; optimizers see them through non-owning
+// pointers collected by Layer::params().
+
+#include <string>
+
+#include "tensor/tensor.h"
+
+namespace hs::nn {
+
+/// One trainable tensor and its gradient accumulator.
+struct Param {
+    Tensor value;
+    Tensor grad;
+    std::string name;
+
+    Param() = default;
+    Param(Shape shape, std::string param_name)
+        : value(shape), grad(std::move(shape)), name(std::move(param_name)) {}
+
+    /// Reset the gradient accumulator to zero.
+    void zero_grad() { grad.zero(); }
+
+    /// Replace value/grad with new-shape tensors (used by pruning surgery).
+    void reset(Tensor new_value) {
+        grad = Tensor(new_value.shape());
+        value = std::move(new_value);
+    }
+};
+
+} // namespace hs::nn

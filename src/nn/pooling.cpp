@@ -1,0 +1,125 @@
+#include "nn/pooling.h"
+
+#include <limits>
+
+namespace hs::nn {
+
+MaxPool2d::MaxPool2d(int kernel, int stride) : kernel_(kernel), stride_(stride) {
+    require(kernel > 0 && stride > 0, "invalid MaxPool2d geometry");
+}
+
+Tensor MaxPool2d::forward(const Tensor& input, bool train) {
+    require(input.rank() == 4, "MaxPool2d expects NCHW input");
+    const int n = input.dim(0), c = input.dim(1), h = input.dim(2), w = input.dim(3);
+    const int oh = (h - kernel_) / stride_ + 1;
+    const int ow = (w - kernel_) / stride_ + 1;
+    require(oh > 0 && ow > 0, "MaxPool2d output would be empty");
+
+    Tensor output({n, c, oh, ow});
+    const std::int64_t out_n = output.numel();
+    if (train) argmax_.assign(static_cast<std::size_t>(out_n), 0);
+
+    auto in = input.data();
+    auto out = output.data();
+    std::int64_t o = 0;
+    for (int i = 0; i < n; ++i)
+        for (int ch = 0; ch < c; ++ch) {
+            const std::int64_t plane = (static_cast<std::int64_t>(i) * c + ch) *
+                                       static_cast<std::int64_t>(h) * w;
+            for (int oy = 0; oy < oh; ++oy)
+                for (int ox = 0; ox < ow; ++ox, ++o) {
+                    float best = -std::numeric_limits<float>::infinity();
+                    std::int64_t best_idx = 0;
+                    for (int ky = 0; ky < kernel_; ++ky) {
+                        const int iy = oy * stride_ + ky;
+                        for (int kx = 0; kx < kernel_; ++kx) {
+                            const int ix = ox * stride_ + kx;
+                            const std::int64_t idx =
+                                plane + static_cast<std::int64_t>(iy) * w + ix;
+                            const float v = in[static_cast<std::size_t>(idx)];
+                            if (v > best) {
+                                best = v;
+                                best_idx = idx;
+                            }
+                        }
+                    }
+                    out[static_cast<std::size_t>(o)] = best;
+                    if (train) argmax_[static_cast<std::size_t>(o)] = best_idx;
+                }
+        }
+    if (train) cached_in_shape_ = input.shape();
+    return output;
+}
+
+Tensor MaxPool2d::backward(const Tensor& grad_output) {
+    require(!argmax_.empty(), "MaxPool2d::backward without training forward");
+    require(grad_output.numel() == static_cast<std::int64_t>(argmax_.size()),
+            "MaxPool2d::backward gradient size mismatch");
+    Tensor grad_input(cached_in_shape_);
+    auto gi = grad_input.data();
+    auto go = grad_output.data();
+    for (std::size_t o = 0; o < argmax_.size(); ++o)
+        gi[static_cast<std::size_t>(argmax_[o])] += go[o];
+    return grad_input;
+}
+
+std::unique_ptr<Layer> MaxPool2d::clone() const {
+    return std::make_unique<MaxPool2d>(*this);
+}
+
+Tensor GlobalAvgPool::forward(const Tensor& input, bool train) {
+    require(input.rank() == 4, "GlobalAvgPool expects NCHW input");
+    const int n = input.dim(0), c = input.dim(1), h = input.dim(2), w = input.dim(3);
+    const std::int64_t hw = static_cast<std::int64_t>(h) * w;
+    Tensor output({n, c, 1, 1});
+    auto in = input.data();
+    for (int i = 0; i < n; ++i)
+        for (int ch = 0; ch < c; ++ch) {
+            const float* plane =
+                in.data() + (static_cast<std::int64_t>(i) * c + ch) * hw;
+            double acc = 0.0;
+            for (std::int64_t j = 0; j < hw; ++j) acc += plane[j];
+            output.at(i, ch, 0, 0) = static_cast<float>(acc / static_cast<double>(hw));
+        }
+    if (train) cached_in_shape_ = input.shape();
+    return output;
+}
+
+Tensor GlobalAvgPool::backward(const Tensor& grad_output) {
+    require(!cached_in_shape_.empty(), "GlobalAvgPool::backward without forward");
+    const int n = cached_in_shape_[0], c = cached_in_shape_[1];
+    const int h = cached_in_shape_[2], w = cached_in_shape_[3];
+    const std::int64_t hw = static_cast<std::int64_t>(h) * w;
+    Tensor grad_input(cached_in_shape_);
+    auto gi = grad_input.data();
+    for (int i = 0; i < n; ++i)
+        for (int ch = 0; ch < c; ++ch) {
+            const float g = grad_output.at(i, ch, 0, 0) / static_cast<float>(hw);
+            float* plane = gi.data() + (static_cast<std::int64_t>(i) * c + ch) * hw;
+            for (std::int64_t j = 0; j < hw; ++j) plane[j] += g;
+        }
+    return grad_input;
+}
+
+std::unique_ptr<Layer> GlobalAvgPool::clone() const {
+    return std::make_unique<GlobalAvgPool>(*this);
+}
+
+Tensor Flatten::forward(const Tensor& input, bool train) {
+    require(input.rank() >= 2, "Flatten expects batched input");
+    if (train) cached_in_shape_ = input.shape();
+    const int n = input.dim(0);
+    const int rest = static_cast<int>(input.numel() / n);
+    return input.reshape({n, rest});
+}
+
+Tensor Flatten::backward(const Tensor& grad_output) {
+    require(!cached_in_shape_.empty(), "Flatten::backward without forward");
+    return grad_output.reshape(cached_in_shape_);
+}
+
+std::unique_ptr<Layer> Flatten::clone() const {
+    return std::make_unique<Flatten>(*this);
+}
+
+} // namespace hs::nn

@@ -1,0 +1,55 @@
+#pragma once
+
+// Spatial pooling layers over NCHW batches.
+
+#include <vector>
+
+#include "nn/layer.h"
+
+namespace hs::nn {
+
+/// Max pooling with square window; gradient routes to the argmax element.
+class MaxPool2d : public Layer {
+public:
+    MaxPool2d(int kernel, int stride);
+
+    [[nodiscard]] Tensor forward(const Tensor& input, bool train) override;
+    [[nodiscard]] Tensor backward(const Tensor& grad_output) override;
+    [[nodiscard]] std::string kind() const override { return "maxpool"; }
+    [[nodiscard]] std::unique_ptr<Layer> clone() const override;
+
+    [[nodiscard]] int kernel() const { return kernel_; }
+    [[nodiscard]] int stride() const { return stride_; }
+
+private:
+    int kernel_;
+    int stride_;
+    Shape cached_in_shape_;
+    std::vector<std::int64_t> argmax_; // flat input index per output element
+};
+
+/// Global average pooling: [N, C, H, W] -> [N, C, 1, 1].
+class GlobalAvgPool : public Layer {
+public:
+    [[nodiscard]] Tensor forward(const Tensor& input, bool train) override;
+    [[nodiscard]] Tensor backward(const Tensor& grad_output) override;
+    [[nodiscard]] std::string kind() const override { return "gavgpool"; }
+    [[nodiscard]] std::unique_ptr<Layer> clone() const override;
+
+private:
+    Shape cached_in_shape_;
+};
+
+/// Reshape [N, C, H, W] -> [N, C·H·W]; inverse on the gradient.
+class Flatten : public Layer {
+public:
+    [[nodiscard]] Tensor forward(const Tensor& input, bool train) override;
+    [[nodiscard]] Tensor backward(const Tensor& grad_output) override;
+    [[nodiscard]] std::string kind() const override { return "flatten"; }
+    [[nodiscard]] std::unique_ptr<Layer> clone() const override;
+
+private:
+    Shape cached_in_shape_;
+};
+
+} // namespace hs::nn

@@ -1,0 +1,90 @@
+#include "nn/residual.h"
+
+namespace hs::nn {
+
+ResidualBlock::ResidualBlock(int in_channels, int out_channels, int stride,
+                             Rng& rng)
+    : conv1_(in_channels, out_channels, 3, stride, 1, /*bias=*/false, rng),
+      bn1_(out_channels),
+      conv2_(out_channels, out_channels, 3, 1, 1, /*bias=*/false, rng),
+      bn2_(out_channels),
+      has_projection_(stride != 1 || in_channels != out_channels),
+      proj_conv_(in_channels, out_channels, 1, stride, 0, /*bias=*/false, rng),
+      proj_bn_(out_channels) {}
+
+Tensor ResidualBlock::forward(const Tensor& input, bool train) {
+    // Inference fast path: a dropped identity block is a no-op.
+    if (!train && is_passthrough()) return input;
+
+    Tensor shortcut = has_projection_
+                          ? proj_bn_.forward(proj_conv_.forward(input, train), train)
+                          : input;
+
+    Tensor y = std::move(shortcut);
+    if (train || gate_ != 0.0f) {
+        Tensor branch = conv1_.forward(input, train);
+        branch = bn1_.forward(branch, train);
+        branch = relu1_.forward(branch, train);
+        branch = conv2_.forward(branch, train);
+        branch = bn2_.forward(branch, train);
+        y.axpy_(gate_, branch);
+    }
+
+    if (train) cached_preact_ = y;
+    // Final ReLU applied in place.
+    for (float& v : y.data())
+        if (v < 0.0f) v = 0.0f;
+    return y;
+}
+
+Tensor ResidualBlock::backward(const Tensor& grad_output) {
+    require(cached_preact_.numel() > 0,
+            "ResidualBlock::backward without training forward");
+    require(grad_output.shape() == cached_preact_.shape(),
+            "ResidualBlock::backward gradient shape mismatch");
+
+    // Through the final ReLU.
+    Tensor dy = grad_output;
+    auto pre = cached_preact_.data();
+    auto g = dy.data();
+    for (std::size_t i = 0; i < g.size(); ++i)
+        if (pre[i] <= 0.0f) g[i] = 0.0f;
+
+    // Residual branch (scaled by the gate).
+    Tensor dbranch = dy;
+    dbranch.scale_(gate_);
+    dbranch = bn2_.backward(dbranch);
+    dbranch = conv2_.backward(dbranch);
+    dbranch = relu1_.backward(dbranch);
+    dbranch = bn1_.backward(dbranch);
+    Tensor dx = conv1_.backward(dbranch);
+
+    // Shortcut path.
+    if (has_projection_) {
+        Tensor dsc = proj_bn_.backward(dy);
+        dsc = proj_conv_.backward(dsc);
+        dx.add_(dsc);
+    } else {
+        dx.add_(dy);
+    }
+    return dx;
+}
+
+std::vector<Param*> ResidualBlock::params() {
+    std::vector<Param*> out;
+    for (Param* p : conv1_.params()) out.push_back(p);
+    for (Param* p : bn1_.params()) out.push_back(p);
+    for (Param* p : conv2_.params()) out.push_back(p);
+    for (Param* p : bn2_.params()) out.push_back(p);
+    if (has_projection_) {
+        for (Param* p : proj_conv_.params()) out.push_back(p);
+        for (Param* p : proj_bn_.params()) out.push_back(p);
+    }
+    return out;
+}
+
+std::unique_ptr<Layer> ResidualBlock::clone() const {
+    return std::make_unique<ResidualBlock>(*this);
+}
+
+} // namespace hs::nn

@@ -1,0 +1,72 @@
+#pragma once
+
+// CIFAR-style basic residual block (He et al. 2016):
+//
+//   out = ReLU( gate · F(x) + shortcut(x) )
+//   F(x) = BN(conv3x3_s1( ReLU(BN(conv3x3_s(x))) ))
+//
+// The multiplicative `gate` implements the block-level pruning of the
+// paper's ResNet experiments (Section V.A.2): gate = 0 turns the block
+// into a pure shortcut passthrough — exactly the BlockDrop/stochastic-
+// depth bypass semantics the paper cites — and HeadStart's policy decides
+// which blocks keep gate = 1.
+
+#include "nn/activations.h"
+#include "nn/batchnorm.h"
+#include "nn/conv2d.h"
+#include "nn/layer.h"
+
+namespace hs::nn {
+
+/// Basic two-conv residual block with optional 1×1 projection shortcut.
+class ResidualBlock : public Layer {
+public:
+    /// stride > 1 (or in != out channels) adds a projection shortcut.
+    ResidualBlock(int in_channels, int out_channels, int stride, Rng& rng);
+
+    [[nodiscard]] Tensor forward(const Tensor& input, bool train) override;
+    [[nodiscard]] Tensor backward(const Tensor& grad_output) override;
+    [[nodiscard]] std::vector<Param*> params() override;
+    [[nodiscard]] std::string kind() const override { return "resblock"; }
+    [[nodiscard]] std::unique_ptr<Layer> clone() const override;
+
+    [[nodiscard]] int in_channels() const { return conv1_.in_channels(); }
+    [[nodiscard]] int out_channels() const { return conv2_.out_channels(); }
+    [[nodiscard]] bool has_projection() const { return has_projection_; }
+
+    /// Residual-branch gate in [0, 1]. 0 = block dropped.
+    void set_gate(float gate) { gate_ = gate; }
+    [[nodiscard]] float gate() const { return gate_; }
+
+    /// True when the block can be skipped entirely at inference
+    /// (gate == 0 and the shortcut is the identity).
+    [[nodiscard]] bool is_passthrough() const {
+        return gate_ == 0.0f && !has_projection_;
+    }
+
+    // Typed access for pruning surgery / FLOPs accounting.
+    [[nodiscard]] Conv2d& conv1() { return conv1_; }
+    [[nodiscard]] Conv2d& conv2() { return conv2_; }
+    [[nodiscard]] BatchNorm2d& bn1() { return bn1_; }
+    [[nodiscard]] BatchNorm2d& bn2() { return bn2_; }
+    [[nodiscard]] const Conv2d& conv1() const { return conv1_; }
+    [[nodiscard]] const Conv2d& conv2() const { return conv2_; }
+    [[nodiscard]] const Conv2d* projection() const {
+        return has_projection_ ? &proj_conv_ : nullptr;
+    }
+
+private:
+    Conv2d conv1_;
+    BatchNorm2d bn1_;
+    ReLU relu1_;
+    Conv2d conv2_;
+    BatchNorm2d bn2_;
+    bool has_projection_;
+    Conv2d proj_conv_;
+    BatchNorm2d proj_bn_;
+    float gate_ = 1.0f;
+
+    Tensor cached_preact_; // gate·F(x) + shortcut, before the final ReLU
+};
+
+} // namespace hs::nn

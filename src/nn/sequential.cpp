@@ -1,0 +1,81 @@
+#include "nn/sequential.h"
+
+namespace hs::nn {
+
+Sequential::Sequential(const Sequential& other) {
+    layers_.reserve(other.layers_.size());
+    for (const auto& layer : other.layers_) layers_.push_back(layer->clone());
+}
+
+Sequential& Sequential::operator=(const Sequential& other) {
+    if (this == &other) return *this;
+    std::vector<std::unique_ptr<Layer>> copy;
+    copy.reserve(other.layers_.size());
+    for (const auto& layer : other.layers_) copy.push_back(layer->clone());
+    layers_ = std::move(copy);
+    return *this;
+}
+
+void Sequential::add(std::unique_ptr<Layer> layer) {
+    require(layer != nullptr, "cannot add a null layer");
+    layers_.push_back(std::move(layer));
+}
+
+void Sequential::insert(int index, std::unique_ptr<Layer> layer) {
+    require(layer != nullptr, "cannot insert a null layer");
+    require(index >= 0 && index <= size(), "insert position out of range");
+    layers_.insert(layers_.begin() + index, std::move(layer));
+}
+
+void Sequential::erase(int index) {
+    require(index >= 0 && index < size(), "erase position out of range");
+    layers_.erase(layers_.begin() + index);
+}
+
+Tensor Sequential::forward(const Tensor& input, bool train) {
+    Tensor x = input;
+    for (auto& layer : layers_) x = layer->forward(x, train);
+    return x;
+}
+
+Tensor Sequential::forward_range(const Tensor& input, int begin, int end,
+                                 bool train) {
+    require(begin >= 0 && begin <= end && end <= size(),
+            "forward_range bounds out of range");
+    Tensor x = input;
+    for (int i = begin; i < end; ++i)
+        x = layers_[static_cast<std::size_t>(i)]->forward(x, train);
+    return x;
+}
+
+Tensor Sequential::backward(const Tensor& grad_output) {
+    Tensor g = grad_output;
+    for (auto it = layers_.rbegin(); it != layers_.rend(); ++it)
+        g = (*it)->backward(g);
+    return g;
+}
+
+std::vector<Param*> Sequential::params() {
+    std::vector<Param*> out;
+    for (auto& layer : layers_) {
+        auto ps = layer->params();
+        out.insert(out.end(), ps.begin(), ps.end());
+    }
+    return out;
+}
+
+std::unique_ptr<Layer> Sequential::clone() const {
+    return std::make_unique<Sequential>(*this);
+}
+
+Layer& Sequential::layer(int index) {
+    require(index >= 0 && index < size(), "layer index out of range");
+    return *layers_[static_cast<std::size_t>(index)];
+}
+
+const Layer& Sequential::layer(int index) const {
+    require(index >= 0 && index < size(), "layer index out of range");
+    return *layers_[static_cast<std::size_t>(index)];
+}
+
+} // namespace hs::nn

@@ -1,0 +1,87 @@
+#pragma once
+
+// Ordered container of layers; itself a Layer so containers nest.
+
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "nn/layer.h"
+
+namespace hs::nn {
+
+/// Feed-forward chain of layers.
+class Sequential : public Layer {
+public:
+    Sequential() = default;
+    Sequential(const Sequential& other);
+    Sequential& operator=(const Sequential& other);
+    Sequential(Sequential&&) = default;
+    Sequential& operator=(Sequential&&) = default;
+
+    /// Append a layer (takes ownership).
+    void add(std::unique_ptr<Layer> layer);
+
+    /// Insert a layer before position `index` (0 <= index <= size()).
+    void insert(int index, std::unique_ptr<Layer> layer);
+
+    /// Remove and discard the layer at `index`.
+    void erase(int index);
+
+    /// Construct a layer in place and append it; returns a reference to it.
+    template <typename L, typename... Args>
+    L& emplace(Args&&... args) {
+        auto layer = std::make_unique<L>(std::forward<Args>(args)...);
+        L& ref = *layer;
+        add(std::move(layer));
+        return ref;
+    }
+
+    [[nodiscard]] Tensor forward(const Tensor& input, bool train) override;
+
+    /// Forward only layers [begin, end) — callers that repeatedly re-evaluate
+    /// a suffix of the network (e.g. HeadStart's reward loop, which masks one
+    /// conv and everything below it is unchanged) cache the prefix output
+    /// once and replay the suffix per action.
+    [[nodiscard]] Tensor forward_range(const Tensor& input, int begin, int end,
+                                       bool train);
+
+    [[nodiscard]] Tensor backward(const Tensor& grad_output) override;
+    [[nodiscard]] std::vector<Param*> params() override;
+    [[nodiscard]] std::string kind() const override { return "sequential"; }
+    [[nodiscard]] std::unique_ptr<Layer> clone() const override;
+
+    [[nodiscard]] int size() const { return static_cast<int>(layers_.size()); }
+    [[nodiscard]] Layer& layer(int index);
+    [[nodiscard]] const Layer& layer(int index) const;
+
+    /// Typed access; throws if the layer at `index` is not an L.
+    template <typename L>
+    [[nodiscard]] L& layer_as(int index) {
+        auto* p = dynamic_cast<L*>(&layer(index));
+        require(p != nullptr, "layer has unexpected type");
+        return *p;
+    }
+
+    /// Collect pointers to every layer of type L, walking nested
+    /// Sequentials recursively.
+    template <typename L>
+    [[nodiscard]] std::vector<L*> find_all() {
+        std::vector<L*> out;
+        collect<L>(out);
+        return out;
+    }
+
+private:
+    std::vector<std::unique_ptr<Layer>> layers_;
+
+    template <typename L>
+    void collect(std::vector<L*>& out) {
+        for (auto& up : layers_) {
+            if (auto* typed = dynamic_cast<L*>(up.get())) out.push_back(typed);
+            if (auto* seq = dynamic_cast<Sequential*>(up.get())) seq->collect<L>(out);
+        }
+    }
+};
+
+} // namespace hs::nn

@@ -1,0 +1,123 @@
+#include "nn/serialize.h"
+
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include "util/error.h"
+
+namespace hs::nn {
+namespace {
+
+constexpr char kMagic[4] = {'H', 'S', 'W', 'T'};
+constexpr std::uint32_t kVersion = 1;
+
+void put_u32(std::string& out, std::uint32_t v) {
+    char buf[4];
+    std::memcpy(buf, &v, 4);
+    out.append(buf, 4);
+}
+
+void put_u64(std::string& out, std::uint64_t v) {
+    char buf[8];
+    std::memcpy(buf, &v, 8);
+    out.append(buf, 8);
+}
+
+class Reader {
+public:
+    explicit Reader(const std::string& bytes) : bytes_(bytes) {}
+
+    std::uint32_t u32() {
+        std::uint32_t v = 0;
+        read(&v, 4);
+        return v;
+    }
+    std::uint64_t u64() {
+        std::uint64_t v = 0;
+        read(&v, 8);
+        return v;
+    }
+    void read(void* dst, std::size_t n) {
+        require(pos_ + n <= bytes_.size(), "truncated parameter file");
+        std::memcpy(dst, bytes_.data() + pos_, n);
+        pos_ += n;
+    }
+    [[nodiscard]] bool exhausted() const { return pos_ == bytes_.size(); }
+
+private:
+    const std::string& bytes_;
+    std::size_t pos_ = 0;
+};
+
+} // namespace
+
+std::string serialize_parameters(Layer& model) {
+    const auto params = model.params();
+    std::string out;
+    out.append(kMagic, 4);
+    put_u32(out, kVersion);
+    put_u64(out, params.size());
+    for (const Param* p : params) {
+        put_u32(out, static_cast<std::uint32_t>(p->name.size()));
+        out.append(p->name);
+        put_u32(out, static_cast<std::uint32_t>(p->value.rank()));
+        for (int d = 0; d < p->value.rank(); ++d)
+            put_u32(out, static_cast<std::uint32_t>(p->value.dim(d)));
+        const auto data = p->value.data();
+        out.append(reinterpret_cast<const char*>(data.data()),
+                   data.size() * sizeof(float));
+    }
+    return out;
+}
+
+void deserialize_parameters(Layer& model, const std::string& bytes) {
+    Reader reader(bytes);
+    char magic[4];
+    reader.read(magic, 4);
+    require(std::memcmp(magic, kMagic, 4) == 0, "not a HeadStart weight file");
+    require(reader.u32() == kVersion, "unsupported weight file version");
+
+    const auto params = model.params();
+    const std::uint64_t count = reader.u64();
+    require(count == params.size(),
+            "parameter count mismatch: file has " + std::to_string(count) +
+                ", model has " + std::to_string(params.size()));
+
+    for (Param* p : params) {
+        const std::uint32_t name_len = reader.u32();
+        std::string name(name_len, '\0');
+        reader.read(name.data(), name_len);
+        require(name == p->name, "parameter name mismatch: file '" + name +
+                                     "' vs model '" + p->name + "'");
+        const std::uint32_t rank = reader.u32();
+        Shape shape(rank);
+        for (std::uint32_t d = 0; d < rank; ++d)
+            shape[d] = static_cast<int>(reader.u32());
+        require(shape == p->value.shape(),
+                "parameter shape mismatch for '" + name + "': file " +
+                    shape_str(shape) + " vs model " + shape_str(p->value.shape()));
+        auto data = p->value.data();
+        reader.read(data.data(), data.size() * sizeof(float));
+    }
+    require(reader.exhausted(), "trailing bytes in weight file");
+}
+
+void save_parameters(Layer& model, const std::string& path) {
+    const std::string bytes = serialize_parameters(model);
+    std::ofstream file(path, std::ios::binary | std::ios::trunc);
+    require(file.good(), "cannot open '" + path + "' for writing");
+    file.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+    require(file.good(), "write failed for '" + path + "'");
+}
+
+void load_parameters(Layer& model, const std::string& path) {
+    std::ifstream file(path, std::ios::binary);
+    require(file.good(), "cannot open '" + path + "' for reading");
+    std::ostringstream buffer;
+    buffer << file.rdbuf();
+    deserialize_parameters(model, buffer.str());
+}
+
+} // namespace hs::nn

@@ -1,0 +1,36 @@
+#pragma once
+
+// Parameter serialization: save/load every trainable tensor of a model to
+// a simple binary container. Use cases: checkpointing long fine-tuning
+// runs, shipping a pruned model to a deployment target, and reproducing a
+// bench result without re-training.
+//
+// Format (little-endian):
+//   magic "HSWT" | u32 version | u64 param_count
+//   per param: u32 name_len | name bytes | u32 rank | u32 dims[rank]
+//              | f32 values[numel]
+//
+// Loading is shape-checked: the target model must have the same parameter
+// sequence (names, shapes) — i.e. the same architecture, including any
+// pruning surgery already applied.
+
+#include <string>
+
+#include "nn/layer.h"
+
+namespace hs::nn {
+
+/// Serialize all parameters of `model` to `path`. Throws hs::Error on I/O
+/// failure.
+void save_parameters(Layer& model, const std::string& path);
+
+/// Load parameters saved by save_parameters() into `model`. Throws
+/// hs::Error on I/O failure, format corruption, or any name/shape
+/// mismatch with the target model.
+void load_parameters(Layer& model, const std::string& path);
+
+/// In-memory round trip helpers (used by tests and by remote transports).
+[[nodiscard]] std::string serialize_parameters(Layer& model);
+void deserialize_parameters(Layer& model, const std::string& bytes);
+
+} // namespace hs::nn

@@ -1,0 +1,58 @@
+#include "nn/trainer.h"
+
+namespace hs::nn {
+
+EpochStats train_epoch(Layer& model, SoftmaxCrossEntropy& loss, Optimizer& opt,
+                       data::DataLoader& loader) {
+    loader.start_epoch();
+    const int batches = loader.batches_per_epoch();
+    double loss_sum = 0.0;
+    std::int64_t correct_weighted = 0;
+    std::int64_t total = 0;
+
+    for (int b = 0; b < batches; ++b) {
+        const data::Batch batch = loader.batch(b);
+        opt.zero_grad();
+        const Tensor logits = model.forward(batch.images, /*train=*/true);
+        loss_sum += loss.forward(logits, batch.labels);
+        correct_weighted += static_cast<std::int64_t>(
+            accuracy(logits, batch.labels) * batch.size() + 0.5);
+        total += batch.size();
+        (void)model.backward(loss.grad());
+        opt.step();
+    }
+
+    EpochStats stats;
+    stats.loss = loss_sum / batches;
+    stats.accuracy = total > 0 ? static_cast<double>(correct_weighted) / total : 0.0;
+    return stats;
+}
+
+double evaluate(Layer& model, const data::Split& split, int batch_size) {
+    data::DataLoader loader(split, batch_size, /*shuffle=*/false);
+    const int batches = loader.batches_per_epoch();
+    std::int64_t correct = 0;
+    for (int b = 0; b < batches; ++b) {
+        const data::Batch batch = loader.batch(b);
+        const Tensor logits = model.forward(batch.images, /*train=*/false);
+        correct += static_cast<std::int64_t>(
+            accuracy(logits, batch.labels) * batch.size() + 0.5);
+    }
+    return static_cast<double>(correct) / split.size();
+}
+
+double evaluate_batch(Layer& model, const data::Batch& batch) {
+    const Tensor logits = model.forward(batch.images, /*train=*/false);
+    return accuracy(logits, batch.labels);
+}
+
+EpochStats finetune(Layer& model, data::DataLoader& loader, int epochs, float lr,
+                    float weight_decay) {
+    SoftmaxCrossEntropy loss;
+    SGD opt(model.params(), lr, 0.9f, weight_decay);
+    EpochStats stats;
+    for (int e = 0; e < epochs; ++e) stats = train_epoch(model, loss, opt, loader);
+    return stats;
+}
+
+} // namespace hs::nn

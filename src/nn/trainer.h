@@ -1,0 +1,36 @@
+#pragma once
+
+// Training / evaluation loops shared by fine-tuning, from-scratch
+// baselines and the comparator pipelines.
+
+#include "data/dataloader.h"
+#include "nn/loss.h"
+#include "nn/optimizer.h"
+#include "nn/sequential.h"
+
+namespace hs::nn {
+
+/// Result of one training epoch.
+struct EpochStats {
+    double loss = 0.0;      ///< mean loss over batches
+    double accuracy = 0.0;  ///< training accuracy over the epoch
+};
+
+/// Run one epoch of SGD-style training; returns mean loss / accuracy.
+EpochStats train_epoch(Layer& model, SoftmaxCrossEntropy& loss, Optimizer& opt,
+                       data::DataLoader& loader);
+
+/// Top-1 accuracy of `model` on a whole split, evaluated in eval mode
+/// in mini-batches of `batch_size`.
+[[nodiscard]] double evaluate(Layer& model, const data::Split& split,
+                              int batch_size = 64);
+
+/// Top-1 accuracy of `model` on one pre-gathered batch (eval mode).
+[[nodiscard]] double evaluate_batch(Layer& model, const data::Batch& batch);
+
+/// Fine-tune `model` for `epochs` epochs with the paper's hyper-parameters
+/// (SGD, lr, momentum 0.9, weight decay 5e-4). Returns final-epoch stats.
+EpochStats finetune(Layer& model, data::DataLoader& loader, int epochs,
+                    float lr = 1e-3f, float weight_decay = 5e-4f);
+
+} // namespace hs::nn

@@ -1,0 +1,81 @@
+#include "pruning/autopruner.h"
+
+#include <algorithm>
+#include <memory>
+
+#include "nn/conv2d.h"
+#include "nn/loss.h"
+#include "nn/optimizer.h"
+#include "pruning/channel_gate.h"
+#include "pruning/metrics.h"
+#include "util/error.h"
+
+namespace hs::pruning {
+
+std::vector<int> autopruner_select(const ConvChain& chain, int which,
+                                   data::DataLoader& loader, int keep_count,
+                                   const AutoPrunerOptions& options) {
+    require(chain.net != nullptr, "null network in ConvChain");
+    require(which >= 0 && which < static_cast<int>(chain.conv_indices.size()),
+            "conv position out of range");
+
+    nn::Sequential& net = *chain.net;
+    const int conv_pos = chain.conv_indices[static_cast<std::size_t>(which)];
+    auto& conv = net.layer_as<nn::Conv2d>(conv_pos);
+    const int channels = conv.out_channels();
+    require(keep_count > 0 && keep_count <= channels, "keep_count out of range");
+    const float target_ratio =
+        static_cast<float>(keep_count) / static_cast<float>(channels);
+
+    // Insert the gate right after the conv.
+    const int gate_pos = conv_pos + 1;
+    net.insert(gate_pos, std::make_unique<ChannelGate>(channels));
+    auto& gate = net.layer_as<ChannelGate>(gate_pos);
+
+    nn::SoftmaxCrossEntropy loss;
+    nn::SGD opt(net.params(), options.lr, 0.9f, 0.0f);
+
+    const int total_steps =
+        std::max(1, options.epochs * loader.batches_per_epoch());
+    int step = 0;
+    for (int e = 0; e < options.epochs; ++e) {
+        loader.start_epoch();
+        for (int b = 0; b < loader.batches_per_epoch(); ++b, ++step) {
+            // Anneal the sigmoid sharpness from scale_start to scale_end.
+            const float t = static_cast<float>(step) / total_steps;
+            gate.set_scale(options.scale_start +
+                           t * (options.scale_end - options.scale_start));
+
+            const data::Batch batch = loader.batch(b);
+            opt.zero_grad();
+            const Tensor logits = net.forward(batch.images, /*train=*/true);
+            (void)loss.forward(logits, batch.labels);
+            (void)net.backward(loss.grad());
+
+            // Sparsity regularizer: λ(mean(g) − r)², gradient added on the
+            // gate logits directly.
+            const auto gates = gate.gate_values();
+            double mean_g = 0.0;
+            for (float g : gates) mean_g += g;
+            mean_g /= channels;
+            const float coeff =
+                2.0f * options.lambda *
+                static_cast<float>(mean_g - target_ratio) / channels;
+            for (int c = 0; c < channels; ++c) {
+                const float g = gates[static_cast<std::size_t>(c)];
+                gate.logits().grad[c] += coeff * gate.scale() * g * (1.0f - g);
+            }
+            opt.step();
+        }
+    }
+
+    // Keep the top-k channels by final gate value.
+    const auto gates = gate.gate_values();
+    std::vector<double> scores(gates.begin(), gates.end());
+    auto keep = top_k_indices(scores, keep_count);
+
+    net.erase(gate_pos);
+    return keep;
+}
+
+} // namespace hs::pruning

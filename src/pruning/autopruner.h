@@ -1,0 +1,38 @@
+#pragma once
+
+// AutoPruner (Luo & Wu 2018): end-to-end trainable filter pruning. For
+// each layer, a learnable per-channel gate is attached after the conv and
+// trained jointly with the network under the classification loss plus a
+// sparsity regularizer λ·(mean(gate) − r)² that drives the kept fraction
+// toward the target compression ratio r; the sigmoid sharpness is annealed
+// upward so gates binarize. After training, the keep set is the top-k
+// channels by gate value.
+
+#include <vector>
+
+#include "data/dataloader.h"
+#include "nn/sequential.h"
+#include "pruning/surgery.h"
+
+namespace hs::pruning {
+
+/// Training configuration of the AutoPruner gate.
+struct AutoPrunerOptions {
+    int epochs = 3;             ///< gate-training epochs per layer
+    float lr = 1e-3f;           ///< SGD learning rate (whole network)
+    float lambda = 10.0f;       ///< sparsity regularizer weight
+    float scale_start = 1.0f;   ///< initial sigmoid sharpness
+    float scale_end = 10.0f;    ///< final sigmoid sharpness
+    std::uint64_t seed = 23;
+};
+
+/// Select the keep set for conv `which` by training a gate in place.
+/// The network's weights are updated by the joint training (as in the
+/// published method); the gate layer is removed before returning.
+[[nodiscard]] std::vector<int> autopruner_select(const ConvChain& chain,
+                                                 int which,
+                                                 data::DataLoader& loader,
+                                                 int keep_count,
+                                                 const AutoPrunerOptions& options);
+
+} // namespace hs::pruning

@@ -1,0 +1,81 @@
+#include "pruning/channel_gate.h"
+
+#include <cmath>
+
+#include "util/error.h"
+
+namespace hs::pruning {
+
+ChannelGate::ChannelGate(int channels, float init_logit)
+    : channels_(channels), scale_(1.0f), logits_({channels}, "gate.logits") {
+    require(channels > 0, "ChannelGate needs at least one channel");
+    logits_.value.fill(init_logit);
+}
+
+std::vector<float> ChannelGate::gate_values() const {
+    std::vector<float> g(static_cast<std::size_t>(channels_));
+    for (int c = 0; c < channels_; ++c)
+        g[static_cast<std::size_t>(c)] =
+            1.0f / (1.0f + std::exp(-scale_ * logits_.value[c]));
+    return g;
+}
+
+Tensor ChannelGate::forward(const Tensor& input, bool train) {
+    require(input.rank() == 4 && input.dim(1) == channels_,
+            "ChannelGate expects NCHW input with matching channels");
+    const int n = input.dim(0);
+    const std::int64_t hw = static_cast<std::int64_t>(input.dim(2)) * input.dim(3);
+    const auto gates = gate_values();
+
+    Tensor output = input;
+    auto out = output.data();
+    for (int i = 0; i < n; ++i)
+        for (int c = 0; c < channels_; ++c) {
+            const float g = gates[static_cast<std::size_t>(c)];
+            float* plane = out.data() + (static_cast<std::int64_t>(i) * channels_ + c) * hw;
+            for (std::int64_t j = 0; j < hw; ++j) plane[j] *= g;
+        }
+
+    if (train) {
+        cached_input_ = input;
+        cached_gates_ = gates;
+    }
+    return output;
+}
+
+Tensor ChannelGate::backward(const Tensor& grad_output) {
+    require(cached_input_.numel() > 0, "ChannelGate::backward without forward");
+    require(grad_output.shape() == cached_input_.shape(),
+            "ChannelGate::backward gradient shape mismatch");
+    const int n = cached_input_.dim(0);
+    const std::int64_t hw =
+        static_cast<std::int64_t>(cached_input_.dim(2)) * cached_input_.dim(3);
+
+    Tensor grad_input(cached_input_.shape());
+    auto gi = grad_input.data();
+    auto go = grad_output.data();
+    auto x = cached_input_.data();
+    for (int c = 0; c < channels_; ++c) {
+        const float g = cached_gates_[static_cast<std::size_t>(c)];
+        const float dsig = scale_ * g * (1.0f - g); // d(gate)/d(logit)
+        double dgate_acc = 0.0;
+        for (int i = 0; i < n; ++i) {
+            const std::int64_t base = (static_cast<std::int64_t>(i) * channels_ + c) * hw;
+            const float* dy = go.data() + base;
+            const float* xi = x.data() + base;
+            float* dx = gi.data() + base;
+            for (std::int64_t j = 0; j < hw; ++j) {
+                dx[j] = dy[j] * g;
+                dgate_acc += static_cast<double>(dy[j]) * xi[j];
+            }
+        }
+        logits_.grad[c] += static_cast<float>(dgate_acc) * dsig;
+    }
+    return grad_input;
+}
+
+std::unique_ptr<nn::Layer> ChannelGate::clone() const {
+    return std::make_unique<ChannelGate>(*this);
+}
+
+} // namespace hs::pruning

@@ -1,0 +1,45 @@
+#pragma once
+
+// Differentiable per-channel gate used by the AutoPruner baseline:
+// y[n,c,:,:] = x[n,c,:,:] · σ(scale · θ_c). Training drives each θ_c
+// toward a saturated 0/1 decision; `scale` grows across epochs so the
+// sigmoid binarizes (Luo & Wu 2018).
+
+#include "nn/layer.h"
+
+namespace hs::pruning {
+
+/// Learnable channel gate layer (trainable logits, scheduled sharpness).
+class ChannelGate : public nn::Layer {
+public:
+    /// Gates `channels` feature maps; logits start at `init_logit`
+    /// (0 → gate 0.5, mildly positive keeps channels alive initially).
+    explicit ChannelGate(int channels, float init_logit = 1.0f);
+
+    [[nodiscard]] Tensor forward(const Tensor& input, bool train) override;
+    [[nodiscard]] Tensor backward(const Tensor& grad_output) override;
+    [[nodiscard]] std::vector<nn::Param*> params() override { return {&logits_}; }
+    [[nodiscard]] std::string kind() const override { return "channel_gate"; }
+    [[nodiscard]] std::unique_ptr<Layer> clone() const override;
+
+    [[nodiscard]] int channels() const { return channels_; }
+
+    /// Sigmoid sharpness; AutoPruner anneals this upward during training.
+    void set_scale(float scale) { scale_ = scale; }
+    [[nodiscard]] float scale() const { return scale_; }
+
+    /// Current gate values σ(scale·θ) per channel.
+    [[nodiscard]] std::vector<float> gate_values() const;
+
+    /// Trainable logits (exposed for the sparsity-regularizer gradient).
+    [[nodiscard]] nn::Param& logits() { return logits_; }
+
+private:
+    int channels_;
+    float scale_;
+    nn::Param logits_;
+    Tensor cached_input_;
+    std::vector<float> cached_gates_;
+};
+
+} // namespace hs::pruning

@@ -1,0 +1,38 @@
+#include "pruning/mask.h"
+
+#include "util/error.h"
+
+namespace hs::pruning {
+
+std::vector<float> mask_from_keep(std::span<const int> keep, int channels) {
+    validate_keep(keep, channels);
+    std::vector<float> mask(static_cast<std::size_t>(channels), 0.0f);
+    for (int c : keep) mask[static_cast<std::size_t>(c)] = 1.0f;
+    return mask;
+}
+
+std::vector<int> keep_from_mask(std::span<const float> mask) {
+    std::vector<int> keep;
+    for (std::size_t i = 0; i < mask.size(); ++i)
+        if (mask[i] > 0.5f) keep.push_back(static_cast<int>(i));
+    return keep;
+}
+
+int l0_norm(std::span<const float> mask) {
+    int n = 0;
+    for (float v : mask)
+        if (v != 0.0f) ++n;
+    return n;
+}
+
+void validate_keep(std::span<const int> keep, int channels) {
+    require(!keep.empty(), "keep set must not be empty (cannot prune all maps)");
+    int prev = -1;
+    for (int c : keep) {
+        require(c > prev, "keep indices must be strictly increasing");
+        require(c >= 0 && c < channels, "keep index out of range");
+        prev = c;
+    }
+}
+
+} // namespace hs::pruning

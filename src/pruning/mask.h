@@ -1,0 +1,27 @@
+#pragma once
+
+// Keep-mask utilities shared by every pruning method. A pruning decision
+// for one conv layer is the sorted list of feature-map indices to KEEP;
+// helpers convert between index lists and dense 0/1 gate vectors (the form
+// Conv2d::set_output_mask consumes).
+
+#include <span>
+#include <vector>
+
+namespace hs::pruning {
+
+/// Dense 0/1 gate vector (size `channels`) from a keep-index list.
+[[nodiscard]] std::vector<float> mask_from_keep(std::span<const int> keep,
+                                                int channels);
+
+/// Sorted keep-index list from a gate vector (entries > 0.5 are kept).
+[[nodiscard]] std::vector<int> keep_from_mask(std::span<const float> mask);
+
+/// Number of non-zero entries in an action/gate vector (the paper's ‖A‖₀).
+[[nodiscard]] int l0_norm(std::span<const float> mask);
+
+/// Validate that `keep` is strictly increasing, non-empty and within
+/// [0, channels); throws hs::Error otherwise.
+void validate_keep(std::span<const int> keep, int channels);
+
+} // namespace hs::pruning

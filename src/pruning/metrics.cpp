@@ -1,0 +1,195 @@
+#include "pruning/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "nn/conv2d.h"
+#include "nn/loss.h"
+#include "util/error.h"
+
+namespace hs::pruning {
+namespace {
+
+std::vector<double> l1_scores(const nn::Conv2d& conv) {
+    const auto& w = conv.weight().value;
+    const int f = w.dim(0);
+    const std::int64_t per_filter = w.numel() / f;
+    std::vector<double> scores(static_cast<std::size_t>(f), 0.0);
+    auto data = w.data();
+    for (int fi = 0; fi < f; ++fi) {
+        double acc = 0.0;
+        const float* row = data.data() + static_cast<std::int64_t>(fi) * per_filter;
+        for (std::int64_t j = 0; j < per_filter; ++j) acc += std::fabs(row[j]);
+        scores[static_cast<std::size_t>(fi)] = acc;
+    }
+    return scores;
+}
+
+/// Run the net on `sample` with stats collection enabled on one conv and
+/// return that conv's pre-ReLU activations [N, F, oh, ow].
+Tensor capture_activations(nn::Sequential& net, nn::Conv2d& conv,
+                           const data::Batch& sample) {
+    conv.set_collect_stats(true);
+    (void)net.forward(sample.images, /*train=*/false);
+    conv.set_collect_stats(false);
+    Tensor acts = conv.last_output();
+    require(acts.numel() > 0, "stats capture produced no activations");
+    return acts;
+}
+
+std::vector<double> apoz_scores(nn::Sequential& net, nn::Conv2d& conv,
+                                const data::Batch& sample) {
+    const Tensor acts = capture_activations(net, conv, sample);
+    const int n = acts.dim(0), f = acts.dim(1);
+    const std::int64_t hw = static_cast<std::int64_t>(acts.dim(2)) * acts.dim(3);
+    std::vector<double> scores(static_cast<std::size_t>(f), 0.0);
+    auto data = acts.data();
+    for (int fi = 0; fi < f; ++fi) {
+        std::int64_t zeros = 0;
+        for (int i = 0; i < n; ++i) {
+            const float* plane =
+                data.data() + (static_cast<std::int64_t>(i) * f + fi) * hw;
+            for (std::int64_t j = 0; j < hw; ++j)
+                if (plane[j] <= 0.0f) ++zeros; // post-ReLU zero <=> pre-ReLU <= 0
+        }
+        const double apoz =
+            static_cast<double>(zeros) / static_cast<double>(n * hw);
+        scores[static_cast<std::size_t>(fi)] = -apoz; // fewer zeros = keep
+    }
+    return scores;
+}
+
+std::vector<double> entropy_scores(nn::Sequential& net, nn::Conv2d& conv,
+                                   const data::Batch& sample) {
+    const Tensor acts = capture_activations(net, conv, sample);
+    const int n = acts.dim(0), f = acts.dim(1);
+    const std::int64_t hw = static_cast<std::int64_t>(acts.dim(2)) * acts.dim(3);
+    constexpr int kBins = 16;
+
+    std::vector<double> scores(static_cast<std::size_t>(f), 0.0);
+    auto data = acts.data();
+    std::vector<double> means(static_cast<std::size_t>(n));
+    for (int fi = 0; fi < f; ++fi) {
+        double lo = 1e30, hi = -1e30;
+        for (int i = 0; i < n; ++i) {
+            const float* plane =
+                data.data() + (static_cast<std::int64_t>(i) * f + fi) * hw;
+            double acc = 0.0;
+            for (std::int64_t j = 0; j < hw; ++j)
+                acc += std::max(0.0f, plane[j]); // post-ReLU mean response
+            const double m = acc / static_cast<double>(hw);
+            means[static_cast<std::size_t>(i)] = m;
+            lo = std::min(lo, m);
+            hi = std::max(hi, m);
+        }
+        if (hi <= lo) {
+            scores[static_cast<std::size_t>(fi)] = 0.0; // constant map: no info
+            continue;
+        }
+        int hist[kBins] = {};
+        for (int i = 0; i < n; ++i) {
+            int b = static_cast<int>((means[static_cast<std::size_t>(i)] - lo) /
+                                     (hi - lo) * kBins);
+            if (b >= kBins) b = kBins - 1;
+            ++hist[b];
+        }
+        double entropy = 0.0;
+        for (int b = 0; b < kBins; ++b) {
+            if (hist[b] == 0) continue;
+            const double p = static_cast<double>(hist[b]) / n;
+            entropy -= p * std::log2(p);
+        }
+        scores[static_cast<std::size_t>(fi)] = entropy;
+    }
+    return scores;
+}
+
+std::vector<double> taylor_scores(nn::Sequential& net, nn::Conv2d& conv,
+                                  const data::Batch& sample) {
+    // First-order Taylor criterion: |ΔL| ≈ |Σ (∂L/∂a)·a| per feature map
+    // (Molchanov'16 Eq. 7), estimated on one labeled batch.
+    conv.set_collect_stats(true);
+    nn::SoftmaxCrossEntropy loss;
+    const Tensor logits = net.forward(sample.images, /*train=*/true);
+    (void)loss.forward(logits, sample.labels);
+    net.zero_grad();
+    (void)net.backward(loss.grad());
+    conv.set_collect_stats(false);
+    net.zero_grad(); // do not leak scoring gradients into training state
+
+    const Tensor& act = conv.last_output();
+    const Tensor& grad = conv.last_output_grad();
+    require(act.shape() == grad.shape(), "taylor: activation/grad mismatch");
+    const int n = act.dim(0), f = act.dim(1);
+    const std::int64_t hw = static_cast<std::int64_t>(act.dim(2)) * act.dim(3);
+
+    std::vector<double> scores(static_cast<std::size_t>(f), 0.0);
+    auto a = act.data();
+    auto g = grad.data();
+    for (int fi = 0; fi < f; ++fi) {
+        double total = 0.0;
+        for (int i = 0; i < n; ++i) {
+            const std::int64_t base = (static_cast<std::int64_t>(i) * f + fi) * hw;
+            double acc = 0.0;
+            for (std::int64_t j = 0; j < hw; ++j)
+                acc += static_cast<double>(a[static_cast<std::size_t>(base + j)]) *
+                       g[static_cast<std::size_t>(base + j)];
+            total += std::fabs(acc / static_cast<double>(hw));
+        }
+        scores[static_cast<std::size_t>(fi)] = total / n;
+    }
+    return scores;
+}
+
+} // namespace
+
+const char* metric_name(Metric metric) {
+    switch (metric) {
+    case Metric::kL1Norm: return "l1";
+    case Metric::kAPoZ: return "apoz";
+    case Metric::kEntropy: return "entropy";
+    case Metric::kRandom: return "random";
+    case Metric::kTaylor: return "taylor";
+    }
+    return "?";
+}
+
+std::vector<double> score_feature_maps(Metric metric, nn::Sequential& net,
+                                       int conv_index, const data::Batch& sample,
+                                       Rng& rng) {
+    auto& conv = net.layer_as<nn::Conv2d>(conv_index);
+    switch (metric) {
+    case Metric::kL1Norm: return l1_scores(conv);
+    case Metric::kAPoZ: return apoz_scores(net, conv, sample);
+    case Metric::kEntropy: return entropy_scores(net, conv, sample);
+    case Metric::kTaylor: return taylor_scores(net, conv, sample);
+    case Metric::kRandom: {
+        std::vector<double> scores(static_cast<std::size_t>(conv.out_channels()));
+        for (double& s : scores) s = rng.uniform();
+        return scores;
+    }
+    }
+    throw Error("unknown metric");
+}
+
+std::vector<int> top_k_indices(std::span<const double> scores, int keep_count) {
+    require(keep_count > 0 && keep_count <= static_cast<int>(scores.size()),
+            "keep_count out of range");
+    std::vector<int> order(scores.size());
+    std::iota(order.begin(), order.end(), 0);
+    std::stable_sort(order.begin(), order.end(), [&scores](int a, int b) {
+        return scores[static_cast<std::size_t>(a)] > scores[static_cast<std::size_t>(b)];
+    });
+    order.resize(static_cast<std::size_t>(keep_count));
+    std::sort(order.begin(), order.end());
+    return order;
+}
+
+std::vector<int> select_keep(Metric metric, nn::Sequential& net, int conv_index,
+                             const data::Batch& sample, int keep_count, Rng& rng) {
+    const auto scores = score_feature_maps(metric, net, conv_index, sample, rng);
+    return top_k_indices(scores, keep_count);
+}
+
+} // namespace hs::pruning

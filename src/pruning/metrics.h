@@ -1,0 +1,50 @@
+#pragma once
+
+// Criticality-metric pruning baselines (the "inception-agnostic" schemes
+// of the paper's Section II):
+//  * L1-norm  — Li'17: rank filters by Σ|w|, prune the smallest.
+//  * APoZ     — Hu'16: rank feature maps by the Average Percentage of
+//               Zeros of their post-ReLU activations, prune the zeroest.
+//  * Entropy  — Luo'17: rank maps by the entropy of their mean activation
+//               distribution over a sample set, prune low-entropy maps.
+//  * Random   — uniform random keep set (the paper's RANDOM baseline).
+//  * Taylor   — Molchanov'16 (the paper's ref. [8]): first-order Taylor
+//               estimate of the loss change when a map is removed,
+//               |mean(activation · gradient)| per feature map.
+
+#include <span>
+#include <vector>
+
+#include "data/dataloader.h"
+#include "nn/sequential.h"
+#include "tensor/rng.h"
+
+namespace hs::pruning {
+
+/// Which criticality metric ranks the feature maps.
+enum class Metric { kL1Norm, kAPoZ, kEntropy, kRandom, kTaylor };
+
+/// Printable name ("l1", "apoz", ...).
+[[nodiscard]] const char* metric_name(Metric metric);
+
+/// Score every feature map of conv at `conv_index` inside `net`; HIGHER
+/// score = more important (kept first). APoZ/Entropy evaluate activations
+/// on `sample` (APoZ scores are negated zero-fractions so higher = keep).
+/// Random draws scores from `rng`.
+[[nodiscard]] std::vector<double> score_feature_maps(Metric metric,
+                                                     nn::Sequential& net,
+                                                     int conv_index,
+                                                     const data::Batch& sample,
+                                                     Rng& rng);
+
+/// Keep the `keep_count` highest-scoring maps; returns sorted indices.
+[[nodiscard]] std::vector<int> select_keep(Metric metric, nn::Sequential& net,
+                                           int conv_index,
+                                           const data::Batch& sample,
+                                           int keep_count, Rng& rng);
+
+/// Top-`keep_count` indices (sorted ascending) of a score vector.
+[[nodiscard]] std::vector<int> top_k_indices(std::span<const double> scores,
+                                             int keep_count);
+
+} // namespace hs::pruning

@@ -1,0 +1,139 @@
+#include "pruning/pipeline.h"
+
+#include <cmath>
+
+#include "models/summary.h"
+#include "nn/conv2d.h"
+#include "nn/trainer.h"
+#include "pruning/autopruner.h"
+#include "pruning/surgery.h"
+#include "pruning/thinet.h"
+#include "util/logging.h"
+
+namespace hs::pruning {
+
+const char* scheme_name(Scheme scheme) {
+    switch (scheme) {
+    case Scheme::kRandom: return "random";
+    case Scheme::kL1: return "li17-l1";
+    case Scheme::kAPoZ: return "apoz";
+    case Scheme::kEntropy: return "entropy";
+    case Scheme::kThiNet: return "thinet";
+    case Scheme::kAutoPruner: return "autopruner";
+    }
+    return "?";
+}
+
+std::vector<int> current_widths(const models::VggModel& model) {
+    std::vector<int> widths;
+    auto& net = const_cast<models::VggModel&>(model).net;
+    for (int idx : model.conv_indices)
+        widths.push_back(net.layer_as<nn::Conv2d>(idx).out_channels());
+    return widths;
+}
+
+PipelineResult prune_vgg_pipeline(models::VggModel& model,
+                                  const data::SyntheticImageDataset& dataset,
+                                  Scheme scheme, const PipelineConfig& config) {
+    require(config.keep_ratio > 0.0 && config.keep_ratio <= 1.0,
+            "keep_ratio must be in (0, 1]");
+    Rng rng(config.seed);
+    data::DataLoader train_loader(dataset.train(), config.batch_size,
+                                  /*shuffle=*/true, config.seed + 1);
+    const data::Batch sample =
+        data::sample_subset(dataset.train(), config.sample_size, config.seed + 2);
+
+    const Shape input_chw{dataset.config().channels, dataset.config().image_size,
+                          dataset.config().image_size};
+    ConvChain chain{&model.net, model.conv_indices, model.classifier_index};
+
+    PipelineResult result;
+    const int num_convs = model.num_convs();
+    const int last = config.prune_last_conv ? num_convs : num_convs - 1;
+
+    for (int i = 0; i < last; ++i) {
+        auto& conv = model.net.layer_as<nn::Conv2d>(
+            model.conv_indices[static_cast<std::size_t>(i)]);
+        const int maps_before = conv.out_channels();
+        const int keep_count = std::max(
+            1, static_cast<int>(std::lround(maps_before * config.keep_ratio)));
+
+        switch (scheme) {
+        case Scheme::kThiNet:
+            if (i + 1 < num_convs) {
+                ThiNetOptions opts;
+                opts.seed = rng.next_u64();
+                const auto tn = thinet_select(chain, i, sample, keep_count, opts);
+                thinet_apply(chain, i, tn);
+                break;
+            }
+            [[fallthrough]]; // last conv: no conv consumer, use L1 as authors do
+        case Scheme::kRandom:
+        case Scheme::kL1:
+        case Scheme::kAPoZ:
+        case Scheme::kEntropy: {
+            const Metric metric = scheme == Scheme::kRandom ? Metric::kRandom
+                                  : scheme == Scheme::kAPoZ ? Metric::kAPoZ
+                                  : scheme == Scheme::kEntropy
+                                      ? Metric::kEntropy
+                                      : Metric::kL1Norm;
+            const auto keep = select_keep(
+                metric, model.net,
+                model.conv_indices[static_cast<std::size_t>(i)], sample,
+                keep_count, rng);
+            prune_feature_maps(chain, i, keep);
+            break;
+        }
+        case Scheme::kAutoPruner: {
+            AutoPrunerOptions opts;
+            opts.seed = rng.next_u64();
+            const auto keep =
+                autopruner_select(chain, i, train_loader, keep_count, opts);
+            prune_feature_maps(chain, i, keep);
+            break;
+        }
+        }
+
+        LayerTrace trace;
+        trace.name = model.conv_names[static_cast<std::size_t>(i)];
+        trace.maps_before = maps_before;
+        trace.maps_after = conv.out_channels();
+        trace.acc_inception = nn::evaluate(model.net, dataset.test());
+
+        (void)nn::finetune(model.net, train_loader, config.finetune_epochs,
+                           config.lr, config.weight_decay);
+        trace.acc_finetuned = nn::evaluate(model.net, dataset.test());
+
+        const auto report = models::summarize(model.net, input_chw);
+        trace.params = report.params;
+        trace.flops = report.flops;
+        result.trace.push_back(trace);
+
+        log_info("[" + std::string(scheme_name(scheme)) + "] " + trace.name +
+                 ": " + std::to_string(maps_before) + " -> " +
+                 std::to_string(trace.maps_after) +
+                 " maps, inc=" + std::to_string(trace.acc_inception) +
+                 " ft=" + std::to_string(trace.acc_finetuned));
+    }
+
+    const auto report = models::summarize(model.net, input_chw);
+    result.params = report.params;
+    result.flops = report.flops;
+    result.final_accuracy = nn::evaluate(model.net, dataset.test());
+    return result;
+}
+
+double train_pruned_from_scratch(const models::VggModel& pruned,
+                                 const data::SyntheticImageDataset& dataset,
+                                 int epochs, const PipelineConfig& config) {
+    models::VggConfig cfg = pruned.config;
+    cfg.seed = config.seed + 77; // fresh initialization
+    auto scratch = models::make_vgg16_widths(current_widths(pruned), cfg);
+    data::DataLoader loader(dataset.train(), config.batch_size, /*shuffle=*/true,
+                            config.seed + 3);
+    (void)nn::finetune(scratch.net, loader, epochs, config.lr,
+                       config.weight_decay);
+    return nn::evaluate(scratch.net, dataset.test());
+}
+
+} // namespace hs::pruning

@@ -1,0 +1,71 @@
+#pragma once
+
+// Whole-model layer-by-layer pruning pipelines for the baseline schemes
+// (Random / Li'17-L1 / APoZ / Entropy / ThiNet / AutoPruner), plus the
+// train-from-scratch control. Each pipeline mirrors the paper's protocol:
+// prune one conv layer to the target compression ratio, fine-tune, move to
+// the next layer; record the per-layer trace that Table 1 prints.
+
+#include <string>
+#include <vector>
+
+#include "data/synthetic.h"
+#include "models/vgg.h"
+#include "pruning/metrics.h"
+
+namespace hs::pruning {
+
+/// One row of a layer-by-layer pruning trace (Table 1 format).
+struct LayerTrace {
+    std::string name;             ///< "conv1_1" …
+    int maps_before = 0;
+    int maps_after = 0;
+    std::int64_t params = 0;      ///< whole-model parameters after this step
+    std::int64_t flops = 0;       ///< whole-model FLOPs after this step
+    double acc_inception = 0.0;   ///< test accuracy after surgery, before FT
+    double acc_finetuned = 0.0;   ///< test accuracy after fine-tuning
+    int search_iterations = 0;    ///< RL iterations (HeadStart only)
+};
+
+/// Shared pipeline knobs (paper Section IV/V.A: 40 SGD epochs per layer at
+/// full scale; defaults here are the laptop-scale operating point).
+struct PipelineConfig {
+    double keep_ratio = 0.5;     ///< surviving fraction per layer (= 1/sp)
+    int finetune_epochs = 3;
+    int batch_size = 32;
+    float lr = 1e-3f;
+    float weight_decay = 5e-4f;
+    int sample_size = 128;       ///< samples used by activation metrics
+    bool prune_last_conv = false; ///< paper keeps conv5_3 intact
+    std::uint64_t seed = 31;
+};
+
+/// Baseline pruning scheme selector.
+enum class Scheme { kRandom, kL1, kAPoZ, kEntropy, kThiNet, kAutoPruner };
+
+/// Printable scheme name matching the paper's table rows.
+[[nodiscard]] const char* scheme_name(Scheme scheme);
+
+/// Result of a whole-model pipeline.
+struct PipelineResult {
+    std::vector<LayerTrace> trace;
+    double final_accuracy = 0.0;
+    std::int64_t params = 0;
+    std::int64_t flops = 0;
+};
+
+/// Run a baseline scheme over every conv of a VGG model (in place).
+[[nodiscard]] PipelineResult prune_vgg_pipeline(
+    models::VggModel& model, const data::SyntheticImageDataset& dataset,
+    Scheme scheme, const PipelineConfig& config);
+
+/// Train-from-scratch control: re-instantiate `pruned`'s architecture with
+/// fresh weights and train it for `epochs`; returns final test accuracy.
+[[nodiscard]] double train_pruned_from_scratch(
+    const models::VggModel& pruned, const data::SyntheticImageDataset& dataset,
+    int epochs, const PipelineConfig& config);
+
+/// Current per-conv widths (#maps) of a VGG model.
+[[nodiscard]] std::vector<int> current_widths(const models::VggModel& model);
+
+} // namespace hs::pruning

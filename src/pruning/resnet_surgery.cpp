@@ -1,0 +1,62 @@
+#include "pruning/resnet_surgery.h"
+
+#include "util/error.h"
+
+namespace hs::pruning {
+
+std::vector<int> droppable_blocks(const models::ResNetModel& model) {
+    std::vector<int> out;
+    for (int b = 0; b < model.num_blocks(); ++b) {
+        const auto& block = const_cast<models::ResNetModel&>(model).block(b);
+        if (!block.has_projection()) out.push_back(b);
+    }
+    return out;
+}
+
+models::ResNetModel remove_dropped_blocks(const models::ResNetModel& model) {
+    auto& mutable_model = const_cast<models::ResNetModel&>(model);
+
+    models::ResNetModel out;
+    out.config = model.config;
+
+    // Walk the original container, cloning everything except gate-0 blocks.
+    int next_block = 0;
+    for (int i = 0; i < model.net.size(); ++i) {
+        const bool is_block =
+            next_block < model.num_blocks() &&
+            model.block_indices[static_cast<std::size_t>(next_block)] == i;
+        if (!is_block) {
+            out.net.add(model.net.layer(i).clone());
+            continue;
+        }
+        auto& block = mutable_model.block(next_block);
+        const int group = model.block_group[static_cast<std::size_t>(next_block)];
+        ++next_block;
+        if (block.gate() == 0.0f) {
+            require(!block.has_projection(),
+                    "cannot drop a projection (group-opening) block");
+            continue; // physically removed
+        }
+        out.block_indices.push_back(out.net.size());
+        out.block_group.push_back(group);
+        out.net.add(block.clone());
+    }
+
+    out.config.blocks_per_group = out.blocks_per_group();
+    require(out.num_blocks() >= 3, "each group must keep its opening block");
+    return out;
+}
+
+void apply_block_gates(models::ResNetModel& model, std::span<const float> gates) {
+    require(static_cast<int>(gates.size()) == model.num_blocks(),
+            "one gate per block required");
+    for (int b = 0; b < model.num_blocks(); ++b) {
+        auto& block = model.block(b);
+        if (block.has_projection())
+            require(gates[static_cast<std::size_t>(b)] != 0.0f,
+                    "projection blocks cannot be gated off");
+        block.set_gate(gates[static_cast<std::size_t>(b)]);
+    }
+}
+
+} // namespace hs::pruning

@@ -1,0 +1,26 @@
+#pragma once
+
+// Block-level ResNet surgery: physically remove residual blocks whose
+// gate is 0 (the paper's Section V.A.2 pruning granularity). Removal is
+// legal only for identity-shortcut blocks — the stride-2/projection block
+// opening each group changes tensor geometry and is always kept, which the
+// block-pruning policies enforce by construction.
+
+#include "models/resnet.h"
+
+namespace hs::pruning {
+
+/// Indices of blocks that may be dropped (identity shortcut only).
+[[nodiscard]] std::vector<int> droppable_blocks(const models::ResNetModel& model);
+
+/// Build a new, physically smaller ResNet containing only the blocks with
+/// gate != 0; weights of the surviving layers are copied over. Throws if a
+/// dropped block has a projection shortcut.
+[[nodiscard]] models::ResNetModel remove_dropped_blocks(
+    const models::ResNetModel& model);
+
+/// Apply a gate vector (one entry per block, 0 = drop) to the model in
+/// place. Entries for non-droppable blocks must be 1.
+void apply_block_gates(models::ResNetModel& model, std::span<const float> gates);
+
+} // namespace hs::pruning

@@ -1,0 +1,113 @@
+#include "pruning/surgery.h"
+
+#include <cstring>
+
+#include "nn/batchnorm.h"
+#include "pruning/mask.h"
+#include "util/error.h"
+
+namespace hs::pruning {
+
+Tensor select_filters(const Tensor& weight, std::span<const int> keep) {
+    require(weight.rank() == 4, "expected a [F, C, k, k] weight");
+    validate_keep(keep, weight.dim(0));
+    const int c = weight.dim(1), kh = weight.dim(2), kw = weight.dim(3);
+    const std::int64_t filter_sz = static_cast<std::int64_t>(c) * kh * kw;
+    Tensor out({static_cast<int>(keep.size()), c, kh, kw});
+    for (std::size_t i = 0; i < keep.size(); ++i)
+        std::memcpy(out.data().data() + static_cast<std::int64_t>(i) * filter_sz,
+                    weight.data().data() + static_cast<std::int64_t>(keep[i]) * filter_sz,
+                    static_cast<std::size_t>(filter_sz) * sizeof(float));
+    return out;
+}
+
+Tensor select_channels(const Tensor& weight, std::span<const int> keep) {
+    require(weight.rank() == 4, "expected a [F, C, k, k] weight");
+    validate_keep(keep, weight.dim(1));
+    const int f = weight.dim(0), kh = weight.dim(2), kw = weight.dim(3);
+    const std::int64_t khw = static_cast<std::int64_t>(kh) * kw;
+    Tensor out({f, static_cast<int>(keep.size()), kh, kw});
+    for (int fi = 0; fi < f; ++fi) {
+        const std::int64_t src_base = static_cast<std::int64_t>(fi) * weight.dim(1) * khw;
+        const std::int64_t dst_base =
+            static_cast<std::int64_t>(fi) * static_cast<std::int64_t>(keep.size()) * khw;
+        for (std::size_t i = 0; i < keep.size(); ++i)
+            std::memcpy(out.data().data() + dst_base + static_cast<std::int64_t>(i) * khw,
+                        weight.data().data() + src_base +
+                            static_cast<std::int64_t>(keep[i]) * khw,
+                        static_cast<std::size_t>(khw) * sizeof(float));
+    }
+    return out;
+}
+
+Tensor select_elems(const Tensor& vec, std::span<const int> keep) {
+    require(vec.rank() == 1, "expected a rank-1 tensor");
+    validate_keep(keep, vec.dim(0));
+    Tensor out({static_cast<int>(keep.size())});
+    for (std::size_t i = 0; i < keep.size(); ++i)
+        out[static_cast<std::int64_t>(i)] = vec[keep[i]];
+    return out;
+}
+
+void prune_feature_maps(const ConvChain& chain, int which,
+                        std::span<const int> keep) {
+    require(chain.net != nullptr, "null network in ConvChain");
+    require(which >= 0 && which < static_cast<int>(chain.conv_indices.size()),
+            "conv position out of range");
+
+    auto& conv = chain.net->layer_as<nn::Conv2d>(
+        chain.conv_indices[static_cast<std::size_t>(which)]);
+    const int old_channels = conv.out_channels();
+    validate_keep(keep, old_channels);
+
+    // 1. Shrink the producing filters of conv `which`
+    //    (ΔN·C·k·k parameters removed, Figure 2).
+    Tensor new_w = select_filters(conv.weight().value, keep);
+    std::optional<Tensor> new_b;
+    if (conv.has_bias()) new_b = select_elems(conv.bias().value, keep);
+    conv.replace_parameters(std::move(new_w), std::move(new_b));
+
+    // 2. Shrink the consumer (M·ΔN·k·k parameters removed).
+    if (which + 1 < static_cast<int>(chain.conv_indices.size())) {
+        auto& next = chain.net->layer_as<nn::Conv2d>(
+            chain.conv_indices[static_cast<std::size_t>(which + 1)]);
+        Tensor next_w = select_channels(next.weight().value, keep);
+        std::optional<Tensor> next_b;
+        if (next.has_bias()) next_b = next.bias().value;
+        next.replace_parameters(std::move(next_w), std::move(next_b));
+    } else {
+        // The classifier consumes flatten([C_old, S, S]); column layout is
+        // c·S² + s, so keep whole per-channel column blocks.
+        require(chain.classifier_index >= 0,
+                "last conv pruned but chain has no classifier");
+        auto& fc = chain.net->layer_as<nn::Linear>(chain.classifier_index);
+        require(fc.in_features() % old_channels == 0,
+                "classifier input is not divisible by the conv width");
+        const int spatial = fc.in_features() / old_channels;
+        const int new_in = static_cast<int>(keep.size()) * spatial;
+
+        Tensor new_fc({fc.out_features(), new_in});
+        const auto& w = fc.weight().value;
+        for (int r = 0; r < fc.out_features(); ++r)
+            for (std::size_t i = 0; i < keep.size(); ++i)
+                for (int s = 0; s < spatial; ++s)
+                    new_fc.at(r, static_cast<int>(i) * spatial + s) =
+                        w.at(r, keep[i] * spatial + s);
+        fc.replace_parameters(std::move(new_fc), fc.bias().value);
+    }
+}
+
+void prune_block_internal(nn::ResidualBlock& block, std::span<const int> keep) {
+    auto& conv1 = block.conv1();
+    validate_keep(keep, conv1.out_channels());
+
+    Tensor w1 = select_filters(conv1.weight().value, keep);
+    conv1.replace_parameters(std::move(w1), std::nullopt);
+    block.bn1().keep_channels(keep);
+
+    auto& conv2 = block.conv2();
+    Tensor w2 = select_channels(conv2.weight().value, keep);
+    conv2.replace_parameters(std::move(w2), std::nullopt);
+}
+
+} // namespace hs::pruning

@@ -1,0 +1,49 @@
+#pragma once
+
+// Physical model surgery: turn a keep-mask decision into an actually
+// smaller network. Pruning the feature maps of conv i removes
+//   * ΔN filters (rows) of conv i           — ΔN·C·k·k parameters, and
+//   * the matching ΔN input channels of the consumer: conv i+1
+//     (M·ΔN·k·k parameters) or the classifier's flatten columns,
+// exactly the accounting in the paper's Figure 2.
+
+#include <span>
+#include <vector>
+
+#include "nn/conv2d.h"
+#include "nn/linear.h"
+#include "nn/residual.h"
+#include "nn/sequential.h"
+
+namespace hs::pruning {
+
+/// View of a single-branch conv chain (VGG/LeNet style): the container,
+/// the positions of its conv layers and of the final classifier.
+struct ConvChain {
+    nn::Sequential* net = nullptr;
+    std::span<const int> conv_indices;
+    int classifier_index = -1;
+};
+
+/// Keep only `keep` feature maps of conv `which` (0-based position in
+/// conv_indices). Shrinks conv `which`'s filters, then the consumer:
+/// the next conv's input channels, or the classifier's input columns when
+/// `which` is the last conv.
+void prune_feature_maps(const ConvChain& chain, int which,
+                        std::span<const int> keep);
+
+/// Row (output-filter) selection on a [F, C, k, k] weight.
+[[nodiscard]] Tensor select_filters(const Tensor& weight, std::span<const int> keep);
+
+/// Input-channel selection on a [F, C, k, k] weight.
+[[nodiscard]] Tensor select_channels(const Tensor& weight, std::span<const int> keep);
+
+/// Element selection on a rank-1 tensor (bias, BN parameters).
+[[nodiscard]] Tensor select_elems(const Tensor& vec, std::span<const int> keep);
+
+/// Keep only `keep` channels on the *internal* feature maps of a residual
+/// block (output of conv1): prunes conv1 filters, bn1 channels and conv2
+/// input channels. The block's external interface is unchanged.
+void prune_block_internal(nn::ResidualBlock& block, std::span<const int> keep);
+
+} // namespace hs::pruning

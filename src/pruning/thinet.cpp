@@ -1,0 +1,189 @@
+#include "pruning/thinet.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "nn/conv2d.h"
+#include "pruning/mask.h"
+#include "util/error.h"
+
+namespace hs::pruning {
+namespace {
+
+/// Per-sample, per-channel contributions z[j][c] to sampled conv outputs.
+struct Contributions {
+    std::vector<std::vector<double>> z; ///< [samples][channels]
+    int channels = 0;
+};
+
+Contributions sample_contributions(const ConvChain& chain, int which,
+                                   const data::Batch& sample, int samples,
+                                   Rng& rng) {
+    auto& next = chain.net->layer_as<nn::Conv2d>(
+        chain.conv_indices[static_cast<std::size_t>(which + 1)]);
+
+    // Populate the consumer's cached input with a training-mode forward.
+    (void)chain.net->forward(sample.images, /*train=*/true);
+    const Tensor& x = next.last_input();
+    require(x.rank() == 4, "consumer input must be NCHW");
+
+    const int n = x.dim(0), c = x.dim(1), h = x.dim(2), w = x.dim(3);
+    const int k = next.kernel(), stride = next.stride(), pad = next.pad();
+    const int oh = (h + 2 * pad - k) / stride + 1;
+    const int ow = (w + 2 * pad - k) / stride + 1;
+    const auto& weight = next.weight().value;
+
+    Contributions contrib;
+    contrib.channels = c;
+    contrib.z.resize(static_cast<std::size_t>(samples));
+    for (auto& row : contrib.z) {
+        row.assign(static_cast<std::size_t>(c), 0.0);
+        const int i = static_cast<int>(rng.uniform_int(n));
+        const int f = static_cast<int>(rng.uniform_int(next.out_channels()));
+        const int oy = static_cast<int>(rng.uniform_int(oh));
+        const int ox = static_cast<int>(rng.uniform_int(ow));
+        for (int ci = 0; ci < c; ++ci) {
+            double acc = 0.0;
+            for (int ky = 0; ky < k; ++ky) {
+                const int iy = oy * stride + ky - pad;
+                if (iy < 0 || iy >= h) continue;
+                for (int kx = 0; kx < k; ++kx) {
+                    const int ix = ox * stride + kx - pad;
+                    if (ix < 0 || ix >= w) continue;
+                    acc += static_cast<double>(weight.at(f, ci, ky, kx)) *
+                           x.at(i, ci, iy, ix);
+                }
+            }
+            row[static_cast<std::size_t>(ci)] = acc;
+        }
+    }
+    return contrib;
+}
+
+} // namespace
+
+std::vector<double> solve_dense(std::vector<double> a, std::vector<double> b) {
+    const auto n = b.size();
+    require(a.size() == n * n, "solve_dense: matrix/vector size mismatch");
+    // Gaussian elimination with partial pivoting.
+    for (std::size_t col = 0; col < n; ++col) {
+        std::size_t pivot = col;
+        for (std::size_t r = col + 1; r < n; ++r)
+            if (std::fabs(a[r * n + col]) > std::fabs(a[pivot * n + col])) pivot = r;
+        if (pivot != col) {
+            for (std::size_t j = 0; j < n; ++j)
+                std::swap(a[col * n + j], a[pivot * n + j]);
+            std::swap(b[col], b[pivot]);
+        }
+        const double d = a[col * n + col];
+        require(std::fabs(d) > 1e-12, "solve_dense: singular matrix");
+        for (std::size_t r = col + 1; r < n; ++r) {
+            const double factor = a[r * n + col] / d;
+            if (factor == 0.0) continue;
+            for (std::size_t j = col; j < n; ++j) a[r * n + j] -= factor * a[col * n + j];
+            b[r] -= factor * b[col];
+        }
+    }
+    std::vector<double> x(n, 0.0);
+    for (std::size_t ri = n; ri-- > 0;) {
+        double acc = b[ri];
+        for (std::size_t j = ri + 1; j < n; ++j) acc -= a[ri * n + j] * x[j];
+        x[ri] = acc / a[ri * n + ri];
+    }
+    return x;
+}
+
+ThiNetResult thinet_select(const ConvChain& chain, int which,
+                           const data::Batch& sample, int keep_count,
+                           const ThiNetOptions& options) {
+    require(chain.net != nullptr, "null network in ConvChain");
+    require(which + 1 < static_cast<int>(chain.conv_indices.size()),
+            "ThiNet needs a conv consumer; use L1 for the last conv");
+
+    Rng rng(options.seed);
+    const Contributions contrib =
+        sample_contributions(chain, which, sample, options.samples, rng);
+    const int c = contrib.channels;
+    require(keep_count > 0 && keep_count <= c, "keep_count out of range");
+
+    // Greedy prune-set growth (step 3 of the algorithm).
+    std::vector<bool> pruned(static_cast<std::size_t>(c), false);
+    std::vector<double> partial(contrib.z.size(), 0.0); // Σ_{c∈T} z[j][c]
+    for (int step = 0; step < c - keep_count; ++step) {
+        int best = -1;
+        double best_value = 0.0;
+        for (int cand = 0; cand < c; ++cand) {
+            if (pruned[static_cast<std::size_t>(cand)]) continue;
+            double value = 0.0;
+            for (std::size_t j = 0; j < contrib.z.size(); ++j) {
+                const double s = partial[j] + contrib.z[j][static_cast<std::size_t>(cand)];
+                value += s * s;
+            }
+            if (best < 0 || value < best_value) {
+                best = cand;
+                best_value = value;
+            }
+        }
+        pruned[static_cast<std::size_t>(best)] = true;
+        for (std::size_t j = 0; j < contrib.z.size(); ++j)
+            partial[j] += contrib.z[j][static_cast<std::size_t>(best)];
+    }
+
+    ThiNetResult result;
+    for (int ci = 0; ci < c; ++ci)
+        if (!pruned[static_cast<std::size_t>(ci)]) result.keep.push_back(ci);
+    result.scales.assign(result.keep.size(), 1.0f);
+
+    if (options.least_squares) {
+        // Step 4: ŵ = argmin Σ_j (y[j] − Σ_{kept} w_c z[j][c])² with a small
+        // ridge term for conditioning.
+        const auto kk = result.keep.size();
+        std::vector<double> gram(kk * kk, 0.0);
+        std::vector<double> rhs(kk, 0.0);
+        for (std::size_t j = 0; j < contrib.z.size(); ++j) {
+            double y = 0.0;
+            for (int ci = 0; ci < c; ++ci) y += contrib.z[j][static_cast<std::size_t>(ci)];
+            for (std::size_t a = 0; a < kk; ++a) {
+                const double za =
+                    contrib.z[j][static_cast<std::size_t>(result.keep[a])];
+                rhs[a] += za * y;
+                for (std::size_t bb = 0; bb < kk; ++bb)
+                    gram[a * kk + bb] +=
+                        za * contrib.z[j][static_cast<std::size_t>(result.keep[bb])];
+            }
+        }
+        double trace = 0.0;
+        for (std::size_t a = 0; a < kk; ++a) trace += gram[a * kk + a];
+        const double ridge = std::max(1e-8, 1e-6 * trace / static_cast<double>(kk));
+        for (std::size_t a = 0; a < kk; ++a) gram[a * kk + a] += ridge;
+        const auto scales = solve_dense(std::move(gram), std::move(rhs));
+        for (std::size_t a = 0; a < kk; ++a) {
+            // Clamp to a sane band: the fix should gently rescale, not
+            // explode when the sampled system is ill-conditioned.
+            result.scales[a] =
+                static_cast<float>(std::clamp(scales[a], 0.1, 10.0));
+        }
+    }
+    return result;
+}
+
+void thinet_apply(const ConvChain& chain, int which, const ThiNetResult& result) {
+    prune_feature_maps(chain, which, result.keep);
+    if (which + 1 >= static_cast<int>(chain.conv_indices.size())) return;
+    auto& next = chain.net->layer_as<nn::Conv2d>(
+        chain.conv_indices[static_cast<std::size_t>(which + 1)]);
+    require(static_cast<int>(result.scales.size()) == next.in_channels(),
+            "scale count must match surviving channels");
+    auto& w = next.weight().value;
+    const int f = w.dim(0), c = w.dim(1), k = w.dim(2);
+    for (int fi = 0; fi < f; ++fi)
+        for (int ci = 0; ci < c; ++ci) {
+            const float s = result.scales[static_cast<std::size_t>(ci)];
+            if (s == 1.0f) continue;
+            for (int ky = 0; ky < k; ++ky)
+                for (int kx = 0; kx < k; ++kx) w.at(fi, ci, ky, kx) *= s;
+        }
+}
+
+} // namespace hs::pruning

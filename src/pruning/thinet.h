@@ -1,0 +1,58 @@
+#pragma once
+
+// ThiNet (Luo'17): prune the feature maps of conv i by minimizing the
+// reconstruction error of conv i+1's output. The published algorithm:
+//
+//  1. Sample output units of conv i+1: random (image, filter, y, x).
+//  2. For each sampled unit j, decompose its pre-activation into
+//     per-input-channel contributions z[j][c].
+//  3. Greedily grow the prune set T, at each step adding the channel that
+//     minimizes Σ_j (Σ_{c∈T} z[j][c])² — i.e. the channels whose combined
+//     removal perturbs the layer output least.
+//  4. Least-squares fix: rescale the surviving channels' weights by ŵ =
+//     argmin_w Σ_j (y[j] − Σ_{c∉T} w_c·z[j][c])², recovering part of the
+//     removed signal without fine-tuning.
+
+#include <vector>
+
+#include "data/dataloader.h"
+#include "nn/sequential.h"
+#include "pruning/surgery.h"
+#include "tensor/rng.h"
+
+namespace hs::pruning {
+
+/// Configuration of the ThiNet selection pass.
+struct ThiNetOptions {
+    int samples = 400;          ///< sampled output units
+    bool least_squares = true;  ///< apply the channel-rescaling fix
+    std::uint64_t seed = 17;
+};
+
+/// Result: channels of conv i to keep, plus the least-squares scale for
+/// each kept channel (1.0 when the fix is disabled).
+struct ThiNetResult {
+    std::vector<int> keep;
+    std::vector<float> scales;
+};
+
+/// Run ThiNet selection for the feature maps of conv `which` in a chain.
+/// Uses the *next* conv's reconstruction (the method does not apply to the
+/// last conv, which has no conv consumer; callers fall back to L1 there,
+/// as the authors do for the classifier boundary).
+[[nodiscard]] ThiNetResult thinet_select(const ConvChain& chain, int which,
+                                         const data::Batch& sample,
+                                         int keep_count,
+                                         const ThiNetOptions& options);
+
+/// Apply a ThiNetResult: surgery on the chain plus scaling the consumer's
+/// per-channel weights by `scales`.
+void thinet_apply(const ConvChain& chain, int which, const ThiNetResult& result);
+
+/// Solve the dense symmetric positive (semi)definite system A·x = b in
+/// place by Gaussian elimination with partial pivoting (size ≤ a few
+/// hundred). Exposed for tests.
+[[nodiscard]] std::vector<double> solve_dense(std::vector<double> a,
+                                              std::vector<double> b);
+
+} // namespace hs::pruning

@@ -1,0 +1,29 @@
+#pragma once
+
+// Dense matrix multiply kernels. All convolutions and fully connected
+// layers lower onto these, so they are the library's hot path. The
+// implementation is a cache-blocked triple loop with the k-loop innermost
+// hoisted (ikj order) so the compiler vectorizes the j-direction; OpenMP
+// parallelizes over rows when enabled at configure time.
+
+#include "tensor/tensor.h"
+
+namespace hs {
+
+/// C(m×n) = alpha * A(m×k) · B(k×n) + beta * C.
+/// All matrices are dense row-major spans; no aliasing between C and A/B.
+void gemm(int m, int n, int k, float alpha, std::span<const float> a,
+          std::span<const float> b, float beta, std::span<float> c);
+
+/// C(m×n) = alpha * Aᵀ(m×k stored as k×m) · B(k×n) + beta * C.
+void gemm_at(int m, int n, int k, float alpha, std::span<const float> a,
+             std::span<const float> b, float beta, std::span<float> c);
+
+/// C(m×n) = alpha * A(m×k) · Bᵀ(k×n stored as n×k) + beta * C.
+void gemm_bt(int m, int n, int k, float alpha, std::span<const float> a,
+             std::span<const float> b, float beta, std::span<float> c);
+
+/// Tensor-level convenience: returns A·B for rank-2 tensors.
+[[nodiscard]] Tensor matmul(const Tensor& a, const Tensor& b);
+
+} // namespace hs

@@ -1,0 +1,79 @@
+#include "tensor/im2col.h"
+
+#include <cstring>
+
+#include "util/error.h"
+
+namespace hs {
+
+void im2col(const ConvGeom& g, std::span<const float> image, std::span<float> cols) {
+    require(g.kernel > 0 && g.stride > 0 && g.pad >= 0, "bad conv geometry");
+    const int oh = g.out_h();
+    const int ow = g.out_w();
+    require(oh > 0 && ow > 0, "conv output would be empty");
+    require(static_cast<std::int64_t>(image.size()) >=
+                static_cast<std::int64_t>(g.channels) * g.height * g.width,
+            "im2col: image span too small");
+    require(static_cast<std::int64_t>(cols.size()) >= g.col_rows() * g.col_cols(),
+            "im2col: cols span too small");
+
+    float* __restrict out = cols.data();
+    for (int c = 0; c < g.channels; ++c) {
+        const float* __restrict img =
+            image.data() + static_cast<std::int64_t>(c) * g.height * g.width;
+        for (int ky = 0; ky < g.kernel; ++ky) {
+            for (int kx = 0; kx < g.kernel; ++kx) {
+                for (int oy = 0; oy < oh; ++oy) {
+                    const int iy = oy * g.stride + ky - g.pad;
+                    if (iy < 0 || iy >= g.height) {
+                        std::memset(out, 0, static_cast<std::size_t>(ow) * sizeof(float));
+                        out += ow;
+                        continue;
+                    }
+                    const float* __restrict row =
+                        img + static_cast<std::int64_t>(iy) * g.width;
+                    for (int ox = 0; ox < ow; ++ox) {
+                        const int ix = ox * g.stride + kx - g.pad;
+                        *out++ = (ix >= 0 && ix < g.width) ? row[ix] : 0.0f;
+                    }
+                }
+            }
+        }
+    }
+}
+
+void col2im(const ConvGeom& g, std::span<const float> cols, std::span<float> image) {
+    require(g.kernel > 0 && g.stride > 0 && g.pad >= 0, "bad conv geometry");
+    const int oh = g.out_h();
+    const int ow = g.out_w();
+    require(static_cast<std::int64_t>(image.size()) >=
+                static_cast<std::int64_t>(g.channels) * g.height * g.width,
+            "col2im: image span too small");
+    require(static_cast<std::int64_t>(cols.size()) >= g.col_rows() * g.col_cols(),
+            "col2im: cols span too small");
+
+    const float* __restrict in = cols.data();
+    for (int c = 0; c < g.channels; ++c) {
+        float* __restrict img =
+            image.data() + static_cast<std::int64_t>(c) * g.height * g.width;
+        for (int ky = 0; ky < g.kernel; ++ky) {
+            for (int kx = 0; kx < g.kernel; ++kx) {
+                for (int oy = 0; oy < oh; ++oy) {
+                    const int iy = oy * g.stride + ky - g.pad;
+                    if (iy < 0 || iy >= g.height) {
+                        in += ow;
+                        continue;
+                    }
+                    float* __restrict row = img + static_cast<std::int64_t>(iy) * g.width;
+                    for (int ox = 0; ox < ow; ++ox) {
+                        const int ix = ox * g.stride + kx - g.pad;
+                        if (ix >= 0 && ix < g.width) row[ix] += *in;
+                        ++in;
+                    }
+                }
+            }
+        }
+    }
+}
+
+} // namespace hs

@@ -1,0 +1,50 @@
+#pragma once
+
+// im2col / col2im lowering for 2-D convolution. A convolution over an
+// NCHW input becomes one GEMM per image:
+//
+//   cols  : (C·kh·kw) × (oh·ow)       -- im2col of one image
+//   weight: (F) × (C·kh·kw)           -- filters flattened
+//   out   : (F) × (oh·ow) = weight · cols
+//
+// col2im scatters gradients back, accumulating where patches overlap.
+
+#include <cstdint>
+#include <span>
+
+namespace hs {
+
+/// Geometry of a conv window applied to a single image.
+struct ConvGeom {
+    int channels = 0;  ///< input channels C
+    int height = 0;    ///< input height H
+    int width = 0;     ///< input width W
+    int kernel = 0;    ///< square kernel size k
+    int stride = 1;
+    int pad = 0;
+
+    /// Output height after the window sweep.
+    [[nodiscard]] int out_h() const { return (height + 2 * pad - kernel) / stride + 1; }
+    /// Output width after the window sweep.
+    [[nodiscard]] int out_w() const { return (width + 2 * pad - kernel) / stride + 1; }
+    /// Rows of the cols matrix (C·k·k).
+    [[nodiscard]] std::int64_t col_rows() const {
+        return static_cast<std::int64_t>(channels) * kernel * kernel;
+    }
+    /// Columns of the cols matrix (oh·ow).
+    [[nodiscard]] std::int64_t col_cols() const {
+        return static_cast<std::int64_t>(out_h()) * out_w();
+    }
+};
+
+/// Expand one CHW image (`image`, length C·H·W) into the patch matrix
+/// `cols` (length col_rows()·col_cols()). Out-of-bounds (padding) samples
+/// are written as zero.
+void im2col(const ConvGeom& g, std::span<const float> image, std::span<float> cols);
+
+/// Scatter-add the patch matrix back into a CHW image gradient.
+/// `image` must be zeroed by the caller if accumulation from a clean slate
+/// is desired (this function only adds).
+void col2im(const ConvGeom& g, std::span<const float> cols, std::span<float> image);
+
+} // namespace hs

@@ -1,0 +1,151 @@
+#include "tensor/tensor.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <numeric>
+#include <sstream>
+
+namespace hs {
+
+std::string shape_str(const Shape& shape) {
+    std::ostringstream os;
+    os << '[';
+    for (std::size_t i = 0; i < shape.size(); ++i) {
+        if (i) os << ", ";
+        os << shape[i];
+    }
+    os << ']';
+    return os.str();
+}
+
+std::int64_t shape_numel(const Shape& shape) {
+    std::int64_t n = 1;
+    for (int d : shape) {
+        require(d >= 0, "shape extents must be non-negative");
+        n *= d;
+    }
+    return shape.empty() ? 0 : n;
+}
+
+Tensor::Tensor(Shape shape) : shape_(std::move(shape)) {
+    data_.assign(static_cast<std::size_t>(shape_numel(shape_)), 0.0f);
+}
+
+Tensor::Tensor(Shape shape, std::vector<float> values)
+    : shape_(std::move(shape)), data_(std::move(values)) {
+    require(static_cast<std::int64_t>(data_.size()) == shape_numel(shape_),
+            "value count does not match shape " + shape_str(shape_));
+}
+
+Tensor Tensor::zeros(Shape shape) { return Tensor(std::move(shape)); }
+
+Tensor Tensor::full(Shape shape, float value) {
+    Tensor t(std::move(shape));
+    t.fill(value);
+    return t;
+}
+
+int Tensor::dim(int d) const {
+    require(d >= 0 && d < rank(), "dimension index out of range");
+    return shape_[static_cast<std::size_t>(d)];
+}
+
+Tensor Tensor::reshape(Shape shape) const& {
+    require(shape_numel(shape) == numel(),
+            "reshape must preserve element count: " + shape_str(shape_) +
+                " -> " + shape_str(shape));
+    Tensor t;
+    t.shape_ = std::move(shape);
+    t.data_ = data_;
+    return t;
+}
+
+Tensor Tensor::reshape(Shape shape) && {
+    require(shape_numel(shape) == numel(),
+            "reshape must preserve element count: " + shape_str(shape_) +
+                " -> " + shape_str(shape));
+    Tensor t;
+    t.shape_ = std::move(shape);
+    t.data_ = std::move(data_);
+    return t;
+}
+
+std::int64_t Tensor::offset2(int i, int j) const {
+    assert(rank() == 2 && i >= 0 && i < shape_[0] && j >= 0 && j < shape_[1]);
+    return static_cast<std::int64_t>(i) * shape_[1] + j;
+}
+
+std::int64_t Tensor::offset3(int i, int j, int k) const {
+    assert(rank() == 3 && i >= 0 && i < shape_[0] && j >= 0 && j < shape_[1] &&
+           k >= 0 && k < shape_[2]);
+    return (static_cast<std::int64_t>(i) * shape_[1] + j) * shape_[2] + k;
+}
+
+std::int64_t Tensor::offset4(int i, int j, int k, int l) const {
+    assert(rank() == 4 && i >= 0 && i < shape_[0] && j >= 0 && j < shape_[1] &&
+           k >= 0 && k < shape_[2] && l >= 0 && l < shape_[3]);
+    return ((static_cast<std::int64_t>(i) * shape_[1] + j) * shape_[2] + k) *
+               shape_[3] +
+           l;
+}
+
+float& Tensor::at(int i, int j) { return data_[static_cast<std::size_t>(offset2(i, j))]; }
+float Tensor::at(int i, int j) const { return data_[static_cast<std::size_t>(offset2(i, j))]; }
+float& Tensor::at(int i, int j, int k) { return data_[static_cast<std::size_t>(offset3(i, j, k))]; }
+float Tensor::at(int i, int j, int k) const { return data_[static_cast<std::size_t>(offset3(i, j, k))]; }
+float& Tensor::at(int i, int j, int k, int l) { return data_[static_cast<std::size_t>(offset4(i, j, k, l))]; }
+float Tensor::at(int i, int j, int k, int l) const { return data_[static_cast<std::size_t>(offset4(i, j, k, l))]; }
+
+void Tensor::fill(float value) { std::fill(data_.begin(), data_.end(), value); }
+
+void Tensor::add_(const Tensor& other) { axpy_(1.0f, other); }
+
+void Tensor::axpy_(float alpha, const Tensor& other) {
+    require(shape_ == other.shape_, "axpy_ requires identical shapes, got " +
+                                        shape_str(shape_) + " vs " +
+                                        shape_str(other.shape_));
+    const float* __restrict src = other.data_.data();
+    float* __restrict dst = data_.data();
+    const std::size_t n = data_.size();
+    for (std::size_t i = 0; i < n; ++i) dst[i] += alpha * src[i];
+}
+
+void Tensor::scale_(float alpha) {
+    for (float& v : data_) v *= alpha;
+}
+
+double Tensor::sum() const {
+    return std::accumulate(data_.begin(), data_.end(), 0.0);
+}
+
+double Tensor::mean() const {
+    return data_.empty() ? 0.0 : sum() / static_cast<double>(data_.size());
+}
+
+float Tensor::abs_max() const {
+    float m = 0.0f;
+    for (float v : data_) m = std::max(m, std::fabs(v));
+    return m;
+}
+
+std::int64_t Tensor::argmax_range(std::int64_t begin, std::int64_t count) const {
+    require(begin >= 0 && count > 0 && begin + count <= numel(),
+            "argmax_range out of bounds");
+    const auto first = data_.begin() + static_cast<std::ptrdiff_t>(begin);
+    const auto it = std::max_element(first, first + static_cast<std::ptrdiff_t>(count));
+    return std::distance(first, it);
+}
+
+bool Tensor::equals(const Tensor& other) const {
+    return shape_ == other.shape_ && data_ == other.data_;
+}
+
+bool Tensor::allclose(const Tensor& other, float tol) const {
+    if (shape_ != other.shape_) return false;
+    for (std::size_t i = 0; i < data_.size(); ++i)
+        if (std::fabs(data_[i] - other.data_[i]) > tol) return false;
+    return true;
+}
+
+} // namespace hs

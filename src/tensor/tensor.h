@@ -1,0 +1,128 @@
+#pragma once
+
+// Dense float32 tensor. The whole library works with row-major contiguous
+// tensors of rank 1..4 (vectors, matrices, NCHW image batches). The class
+// owns its storage (value semantics, deep copy, cheap move) — Core
+// Guidelines C.20/R.1: resource handling is fully encapsulated, no raw
+// owning pointers anywhere.
+
+#include <cstddef>
+#include <cstdint>
+#include <initializer_list>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "util/error.h"
+
+namespace hs {
+
+/// Shape of a tensor: list of extents, outermost dimension first.
+using Shape = std::vector<int>;
+
+/// Human-readable "[a, b, c]" rendering of a shape.
+[[nodiscard]] std::string shape_str(const Shape& shape);
+
+/// Total element count of a shape (product of extents).
+[[nodiscard]] std::int64_t shape_numel(const Shape& shape);
+
+/// Dense row-major float tensor with value semantics.
+class Tensor {
+public:
+    /// Empty rank-0 tensor (numel() == 0).
+    Tensor() = default;
+
+    /// Zero-initialized tensor of the given shape.
+    explicit Tensor(Shape shape);
+
+    /// Tensor of the given shape taking ownership of `values`
+    /// (size must equal the shape's element count).
+    Tensor(Shape shape, std::vector<float> values);
+
+    /// Factory: zero tensor (synonym of the shape constructor, reads better
+    /// at call sites).
+    [[nodiscard]] static Tensor zeros(Shape shape);
+
+    /// Factory: all elements set to `value`.
+    [[nodiscard]] static Tensor full(Shape shape, float value);
+
+    // -- geometry ---------------------------------------------------------
+
+    [[nodiscard]] const Shape& shape() const { return shape_; }
+    [[nodiscard]] int rank() const { return static_cast<int>(shape_.size()); }
+    [[nodiscard]] std::int64_t numel() const {
+        return static_cast<std::int64_t>(data_.size());
+    }
+    /// Extent of dimension `dim` (0-based; must be < rank()).
+    [[nodiscard]] int dim(int d) const;
+
+    /// Reinterpret as `shape` without copying; element count must match.
+    [[nodiscard]] Tensor reshape(Shape shape) const&;
+    [[nodiscard]] Tensor reshape(Shape shape) &&;
+
+    // -- element access ---------------------------------------------------
+
+    [[nodiscard]] std::span<float> data() { return {data_.data(), data_.size()}; }
+    [[nodiscard]] std::span<const float> data() const {
+        return {data_.data(), data_.size()};
+    }
+
+    /// Flat access (no bounds check in release; assert in debug).
+    [[nodiscard]] float& operator[](std::int64_t i) { return data_[static_cast<std::size_t>(i)]; }
+    [[nodiscard]] float operator[](std::int64_t i) const { return data_[static_cast<std::size_t>(i)]; }
+
+    /// Multi-dimensional access for rank 2 / 3 / 4 tensors; bounds are the
+    /// caller's responsibility (hot path), validated in debug builds only.
+    [[nodiscard]] float& at(int i, int j);
+    [[nodiscard]] float at(int i, int j) const;
+    [[nodiscard]] float& at(int i, int j, int k);
+    [[nodiscard]] float at(int i, int j, int k) const;
+    [[nodiscard]] float& at(int i, int j, int k, int l);
+    [[nodiscard]] float at(int i, int j, int k, int l) const;
+
+    // -- whole-tensor operations -----------------------------------------
+
+    /// Set every element to `value`.
+    void fill(float value);
+
+    /// Set every element to zero (fast path for gradient clearing).
+    void zero() { fill(0.0f); }
+
+    /// this += other (shapes must match exactly).
+    void add_(const Tensor& other);
+
+    /// this += alpha * other (axpy; shapes must match exactly).
+    void axpy_(float alpha, const Tensor& other);
+
+    /// this *= alpha.
+    void scale_(float alpha);
+
+    /// Sum of all elements (double accumulation for stability).
+    [[nodiscard]] double sum() const;
+
+    /// Mean of all elements; zero-size tensors return 0.
+    [[nodiscard]] double mean() const;
+
+    /// Largest |element|; zero-size tensors return 0.
+    [[nodiscard]] float abs_max() const;
+
+    /// Index of the largest element in [begin, begin+count).
+    [[nodiscard]] std::int64_t argmax_range(std::int64_t begin,
+                                            std::int64_t count) const;
+
+    /// True when shapes and every element match exactly.
+    [[nodiscard]] bool equals(const Tensor& other) const;
+
+    /// True when shapes match and elements match within `tol` (absolute).
+    [[nodiscard]] bool allclose(const Tensor& other, float tol = 1e-5f) const;
+
+private:
+    Shape shape_;
+    std::vector<float> data_;
+
+    [[nodiscard]] std::int64_t offset2(int i, int j) const;
+    [[nodiscard]] std::int64_t offset3(int i, int j, int k) const;
+    [[nodiscard]] std::int64_t offset4(int i, int j, int k, int l) const;
+};
+
+} // namespace hs

@@ -1,0 +1,41 @@
+#pragma once
+
+// Error handling primitives shared by every module.
+//
+// The library reports precondition violations and unrecoverable runtime
+// failures by throwing hs::Error (Core Guidelines E.2: throw to signal
+// that a function cannot do its job). hs::require() is the single
+// checking entry point so call sites stay one line.
+
+#include <source_location>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+namespace hs {
+
+/// Exception type thrown on any contract violation inside the library.
+class Error : public std::runtime_error {
+public:
+    explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Throw hs::Error with file:line context when `cond` is false.
+///
+/// Used for argument validation on public API boundaries; internal
+/// invariants additionally use assert() in debug builds.
+inline void require(bool cond, std::string_view msg,
+                    std::source_location loc = std::source_location::current()) {
+    if (!cond) {
+        std::string full;
+        full.reserve(msg.size() + 64);
+        full.append(loc.file_name());
+        full.push_back(':');
+        full.append(std::to_string(loc.line()));
+        full.append(": ");
+        full.append(msg);
+        throw Error(full);
+    }
+}
+
+} // namespace hs

@@ -1,0 +1,44 @@
+#include "util/logging.h"
+
+#include <atomic>
+#include <cstdio>
+#include <mutex>
+#include <string>
+
+namespace hs {
+namespace {
+
+std::atomic<LogLevel> g_level{LogLevel::kInfo};
+std::mutex g_mutex;
+
+const char* level_name(LogLevel level) {
+    switch (level) {
+    case LogLevel::kDebug: return "debug";
+    case LogLevel::kInfo: return "info";
+    case LogLevel::kWarn: return "warn";
+    case LogLevel::kError: return "error";
+    case LogLevel::kOff: return "off";
+    }
+    return "?";
+}
+
+} // namespace
+
+void set_log_level(LogLevel level) { g_level.store(level); }
+
+LogLevel log_level() { return g_level.load(); }
+
+void log(LogLevel level, std::string_view message) {
+    if (static_cast<int>(level) < static_cast<int>(g_level.load())) return;
+    std::lock_guard<std::mutex> lock(g_mutex);
+    std::string line;
+    line.reserve(message.size() + 16);
+    line.push_back('[');
+    line.append(level_name(level));
+    line.append("] ");
+    line.append(message);
+    line.push_back('\n');
+    std::fputs(line.c_str(), stderr);
+}
+
+} // namespace hs

@@ -1,0 +1,25 @@
+#pragma once
+
+// Minimal leveled logger. The benches print paper-style tables on stdout;
+// diagnostic progress goes through here (stderr) so table output stays
+// machine-readable.
+
+#include <string_view>
+
+namespace hs {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Global minimum level; messages below it are dropped. Defaults to kInfo.
+void set_log_level(LogLevel level);
+[[nodiscard]] LogLevel log_level();
+
+/// Write one formatted line ("[level] message\n") to stderr if enabled.
+void log(LogLevel level, std::string_view message);
+
+inline void log_debug(std::string_view m) { log(LogLevel::kDebug, m); }
+inline void log_info(std::string_view m) { log(LogLevel::kInfo, m); }
+inline void log_warn(std::string_view m) { log(LogLevel::kWarn, m); }
+inline void log_error(std::string_view m) { log(LogLevel::kError, m); }
+
+} // namespace hs

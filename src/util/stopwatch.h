@@ -1,0 +1,30 @@
+#pragma once
+
+// Monotonic wall-clock stopwatch used by benches and progress logging.
+
+#include <chrono>
+
+namespace hs {
+
+/// Simple RAII-free stopwatch over std::chrono::steady_clock.
+class Stopwatch {
+public:
+    Stopwatch() : start_(clock::now()) {}
+
+    /// Restart the measurement window.
+    void reset() { start_ = clock::now(); }
+
+    /// Seconds elapsed since construction or the last reset().
+    [[nodiscard]] double seconds() const {
+        return std::chrono::duration<double>(clock::now() - start_).count();
+    }
+
+    /// Milliseconds elapsed since construction or the last reset().
+    [[nodiscard]] double millis() const { return seconds() * 1e3; }
+
+private:
+    using clock = std::chrono::steady_clock;
+    clock::time_point start_;
+};
+
+} // namespace hs

@@ -1,0 +1,44 @@
+#pragma once
+
+// Fixed-width ASCII table printer used by the bench harnesses to emit
+// rows in the same layout as the paper's tables, plus a CSV writer so
+// results can be post-processed.
+
+#include <string>
+#include <vector>
+
+namespace hs {
+
+/// Column-aligned table builder. Cells are strings; numeric helpers format
+/// with a fixed precision. Rendering right-pads each column to its widest
+/// cell, separates columns with two spaces, and draws a rule under the
+/// header row.
+class TablePrinter {
+public:
+    /// Create a table with the given column headers.
+    explicit TablePrinter(std::vector<std::string> headers);
+
+    /// Append a full row; must have exactly as many cells as headers.
+    void add_row(std::vector<std::string> cells);
+
+    /// Format a double with `precision` digits after the decimal point.
+    [[nodiscard]] static std::string num(double value, int precision = 2);
+
+    /// Number of data rows added so far.
+    [[nodiscard]] std::size_t rows() const { return rows_.size(); }
+
+    /// Render the whole table (header, rule, rows) as one string.
+    [[nodiscard]] std::string str() const;
+
+    /// Render as CSV (no alignment padding).
+    [[nodiscard]] std::string csv() const;
+
+    /// Convenience: print str() to stdout.
+    void print() const;
+
+private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace hs

@@ -1,0 +1,87 @@
+// Tests for the data-augmentation helpers.
+
+#include <gtest/gtest.h>
+
+#include "data/augment.h"
+
+namespace hs::data {
+namespace {
+
+Tensor make_ramp(int n, int c, int h, int w) {
+    Tensor t({n, c, h, w});
+    for (std::int64_t i = 0; i < t.numel(); ++i) t[i] = static_cast<float>(i);
+    return t;
+}
+
+TEST(Augment, FlipIsInvolution) {
+    Tensor images = make_ramp(2, 3, 4, 4);
+    const Tensor original = images;
+    flip_horizontal(images, 1);
+    EXPECT_FALSE(images.equals(original));
+    // Image 0 untouched.
+    for (int i = 0; i < 3 * 16; ++i) EXPECT_EQ(images[i], original[i]);
+    flip_horizontal(images, 1);
+    EXPECT_TRUE(images.equals(original));
+}
+
+TEST(Augment, FlipReversesRows) {
+    Tensor images = make_ramp(1, 1, 1, 4);
+    flip_horizontal(images, 0);
+    EXPECT_FLOAT_EQ(images[0], 3.0f);
+    EXPECT_FLOAT_EQ(images[3], 0.0f);
+}
+
+TEST(Augment, ShiftMovesContentAndZeroFills) {
+    Tensor images = make_ramp(1, 1, 3, 3);
+    shift_image(images, 0, 1, 0); // down by one row
+    // Top row zero-filled; second row holds old first row.
+    EXPECT_FLOAT_EQ(images.at(0, 0, 0, 0), 0.0f);
+    EXPECT_FLOAT_EQ(images.at(0, 0, 1, 0), 0.0f + 0.0f); // old (0,0) == 0
+    EXPECT_FLOAT_EQ(images.at(0, 0, 1, 1), 1.0f);
+    EXPECT_FLOAT_EQ(images.at(0, 0, 2, 2), 5.0f);
+}
+
+TEST(Augment, ShiftZeroIsIdentity) {
+    Tensor images = make_ramp(1, 2, 4, 4);
+    const Tensor original = images;
+    shift_image(images, 0, 0, 0);
+    EXPECT_TRUE(images.equals(original));
+}
+
+TEST(Augment, ErasePatchZeroesSquare) {
+    Tensor images = Tensor::full({1, 2, 4, 4}, 1.0f);
+    erase_patch(images, 0, 1, 1, 2);
+    double remaining = images.sum();
+    EXPECT_DOUBLE_EQ(remaining, 2 * 16 - 2 * 4); // 4 pixels per channel gone
+    // Clipping at the border is safe.
+    erase_patch(images, 0, 3, 3, 4);
+    EXPECT_LT(images.sum(), remaining);
+}
+
+TEST(Augment, BatchPolicyDeterministicInSeed) {
+    Batch a, b;
+    a.images = make_ramp(8, 3, 8, 8);
+    a.labels.assign(8, 0);
+    b.images = a.images;
+    b.labels = a.labels;
+
+    AugmentConfig cfg;
+    cfg.erase_prob = 0.5;
+    Rng r1(9), r2(9);
+    augment_batch(a, cfg, r1);
+    augment_batch(b, cfg, r2);
+    EXPECT_TRUE(a.images.equals(b.images));
+}
+
+TEST(Augment, LabelsUntouched) {
+    Batch batch;
+    batch.images = make_ramp(4, 3, 8, 8);
+    batch.labels = {0, 1, 2, 3};
+    AugmentConfig cfg;
+    Rng rng(5);
+    augment_batch(batch, cfg, rng);
+    EXPECT_EQ(batch.labels, (std::vector<int>{0, 1, 2, 3}));
+}
+
+} // namespace
+} // namespace hs::data

@@ -1,0 +1,192 @@
+// Tests for the reconstruction-based comparators: ThiNet (greedy channel
+// selection + least squares) and AutoPruner (learned channel gate).
+
+#include <gtest/gtest.h>
+
+#include "data/dataloader.h"
+#include "models/lenet.h"
+#include "nn/conv2d.h"
+#include "nn/trainer.h"
+#include "pruning/autopruner.h"
+#include "pruning/channel_gate.h"
+#include "pruning/thinet.h"
+
+namespace hs::pruning {
+namespace {
+
+data::SyntheticImageDataset small_dataset() {
+    data::SyntheticConfig cfg = data::cifar100_like();
+    cfg.num_classes = 4;
+    cfg.image_size = 8;
+    cfg.train_per_class = 20;
+    cfg.test_per_class = 8;
+    return data::SyntheticImageDataset(cfg);
+}
+
+models::LeNetModel small_model() {
+    models::LeNetConfig cfg;
+    cfg.input_size = 8;
+    cfg.num_classes = 4;
+    cfg.conv1_maps = 8;
+    cfg.conv2_maps = 8;
+    return models::make_lenet(cfg);
+}
+
+TEST(SolveDense, RecoversKnownSolution) {
+    // A = [[2,1],[1,3]], x = [1,-1] → b = [1,-2].
+    const std::vector<double> a{2, 1, 1, 3};
+    const std::vector<double> b{1, -2};
+    const auto x = solve_dense(a, b);
+    EXPECT_NEAR(x[0], 1.0, 1e-9);
+    EXPECT_NEAR(x[1], -1.0, 1e-9);
+}
+
+TEST(SolveDense, PivotsZeroDiagonal) {
+    // Leading zero pivot forces a row swap.
+    const std::vector<double> a{0, 1, 1, 0};
+    const std::vector<double> b{2, 3};
+    const auto x = solve_dense(a, b);
+    EXPECT_NEAR(x[0], 3.0, 1e-9);
+    EXPECT_NEAR(x[1], 2.0, 1e-9);
+}
+
+TEST(SolveDense, ThrowsOnSingular) {
+    const std::vector<double> a{1, 2, 2, 4};
+    const std::vector<double> b{1, 2};
+    EXPECT_THROW((void)solve_dense(a, b), Error);
+}
+
+TEST(ThiNet, PrunesZeroContributionChannelFirst) {
+    const auto dataset = small_dataset();
+    auto model = small_model();
+
+    // Zero all conv2 weights reading channel 5 of conv1's output: channel 5
+    // contributes nothing to the next layer and must be pruned first.
+    auto& conv2 = model.net.layer_as<nn::Conv2d>(model.conv_indices[1]);
+    auto& w = conv2.weight().value;
+    for (int f = 0; f < conv2.out_channels(); ++f)
+        for (int ky = 0; ky < conv2.kernel(); ++ky)
+            for (int kx = 0; kx < conv2.kernel(); ++kx) w.at(f, 5, ky, kx) = 0.0f;
+
+    ConvChain chain{&model.net, model.conv_indices, model.classifier_index};
+    const data::Batch sample = data::sample_subset(dataset.train(), 16, 1);
+    ThiNetOptions opts;
+    opts.samples = 150;
+    opts.least_squares = false;
+    const auto result = thinet_select(chain, 0, sample, 7, opts);
+    EXPECT_EQ(result.keep.size(), 7u);
+    EXPECT_EQ(std::find(result.keep.begin(), result.keep.end(), 5),
+              result.keep.end());
+}
+
+TEST(ThiNet, ApplyShrinksAndRuns) {
+    const auto dataset = small_dataset();
+    auto model = small_model();
+    ConvChain chain{&model.net, model.conv_indices, model.classifier_index};
+    const data::Batch sample = data::sample_subset(dataset.train(), 16, 2);
+    ThiNetOptions opts;
+    opts.samples = 100;
+    const auto result = thinet_select(chain, 0, sample, 4, opts);
+    thinet_apply(chain, 0, result);
+
+    auto& conv1 = model.net.layer_as<nn::Conv2d>(model.conv_indices[0]);
+    EXPECT_EQ(conv1.out_channels(), 4);
+    // The network still evaluates.
+    const double acc = nn::evaluate(model.net, dataset.test());
+    EXPECT_GE(acc, 0.0);
+}
+
+TEST(ThiNet, LeastSquaresReducesReconstructionError) {
+    // With the fix enabled, the kept channels are rescaled; scales should
+    // not all be exactly 1 (the system is overdetermined and noisy).
+    const auto dataset = small_dataset();
+    auto model = small_model();
+    ConvChain chain{&model.net, model.conv_indices, model.classifier_index};
+    const data::Batch sample = data::sample_subset(dataset.train(), 16, 3);
+    ThiNetOptions opts;
+    opts.samples = 200;
+    opts.least_squares = true;
+    const auto result = thinet_select(chain, 0, sample, 4, opts);
+    bool any_scaled = false;
+    for (float s : result.scales)
+        if (std::abs(s - 1.0f) > 1e-3f) any_scaled = true;
+    EXPECT_TRUE(any_scaled);
+}
+
+TEST(ThiNet, RejectsLastConv) {
+    auto model = small_model();
+    ConvChain chain{&model.net, model.conv_indices, model.classifier_index};
+    const auto dataset = small_dataset();
+    const data::Batch sample = data::sample_subset(dataset.train(), 8, 4);
+    ThiNetOptions opts;
+    EXPECT_THROW((void)thinet_select(chain, 1, sample, 4, opts), Error);
+}
+
+TEST(ChannelGateTest, ForwardScalesChannels) {
+    ChannelGate gate(2, /*init_logit=*/0.0f); // gate = 0.5 everywhere
+    Tensor x = Tensor::full({1, 2, 2, 2}, 2.0f);
+    const Tensor y = gate.forward(x, false);
+    for (float v : y.data()) EXPECT_FLOAT_EQ(v, 1.0f);
+}
+
+TEST(ChannelGateTest, SharpnessSaturates) {
+    ChannelGate gate(1, 1.0f);
+    gate.set_scale(50.0f);
+    EXPECT_GT(gate.gate_values()[0], 0.999f);
+}
+
+TEST(ChannelGateTest, GradientFlowsToLogits) {
+    ChannelGate gate(2, 0.0f);
+    Tensor x = Tensor::full({1, 2, 1, 1}, 1.0f);
+    (void)gate.forward(x, true);
+    Tensor g({1, 2, 1, 1});
+    g[0] = 1.0f;
+    g[1] = 0.0f;
+    const Tensor dx = gate.backward(g);
+    EXPECT_FLOAT_EQ(dx[0], 0.5f); // dy · gate
+    EXPECT_NE(gate.logits().grad[0], 0.0f);
+    EXPECT_EQ(gate.logits().grad[1], 0.0f);
+}
+
+TEST(AutoPruner, SelectsRequestedCountAndRestoresNet) {
+    const auto dataset = small_dataset();
+    auto model = small_model();
+    const int layers_before = model.net.size();
+    ConvChain chain{&model.net, model.conv_indices, model.classifier_index};
+    data::DataLoader loader(dataset.train(), 16, true, 5);
+    AutoPrunerOptions opts;
+    opts.epochs = 2;
+    const auto keep = autopruner_select(chain, 0, loader, 4, opts);
+    EXPECT_EQ(keep.size(), 4u);
+    EXPECT_EQ(model.net.size(), layers_before); // gate removed again
+    for (int c : keep) {
+        EXPECT_GE(c, 0);
+        EXPECT_LT(c, 8);
+    }
+}
+
+TEST(AutoPruner, KeepsInformativeChannelsOverDeadOnes) {
+    const auto dataset = small_dataset();
+    auto model = small_model();
+    // Kill channels 6 and 7 of conv1 (zero weights and bias): they carry no
+    // information, so a trained gate should not prefer them.
+    auto& conv1 = model.net.layer_as<nn::Conv2d>(model.conv_indices[0]);
+    auto w = conv1.weight().value.data();
+    const std::int64_t per = conv1.weight().value.numel() / 8;
+    for (std::int64_t i = 6 * per; i < 8 * per; ++i) w[static_cast<std::size_t>(i)] = 0.0f;
+    conv1.bias().value[6] = 0.0f;
+    conv1.bias().value[7] = 0.0f;
+
+    ConvChain chain{&model.net, model.conv_indices, model.classifier_index};
+    data::DataLoader loader(dataset.train(), 16, true, 6);
+    AutoPrunerOptions opts;
+    opts.epochs = 3;
+    const auto keep = autopruner_select(chain, 0, loader, 4, opts);
+    int dead_kept = 0;
+    for (int c : keep)
+        if (c >= 6) ++dead_kept;
+    EXPECT_LE(dead_kept, 1);
+}
+
+} // namespace
+} // namespace hs::pruning

@@ -1,0 +1,233 @@
+// Tests for the HeadStart core: reward shaping (Eq. 2–4), action sampling
+// (Eq. 6/10), REINFORCE gradients (Eq. 7–9), the policy network, and the
+// generic ActionSearch driver.
+
+#include <cmath>
+#include <numeric>
+
+#include <gtest/gtest.h>
+
+#include "core/headstart_net.h"
+#include "core/reward.h"
+#include "core/search.h"
+#include "pruning/mask.h"
+
+namespace hs::core {
+namespace {
+
+TEST(Reward, AccRewardEq2) {
+    // acc' == acc → log(2); acc' == 0 → log(1) = 0.
+    EXPECT_NEAR(acc_reward(0.7, 0.7), std::log(2.0), 1e-12);
+    EXPECT_NEAR(acc_reward(0.0, 0.7), 0.0, 1e-12);
+    EXPECT_GT(acc_reward(0.6, 0.7), acc_reward(0.3, 0.7));
+    EXPECT_THROW((void)acc_reward(0.5, 0.0), Error);
+}
+
+TEST(Reward, SpdPenaltyEq3) {
+    // Exactly on target → 0; deviation grows symmetrically.
+    EXPECT_DOUBLE_EQ(spd_penalty(64, 32, 2.0), 0.0);
+    EXPECT_DOUBLE_EQ(spd_penalty(64, 64, 2.0), 1.0);
+    EXPECT_DOUBLE_EQ(spd_penalty(64, 16, 2.0), 2.0);
+    EXPECT_THROW((void)spd_penalty(64, 0, 2.0), Error);
+}
+
+TEST(Reward, CombinedEq4PrefersBalanced) {
+    // Keeping exactly C/sp with full accuracy beats keeping everything.
+    const double balanced = reward(0.7, 0.7, 64, 32, 2.0);
+    const double no_prune = reward(0.7, 0.7, 64, 64, 2.0);
+    const double over_prune = reward(0.1, 0.7, 64, 8, 2.0);
+    EXPECT_GT(balanced, no_prune);
+    EXPECT_GT(balanced, over_prune);
+}
+
+TEST(Actions, SampleFollowsProbabilities) {
+    Rng rng(3);
+    const std::vector<float> probs{0.95f, 0.05f, 0.95f, 0.05f};
+    int keep0 = 0, keep1 = 0;
+    for (int i = 0; i < 1000; ++i) {
+        const auto a = sample_action(probs, rng);
+        keep0 += a[0] != 0.0f;
+        keep1 += a[1] != 0.0f;
+    }
+    EXPECT_GT(keep0, 900);
+    EXPECT_LT(keep1, 120);
+}
+
+TEST(Actions, SampleEnforcesMinKeep) {
+    Rng rng(4);
+    const std::vector<float> probs{0.0f, 0.0f, 0.0f, 0.4f};
+    for (int i = 0; i < 20; ++i) {
+        const auto a = sample_action(probs, rng, 2);
+        EXPECT_GE(pruning::l0_norm(a), 2);
+        // The highest-probability channel is force-kept first.
+        EXPECT_EQ(a[3], 1.0f);
+    }
+}
+
+TEST(Actions, InferenceActionEq10) {
+    const std::vector<float> probs{0.7f, 0.49f, 0.5f, 0.2f};
+    const auto a = inference_action(probs, 0.5f);
+    EXPECT_EQ(a, (std::vector<float>{1, 0, 1, 0}));
+}
+
+TEST(Actions, InferenceActionMinKeepFallback) {
+    const std::vector<float> probs{0.1f, 0.3f, 0.2f};
+    const auto a = inference_action(probs, 0.5f, 1);
+    EXPECT_EQ(pruning::l0_norm(a), 1);
+    EXPECT_EQ(a[1], 1.0f); // argmax probability force-kept
+}
+
+TEST(PolicyGradient, SignPushesTowardRewardedActions) {
+    // Positive advantage on a kept channel must *decrease* dL/dp (gradient
+    // descent then increases p).
+    const std::vector<float> probs{0.5f, 0.5f};
+    const std::vector<float> action{1.0f, 0.0f};
+    std::vector<float> grad(2, 0.0f);
+    accumulate_policy_gradient(probs, action, /*advantage=*/1.0, 1.0, grad);
+    EXPECT_LT(grad[0], 0.0f); // kept + rewarded → raise p0
+    EXPECT_GT(grad[1], 0.0f); // dropped + rewarded → lower p1
+}
+
+TEST(PolicyGradient, ZeroAdvantageZeroGradient) {
+    const std::vector<float> probs{0.3f, 0.8f};
+    const std::vector<float> action{1.0f, 1.0f};
+    std::vector<float> grad(2, 0.0f);
+    accumulate_policy_gradient(probs, action, 0.0, 1.0, grad);
+    EXPECT_EQ(grad[0], 0.0f);
+    EXPECT_EQ(grad[1], 0.0f);
+}
+
+TEST(PolicyGradient, ClampsExtremeProbs) {
+    const std::vector<float> probs{0.0f, 1.0f};
+    const std::vector<float> action{1.0f, 0.0f};
+    std::vector<float> grad(2, 0.0f);
+    accumulate_policy_gradient(probs, action, 1.0, 1.0, grad);
+    EXPECT_TRUE(std::isfinite(grad[0]));
+    EXPECT_TRUE(std::isfinite(grad[1]));
+}
+
+TEST(HeadStartNetTest, OutputsProbabilities) {
+    PolicyConfig cfg;
+    HeadStartNet policy(12, cfg);
+    Rng rng(7);
+    const auto p = policy.probs(rng);
+    ASSERT_EQ(p.size(), 12u);
+    for (float v : p) {
+        EXPECT_GT(v, 0.0f);
+        EXPECT_LT(v, 1.0f);
+    }
+}
+
+TEST(HeadStartNetTest, GradientMovesProbabilities) {
+    PolicyConfig cfg;
+    cfg.lr = 0.05f;
+    HeadStartNet policy(4, cfg);
+    Rng rng(8);
+    // Repeatedly push p0 up and p1 down.
+    for (int i = 0; i < 60; ++i) {
+        (void)policy.probs(rng);
+        std::vector<float> grad{-1.0f, 1.0f, 0.0f, 0.0f};
+        policy.apply_gradient(grad);
+    }
+    const auto p = policy.probs(rng);
+    EXPECT_GT(p[0], 0.85f);
+    EXPECT_LT(p[1], 0.15f);
+}
+
+/// Synthetic search problem: channels 0..C/2-1 are "critical" (accuracy
+/// collapses without them), the rest are redundant. The optimal inception
+/// keeps exactly the critical half — which also meets sp = 2.
+double synthetic_accuracy(std::span<const float> action, int critical) {
+    int kept_critical = 0;
+    for (int i = 0; i < critical; ++i)
+        if (action[static_cast<std::size_t>(i)] != 0.0f) ++kept_critical;
+    return 0.1 + 0.8 * kept_critical / critical;
+}
+
+TEST(ActionSearch, LearnsToKeepCriticalChannels) {
+    constexpr int kChannels = 16;
+    constexpr int kCritical = 8;
+    SearchConfig cfg;
+    cfg.speedup = 2.0;
+    cfg.max_iters = 120;
+    cfg.stable_window = 25;
+    cfg.stable_eps = 1e-4;
+    cfg.seed = 3;
+    ActionSearch search(
+        kChannels,
+        [](std::span<const float> a) { return synthetic_accuracy(a, kCritical); },
+        0.9, cfg);
+    const auto result = search.run();
+
+    // The learnt keep set should cover most critical channels and hit a
+    // near-target size.
+    int critical_kept = 0;
+    for (int c : result.keep)
+        if (c < kCritical) ++critical_kept;
+    EXPECT_GE(critical_kept, 6);
+    EXPECT_LE(static_cast<int>(result.keep.size()), 12);
+    EXPECT_GT(result.inception_accuracy, 0.7);
+}
+
+TEST(ActionSearch, RespectsSpeedupTarget) {
+    // Accuracy-indifferent problem: any action scores the same, so the SPD
+    // term alone should pull ‖A‖₀ toward C/sp.
+    constexpr int kChannels = 20;
+    SearchConfig cfg;
+    cfg.speedup = 4.0;
+    cfg.max_iters = 150;
+    cfg.stable_window = 40;
+    cfg.stable_eps = 1e-5;
+    cfg.seed = 5;
+    ActionSearch search(
+        kChannels, [](std::span<const float>) { return 0.8; }, 0.8, cfg);
+    const auto result = search.run();
+    EXPECT_NEAR(static_cast<double>(result.keep.size()), 20.0 / 4.0, 2.1);
+}
+
+TEST(ActionSearch, StopsWhenRewardStable) {
+    SearchConfig cfg;
+    cfg.max_iters = 500;
+    cfg.stable_window = 5;
+    cfg.stable_eps = 10.0; // everything counts as stable
+    ActionSearch search(8, [](std::span<const float>) { return 0.5; }, 0.5, cfg);
+    const auto result = search.run();
+    EXPECT_EQ(result.iterations, 5);
+}
+
+TEST(ActionSearch, HistoriesAligned) {
+    SearchConfig cfg;
+    cfg.max_iters = 12;
+    cfg.stable_window = 100; // never converges early
+    ActionSearch search(6, [](std::span<const float>) { return 0.5; }, 0.5, cfg);
+    const auto result = search.run();
+    EXPECT_EQ(result.reward_history.size(), 12u);
+    EXPECT_EQ(result.l0_history.size(), 12u);
+}
+
+TEST(ActionSearch, BaselineModesAllRun) {
+    for (BaselineMode mode : {BaselineMode::kInferenceAction,
+                              BaselineMode::kMovingAverage, BaselineMode::kNone}) {
+        SearchConfig cfg;
+        cfg.max_iters = 10;
+        cfg.baseline = mode;
+        cfg.seed = 17;
+        ActionSearch search(6, [](std::span<const float> a) {
+            return 0.3 + 0.01 * pruning::l0_norm(a);
+        }, 0.5, cfg);
+        const auto result = search.run();
+        EXPECT_FALSE(result.keep.empty());
+    }
+}
+
+TEST(ActionSearch, RejectsBadArguments) {
+    SearchConfig cfg;
+    EXPECT_THROW(ActionSearch(0, [](std::span<const float>) { return 0.5; }, 0.5, cfg),
+                 Error);
+    EXPECT_THROW(ActionSearch(4, nullptr, 0.5, cfg), Error);
+    EXPECT_THROW(ActionSearch(4, [](std::span<const float>) { return 0.5; }, 0.0, cfg),
+                 Error);
+}
+
+} // namespace
+} // namespace hs::core

@@ -1,0 +1,144 @@
+// Tests for the synthetic dataset generator and the data loader.
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "data/dataloader.h"
+#include "data/synthetic.h"
+
+namespace hs::data {
+namespace {
+
+TEST(Synthetic, ShapesAndLabels) {
+    SyntheticConfig cfg;
+    cfg.num_classes = 4;
+    cfg.image_size = 8;
+    cfg.train_per_class = 5;
+    cfg.test_per_class = 3;
+    const SyntheticImageDataset ds(cfg);
+    EXPECT_EQ(ds.train().size(), 20);
+    EXPECT_EQ(ds.test().size(), 12);
+    EXPECT_EQ(ds.train().images.shape(), (Shape{20, 3, 8, 8}));
+    for (int label : ds.train().labels) {
+        EXPECT_GE(label, 0);
+        EXPECT_LT(label, 4);
+    }
+    // Every class is present.
+    std::set<int> classes(ds.train().labels.begin(), ds.train().labels.end());
+    EXPECT_EQ(classes.size(), 4u);
+}
+
+TEST(Synthetic, DeterministicInSeed) {
+    SyntheticConfig cfg;
+    cfg.num_classes = 3;
+    cfg.image_size = 8;
+    cfg.train_per_class = 4;
+    cfg.test_per_class = 2;
+    const SyntheticImageDataset a(cfg), b(cfg);
+    EXPECT_TRUE(a.train().images.equals(b.train().images));
+    cfg.seed += 1;
+    const SyntheticImageDataset c(cfg);
+    EXPECT_FALSE(a.train().images.equals(c.train().images));
+}
+
+TEST(Synthetic, SamplesWithinClassDiffer) {
+    SyntheticConfig cfg;
+    cfg.num_classes = 2;
+    cfg.image_size = 8;
+    cfg.train_per_class = 2;
+    cfg.test_per_class = 1;
+    const SyntheticImageDataset ds(cfg);
+    const auto img = ds.train().images;
+    // Samples 0 and 1 are the same class but jittered differently.
+    const std::int64_t chw = img.numel() / img.dim(0);
+    double diff = 0.0;
+    for (std::int64_t i = 0; i < chw; ++i)
+        diff += std::abs(img[i] - img[chw + i]);
+    EXPECT_GT(diff, 1.0);
+}
+
+TEST(Synthetic, PresetsAreValid) {
+    const auto cifar = cifar100_like();
+    const auto cub = cub200_like();
+    EXPECT_GT(cub.num_classes, cifar.num_classes);
+    EXPECT_GT(cub.image_size, cifar.image_size);
+    EXPECT_TRUE(cub.fine_grained);
+    EXPECT_FALSE(cifar.fine_grained);
+}
+
+TEST(Synthetic, RejectsBadConfig) {
+    SyntheticConfig cfg;
+    cfg.num_classes = 1;
+    EXPECT_THROW(SyntheticImageDataset{cfg}, Error);
+    cfg.num_classes = 2;
+    cfg.image_size = 2;
+    EXPECT_THROW(SyntheticImageDataset{cfg}, Error);
+}
+
+class DataLoaderTest : public ::testing::Test {
+protected:
+    DataLoaderTest() {
+        split_.images = Tensor({10, 1, 2, 2});
+        for (int i = 0; i < 10; ++i) {
+            split_.labels.push_back(i);
+            for (int j = 0; j < 4; ++j)
+                split_.images[i * 4 + j] = static_cast<float>(i);
+        }
+    }
+    Split split_;
+};
+
+TEST_F(DataLoaderTest, BatchCountCeil) {
+    DataLoader loader(split_, 4, false);
+    EXPECT_EQ(loader.batches_per_epoch(), 3);
+    EXPECT_EQ(loader.batch(0).size(), 4);
+    EXPECT_EQ(loader.batch(2).size(), 2); // remainder batch
+}
+
+TEST_F(DataLoaderTest, SequentialOrderWithoutShuffle) {
+    DataLoader loader(split_, 3, false);
+    const Batch b = loader.batch(1);
+    EXPECT_EQ(b.labels, (std::vector<int>{3, 4, 5}));
+    EXPECT_FLOAT_EQ(b.images[0], 3.0f); // image content follows the label
+}
+
+TEST_F(DataLoaderTest, ShuffleCoversAllOncePerEpoch) {
+    DataLoader loader(split_, 3, true);
+    std::multiset<int> seen;
+    for (int b = 0; b < loader.batches_per_epoch(); ++b)
+        for (int label : loader.batch(b).labels) seen.insert(label);
+    EXPECT_EQ(seen.size(), 10u);
+    for (int i = 0; i < 10; ++i) EXPECT_EQ(seen.count(i), 1u);
+}
+
+TEST_F(DataLoaderTest, StartEpochReshuffles) {
+    DataLoader loader(split_, 10, true);
+    const auto first = loader.batch(0).labels;
+    loader.start_epoch();
+    const auto second = loader.batch(0).labels;
+    EXPECT_NE(first, second); // overwhelmingly likely with 10! permutations
+}
+
+TEST_F(DataLoaderTest, GatherPicksRequestedRows) {
+    const std::vector<int> idx{7, 2};
+    const Batch b = gather(split_, idx);
+    EXPECT_EQ(b.labels, (std::vector<int>{7, 2}));
+    EXPECT_FLOAT_EQ(b.images[0], 7.0f);
+    EXPECT_FLOAT_EQ(b.images[4], 2.0f);
+    const std::vector<int> bad{11};
+    EXPECT_THROW((void)gather(split_, bad), Error);
+}
+
+TEST_F(DataLoaderTest, SampleSubsetDeterministic) {
+    const Batch a = sample_subset(split_, 5, 42);
+    const Batch b = sample_subset(split_, 5, 42);
+    EXPECT_EQ(a.labels, b.labels);
+    const Batch c = sample_subset(split_, 5, 43);
+    EXPECT_NE(a.labels, c.labels);
+    // Count larger than the split clamps.
+    EXPECT_EQ(sample_subset(split_, 100, 1).size(), 10);
+}
+
+} // namespace
+} // namespace hs::data

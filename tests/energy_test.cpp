@@ -1,0 +1,79 @@
+// Tests for the energy model layered on the roofline simulator.
+
+#include <gtest/gtest.h>
+
+#include "gpusim/energy.h"
+#include "models/vgg.h"
+#include "nn/conv2d.h"
+#include "pruning/surgery.h"
+
+namespace hs::gpusim {
+namespace {
+
+TEST(Energy, PowerCatalogSane) {
+    for (const Device& d : {gtx_1080ti(), jetson_tx2_gpu(), xeon_e5_2620(),
+                            cortex_a57()}) {
+        const PowerModel p = power_of(d);
+        EXPECT_GT(p.idle, 0.0) << d.name;
+        EXPECT_GT(p.dynamic_compute, 0.0) << d.name;
+        EXPECT_GT(p.dynamic_memory, 0.0) << d.name;
+    }
+    // Edge devices draw far less than the desktop GPU.
+    EXPECT_LT(power_of(jetson_tx2_gpu()).idle + power_of(jetson_tx2_gpu()).dynamic_compute,
+              power_of(gtx_1080ti()).dynamic_compute);
+}
+
+TEST(Energy, PositiveAndConsistent) {
+    models::VggConfig cfg;
+    auto model = models::make_vgg16(cfg);
+    const auto e = estimate_energy(model.net, {3, 16, 16}, jetson_tx2_gpu(), 4);
+    EXPECT_GT(e.joules, 0.0);
+    EXPECT_NEAR(e.joules_per_image, e.joules / 4.0, 1e-12);
+    EXPECT_GT(e.avg_power, power_of(jetson_tx2_gpu()).idle);
+}
+
+TEST(Energy, AvgPowerBoundedByModel) {
+    models::VggConfig cfg;
+    cfg.width_scale = 1.0;
+    cfg.input_size = 32;
+    auto model = models::make_vgg16(cfg);
+    const PowerModel p = power_of(gtx_1080ti());
+    const auto e = estimate_energy(model.net, {3, 32, 32}, gtx_1080ti(), 8);
+    EXPECT_LE(e.avg_power,
+              p.idle + p.dynamic_compute + p.dynamic_memory + 1e-9);
+}
+
+TEST(Energy, PruningSavesEnergyPerImage) {
+    models::VggConfig cfg;
+    cfg.width_scale = 1.0;
+    cfg.input_size = 32;
+    auto original = models::make_vgg16(cfg);
+    auto pruned = original;
+    pruning::ConvChain chain{&pruned.net, pruned.conv_indices,
+                             pruned.classifier_index};
+    for (int i = 0; i < pruned.num_convs() - 1; ++i) {
+        auto& conv = pruned.net.layer_as<nn::Conv2d>(pruned.conv_indices[i]);
+        std::vector<int> keep;
+        for (int c = 0; c < conv.out_channels() / 2; ++c) keep.push_back(c);
+        pruning::prune_feature_maps(chain, i, keep);
+    }
+    for (const Device& d : {jetson_tx2_gpu(), gtx_1080ti(), cortex_a57()}) {
+        const auto before = estimate_energy(original.net, {3, 32, 32}, d, 1);
+        const auto after = estimate_energy(pruned.net, {3, 32, 32}, d, 1);
+        EXPECT_LT(after.joules_per_image, before.joules_per_image) << d.name;
+    }
+}
+
+TEST(Energy, IdleDominatesWhenWorkTiny) {
+    // A trivial model on a big GPU: energy ≈ idle·latency (overhead bound).
+    Rng rng(1);
+    nn::Sequential net;
+    net.emplace<nn::Conv2d>(1, 1, 1, 1, 0, false, rng);
+    const auto lat = estimate_inference(net, {1, 2, 2}, gtx_1080ti(), 1);
+    const auto e = estimate_energy(lat, power_of(gtx_1080ti()));
+    EXPECT_LT(e.avg_power, power_of(gtx_1080ti()).idle +
+                               power_of(gtx_1080ti()).dynamic_memory + 1.0);
+}
+
+} // namespace
+} // namespace hs::gpusim

@@ -1,0 +1,135 @@
+// Tests for the extension features: the Taylor-expansion metric
+// (Molchanov'16, paper ref. [8]) and intra-block HeadStart pruning
+// (the paper's noted finer ResNet granularity).
+
+#include <gtest/gtest.h>
+
+#include "core/block_internal_pruner.h"
+#include "data/dataloader.h"
+#include "models/lenet.h"
+#include "models/summary.h"
+#include "nn/conv2d.h"
+#include "nn/trainer.h"
+#include "pruning/metrics.h"
+
+namespace hs {
+namespace {
+
+data::SyntheticImageDataset tiny_dataset() {
+    data::SyntheticConfig cfg = data::cifar100_like();
+    cfg.num_classes = 5;
+    cfg.image_size = 8;
+    cfg.train_per_class = 20;
+    cfg.test_per_class = 8;
+    cfg.seed = 17;
+    return data::SyntheticImageDataset(cfg);
+}
+
+TEST(TaylorMetric, ScoresDeadMapsLowest) {
+    const auto dataset = tiny_dataset();
+    models::LeNetConfig cfg;
+    cfg.input_size = 8;
+    cfg.num_classes = 5;
+    cfg.conv1_maps = 8;
+    auto model = models::make_lenet(cfg);
+
+    // Kill map 3: zero weights and bias → zero activation → zero Taylor
+    // term, so it must rank last.
+    auto& conv = model.net.layer_as<nn::Conv2d>(model.conv_indices[0]);
+    auto w = conv.weight().value.data();
+    const std::int64_t per = conv.weight().value.numel() / 8;
+    for (std::int64_t i = 3 * per; i < 4 * per; ++i)
+        w[static_cast<std::size_t>(i)] = 0.0f;
+    conv.bias().value[3] = 0.0f;
+
+    const data::Batch sample = data::sample_subset(dataset.train(), 32, 5);
+    Rng rng(1);
+    const auto keep = pruning::select_keep(pruning::Metric::kTaylor, model.net,
+                                           model.conv_indices[0], sample, 7, rng);
+    EXPECT_EQ(std::find(keep.begin(), keep.end(), 3), keep.end());
+}
+
+TEST(TaylorMetric, DoesNotLeakGradients) {
+    const auto dataset = tiny_dataset();
+    models::LeNetConfig cfg;
+    cfg.input_size = 8;
+    cfg.num_classes = 5;
+    auto model = models::make_lenet(cfg);
+    const data::Batch sample = data::sample_subset(dataset.train(), 16, 5);
+    Rng rng(1);
+    (void)pruning::select_keep(pruning::Metric::kTaylor, model.net,
+                               model.conv_indices[0], sample, 4, rng);
+    for (const nn::Param* p : model.net.params())
+        EXPECT_EQ(p->grad.abs_max(), 0.0f) << p->name;
+}
+
+TEST(TaylorMetric, NamedCorrectly) {
+    EXPECT_STREQ(pruning::metric_name(pruning::Metric::kTaylor), "taylor");
+}
+
+TEST(BlockInternal, PrunesEveryBlockAndStaysFunctional) {
+    const auto dataset = tiny_dataset();
+    models::ResNetConfig cfg;
+    cfg.blocks_per_group = {2, 2, 2};
+    cfg.input_size = 8;
+    cfg.num_classes = 5;
+    cfg.width_scale = 0.5;
+    auto model = models::make_resnet(cfg);
+
+    data::DataLoader loader(dataset.train(), 20, true, 3);
+    (void)nn::finetune(model.net, loader, 3, 1e-2f);
+
+    const Shape input{3, 8, 8};
+    const auto before = models::summarize(model.net, input);
+
+    core::BlockInternalConfig prune_cfg;
+    prune_cfg.search.speedup = 2.0;
+    prune_cfg.search.max_iters = 8;
+    prune_cfg.search.stable_window = 4;
+    prune_cfg.finetune_epochs = 1;
+    prune_cfg.reward_subset = 32;
+    const auto result =
+        core::headstart_prune_block_internals(model, dataset, prune_cfg);
+
+    EXPECT_EQ(result.trace.size(), 6u);
+    for (const auto& row : result.trace) {
+        EXPECT_LE(row.maps_after, row.maps_before);
+        EXPECT_GE(row.maps_after, 1);
+    }
+    EXPECT_LT(result.params, before.params);
+    EXPECT_LT(result.flops, before.flops);
+    EXPECT_GE(result.final_accuracy, 0.0);
+
+    // Block interfaces must be intact: the model still evaluates.
+    const double acc = nn::evaluate(model.net, dataset.test());
+    EXPECT_GE(acc, 0.0);
+}
+
+TEST(BlockInternal, ComposesWithBlockLevelPruning) {
+    // Intra-block surgery leaves interfaces intact, so gate-0 passthrough
+    // still works afterwards.
+    const auto dataset = tiny_dataset();
+    models::ResNetConfig cfg;
+    cfg.blocks_per_group = {2, 1, 1};
+    cfg.input_size = 8;
+    cfg.num_classes = 5;
+    cfg.width_scale = 0.5;
+    auto model = models::make_resnet(cfg);
+
+    core::BlockInternalConfig prune_cfg;
+    prune_cfg.search.max_iters = 4;
+    prune_cfg.search.stable_window = 2;
+    prune_cfg.finetune_epochs = 0;
+    prune_cfg.reward_subset = 16;
+    (void)core::headstart_prune_block_internals(model, dataset, prune_cfg);
+
+    model.block(1).set_gate(0.0f);
+    Tensor x({1, 3, 8, 8});
+    Rng rng(2);
+    rng.fill_normal(x, 0.0, 1.0);
+    const Tensor y = model.net.forward(x, false);
+    EXPECT_EQ(y.dim(1), 5);
+}
+
+} // namespace
+} // namespace hs

@@ -1,0 +1,122 @@
+// Tests for the roofline inference simulator and the device catalog.
+
+#include <gtest/gtest.h>
+
+#include "gpusim/roofline.h"
+#include "models/resnet.h"
+#include "models/vgg.h"
+#include "nn/conv2d.h"
+#include "nn/sequential.h"
+#include "pruning/resnet_surgery.h"
+#include "pruning/surgery.h"
+#include "tensor/rng.h"
+
+namespace hs::gpusim {
+namespace {
+
+TEST(Devices, CatalogSane) {
+    for (const Device& d : {gtx_1080ti(), jetson_tx2_gpu(), xeon_e5_2620(),
+                            cortex_a57()}) {
+        EXPECT_GT(d.peak_flops, 0.0) << d.name;
+        EXPECT_GT(d.mem_bandwidth, 0.0) << d.name;
+        EXPECT_GT(d.parallel_units, 0) << d.name;
+        EXPECT_GT(d.min_efficiency, 0.0) << d.name;
+        EXPECT_LE(d.min_efficiency, 1.0) << d.name;
+    }
+    EXPECT_GT(gtx_1080ti().peak_flops, jetson_tx2_gpu().peak_flops);
+    EXPECT_GT(jetson_tx2_gpu().peak_flops, xeon_e5_2620().peak_flops);
+    EXPECT_GT(xeon_e5_2620().peak_flops, cortex_a57().peak_flops);
+}
+
+TEST(Roofline, LatencyPositiveAndAdditive) {
+    models::VggConfig cfg;
+    auto model = models::make_vgg16(cfg);
+    const auto est = estimate_inference(model.net, {3, 16, 16}, gtx_1080ti());
+    EXPECT_GT(est.latency, 0.0);
+    EXPECT_GT(est.fps, 0.0);
+    double sum = 0.0;
+    for (const auto& layer : est.layers) sum += layer.total_s;
+    EXPECT_NEAR(sum, est.latency, 1e-12);
+}
+
+TEST(Roofline, FasterDeviceHigherFps) {
+    models::VggConfig cfg;
+    cfg.width_scale = 1.0;
+    cfg.input_size = 32;
+    auto model = models::make_vgg16(cfg);
+    const double fast =
+        estimate_inference(model.net, {3, 32, 32}, gtx_1080ti()).fps;
+    const double slow =
+        estimate_inference(model.net, {3, 32, 32}, cortex_a57()).fps;
+    EXPECT_GT(fast, slow);
+}
+
+TEST(Roofline, BatchingAmortizesOverhead) {
+    models::VggConfig cfg;
+    auto model = models::make_vgg16(cfg);
+    const double fps1 = estimate_inference(model.net, {3, 16, 16}, gtx_1080ti(), 1).fps;
+    const double fps32 =
+        estimate_inference(model.net, {3, 16, 16}, gtx_1080ti(), 32).fps;
+    EXPECT_GT(fps32, fps1);
+}
+
+TEST(Roofline, PruningImprovesFps) {
+    models::VggConfig cfg;
+    cfg.width_scale = 1.0; // full-size model: compute-bound on the GPU
+    cfg.input_size = 32;
+    auto original = models::make_vgg16(cfg);
+    auto pruned = original; // VggModel copy: deep (Sequential deep-copies)
+
+    pruning::ConvChain chain{&pruned.net, pruned.conv_indices,
+                             pruned.classifier_index};
+    for (int i = 0; i < pruned.num_convs() - 1; ++i) {
+        auto& conv = pruned.net.layer_as<nn::Conv2d>(pruned.conv_indices[i]);
+        std::vector<int> keep;
+        for (int c = 0; c < conv.out_channels() / 2; ++c) keep.push_back(c);
+        pruning::prune_feature_maps(chain, i, keep);
+    }
+
+    const double ratio =
+        speedup_ratio(original.net, pruned.net, {3, 32, 32}, gtx_1080ti(), 16);
+    // Halving every width quarters most conv FLOPs; realizable speedup on
+    // the simulator should land well above 1.5x but below the 4x ideal.
+    EXPECT_GT(ratio, 1.5);
+    EXPECT_LT(ratio, 4.5);
+}
+
+TEST(Roofline, DroppedBlocksSpeedUpResNet) {
+    models::ResNetConfig cfg;
+    cfg.blocks_per_group = {4, 4, 4};
+    cfg.input_size = 32;
+    cfg.width_scale = 1.0;
+    auto model = models::make_resnet(cfg);
+    const double before =
+        estimate_inference(model.net, {3, 32, 32}, jetson_tx2_gpu(), 8).fps;
+    std::vector<float> gates(12, 1.0f);
+    gates[1] = gates[2] = gates[5] = gates[9] = 0.0f;
+    pruning::apply_block_gates(model, gates);
+    const double after =
+        estimate_inference(model.net, {3, 32, 32}, jetson_tx2_gpu(), 8).fps;
+    EXPECT_GT(after, before * 1.15);
+}
+
+TEST(Roofline, MemoryBoundLayerUsesBandwidthTime) {
+    // A 1-channel 1x1 conv moves data but does trivial math: its time must
+    // be bandwidth- (or overhead-) dominated, not compute-dominated.
+    Rng rng(2);
+    nn::Sequential net;
+    net.emplace<nn::Conv2d>(1, 1, 1, 1, 0, true, rng);
+    const auto est = estimate_inference(net, {1, 256, 256}, gtx_1080ti());
+    ASSERT_EQ(est.layers.size(), 1u);
+    EXPECT_GE(est.layers[0].memory_s, est.layers[0].compute_s);
+}
+
+TEST(Roofline, RejectsBadBatch) {
+    models::VggConfig cfg;
+    auto model = models::make_vgg16(cfg);
+    EXPECT_THROW((void)estimate_inference(model.net, {3, 16, 16}, gtx_1080ti(), 0),
+                 Error);
+}
+
+} // namespace
+} // namespace hs::gpusim

@@ -1,0 +1,183 @@
+// End-to-end integration tests: whole-model HeadStart pruning, the
+// baseline pipelines, and block-level ResNet pruning on miniature
+// configurations. These exercise the same code paths as the paper benches
+// at a scale that runs in seconds.
+
+#include <gtest/gtest.h>
+
+#include "core/block_pruner.h"
+#include "core/model_pruner.h"
+#include "models/summary.h"
+#include "nn/conv2d.h"
+#include "nn/trainer.h"
+#include "pruning/pipeline.h"
+
+namespace hs {
+namespace {
+
+data::SyntheticImageDataset tiny_dataset() {
+    data::SyntheticConfig cfg = data::cifar100_like();
+    cfg.num_classes = 6;
+    cfg.image_size = 8;
+    cfg.train_per_class = 25;
+    cfg.test_per_class = 10;
+    cfg.seed = 404;
+    return data::SyntheticImageDataset(cfg);
+}
+
+models::VggModel tiny_vgg(const data::SyntheticConfig& data_cfg) {
+    models::VggConfig cfg;
+    cfg.input_size = data_cfg.image_size;
+    cfg.num_classes = data_cfg.num_classes;
+    cfg.width_scale = 0.0625; // 4..32 maps
+    return models::make_vgg16(cfg);
+}
+
+void quick_train(nn::Sequential& net, const data::SyntheticImageDataset& dataset,
+                 int epochs) {
+    data::DataLoader loader(dataset.train(), 25, true, 7);
+    (void)nn::finetune(net, loader, epochs, 1e-2f);
+}
+
+core::HeadStartConfig quick_headstart(double sp) {
+    core::HeadStartConfig cfg;
+    cfg.search.speedup = sp;
+    cfg.search.max_iters = 10;
+    cfg.search.stable_window = 4;
+    cfg.finetune_epochs = 1;
+    cfg.reward_subset = 48;
+    return cfg;
+}
+
+TEST(Integration, HeadStartWholeModelPrune) {
+    const auto dataset = tiny_dataset();
+    auto model = tiny_vgg(dataset.config());
+    quick_train(model.net, dataset, 4);
+
+    const auto result =
+        core::headstart_prune_vgg(model, dataset, quick_headstart(2.0));
+
+    // One trace row per pruned conv (all but the last).
+    EXPECT_EQ(result.trace.size(), 12u);
+    // Every layer physically shrank or stayed (never grew).
+    for (const auto& row : result.trace) {
+        EXPECT_LE(row.maps_after, row.maps_before);
+        EXPECT_GE(row.maps_after, 1);
+        EXPECT_GT(row.search_iterations, 0);
+    }
+    // Compression happened and the ratio accounting is consistent.
+    EXPECT_LT(result.compression_ratio, 1.0);
+    EXPECT_GT(result.compression_ratio, 0.05);
+    // The pruned model still runs and produces sane accuracy.
+    EXPECT_GE(result.final_accuracy, 0.0);
+    EXPECT_LE(result.final_accuracy, 1.0);
+    // Params decreased.
+    const Shape input{3, dataset.config().image_size, dataset.config().image_size};
+    auto fresh = tiny_vgg(dataset.config());
+    EXPECT_LT(result.params, models::summarize(fresh.net, input).params);
+}
+
+TEST(Integration, LayerTraceMonotonicParams) {
+    const auto dataset = tiny_dataset();
+    auto model = tiny_vgg(dataset.config());
+    quick_train(model.net, dataset, 3);
+    const auto result =
+        core::headstart_prune_vgg(model, dataset, quick_headstart(2.0));
+    for (std::size_t i = 1; i < result.trace.size(); ++i)
+        EXPECT_LE(result.trace[i].params, result.trace[i - 1].params)
+            << "params must shrink monotonically through the trace";
+}
+
+TEST(Integration, BaselinePipelinesAllRun) {
+    const auto dataset = tiny_dataset();
+    pruning::PipelineConfig cfg;
+    cfg.keep_ratio = 0.5;
+    cfg.finetune_epochs = 1;
+    cfg.sample_size = 40;
+
+    for (pruning::Scheme scheme :
+         {pruning::Scheme::kRandom, pruning::Scheme::kL1, pruning::Scheme::kAPoZ,
+          pruning::Scheme::kEntropy, pruning::Scheme::kThiNet,
+          pruning::Scheme::kAutoPruner}) {
+        auto model = tiny_vgg(dataset.config());
+        quick_train(model.net, dataset, 2);
+        const auto result =
+            pruning::prune_vgg_pipeline(model, dataset, scheme, cfg);
+        EXPECT_EQ(result.trace.size(), 12u) << pruning::scheme_name(scheme);
+        // Roughly half the maps kept per layer.
+        for (const auto& row : result.trace)
+            EXPECT_EQ(row.maps_after, std::max(1, row.maps_before / 2))
+                << pruning::scheme_name(scheme) << " " << row.name;
+        EXPECT_GE(result.final_accuracy, 0.0);
+    }
+}
+
+TEST(Integration, FromScratchMatchesArchitecture) {
+    const auto dataset = tiny_dataset();
+    auto model = tiny_vgg(dataset.config());
+    quick_train(model.net, dataset, 2);
+    pruning::PipelineConfig cfg;
+    cfg.keep_ratio = 0.5;
+    cfg.finetune_epochs = 1;
+    cfg.sample_size = 40;
+    (void)pruning::prune_vgg_pipeline(model, dataset, pruning::Scheme::kL1, cfg);
+    const double acc = pruning::train_pruned_from_scratch(model, dataset, 2, cfg);
+    EXPECT_GE(acc, 0.0);
+    EXPECT_LE(acc, 1.0);
+}
+
+TEST(Integration, BlockPruneEndToEnd) {
+    const auto dataset = tiny_dataset();
+    models::ResNetConfig cfg;
+    cfg.blocks_per_group = {3, 3, 3};
+    cfg.input_size = dataset.config().image_size;
+    cfg.num_classes = dataset.config().num_classes;
+    cfg.width_scale = 0.25;
+    auto model = models::make_resnet(cfg);
+    quick_train(model.net, dataset, 3);
+
+    core::BlockPruneConfig prune_cfg;
+    prune_cfg.search.speedup = 1.5;
+    prune_cfg.search.max_iters = 10;
+    prune_cfg.search.stable_window = 4;
+    prune_cfg.finetune_epochs = 1;
+    prune_cfg.reward_subset = 48;
+    const auto result = core::headstart_prune_blocks(model, dataset, prune_cfg);
+
+    // Group-opening blocks always survive.
+    EXPECT_GE(result.blocks_per_group[0], 1);
+    EXPECT_GE(result.blocks_per_group[1], 1);
+    EXPECT_GE(result.blocks_per_group[2], 1);
+    // Something was pruned (speedup pressure) but not everything.
+    const int kept = result.blocks_per_group[0] + result.blocks_per_group[1] +
+                     result.blocks_per_group[2];
+    EXPECT_LT(kept, 9);
+    EXPECT_GE(kept, 3);
+    // The compact model agrees with the kept-block bookkeeping.
+    EXPECT_EQ(static_cast<int>(result.kept_blocks.size()), kept);
+    EXPECT_GE(result.final_accuracy, 0.0);
+}
+
+TEST(Integration, HeadStartKeepCountTracksSpeedup) {
+    // Property: across speedups, the learnt total keep fraction decreases.
+    const auto dataset = tiny_dataset();
+    double prev_fraction = 1.1;
+    for (double sp : {1.5, 3.0}) {
+        auto model = tiny_vgg(dataset.config());
+        quick_train(model.net, dataset, 3);
+        auto cfg = quick_headstart(sp);
+        cfg.search.max_iters = 20;
+        const auto result = core::headstart_prune_vgg(model, dataset, cfg);
+        double kept = 0.0, total = 0.0;
+        for (const auto& row : result.trace) {
+            kept += row.maps_after;
+            total += row.maps_before;
+        }
+        const double fraction = kept / total;
+        EXPECT_LT(fraction, prev_fraction);
+        prev_fraction = fraction;
+    }
+}
+
+} // namespace
+} // namespace hs

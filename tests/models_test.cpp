@@ -1,0 +1,196 @@
+// Tests for the model builders and the summary (params/FLOPs) analysis.
+
+#include <gtest/gtest.h>
+
+#include "models/lenet.h"
+#include "nn/linear.h"
+#include "nn/pooling.h"
+#include "models/resnet.h"
+#include "models/summary.h"
+#include "models/vgg.h"
+#include "nn/conv2d.h"
+#include "tensor/rng.h"
+
+namespace hs::models {
+namespace {
+
+Tensor random_batch(int n, int c, int s, std::uint64_t seed = 3) {
+    Tensor t({n, c, s, s});
+    Rng rng(seed);
+    rng.fill_normal(t, 0.0, 1.0);
+    return t;
+}
+
+TEST(Vgg, ThirteenConvs) {
+    VggConfig cfg;
+    auto model = make_vgg16(cfg);
+    EXPECT_EQ(model.num_convs(), 13);
+    EXPECT_EQ(model.conv_names.front(), "conv1_1");
+    EXPECT_EQ(model.conv_names.back(), "conv5_3");
+}
+
+TEST(Vgg, ForwardShape) {
+    VggConfig cfg;
+    cfg.input_size = 16;
+    cfg.num_classes = 20;
+    auto model = make_vgg16(cfg);
+    const Tensor y = model.net.forward(random_batch(2, 3, 16), false);
+    EXPECT_EQ(y.shape(), (Shape{2, 20}));
+}
+
+TEST(Vgg, ForwardShape32px) {
+    VggConfig cfg;
+    cfg.input_size = 32;
+    cfg.num_classes = 7;
+    auto model = make_vgg16(cfg);
+    const Tensor y = model.net.forward(random_batch(1, 3, 32), false);
+    EXPECT_EQ(y.shape(), (Shape{1, 7}));
+}
+
+TEST(Vgg, WidthScaleChangesChannels) {
+    VggConfig half;
+    half.width_scale = 0.5;
+    auto model = make_vgg16(half);
+    const auto& conv = model.net.layer_as<nn::Conv2d>(model.conv_indices[0]);
+    EXPECT_EQ(conv.out_channels(), 32); // 64 * 0.5
+}
+
+TEST(Vgg, ExplicitWidths) {
+    std::vector<int> widths{4, 4, 8, 8, 16, 16, 16, 32, 32, 32, 32, 32, 32};
+    VggConfig cfg;
+    auto model = make_vgg16_widths(widths, cfg);
+    for (int i = 0; i < 13; ++i) {
+        const auto& conv = model.net.layer_as<nn::Conv2d>(model.conv_indices[i]);
+        EXPECT_EQ(conv.out_channels(), widths[static_cast<std::size_t>(i)]);
+    }
+    widths.pop_back();
+    EXPECT_THROW((void)make_vgg16_widths(widths, cfg), Error);
+}
+
+TEST(Vgg, CanonicalWidthsMatchPaper) {
+    const auto& w = vgg16_widths();
+    ASSERT_EQ(w.size(), 13u);
+    EXPECT_EQ(w[0], 64);
+    EXPECT_EQ(w[4], 256);
+    EXPECT_EQ(w[12], 512);
+}
+
+TEST(ResNet, DepthRule) {
+    EXPECT_EQ(resnet_depth({18, 18, 18}), 110);
+    EXPECT_EQ(resnet_depth({9, 9, 9}), 56);
+}
+
+TEST(ResNet, BlockLayout) {
+    ResNetConfig cfg;
+    cfg.blocks_per_group = {3, 3, 3};
+    auto model = make_resnet(cfg);
+    EXPECT_EQ(model.num_blocks(), 9);
+    EXPECT_EQ(model.blocks_per_group(), (std::vector<int>{3, 3, 3}));
+    // Group-opening blocks (4th and 7th) have projections.
+    EXPECT_FALSE(model.block(0).has_projection());
+    EXPECT_TRUE(model.block(3).has_projection());
+    EXPECT_TRUE(model.block(6).has_projection());
+}
+
+TEST(ResNet, ForwardShape) {
+    ResNetConfig cfg;
+    cfg.blocks_per_group = {2, 2, 2};
+    cfg.input_size = 16;
+    cfg.num_classes = 11;
+    auto model = make_resnet(cfg);
+    const Tensor y = model.net.forward(random_batch(2, 3, 16), false);
+    EXPECT_EQ(y.shape(), (Shape{2, 11}));
+}
+
+TEST(ResNet, GatedBlockStillRuns) {
+    ResNetConfig cfg;
+    cfg.blocks_per_group = {2, 2, 2};
+    cfg.input_size = 16;
+    auto model = make_resnet(cfg);
+    model.block(1).set_gate(0.0f); // identity block in group 0
+    const Tensor y = model.net.forward(random_batch(1, 3, 16), false);
+    EXPECT_EQ(y.dim(0), 1);
+}
+
+TEST(ResNet, RejectsBadGroups) {
+    ResNetConfig cfg;
+    cfg.blocks_per_group = {2, 2};
+    EXPECT_THROW((void)make_resnet(cfg), Error);
+    cfg.blocks_per_group = {1, 0, 1};
+    EXPECT_THROW((void)make_resnet(cfg), Error);
+}
+
+TEST(LeNet, ForwardShape) {
+    LeNetConfig cfg;
+    cfg.input_size = 16;
+    cfg.num_classes = 10;
+    auto model = make_lenet(cfg);
+    const Tensor y = model.net.forward(random_batch(3, 3, 16), false);
+    EXPECT_EQ(y.shape(), (Shape{3, 10}));
+    EXPECT_EQ(model.conv_indices.size(), 2u);
+}
+
+TEST(Summary, CountsConvParamsAndFlops) {
+    Rng rng(1);
+    nn::Sequential net;
+    net.emplace<nn::Conv2d>(3, 8, 3, 1, 1, /*bias=*/true, rng);
+    const auto report = summarize(net, {3, 8, 8});
+    ASSERT_EQ(report.layers.size(), 1u);
+    EXPECT_EQ(report.layers[0].params, 8 * 3 * 3 * 3 + 8);
+    EXPECT_EQ(report.layers[0].flops, 8LL * 3 * 3 * 3 * 8 * 8);
+    EXPECT_EQ(report.layers[0].output_shape, (Shape{8, 8, 8}));
+}
+
+TEST(Summary, LinearAndFlatten) {
+    Rng rng(2);
+    nn::Sequential net;
+    net.emplace<nn::Flatten>();
+    net.emplace<nn::Linear>(12, 5, rng);
+    const auto report = summarize(net, {3, 2, 2});
+    EXPECT_EQ(report.params, 12 * 5 + 5);
+    EXPECT_EQ(report.flops, 60);
+}
+
+TEST(Summary, MatchesActualParamCount) {
+    VggConfig cfg;
+    auto model = make_vgg16(cfg);
+    const auto report =
+        summarize(model.net, {3, cfg.input_size, cfg.input_size});
+    EXPECT_EQ(report.params, count_params(model.net));
+}
+
+TEST(Summary, ResNetMatchesActualParamCount) {
+    ResNetConfig cfg;
+    cfg.blocks_per_group = {2, 2, 2};
+    auto model = make_resnet(cfg);
+    const auto report =
+        summarize(model.net, {3, cfg.input_size, cfg.input_size});
+    EXPECT_EQ(report.params, count_params(model.net));
+}
+
+TEST(Summary, DroppedBlockIsFree) {
+    ResNetConfig cfg;
+    cfg.blocks_per_group = {2, 1, 1};
+    auto model = make_resnet(cfg);
+    const auto before = summarize(model.net, {3, 16, 16});
+    model.block(1).set_gate(0.0f);
+    const auto after = summarize(model.net, {3, 16, 16});
+    EXPECT_LT(after.flops, before.flops);
+    EXPECT_LT(after.params, before.params);
+}
+
+TEST(Summary, FullScaleVgg16MatchesKnownFlops) {
+    // Sanity anchor: canonical VGG-16 convs at 224×224 are ~15.3 GMACs
+    // (the paper's Table 2 reports 15.40 B including the classifier).
+    VggConfig cfg;
+    cfg.width_scale = 1.0;
+    cfg.input_size = 224;
+    cfg.num_classes = 200;
+    auto model = make_vgg16(cfg);
+    const auto report = summarize(model.net, {3, 224, 224});
+    EXPECT_GT(report.flops, 14.5e9);
+    EXPECT_LT(report.flops, 16.5e9);
+}
+
+} // namespace
+} // namespace hs::models

@@ -1,0 +1,159 @@
+// Tests for SGD / RMSprop and the training loop helpers.
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "data/dataloader.h"
+#include "nn/linear.h"
+#include "nn/optimizer.h"
+#include "nn/pooling.h"
+#include "nn/sequential.h"
+#include "nn/trainer.h"
+#include "tensor/rng.h"
+
+namespace hs::nn {
+namespace {
+
+/// Quadratic bowl: minimize f(w) = ½‖w − target‖² by feeding grad = w−t.
+struct Bowl {
+    Param w;
+    Tensor target;
+
+    Bowl() : w({4}, "w"), target({4}) {
+        Rng rng(2);
+        rng.fill_normal(w.value, 0.0, 1.0);
+        rng.fill_normal(target, 0.0, 1.0);
+    }
+
+    void fill_grad() {
+        for (std::int64_t i = 0; i < 4; ++i) w.grad[i] = w.value[i] - target[i];
+    }
+
+    [[nodiscard]] double distance() const {
+        double acc = 0.0;
+        for (std::int64_t i = 0; i < 4; ++i) {
+            const double d = w.value[i] - target[i];
+            acc += d * d;
+        }
+        return std::sqrt(acc);
+    }
+};
+
+TEST(SGDTest, ConvergesOnQuadratic) {
+    Bowl bowl;
+    SGD opt({&bowl.w}, 0.1f, 0.0f, 0.0f);
+    for (int i = 0; i < 200; ++i) {
+        opt.zero_grad();
+        bowl.fill_grad();
+        opt.step();
+    }
+    EXPECT_LT(bowl.distance(), 1e-4);
+}
+
+TEST(SGDTest, MomentumAccelerates) {
+    Bowl plain, momentum;
+    momentum.w.value = plain.w.value;
+    momentum.target = plain.target;
+    SGD opt_plain({&plain.w}, 0.01f, 0.0f, 0.0f);
+    SGD opt_mom({&momentum.w}, 0.01f, 0.9f, 0.0f);
+    for (int i = 0; i < 50; ++i) {
+        opt_plain.zero_grad();
+        plain.fill_grad();
+        opt_plain.step();
+        opt_mom.zero_grad();
+        momentum.fill_grad();
+        opt_mom.step();
+    }
+    EXPECT_LT(momentum.distance(), plain.distance());
+}
+
+TEST(SGDTest, WeightDecayShrinksWeights) {
+    Param w({1}, "w");
+    w.value[0] = 1.0f;
+    SGD opt({&w}, 0.1f, 0.0f, 0.5f);
+    opt.zero_grad(); // gradient zero, only decay acts
+    opt.step();
+    EXPECT_LT(w.value[0], 1.0f);
+    EXPECT_GT(w.value[0], 0.9f);
+}
+
+TEST(RMSpropTest, ConvergesOnQuadratic) {
+    Bowl bowl;
+    RMSprop opt({&bowl.w}, 0.05f);
+    for (int i = 0; i < 400; ++i) {
+        opt.zero_grad();
+        bowl.fill_grad();
+        opt.step();
+    }
+    EXPECT_LT(bowl.distance(), 1e-2);
+}
+
+TEST(RMSpropTest, NormalizesGradientScale) {
+    // With wildly different per-coordinate gradient scales, RMSprop should
+    // still reduce both coordinates at comparable rates.
+    Param w({2}, "w");
+    w.value[0] = 1.0f;
+    w.value[1] = 1.0f;
+    RMSprop opt({&w}, 0.01f);
+    for (int i = 0; i < 200; ++i) {
+        opt.zero_grad();
+        w.grad[0] = 1000.0f * w.value[0];
+        w.grad[1] = 0.001f * w.value[1];
+        opt.step();
+    }
+    EXPECT_LT(std::fabs(w.value[0]), 0.25f);
+    EXPECT_LT(std::fabs(w.value[1]), 0.25f);
+}
+
+TEST(OptimizerTest, RejectsNullParam) {
+    EXPECT_THROW(SGD({nullptr}, 0.1f), Error);
+}
+
+TEST(Trainer, LearnsLinearlySeparableData) {
+    // Tiny 2-class problem solvable by one Linear layer.
+    data::Split split;
+    split.images = Tensor({40, 1, 2, 2});
+    split.labels.resize(40);
+    Rng rng(5);
+    for (int i = 0; i < 40; ++i) {
+        const int label = i % 2;
+        split.labels[static_cast<std::size_t>(i)] = label;
+        for (int j = 0; j < 4; ++j)
+            split.images[i * 4 + j] = static_cast<float>(
+                (label ? 1.0 : -1.0) + rng.normal(0.0, 0.3));
+    }
+
+    Sequential net;
+    net.emplace<nn::Flatten>();
+    net.emplace<Linear>(4, 2, rng);
+
+    data::DataLoader loader(split, 8, true);
+    SoftmaxCrossEntropy loss;
+    SGD opt(net.params(), 0.1f);
+    EpochStats stats;
+    for (int e = 0; e < 20; ++e) stats = train_epoch(net, loss, opt, loader);
+    EXPECT_GT(stats.accuracy, 0.95);
+    EXPECT_GT(evaluate(net, split), 0.95);
+}
+
+TEST(Trainer, FinetuneImprovesPerturbedModel) {
+    data::SyntheticConfig cfg = data::cifar100_like();
+    cfg.num_classes = 5;
+    cfg.train_per_class = 30;
+    cfg.test_per_class = 10;
+    cfg.image_size = 8;
+    const data::SyntheticImageDataset dataset(cfg);
+
+    Rng rng(7);
+    Sequential net;
+    net.emplace<nn::Flatten>();
+    net.emplace<Linear>(3 * 8 * 8, 5, rng);
+    data::DataLoader loader(dataset.train(), 16, true);
+    (void)finetune(net, loader, 10, 0.05f);
+    const double acc = evaluate(net, dataset.test());
+    EXPECT_GT(acc, 0.5); // far above the 0.2 chance level
+}
+
+} // namespace
+} // namespace hs::nn

@@ -1,0 +1,255 @@
+// Parameterized property tests (TEST_P sweeps) over the core invariants:
+//  * conv/linear/pool gradients match finite differences across geometries;
+//  * gemm kernels agree with the naive triple loop across shapes;
+//  * pruning surgery preserves the masked-network function for every layer;
+//  * reward/action properties hold across channel counts and speedups.
+
+#include <cmath>
+#include <tuple>
+
+#include <gtest/gtest.h>
+
+#include "core/reward.h"
+#include "models/vgg.h"
+#include "nn/conv2d.h"
+#include "nn/linear.h"
+#include "nn/pooling.h"
+#include "pruning/mask.h"
+#include "pruning/surgery.h"
+#include "tensor/gemm.h"
+#include "tensor/im2col.h"
+#include "tensor/rng.h"
+
+namespace hs {
+namespace {
+
+// ---------------------------------------------------------------- gemm --
+
+struct GemmDims {
+    int m, n, k;
+};
+
+class GemmProperty : public ::testing::TestWithParam<GemmDims> {};
+
+TEST_P(GemmProperty, MatchesNaiveTripleLoop) {
+    const int m = GetParam().m, n = GetParam().n, k = GetParam().k;
+    Rng rng(static_cast<std::uint64_t>(m * 131 + n * 17 + k));
+    Tensor a({m, k}), b({k, n}), c({m, n});
+    rng.fill_normal(a, 0.0, 1.0);
+    rng.fill_normal(b, 0.0, 1.0);
+    gemm(m, n, k, 1.0f, a.data(), b.data(), 0.0f, c.data());
+    double max_err = 0.0;
+    for (int i = 0; i < m; ++i)
+        for (int j = 0; j < n; ++j) {
+            double acc = 0.0;
+            for (int p = 0; p < k; ++p)
+                acc += static_cast<double>(a.at(i, p)) * b.at(p, j);
+            max_err = std::max(max_err, std::fabs(acc - c.at(i, j)));
+        }
+    EXPECT_LT(max_err, 1e-3);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, GemmProperty,
+    ::testing::Values(GemmDims{1, 1, 1}, GemmDims{1, 64, 32}, GemmDims{17, 3, 9},
+                      GemmDims{32, 32, 32}, GemmDims{5, 128, 7},
+                      GemmDims{63, 65, 31}, GemmDims{128, 16, 300}));
+
+// --------------------------------------------------------------- conv ---
+
+struct ConvGeomParam {
+    int in_c, out_c, kernel, stride, pad, size;
+    bool bias;
+};
+
+class ConvProperty : public ::testing::TestWithParam<ConvGeomParam> {};
+
+TEST_P(ConvProperty, GradientMatchesFiniteDifference) {
+    const auto p = GetParam();
+    Rng rng(7);
+    nn::Conv2d conv(p.in_c, p.out_c, p.kernel, p.stride, p.pad, p.bias, rng);
+    Tensor x({2, p.in_c, p.size, p.size});
+    rng.fill_normal(x, 0.0, 1.0);
+
+    Tensor out = conv.forward(x, true);
+    Tensor coeff(out.shape());
+    rng.fill_normal(coeff, 0.0, 1.0);
+    conv.zero_grad();
+    const Tensor dx = conv.backward(coeff);
+
+    auto loss = [&]() {
+        const Tensor y = conv.forward(x, false);
+        double acc = 0.0;
+        auto c = coeff.data();
+        auto v = y.data();
+        for (std::size_t i = 0; i < v.size(); ++i)
+            acc += static_cast<double>(c[i]) * v[i];
+        return acc;
+    };
+
+    // Probe a few weight entries and a few input entries.
+    const float eps = 1e-2f;
+    auto check = [&](float* value, float analytic) {
+        const float saved = *value;
+        *value = saved + eps;
+        const double up = loss();
+        *value = saved - eps;
+        const double down = loss();
+        *value = saved;
+        const double numeric = (up - down) / (2.0 * eps);
+        EXPECT_NEAR(numeric, analytic,
+                    2e-2 * std::max(1.0, std::fabs(numeric)));
+    };
+    auto w = conv.weight().value.data();
+    const std::int64_t wstride = std::max<std::int64_t>(1, conv.weight().value.numel() / 7);
+    for (std::int64_t i = 0; i < conv.weight().value.numel(); i += wstride)
+        check(&w[static_cast<std::size_t>(i)], conv.weight().grad[i]);
+    auto xi = x.data();
+    const std::int64_t xstride = std::max<std::int64_t>(1, x.numel() / 7);
+    for (std::int64_t i = 0; i < x.numel(); i += xstride)
+        check(&xi[static_cast<std::size_t>(i)], dx[i]);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, ConvProperty,
+    ::testing::Values(ConvGeomParam{1, 1, 1, 1, 0, 4, false},
+                      ConvGeomParam{2, 3, 3, 1, 1, 5, true},
+                      ConvGeomParam{3, 2, 3, 2, 1, 6, true},
+                      ConvGeomParam{2, 4, 5, 1, 2, 7, false},
+                      ConvGeomParam{4, 4, 1, 1, 0, 3, true},
+                      ConvGeomParam{1, 2, 3, 2, 0, 7, false}));
+
+// ---------------------------------------------------- im2col round trip --
+
+class Im2colProperty
+    : public ::testing::TestWithParam<std::tuple<int, int, int, int>> {};
+
+TEST_P(Im2colProperty, Col2imIsAdjointOfIm2col) {
+    // <u, im2col(x)> == <col2im(u), x> — the defining adjoint property that
+    // makes the conv backward correct.
+    const auto [channels, size, kernel, stride] = GetParam();
+    ConvGeom g{channels, size, size, kernel, stride, kernel / 2};
+    if (g.out_h() <= 0 || g.out_w() <= 0) GTEST_SKIP();
+
+    Rng rng(11);
+    Tensor x({channels * size * size});
+    rng.fill_normal(x, 0.0, 1.0);
+    Tensor u({static_cast<int>(g.col_rows() * g.col_cols())});
+    rng.fill_normal(u, 0.0, 1.0);
+
+    Tensor cols({static_cast<int>(g.col_rows() * g.col_cols())});
+    im2col(g, x.data(), cols.data());
+    double lhs = 0.0;
+    for (std::int64_t i = 0; i < cols.numel(); ++i) lhs += static_cast<double>(u[i]) * cols[i];
+
+    Tensor back({channels * size * size});
+    col2im(g, u.data(), back.data());
+    double rhs = 0.0;
+    for (std::int64_t i = 0; i < x.numel(); ++i) rhs += static_cast<double>(back[i]) * x[i];
+
+    EXPECT_NEAR(lhs, rhs, 1e-2 * std::max(1.0, std::fabs(lhs)));
+}
+
+INSTANTIATE_TEST_SUITE_P(Geometries, Im2colProperty,
+                         ::testing::Combine(::testing::Values(1, 3),
+                                            ::testing::Values(4, 7),
+                                            ::testing::Values(1, 3),
+                                            ::testing::Values(1, 2)));
+
+// ------------------------------------------------- surgery equivalence --
+
+class SurgeryProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(SurgeryProperty, PruneMatchesMaskOnEveryLayer) {
+    const int layer = GetParam();
+    models::VggConfig cfg;
+    cfg.input_size = 16;
+    cfg.num_classes = 5;
+    cfg.width_scale = 0.0625;
+    cfg.seed = 100 + static_cast<std::uint64_t>(layer);
+    auto model = models::make_vgg16(cfg);
+
+    Rng rng(3);
+    Tensor x({2, 3, 16, 16});
+    rng.fill_normal(x, 0.0, 1.0);
+
+    auto& conv = model.net.layer_as<nn::Conv2d>(
+        model.conv_indices[static_cast<std::size_t>(layer)]);
+    std::vector<int> keep;
+    for (int c = 0; c < conv.out_channels(); ++c)
+        if (c % 3 != 1) keep.push_back(c); // drop every third map
+    conv.set_output_mask(pruning::mask_from_keep(keep, conv.out_channels()));
+    const Tensor masked = model.net.forward(x, false);
+    conv.clear_output_mask();
+
+    pruning::ConvChain chain{&model.net, model.conv_indices,
+                             model.classifier_index};
+    pruning::prune_feature_maps(chain, layer, keep);
+    const Tensor pruned = model.net.forward(x, false);
+    EXPECT_TRUE(pruned.allclose(masked, 1e-3f)) << "layer " << layer;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllVggLayers, SurgeryProperty,
+                         ::testing::Range(0, 13));
+
+// ------------------------------------------------------ reward sweeps ---
+
+class RewardProperty
+    : public ::testing::TestWithParam<std::tuple<int, double>> {};
+
+TEST_P(RewardProperty, SpdPenaltyMinimizedAtTarget) {
+    const auto [channels, sp] = GetParam();
+    const int target = std::max(1, static_cast<int>(channels / sp));
+    const double at_target = core::spd_penalty(channels, target, sp);
+    for (int l0 = 1; l0 <= channels; ++l0)
+        EXPECT_GE(core::spd_penalty(channels, l0, sp) + 1e-9, 0.0);
+    // The integer closest to C/sp has the (weakly) smallest penalty among
+    // the two integers bracketing it.
+    if (target + 1 <= channels) {
+        const double alt = core::spd_penalty(channels, target + 1, sp);
+        EXPECT_LE(std::min(at_target, alt),
+                  core::spd_penalty(channels, std::min(channels, target + 3), sp) +
+                      1e-9);
+    }
+}
+
+TEST_P(RewardProperty, InferenceActionRespectsThresholdSemantics) {
+    const auto [channels, sp] = GetParam();
+    (void)sp;
+    Rng rng(channels);
+    std::vector<float> probs(static_cast<std::size_t>(channels));
+    for (float& p : probs) p = static_cast<float>(rng.uniform());
+    const auto action = core::inference_action(probs, 0.5f, 1);
+    int expected = 0;
+    for (float p : probs)
+        if (p >= 0.5f) ++expected;
+    // min-keep may add one when everything is below threshold.
+    EXPECT_GE(pruning::l0_norm(action), std::max(1, expected));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ChannelsAndSpeedups, RewardProperty,
+    ::testing::Combine(::testing::Values(4, 16, 64, 512),
+                       ::testing::Values(1.5, 2.0, 5.0)));
+
+// ----------------------------------------------------- sampling sweeps --
+
+class SampleProperty : public ::testing::TestWithParam<double> {};
+
+TEST_P(SampleProperty, BernoulliFrequencyTracksProbability) {
+    const double p = GetParam();
+    Rng rng(77);
+    const std::vector<float> probs(32, static_cast<float>(p));
+    double kept = 0.0;
+    constexpr int kTrials = 300;
+    for (int t = 0; t < kTrials; ++t)
+        kept += pruning::l0_norm(core::sample_action(probs, rng, 1));
+    const double freq = kept / (kTrials * 32.0);
+    EXPECT_NEAR(freq, std::max(p, 1.0 / 32), 0.05);
+}
+
+INSTANTIATE_TEST_SUITE_P(Probabilities, SampleProperty,
+                         ::testing::Values(0.1, 0.3, 0.5, 0.7, 0.9));
+
+} // namespace
+} // namespace hs

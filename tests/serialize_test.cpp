@@ -1,0 +1,100 @@
+// Tests for parameter serialization: byte-exact round trips, corruption
+// detection, and architecture-mismatch rejection (including after pruning
+// surgery, the main deployment use case).
+
+#include <cstdio>
+#include <filesystem>
+
+#include <gtest/gtest.h>
+
+#include "models/lenet.h"
+#include "models/resnet.h"
+#include "nn/conv2d.h"
+#include "nn/serialize.h"
+#include "pruning/surgery.h"
+#include "tensor/rng.h"
+
+namespace hs::nn {
+namespace {
+
+Tensor random_batch(int n, int s, std::uint64_t seed = 3) {
+    Tensor t({n, 3, s, s});
+    Rng rng(seed);
+    rng.fill_normal(t, 0.0, 1.0);
+    return t;
+}
+
+TEST(Serialize, InMemoryRoundTripBitExact) {
+    models::LeNetConfig cfg;
+    auto a = models::make_lenet(cfg);
+    cfg.seed = 777; // different init
+    auto b = models::make_lenet(cfg);
+
+    const Tensor x = random_batch(2, cfg.input_size);
+    const Tensor ya = a.net.forward(x, false);
+    EXPECT_FALSE(ya.allclose(b.net.forward(x, false), 1e-6f));
+
+    deserialize_parameters(b.net, serialize_parameters(a.net));
+    EXPECT_TRUE(ya.equals(b.net.forward(x, false)));
+}
+
+TEST(Serialize, FileRoundTrip) {
+    const std::string path =
+        (std::filesystem::temp_directory_path() / "hs_weights_test.bin").string();
+    models::ResNetConfig cfg;
+    cfg.blocks_per_group = {2, 2, 2};
+    auto a = models::make_resnet(cfg);
+    save_parameters(a.net, path);
+
+    cfg.seed = 999;
+    auto b = models::make_resnet(cfg);
+    load_parameters(b.net, path);
+
+    const Tensor x = random_batch(1, cfg.input_size, 9);
+    EXPECT_TRUE(a.net.forward(x, false).equals(b.net.forward(x, false)));
+    std::remove(path.c_str());
+}
+
+TEST(Serialize, RejectsArchitectureMismatch) {
+    models::LeNetConfig cfg;
+    auto a = models::make_lenet(cfg);
+    cfg.conv1_maps += 2;
+    auto b = models::make_lenet(cfg);
+    EXPECT_THROW(deserialize_parameters(b.net, serialize_parameters(a.net)),
+                 Error);
+}
+
+TEST(Serialize, RejectsPrunedVsUnpruned) {
+    models::LeNetConfig cfg;
+    auto a = models::make_lenet(cfg);
+    auto pruned = a; // deep copy, then shrink conv1
+    pruning::ConvChain chain{&pruned.net, pruned.conv_indices,
+                             pruned.classifier_index};
+    const std::vector<int> keep{0, 1, 2, 3};
+    pruning::prune_feature_maps(chain, 0, keep);
+    EXPECT_THROW(deserialize_parameters(pruned.net, serialize_parameters(a.net)),
+                 Error);
+    // But pruned-to-pruned works (ship a compressed model).
+    auto pruned2 = pruned;
+    pruned2.net.layer_as<nn::Conv2d>(0).weight().value.fill(0.0f);
+    deserialize_parameters(pruned2.net, serialize_parameters(pruned.net));
+    const Tensor x = random_batch(1, cfg.input_size, 4);
+    EXPECT_TRUE(
+        pruned.net.forward(x, false).equals(pruned2.net.forward(x, false)));
+}
+
+TEST(Serialize, RejectsCorruption) {
+    models::LeNetConfig cfg;
+    auto a = models::make_lenet(cfg);
+    std::string bytes = serialize_parameters(a.net);
+    EXPECT_THROW(deserialize_parameters(a.net, bytes.substr(0, bytes.size() / 2)),
+                 Error);
+    std::string bad_magic = bytes;
+    bad_magic[0] = 'X';
+    EXPECT_THROW(deserialize_parameters(a.net, bad_magic), Error);
+    std::string trailing = bytes + "junk";
+    EXPECT_THROW(deserialize_parameters(a.net, trailing), Error);
+}
+
+} // namespace
+} // namespace hs::nn

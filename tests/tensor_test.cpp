@@ -1,0 +1,279 @@
+// Unit tests for the tensor substrate: Tensor, Rng, gemm, im2col.
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "tensor/gemm.h"
+#include "tensor/im2col.h"
+#include "tensor/rng.h"
+#include "tensor/tensor.h"
+
+namespace hs {
+namespace {
+
+TEST(Tensor, ZeroInitialized) {
+    Tensor t({2, 3});
+    EXPECT_EQ(t.numel(), 6);
+    for (float v : t.data()) EXPECT_EQ(v, 0.0f);
+}
+
+TEST(Tensor, ShapeAccessors) {
+    Tensor t({4, 3, 2, 5});
+    EXPECT_EQ(t.rank(), 4);
+    EXPECT_EQ(t.dim(0), 4);
+    EXPECT_EQ(t.dim(3), 5);
+    EXPECT_EQ(t.numel(), 120);
+    EXPECT_THROW((void)t.dim(4), Error);
+}
+
+TEST(Tensor, AtIndexingRowMajor) {
+    Tensor t({2, 3});
+    t.at(1, 2) = 7.0f;
+    EXPECT_EQ(t[5], 7.0f);
+    Tensor u({2, 2, 2, 2});
+    u.at(1, 1, 1, 1) = 3.0f;
+    EXPECT_EQ(u[15], 3.0f);
+}
+
+TEST(Tensor, ReshapePreservesData) {
+    Tensor t({2, 3});
+    for (int i = 0; i < 6; ++i) t[i] = static_cast<float>(i);
+    const Tensor r = t.reshape({3, 2});
+    EXPECT_EQ(r.at(2, 1), 5.0f);
+    EXPECT_THROW((void)t.reshape({4, 2}), Error);
+}
+
+TEST(Tensor, FillAndScale) {
+    Tensor t = Tensor::full({3}, 2.0f);
+    t.scale_(1.5f);
+    EXPECT_FLOAT_EQ(t[0], 3.0f);
+    t.zero();
+    EXPECT_EQ(t.sum(), 0.0);
+}
+
+TEST(Tensor, AxpyAddsScaled) {
+    Tensor a = Tensor::full({4}, 1.0f);
+    Tensor b = Tensor::full({4}, 2.0f);
+    a.axpy_(0.5f, b);
+    for (float v : a.data()) EXPECT_FLOAT_EQ(v, 2.0f);
+    Tensor c({3});
+    EXPECT_THROW(a.axpy_(1.0f, c), Error);
+}
+
+TEST(Tensor, SumMeanAbsMax) {
+    Tensor t({4});
+    t[0] = -3.0f; t[1] = 1.0f; t[2] = 2.0f; t[3] = 0.0f;
+    EXPECT_DOUBLE_EQ(t.sum(), 0.0);
+    EXPECT_DOUBLE_EQ(t.mean(), 0.0);
+    EXPECT_FLOAT_EQ(t.abs_max(), 3.0f);
+}
+
+TEST(Tensor, ArgmaxRange) {
+    Tensor t({6});
+    t[0] = 1; t[1] = 5; t[2] = 2; t[3] = 0; t[4] = 9; t[5] = 3;
+    EXPECT_EQ(t.argmax_range(0, 3), 1);
+    EXPECT_EQ(t.argmax_range(3, 3), 1); // relative to begin
+    EXPECT_THROW((void)t.argmax_range(4, 3), Error);
+}
+
+TEST(Tensor, EqualsAndAllclose) {
+    Tensor a = Tensor::full({3}, 1.0f);
+    Tensor b = Tensor::full({3}, 1.0f);
+    EXPECT_TRUE(a.equals(b));
+    b[1] = 1.0f + 5e-6f;
+    EXPECT_FALSE(a.equals(b));
+    EXPECT_TRUE(a.allclose(b, 1e-5f));
+    EXPECT_FALSE(a.allclose(b, 1e-7f));
+}
+
+TEST(Rng, Deterministic) {
+    Rng a(123), b(123);
+    for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 64; ++i)
+        if (a.next_u64() == b.next_u64()) ++same;
+    EXPECT_LT(same, 2);
+}
+
+TEST(Rng, UniformInRange) {
+    Rng rng(7);
+    for (int i = 0; i < 1000; ++i) {
+        const double u = rng.uniform();
+        EXPECT_GE(u, 0.0);
+        EXPECT_LT(u, 1.0);
+    }
+}
+
+TEST(Rng, UniformIntCoversRange) {
+    Rng rng(9);
+    std::vector<int> hits(5, 0);
+    for (int i = 0; i < 5000; ++i) ++hits[static_cast<std::size_t>(rng.uniform_int(5))];
+    for (int h : hits) EXPECT_GT(h, 700);
+}
+
+TEST(Rng, NormalMoments) {
+    Rng rng(11);
+    double sum = 0.0, sq = 0.0;
+    constexpr int kN = 20000;
+    for (int i = 0; i < kN; ++i) {
+        const double x = rng.normal();
+        sum += x;
+        sq += x * x;
+    }
+    EXPECT_NEAR(sum / kN, 0.0, 0.05);
+    EXPECT_NEAR(sq / kN, 1.0, 0.05);
+}
+
+TEST(Rng, BernoulliFrequency) {
+    Rng rng(13);
+    int ones = 0;
+    for (int i = 0; i < 10000; ++i)
+        if (rng.bernoulli(0.3)) ++ones;
+    EXPECT_NEAR(ones / 10000.0, 0.3, 0.03);
+    EXPECT_FALSE(rng.bernoulli(0.0));
+    EXPECT_TRUE(rng.bernoulli(1.0));
+}
+
+TEST(Rng, ShufflePermutes) {
+    Rng rng(15);
+    std::vector<int> v{0, 1, 2, 3, 4, 5, 6, 7};
+    auto sorted = v;
+    rng.shuffle(v);
+    EXPECT_NE(v, sorted); // overwhelmingly likely
+    std::sort(v.begin(), v.end());
+    EXPECT_EQ(v, sorted);
+}
+
+TEST(Rng, ForkIndependent) {
+    Rng parent(21);
+    Rng child = parent.fork();
+    EXPECT_NE(parent.next_u64(), child.next_u64());
+}
+
+TEST(Gemm, MatchesNaive) {
+    Rng rng(3);
+    const int m = 7, n = 9, k = 5;
+    Tensor a({m, k}), b({k, n});
+    rng.fill_normal(a, 0.0, 1.0);
+    rng.fill_normal(b, 0.0, 1.0);
+    Tensor c({m, n});
+    gemm(m, n, k, 1.0f, a.data(), b.data(), 0.0f, c.data());
+    for (int i = 0; i < m; ++i)
+        for (int j = 0; j < n; ++j) {
+            double acc = 0.0;
+            for (int p = 0; p < k; ++p) acc += static_cast<double>(a.at(i, p)) * b.at(p, j);
+            EXPECT_NEAR(c.at(i, j), acc, 1e-4) << i << "," << j;
+        }
+}
+
+TEST(Gemm, AlphaBeta) {
+    const int m = 2, n = 2, k = 2;
+    Tensor a = Tensor::full({m, k}, 1.0f);
+    Tensor b = Tensor::full({k, n}, 1.0f);
+    Tensor c = Tensor::full({m, n}, 10.0f);
+    gemm(m, n, k, 2.0f, a.data(), b.data(), 0.5f, c.data());
+    for (float v : c.data()) EXPECT_FLOAT_EQ(v, 9.0f); // 0.5*10 + 2*2
+}
+
+TEST(Gemm, TransposedAMatchesNaive) {
+    Rng rng(5);
+    const int m = 6, n = 4, k = 3;
+    Tensor at({k, m}), b({k, n});
+    rng.fill_normal(at, 0.0, 1.0);
+    rng.fill_normal(b, 0.0, 1.0);
+    Tensor c({m, n});
+    gemm_at(m, n, k, 1.0f, at.data(), b.data(), 0.0f, c.data());
+    for (int i = 0; i < m; ++i)
+        for (int j = 0; j < n; ++j) {
+            double acc = 0.0;
+            for (int p = 0; p < k; ++p) acc += static_cast<double>(at.at(p, i)) * b.at(p, j);
+            EXPECT_NEAR(c.at(i, j), acc, 1e-4);
+        }
+}
+
+TEST(Gemm, TransposedBMatchesNaive) {
+    Rng rng(6);
+    const int m = 5, n = 7, k = 4;
+    Tensor a({m, k}), bt({n, k});
+    rng.fill_normal(a, 0.0, 1.0);
+    rng.fill_normal(bt, 0.0, 1.0);
+    Tensor c({m, n});
+    gemm_bt(m, n, k, 1.0f, a.data(), bt.data(), 0.0f, c.data());
+    for (int i = 0; i < m; ++i)
+        for (int j = 0; j < n; ++j) {
+            double acc = 0.0;
+            for (int p = 0; p < k; ++p) acc += static_cast<double>(a.at(i, p)) * bt.at(j, p);
+            EXPECT_NEAR(c.at(i, j), acc, 1e-4);
+        }
+}
+
+TEST(Gemm, Matmul) {
+    Tensor a({1, 2});
+    a[0] = 3.0f; a[1] = 4.0f;
+    Tensor b({2, 1});
+    b[0] = 5.0f; b[1] = 6.0f;
+    const Tensor c = matmul(a, b);
+    EXPECT_FLOAT_EQ(c[0], 39.0f);
+    Tensor bad({3, 1});
+    EXPECT_THROW((void)matmul(a, bad), Error);
+}
+
+TEST(Im2col, IdentityKernelNoPad) {
+    // 1x1 kernel, stride 1: cols == image.
+    ConvGeom g{1, 3, 3, 1, 1, 0};
+    Tensor img({9});
+    for (int i = 0; i < 9; ++i) img[i] = static_cast<float>(i);
+    Tensor cols({9});
+    im2col(g, img.data(), cols.data());
+    EXPECT_TRUE(cols.equals(img));
+}
+
+TEST(Im2col, PaddingWritesZeros) {
+    ConvGeom g{1, 2, 2, 3, 1, 1};
+    Tensor img = Tensor::full({4}, 1.0f);
+    Tensor cols({static_cast<int>(g.col_rows() * g.col_cols())});
+    im2col(g, img.data(), cols.data());
+    // Top-left output, top-left kernel tap reads the (-1,-1) pad → 0.
+    EXPECT_EQ(cols[0], 0.0f);
+    // Center taps read real pixels.
+    double sum = cols.sum();
+    EXPECT_DOUBLE_EQ(sum, 16.0); // each of 4 pixels appears in 4 windows
+}
+
+TEST(Im2col, Col2imRoundTripAccumulates) {
+    // col2im(im2col(x)) multiplies each pixel by its window multiplicity.
+    ConvGeom g{2, 4, 4, 3, 1, 1};
+    Rng rng(8);
+    Tensor img({2 * 4 * 4});
+    rng.fill_normal(img, 0.0, 1.0);
+    Tensor cols({static_cast<int>(g.col_rows() * g.col_cols())});
+    im2col(g, img.data(), cols.data());
+    Tensor back({2 * 4 * 4});
+    col2im(g, cols.data(), back.data());
+    // Interior pixels of a 4x4 with 3x3/pad1 appear in 9 windows; corners 4.
+    EXPECT_NEAR(back[5], 9.0f * img[5], 1e-4);  // (1,1) interior
+    EXPECT_NEAR(back[0], 4.0f * img[0], 1e-4);  // corner
+}
+
+TEST(Im2col, StrideGeometry) {
+    ConvGeom g{1, 5, 5, 3, 2, 0};
+    EXPECT_EQ(g.out_h(), 2);
+    EXPECT_EQ(g.out_w(), 2);
+    EXPECT_EQ(g.col_rows(), 9);
+    EXPECT_EQ(g.col_cols(), 4);
+}
+
+TEST(ShapeHelpers, NumelAndStr) {
+    EXPECT_EQ(shape_numel({2, 3, 4}), 24);
+    EXPECT_EQ(shape_numel({}), 0);
+    EXPECT_EQ(shape_str({2, 3}), "[2, 3]");
+    EXPECT_THROW((void)shape_numel({2, -1}), Error);
+}
+
+} // namespace
+} // namespace hs

@@ -1,0 +1,179 @@
+// Parameterized sweeps over the training stack: optimizers converge on a
+// regression task across learning rates; fine-tuning recovers accuracy
+// after pruning across keep ratios; serialization round-trips across
+// model families.
+
+#include <gtest/gtest.h>
+
+#include "data/augment.h"
+#include "data/dataloader.h"
+#include "models/lenet.h"
+#include "models/resnet.h"
+#include "models/vgg.h"
+#include "nn/conv2d.h"
+#include "nn/serialize.h"
+#include "nn/trainer.h"
+#include "pruning/mask.h"
+#include "pruning/metrics.h"
+#include "pruning/surgery.h"
+
+namespace hs {
+namespace {
+
+// ------------------------------------------------ optimizer lr sweep ----
+
+class OptimizerLrSweep : public ::testing::TestWithParam<float> {};
+
+TEST_P(OptimizerLrSweep, SgdConvergesAcrossLearningRates) {
+    const float lr = GetParam();
+    nn::Param w({8}, "w");
+    Tensor target({8});
+    Rng rng(5);
+    rng.fill_normal(w.value, 0.0, 1.0);
+    rng.fill_normal(target, 0.0, 1.0);
+
+    nn::SGD opt({&w}, lr, 0.9f, 0.0f);
+    for (int i = 0; i < 600; ++i) {
+        opt.zero_grad();
+        for (std::int64_t j = 0; j < 8; ++j) w.grad[j] = w.value[j] - target[j];
+        opt.step();
+    }
+    double dist = 0.0;
+    for (std::int64_t j = 0; j < 8; ++j) {
+        const double d = w.value[j] - target[j];
+        dist += d * d;
+    }
+    EXPECT_LT(dist, 1e-3) << "lr=" << lr;
+}
+
+INSTANTIATE_TEST_SUITE_P(LearningRates, OptimizerLrSweep,
+                         ::testing::Values(0.001f, 0.01f, 0.05f, 0.1f));
+
+// -------------------------------------------- finetune recovery sweep ---
+
+class RecoverySweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(RecoverySweep, FinetuneRecoversAfterPruning) {
+    const double keep_ratio = GetParam();
+
+    data::SyntheticConfig dcfg = data::cifar100_like();
+    dcfg.num_classes = 6;
+    dcfg.image_size = 8;
+    dcfg.train_per_class = 30;
+    dcfg.test_per_class = 12;
+    const data::SyntheticImageDataset dataset(dcfg);
+
+    models::LeNetConfig mcfg;
+    mcfg.input_size = 8;
+    mcfg.num_classes = 6;
+    mcfg.conv1_maps = 12;
+    mcfg.conv2_maps = 12;
+    auto model = models::make_lenet(mcfg);
+
+    data::DataLoader loader(dataset.train(), 30, true, 2);
+    (void)nn::finetune(model.net, loader, 8, 1e-2f);
+    const double base = nn::evaluate(model.net, dataset.test());
+    ASSERT_GT(base, 0.6);
+
+    // Prune conv1 by L1 at the swept keep ratio, then fine-tune.
+    const int keep_count = std::max(1, static_cast<int>(12 * keep_ratio));
+    Rng rng(3);
+    const data::Batch sample = data::sample_subset(dataset.train(), 32, 4);
+    const auto keep = pruning::select_keep(pruning::Metric::kL1Norm, model.net,
+                                           model.conv_indices[0], sample,
+                                           keep_count, rng);
+    pruning::ConvChain chain{&model.net, model.conv_indices,
+                             model.classifier_index};
+    pruning::prune_feature_maps(chain, 0, keep);
+    (void)nn::finetune(model.net, loader, 6, 5e-3f);
+    const double recovered = nn::evaluate(model.net, dataset.test());
+
+    // Gentle pruning should recover to near the base; aggressive pruning
+    // may lose some but must stay far above chance (1/6).
+    if (keep_ratio >= 0.5)
+        EXPECT_GT(recovered, base - 0.15) << "keep=" << keep_ratio;
+    EXPECT_GT(recovered, 0.35) << "keep=" << keep_ratio;
+}
+
+INSTANTIATE_TEST_SUITE_P(KeepRatios, RecoverySweep,
+                         ::testing::Values(0.75, 0.5, 0.25));
+
+// ------------------------------------------- serialization round trip ---
+
+enum class Family { kLeNet, kVgg, kResNet };
+
+class SerializeSweep : public ::testing::TestWithParam<Family> {};
+
+TEST_P(SerializeSweep, RoundTripAcrossModelFamilies) {
+    nn::Sequential* net_a = nullptr;
+    nn::Sequential* net_b = nullptr;
+    models::LeNetModel lenet_a, lenet_b;
+    models::VggModel vgg_a, vgg_b;
+    models::ResNetModel res_a, res_b;
+
+    switch (GetParam()) {
+    case Family::kLeNet: {
+        models::LeNetConfig cfg;
+        lenet_a = models::make_lenet(cfg);
+        cfg.seed = 9;
+        lenet_b = models::make_lenet(cfg);
+        net_a = &lenet_a.net;
+        net_b = &lenet_b.net;
+        break;
+    }
+    case Family::kVgg: {
+        models::VggConfig cfg;
+        cfg.width_scale = 0.0625;
+        vgg_a = models::make_vgg16(cfg);
+        cfg.seed = 9;
+        vgg_b = models::make_vgg16(cfg);
+        net_a = &vgg_a.net;
+        net_b = &vgg_b.net;
+        break;
+    }
+    case Family::kResNet: {
+        models::ResNetConfig cfg;
+        cfg.blocks_per_group = {2, 2, 2};
+        cfg.width_scale = 0.25;
+        res_a = models::make_resnet(cfg);
+        cfg.seed = 9;
+        res_b = models::make_resnet(cfg);
+        net_a = &res_a.net;
+        net_b = &res_b.net;
+        break;
+    }
+    }
+
+    nn::deserialize_parameters(*net_b, nn::serialize_parameters(*net_a));
+    Tensor x({1, 3, 16, 16});
+    Rng rng(4);
+    rng.fill_normal(x, 0.0, 1.0);
+    EXPECT_TRUE(net_a->forward(x, false).equals(net_b->forward(x, false)));
+}
+
+INSTANTIATE_TEST_SUITE_P(Families, SerializeSweep,
+                         ::testing::Values(Family::kLeNet, Family::kVgg,
+                                           Family::kResNet));
+
+// ------------------------------------------------- augmentation sweep ---
+
+class AugmentSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(AugmentSweep, ShiftNeverIncreasesEnergy) {
+    // Shifting can only drop pixels (zero-fill), never create energy.
+    const int shift = GetParam();
+    Tensor images({1, 3, 8, 8});
+    Rng rng(6);
+    rng.fill_normal(images, 0.0, 1.0);
+    double before = 0.0;
+    for (float v : images.data()) before += static_cast<double>(v) * v;
+    data::shift_image(images, 0, shift, -shift);
+    double after = 0.0;
+    for (float v : images.data()) after += static_cast<double>(v) * v;
+    EXPECT_LE(after, before + 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(Shifts, AugmentSweep, ::testing::Values(0, 1, 3, 7));
+
+} // namespace
+} // namespace hs

@@ -1,0 +1,71 @@
+// Tests for the util module: error checking, logging, table printing.
+
+#include <gtest/gtest.h>
+
+#include "util/error.h"
+#include "util/logging.h"
+#include "util/stopwatch.h"
+#include "util/table.h"
+
+namespace hs {
+namespace {
+
+TEST(Require, ThrowsWithLocation) {
+    try {
+        require(false, "boom");
+        FAIL() << "require(false) must throw";
+    } catch (const Error& e) {
+        const std::string what = e.what();
+        EXPECT_NE(what.find("boom"), std::string::npos);
+        EXPECT_NE(what.find("util_test.cpp"), std::string::npos);
+    }
+}
+
+TEST(Require, PassesSilently) { EXPECT_NO_THROW(require(true, "fine")); }
+
+TEST(Logging, LevelFilters) {
+    const LogLevel saved = log_level();
+    set_log_level(LogLevel::kError);
+    EXPECT_EQ(log_level(), LogLevel::kError);
+    log_info("suppressed");  // no crash; output suppressed
+    log_error("emitted");
+    set_log_level(saved);
+}
+
+TEST(Table, AlignsAndCounts) {
+    TablePrinter t({"name", "value"});
+    t.add_row({"a", "1"});
+    t.add_row({"longer", "2"});
+    EXPECT_EQ(t.rows(), 2u);
+    const std::string s = t.str();
+    EXPECT_NE(s.find("name"), std::string::npos);
+    EXPECT_NE(s.find("longer"), std::string::npos);
+    EXPECT_NE(s.find("----"), std::string::npos);
+    // All lines after padding have consistent column starts.
+    EXPECT_THROW(t.add_row({"only-one-cell"}), Error);
+}
+
+TEST(Table, CsvOutput) {
+    TablePrinter t({"a", "b"});
+    t.add_row({"1", "2"});
+    EXPECT_EQ(t.csv(), "a,b\n1,2\n");
+}
+
+TEST(Table, NumFormatting) {
+    EXPECT_EQ(TablePrinter::num(3.14159, 2), "3.14");
+    EXPECT_EQ(TablePrinter::num(2.0, 0), "2");
+    EXPECT_EQ(TablePrinter::num(-1.5, 1), "-1.5");
+}
+
+TEST(StopwatchTest, MeasuresElapsed) {
+    Stopwatch w;
+    volatile double sink = 0.0;
+    for (int i = 0; i < 100000; ++i) sink += i;
+    EXPECT_GE(w.seconds(), 0.0);
+    EXPECT_GE(w.millis(), w.seconds() * 1e3 - 1e-9);
+    w.reset();
+    EXPECT_LT(w.seconds(), 1.0);
+}
+
+} // namespace
+} // namespace hs
