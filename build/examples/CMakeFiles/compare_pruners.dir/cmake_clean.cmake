@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/compare_pruners.dir/compare_pruners.cpp.o"
+  "CMakeFiles/compare_pruners.dir/compare_pruners.cpp.o.d"
+  "compare_pruners"
+  "compare_pruners.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/compare_pruners.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

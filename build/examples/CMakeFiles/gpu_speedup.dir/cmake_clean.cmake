@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpu_speedup.dir/gpu_speedup.cpp.o"
+  "CMakeFiles/gpu_speedup.dir/gpu_speedup.cpp.o.d"
+  "gpu_speedup"
+  "gpu_speedup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpu_speedup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/resnet_blockdrop.dir/resnet_blockdrop.cpp.o"
+  "CMakeFiles/resnet_blockdrop.dir/resnet_blockdrop.cpp.o.d"
+  "resnet_blockdrop"
+  "resnet_blockdrop.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/resnet_blockdrop.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/train_vgg.dir/train_vgg.cpp.o"
+  "CMakeFiles/train_vgg.dir/train_vgg.cpp.o.d"
+  "train_vgg"
+  "train_vgg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/train_vgg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

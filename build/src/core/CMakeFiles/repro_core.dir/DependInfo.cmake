@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/block_internal_pruner.cpp" "src/core/CMakeFiles/repro_core.dir/block_internal_pruner.cpp.o" "gcc" "src/core/CMakeFiles/repro_core.dir/block_internal_pruner.cpp.o.d"
+  "/root/repo/src/core/block_pruner.cpp" "src/core/CMakeFiles/repro_core.dir/block_pruner.cpp.o" "gcc" "src/core/CMakeFiles/repro_core.dir/block_pruner.cpp.o.d"
+  "/root/repo/src/core/headstart_net.cpp" "src/core/CMakeFiles/repro_core.dir/headstart_net.cpp.o" "gcc" "src/core/CMakeFiles/repro_core.dir/headstart_net.cpp.o.d"
+  "/root/repo/src/core/model_pruner.cpp" "src/core/CMakeFiles/repro_core.dir/model_pruner.cpp.o" "gcc" "src/core/CMakeFiles/repro_core.dir/model_pruner.cpp.o.d"
+  "/root/repo/src/core/reward.cpp" "src/core/CMakeFiles/repro_core.dir/reward.cpp.o" "gcc" "src/core/CMakeFiles/repro_core.dir/reward.cpp.o.d"
+  "/root/repo/src/core/search.cpp" "src/core/CMakeFiles/repro_core.dir/search.cpp.o" "gcc" "src/core/CMakeFiles/repro_core.dir/search.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/nn/CMakeFiles/repro_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/models/CMakeFiles/repro_models.dir/DependInfo.cmake"
+  "/root/repo/build/src/pruning/CMakeFiles/repro_pruning.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/repro_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/repro_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/repro_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/repro_core.dir/block_internal_pruner.cpp.o"
+  "CMakeFiles/repro_core.dir/block_internal_pruner.cpp.o.d"
+  "CMakeFiles/repro_core.dir/block_pruner.cpp.o"
+  "CMakeFiles/repro_core.dir/block_pruner.cpp.o.d"
+  "CMakeFiles/repro_core.dir/headstart_net.cpp.o"
+  "CMakeFiles/repro_core.dir/headstart_net.cpp.o.d"
+  "CMakeFiles/repro_core.dir/model_pruner.cpp.o"
+  "CMakeFiles/repro_core.dir/model_pruner.cpp.o.d"
+  "CMakeFiles/repro_core.dir/reward.cpp.o"
+  "CMakeFiles/repro_core.dir/reward.cpp.o.d"
+  "CMakeFiles/repro_core.dir/search.cpp.o"
+  "CMakeFiles/repro_core.dir/search.cpp.o.d"
+  "librepro_core.a"
+  "librepro_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/repro_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gpusim/device.cpp" "src/gpusim/CMakeFiles/repro_gpusim.dir/device.cpp.o" "gcc" "src/gpusim/CMakeFiles/repro_gpusim.dir/device.cpp.o.d"
+  "/root/repo/src/gpusim/energy.cpp" "src/gpusim/CMakeFiles/repro_gpusim.dir/energy.cpp.o" "gcc" "src/gpusim/CMakeFiles/repro_gpusim.dir/energy.cpp.o.d"
+  "/root/repo/src/gpusim/roofline.cpp" "src/gpusim/CMakeFiles/repro_gpusim.dir/roofline.cpp.o" "gcc" "src/gpusim/CMakeFiles/repro_gpusim.dir/roofline.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/models/CMakeFiles/repro_models.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/repro_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/repro_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/repro_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/repro_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/repro_gpusim.dir/device.cpp.o"
+  "CMakeFiles/repro_gpusim.dir/device.cpp.o.d"
+  "CMakeFiles/repro_gpusim.dir/energy.cpp.o"
+  "CMakeFiles/repro_gpusim.dir/energy.cpp.o.d"
+  "CMakeFiles/repro_gpusim.dir/roofline.cpp.o"
+  "CMakeFiles/repro_gpusim.dir/roofline.cpp.o.d"
+  "librepro_gpusim.a"
+  "librepro_gpusim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/repro_gpusim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

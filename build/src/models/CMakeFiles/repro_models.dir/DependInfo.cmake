@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/models/lenet.cpp" "src/models/CMakeFiles/repro_models.dir/lenet.cpp.o" "gcc" "src/models/CMakeFiles/repro_models.dir/lenet.cpp.o.d"
+  "/root/repo/src/models/resnet.cpp" "src/models/CMakeFiles/repro_models.dir/resnet.cpp.o" "gcc" "src/models/CMakeFiles/repro_models.dir/resnet.cpp.o.d"
+  "/root/repo/src/models/summary.cpp" "src/models/CMakeFiles/repro_models.dir/summary.cpp.o" "gcc" "src/models/CMakeFiles/repro_models.dir/summary.cpp.o.d"
+  "/root/repo/src/models/vgg.cpp" "src/models/CMakeFiles/repro_models.dir/vgg.cpp.o" "gcc" "src/models/CMakeFiles/repro_models.dir/vgg.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/nn/CMakeFiles/repro_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/repro_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/repro_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/repro_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/repro_models.dir/lenet.cpp.o"
+  "CMakeFiles/repro_models.dir/lenet.cpp.o.d"
+  "CMakeFiles/repro_models.dir/resnet.cpp.o"
+  "CMakeFiles/repro_models.dir/resnet.cpp.o.d"
+  "CMakeFiles/repro_models.dir/summary.cpp.o"
+  "CMakeFiles/repro_models.dir/summary.cpp.o.d"
+  "CMakeFiles/repro_models.dir/vgg.cpp.o"
+  "CMakeFiles/repro_models.dir/vgg.cpp.o.d"
+  "librepro_models.a"
+  "librepro_models.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/repro_models.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

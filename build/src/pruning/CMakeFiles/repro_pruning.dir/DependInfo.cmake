@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/pruning/autopruner.cpp" "src/pruning/CMakeFiles/repro_pruning.dir/autopruner.cpp.o" "gcc" "src/pruning/CMakeFiles/repro_pruning.dir/autopruner.cpp.o.d"
+  "/root/repo/src/pruning/channel_gate.cpp" "src/pruning/CMakeFiles/repro_pruning.dir/channel_gate.cpp.o" "gcc" "src/pruning/CMakeFiles/repro_pruning.dir/channel_gate.cpp.o.d"
+  "/root/repo/src/pruning/mask.cpp" "src/pruning/CMakeFiles/repro_pruning.dir/mask.cpp.o" "gcc" "src/pruning/CMakeFiles/repro_pruning.dir/mask.cpp.o.d"
+  "/root/repo/src/pruning/metrics.cpp" "src/pruning/CMakeFiles/repro_pruning.dir/metrics.cpp.o" "gcc" "src/pruning/CMakeFiles/repro_pruning.dir/metrics.cpp.o.d"
+  "/root/repo/src/pruning/pipeline.cpp" "src/pruning/CMakeFiles/repro_pruning.dir/pipeline.cpp.o" "gcc" "src/pruning/CMakeFiles/repro_pruning.dir/pipeline.cpp.o.d"
+  "/root/repo/src/pruning/resnet_surgery.cpp" "src/pruning/CMakeFiles/repro_pruning.dir/resnet_surgery.cpp.o" "gcc" "src/pruning/CMakeFiles/repro_pruning.dir/resnet_surgery.cpp.o.d"
+  "/root/repo/src/pruning/surgery.cpp" "src/pruning/CMakeFiles/repro_pruning.dir/surgery.cpp.o" "gcc" "src/pruning/CMakeFiles/repro_pruning.dir/surgery.cpp.o.d"
+  "/root/repo/src/pruning/thinet.cpp" "src/pruning/CMakeFiles/repro_pruning.dir/thinet.cpp.o" "gcc" "src/pruning/CMakeFiles/repro_pruning.dir/thinet.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/nn/CMakeFiles/repro_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/models/CMakeFiles/repro_models.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/repro_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/repro_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/repro_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

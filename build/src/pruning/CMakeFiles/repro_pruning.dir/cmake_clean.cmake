@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/repro_pruning.dir/autopruner.cpp.o"
+  "CMakeFiles/repro_pruning.dir/autopruner.cpp.o.d"
+  "CMakeFiles/repro_pruning.dir/channel_gate.cpp.o"
+  "CMakeFiles/repro_pruning.dir/channel_gate.cpp.o.d"
+  "CMakeFiles/repro_pruning.dir/mask.cpp.o"
+  "CMakeFiles/repro_pruning.dir/mask.cpp.o.d"
+  "CMakeFiles/repro_pruning.dir/metrics.cpp.o"
+  "CMakeFiles/repro_pruning.dir/metrics.cpp.o.d"
+  "CMakeFiles/repro_pruning.dir/pipeline.cpp.o"
+  "CMakeFiles/repro_pruning.dir/pipeline.cpp.o.d"
+  "CMakeFiles/repro_pruning.dir/resnet_surgery.cpp.o"
+  "CMakeFiles/repro_pruning.dir/resnet_surgery.cpp.o.d"
+  "CMakeFiles/repro_pruning.dir/surgery.cpp.o"
+  "CMakeFiles/repro_pruning.dir/surgery.cpp.o.d"
+  "CMakeFiles/repro_pruning.dir/thinet.cpp.o"
+  "CMakeFiles/repro_pruning.dir/thinet.cpp.o.d"
+  "librepro_pruning.a"
+  "librepro_pruning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/repro_pruning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/repro_tensor.dir/gemm.cpp.o"
+  "CMakeFiles/repro_tensor.dir/gemm.cpp.o.d"
+  "CMakeFiles/repro_tensor.dir/im2col.cpp.o"
+  "CMakeFiles/repro_tensor.dir/im2col.cpp.o.d"
+  "CMakeFiles/repro_tensor.dir/rng.cpp.o"
+  "CMakeFiles/repro_tensor.dir/rng.cpp.o.d"
+  "CMakeFiles/repro_tensor.dir/tensor.cpp.o"
+  "CMakeFiles/repro_tensor.dir/tensor.cpp.o.d"
+  "librepro_tensor.a"
+  "librepro_tensor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/repro_tensor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

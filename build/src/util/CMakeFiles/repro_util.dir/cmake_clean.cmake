@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/repro_util.dir/logging.cpp.o"
+  "CMakeFiles/repro_util.dir/logging.cpp.o.d"
+  "CMakeFiles/repro_util.dir/table.cpp.o"
+  "CMakeFiles/repro_util.dir/table.cpp.o.d"
+  "librepro_util.a"
+  "librepro_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/repro_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

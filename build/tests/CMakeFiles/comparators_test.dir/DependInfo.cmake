@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/comparators_test.cpp" "tests/CMakeFiles/comparators_test.dir/comparators_test.cpp.o" "gcc" "tests/CMakeFiles/comparators_test.dir/comparators_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/repro_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/pruning/CMakeFiles/repro_pruning.dir/DependInfo.cmake"
+  "/root/repo/build/src/gpusim/CMakeFiles/repro_gpusim.dir/DependInfo.cmake"
+  "/root/repo/build/src/models/CMakeFiles/repro_models.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/repro_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/repro_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/repro_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/repro_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/resnet_surgery_test.dir/resnet_surgery_test.cpp.o"
+  "CMakeFiles/resnet_surgery_test.dir/resnet_surgery_test.cpp.o.d"
+  "resnet_surgery_test"
+  "resnet_surgery_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/resnet_surgery_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
