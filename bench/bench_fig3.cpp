@@ -68,7 +68,8 @@ void run_ablation(models::VggModel& model,
 } // namespace
 
 int main(int argc, char** argv) {
-    const bool ablation = argc > 1 && std::strcmp(argv[1], "--ablation") == 0;
+    const auto run = bench::bench_run("fig3", argc, argv);
+    const bool ablation = bench::has_flag(argc, argv, "--ablation");
 
     const data::SyntheticImageDataset dataset(bench::cifar_bench());
     auto model = models::make_vgg16(bench::vgg_bench(dataset.config()));
@@ -127,5 +128,6 @@ int main(int argc, char** argv) {
     if (ablation) run_ablation(model, dataset, /*layer=*/4);
 
     std::printf("\ntotal %.0fs\n", watch.seconds());
+    bench::bench_finish(run, watch.seconds());
     return 0;
 }

@@ -11,8 +11,9 @@
 #include "util/stopwatch.h"
 #include "util/table.h"
 
-int main() {
+int main(int argc, char** argv) {
     using namespace hs;
+    const auto run = bench::bench_run("fig4", argc, argv);
 
     Stopwatch watch;
     std::printf("Figure 4 — per-group #PARAMETERS (residual blocks only)\n\n");
@@ -43,5 +44,6 @@ int main() {
                 bench::pct(exp.pruned.final_accuracy).c_str(),
                 bench::pct(exp.small_acc).c_str());
     std::printf("total %.0fs\n", watch.seconds());
+    bench::bench_finish(run, watch.seconds());
     return 0;
 }

@@ -10,8 +10,9 @@
 #include "util/stopwatch.h"
 #include "util/table.h"
 
-int main() {
+int main(int argc, char** argv) {
     using namespace hs;
+    const auto run = bench::bench_run("fig5", argc, argv);
 
     Stopwatch watch;
     std::printf("Figure 5 — per-group #FLOPS (residual blocks only)\n\n");
@@ -43,5 +44,6 @@ int main() {
                 exp.small_cfg.blocks_per_group[1],
                 exp.small_cfg.blocks_per_group[2]);
     std::printf("total %.0fs\n", watch.seconds());
+    bench::bench_finish(run, watch.seconds());
     return 0;
 }

@@ -72,8 +72,9 @@ double measured_fps(nn::Sequential& net, const Shape& input, int batch,
 
 } // namespace
 
-int main() {
+int main(int argc, char** argv) {
     using namespace hs;
+    const auto run = bench::bench_run("fig6", argc, argv);
 
     std::printf("Figure 6 — inference fps, original vs HeadStart-pruned\n\n");
     Stopwatch watch;
@@ -141,5 +142,6 @@ int main() {
     anchor.print();
 
     std::printf("\ntotal %.0fs\n", watch.seconds());
+    bench::bench_finish(run, watch.seconds());
     return 0;
 }

@@ -13,8 +13,9 @@
 #include "util/stopwatch.h"
 #include "util/table.h"
 
-int main() {
+int main(int argc, char** argv) {
     using namespace hs;
+    const auto run = bench::bench_run("table1", argc, argv);
 
     const data::SyntheticImageDataset dataset(bench::cub_bench());
     std::printf("Table 1 — whole-model pruning trace, CUB-200-like, sp=2\n");
@@ -61,5 +62,6 @@ int main() {
                 bench::pct(hs_result.final_accuracy).c_str(),
                 bench::pct(hs_result.compression_ratio).c_str());
     std::printf("total %.0fs\n", watch.seconds());
+    bench::bench_finish(run, watch.seconds());
     return 0;
 }

@@ -14,8 +14,9 @@
 #include "util/stopwatch.h"
 #include "util/table.h"
 
-int main() {
+int main(int argc, char** argv) {
     using namespace hs;
+    const auto run = bench::bench_run("table2", argc, argv);
 
     const data::SyntheticImageDataset dataset(bench::cub_bench());
     std::printf("Table 2 — pruning VGG-16 on CUB-200-like, sp=2\n");
@@ -83,5 +84,6 @@ int main() {
 
     table.print();
     std::printf("\ntotal %.0fs\n", watch.seconds());
+    bench::bench_finish(run, watch.seconds());
     return 0;
 }

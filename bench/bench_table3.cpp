@@ -12,8 +12,9 @@
 #include "util/stopwatch.h"
 #include "util/table.h"
 
-int main() {
+int main(int argc, char** argv) {
     using namespace hs;
+    const auto run = bench::bench_run("table3", argc, argv);
 
     const data::SyntheticImageDataset dataset(bench::cifar_bench());
     std::printf("Table 3 — pruning VGG-16 on CIFAR-100-like, sp=5\n");
@@ -74,5 +75,6 @@ int main() {
 
     table.print();
     std::printf("\ntotal %.0fs\n", watch.seconds());
+    bench::bench_finish(run, watch.seconds());
     return 0;
 }

@@ -13,8 +13,9 @@
 #include "util/stopwatch.h"
 #include "util/table.h"
 
-int main() {
+int main(int argc, char** argv) {
     using namespace hs;
+    const auto run = bench::bench_run("table4", argc, argv);
 
     Stopwatch watch;
     std::printf("Table 4 — block-level pruning of ResNet on CIFAR-100-like\n\n");
@@ -63,5 +64,6 @@ int main() {
                 bench::pct(exp.pruned.inception_accuracy).c_str(),
                 exp.pruned.search_iterations);
     std::printf("total %.0fs\n", watch.seconds());
+    bench::bench_finish(run, watch.seconds());
     return 0;
 }

@@ -1,9 +1,11 @@
 #include "bench/common.h"
 
 #include <cstdio>
+#include <cstring>
 
 #include "data/dataloader.h"
 #include "nn/trainer.h"
+#include "obs/obs.h"
 #include "util/logging.h"
 #include "util/table.h"
 
@@ -32,6 +34,42 @@ std::string pct(double fraction) { return TablePrinter::num(100.0 * fraction, 2)
 
 std::string millions(std::int64_t count) {
     return TablePrinter::num(static_cast<double>(count) / 1e6, 3);
+}
+
+bool has_flag(int argc, char** argv, const char* flag) {
+    for (int i = 1; i < argc; ++i)
+        if (std::strcmp(argv[i], flag) == 0) return true;
+    return false;
+}
+
+BenchRun bench_run(const char* name, int argc, char** argv) {
+    BenchRun run;
+    run.name = name;
+    for (int i = 1; i + 1 < argc; ++i) {
+        if (std::strcmp(argv[i], "--json") == 0) {
+            run.json_path = argv[i + 1];
+            break;
+        }
+    }
+    if (!run.json_path.empty()) obs::set_enabled(true);
+
+    if (obs::enabled()) {
+        const char* scale_name = scale() == Scale::kFull    ? "full"
+                                 : scale() == Scale::kQuick ? "quick"
+                                                            : "smoke";
+        auto& report = obs::RunReport::global();
+        report.set_config("bench", std::string(name));
+        report.set_config("scale", std::string(scale_name));
+    }
+    return run;
+}
+
+void bench_finish(const BenchRun& run, double total_seconds) {
+    if (obs::enabled()) {
+        obs::RunReport::global().add_section("total", total_seconds);
+        obs::gauge_set("bench.total_seconds", total_seconds);
+    }
+    if (!run.json_path.empty()) (void)obs::write_run_report(run.json_path);
 }
 
 } // namespace hs::bench

@@ -175,4 +175,22 @@ std::string pct(double fraction);
 /// Millions formatter with two decimals ("9.30").
 std::string millions(std::int64_t count);
 
+/// Observability context of one bench invocation (see src/obs/obs.h).
+struct BenchRun {
+    std::string name;       ///< "fig3", "table1", …
+    std::string json_path;  ///< empty when --json was not given
+};
+
+/// True if `flag` appears anywhere in argv (order-independent flags).
+bool has_flag(int argc, char** argv, const char* flag);
+
+/// Parse `--json <path>` (and the env-armed HS_OBS state), force-enable
+/// observability when a report was requested, and stamp the run config
+/// (bench name, scale) into the global run report. Call first in main().
+BenchRun bench_run(const char* name, int argc, char** argv);
+
+/// Record total wall-clock and write the run report to --json's path (if
+/// given). Call last in main().
+void bench_finish(const BenchRun& run, double total_seconds);
+
 } // namespace hs::bench

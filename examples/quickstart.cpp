@@ -4,25 +4,39 @@
 //
 // Build & run:   cmake -B build -G Ninja && cmake --build build
 //                ./build/examples/quickstart
+//
+// Observability: set HS_TRACE_FILE=/tmp/trace.json to get a Chrome
+// trace_event file of the whole run (open in chrome://tracing or
+// Perfetto), HS_REPORT_FILE=/tmp/report.json for the JSON run report.
+// `--smoke` shrinks dataset/epochs to seconds (used by the CTest smoke).
 
 #include <cstdio>
+#include <cstring>
 
 #include "core/model_pruner.h"
 #include "data/dataloader.h"
 #include "models/lenet.h"
 #include "models/summary.h"
 #include "nn/trainer.h"
+#include "obs/obs.h"
 #include "pruning/surgery.h"
 #include "util/stopwatch.h"
 
-int main() {
+int main(int argc, char** argv) {
     using namespace hs;
+
+    bool smoke = false;
+    for (int i = 1; i < argc; ++i)
+        if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+    const int train_epochs = smoke ? 2 : 12;
+
+    obs::Span main_span("quickstart", "example");
 
     // 1. A small synthetic classification dataset (CIFAR-100 stand-in).
     data::SyntheticConfig data_cfg = data::cifar100_like();
     data_cfg.num_classes = 10;
-    data_cfg.train_per_class = 80;
-    data_cfg.test_per_class = 20;
+    data_cfg.train_per_class = smoke ? 16 : 80;
+    data_cfg.test_per_class = smoke ? 8 : 20;
     const data::SyntheticImageDataset dataset(data_cfg);
     std::printf("dataset: %d train / %d test images, %d classes, %dx%d px\n",
                 dataset.train().size(), dataset.test().size(),
@@ -38,7 +52,7 @@ int main() {
     data::DataLoader loader(dataset.train(), 32, /*shuffle=*/true);
     nn::SoftmaxCrossEntropy loss;
     nn::SGD opt(model.net.params(), 0.01f, 0.9f, 5e-4f);
-    for (int epoch = 0; epoch < 12; ++epoch) {
+    for (int epoch = 0; epoch < train_epochs; ++epoch) {
         const auto stats = nn::train_epoch(model.net, loss, opt, loader);
         std::printf("epoch %2d  loss %.4f  train-acc %.3f\n", epoch, stats.loss,
                     stats.accuracy);
@@ -54,7 +68,8 @@ int main() {
     // 3. HeadStart: learn which feature maps of conv1 to keep (sp = 2).
     core::HeadStartConfig hs_cfg;
     hs_cfg.search.speedup = 2.0;
-    hs_cfg.search.max_iters = 40;
+    hs_cfg.search.max_iters = smoke ? 6 : 40;
+    hs_cfg.search.label = "conv1";
     watch.reset();
     const auto search = core::headstart_search_conv(
         model.net, model.conv_indices[0], dataset, hs_cfg);
@@ -69,7 +84,8 @@ int main() {
                              model.classifier_index};
     pruning::prune_feature_maps(chain, 0, search.keep);
     const double acc_inception = nn::evaluate(model.net, dataset.test());
-    (void)nn::finetune(model.net, loader, /*epochs=*/4, /*lr=*/5e-3f);
+    (void)nn::finetune(model.net, loader, /*epochs=*/smoke ? 1 : 4,
+                       /*lr=*/5e-3f);
     const double acc_after = nn::evaluate(model.net, dataset.test());
 
     const auto after = models::summarize(model.net, input);

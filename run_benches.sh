@@ -1,12 +1,23 @@
 #!/bin/sh
 # Regenerates every paper table/figure: one bench binary per artifact.
+# Each table/figure bench additionally drops a machine-readable run report
+# BENCH_<name>.json (reward/l0 trajectories, per-layer traces, wall-clock
+# breakdown) next to the output file; see README "Observability".
 # Usage: ./run_benches.sh [output-file]
 out="${1:-/root/repo/bench_output.txt}"
+outdir=$(dirname "$out")
 : > "$out"
 for b in build/bench/*; do
   [ -f "$b" ] && [ -x "$b" ] || continue
+  name=$(basename "$b")
   echo "##### $b" >> "$out"
-  "$b" >> "$out" 2>&1
+  case "$name" in
+    bench_kernels)
+      # google-benchmark binary: own flag parser, no --json run report.
+      "$b" >> "$out" 2>&1 ;;
+    *)
+      "$b" --json "$outdir/BENCH_${name}.json" >> "$out" 2>&1 ;;
+  esac
   echo "exit=$? $b" >> "$out"
 done
 echo "ALL_BENCHES_DONE" >> "$out"

@@ -3,15 +3,19 @@
 #include <algorithm>
 
 #include "nn/trainer.h"
+#include "obs/obs.h"
 #include "pruning/mask.h"
 #include "pruning/resnet_surgery.h"
 #include "util/logging.h"
+#include "util/stopwatch.h"
 
 namespace hs::core {
 
 BlockPruneResult headstart_prune_blocks(models::ResNetModel& model,
                                         const data::SyntheticImageDataset& dataset,
                                         const BlockPruneConfig& config) {
+    obs::Span span("headstart.blocks", "pruning");
+    Stopwatch watch;
     const auto droppable = pruning::droppable_blocks(model);
     require(!droppable.empty(), "no droppable blocks in this ResNet");
     const int total_blocks = model.num_blocks();
@@ -33,6 +37,7 @@ BlockPruneResult headstart_prune_blocks(models::ResNetModel& model,
     search.speedup = std::max(
         1.0, static_cast<double>(droppable.size()) / target_droppable_kept);
     search.seed = config.seed * 977 + 3;
+    search.label = "blocks";
 
     auto evaluate = [&model, &droppable, &reward_batch,
                      total_blocks](std::span<const float> action) {
@@ -74,6 +79,21 @@ BlockPruneResult headstart_prune_blocks(models::ResNetModel& model,
     (void)nn::finetune(result.pruned.net, loader, config.finetune_epochs,
                        config.lr, config.weight_decay);
     result.final_accuracy = nn::evaluate(result.pruned.net, dataset.test());
+
+    if (obs::enabled()) {
+        obs::count("headstart.blocks_removed",
+                   total_blocks - static_cast<int>(result.kept_blocks.size()));
+        obs::LayerRow row;
+        row.pipeline = "headstart-blocks";
+        row.name = "blocks";
+        row.units_before = total_blocks;
+        row.units_after = static_cast<int>(result.kept_blocks.size());
+        row.acc_inception = result.inception_accuracy;
+        row.acc_finetuned = result.final_accuracy;
+        row.search_iterations = result.search_iterations;
+        row.elapsed_s = watch.seconds();
+        obs::RunReport::global().add_layer(std::move(row));
+    }
 
     log_info("[headstart-blocks] kept <" +
              std::to_string(result.blocks_per_group[0]) + ", " +

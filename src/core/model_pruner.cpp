@@ -3,9 +3,11 @@
 #include "models/summary.h"
 #include "nn/conv2d.h"
 #include "nn/trainer.h"
+#include "obs/obs.h"
 #include "pruning/mask.h"
 #include "pruning/surgery.h"
 #include "util/logging.h"
+#include "util/stopwatch.h"
 
 namespace hs::core {
 namespace {
@@ -43,6 +45,8 @@ SearchResult headstart_search_conv(nn::Sequential& net, int conv_position,
 
     SearchConfig search = config.search;
     search.seed = config.seed * 131 + static_cast<std::uint64_t>(conv_position);
+    if (search.label.empty())
+        search.label = "conv@" + std::to_string(conv_position);
     ActionSearch driver(conv.out_channels(),
                         make_layer_evaluator(net, conv, conv_position, reward_batch),
                         std::max(acc_orig, 1e-3), search);
@@ -84,6 +88,8 @@ HeadStartResult headstart_prune_vgg(models::VggModel& model,
     const int last = config.prune_last_conv ? num_convs : num_convs - 1;
 
     for (int i = 0; i < last; ++i) {
+        obs::Span layer_span("headstart.layer", "pruning");
+        Stopwatch layer_watch;
         auto& conv = model.net.layer_as<nn::Conv2d>(
             model.conv_indices[static_cast<std::size_t>(i)]);
         const int maps_before = conv.out_channels();
@@ -95,6 +101,7 @@ HeadStartResult headstart_prune_vgg(models::VggModel& model,
 
         SearchConfig search = config.search;
         search.seed = config.seed * 131 + static_cast<std::uint64_t>(i);
+        search.label = model.conv_names[static_cast<std::size_t>(i)];
         ActionSearch driver(
             maps_before,
             make_layer_evaluator(
@@ -121,6 +128,26 @@ HeadStartResult headstart_prune_vgg(models::VggModel& model,
         trace.params = report.params;
         trace.flops = report.flops;
         result.trace.push_back(trace);
+
+        if (obs::enabled()) {
+            obs::count("headstart.layers_pruned");
+            obs::count("headstart.maps_removed",
+                       maps_before - trace.maps_after);
+            obs::gauge_set("headstart.params", static_cast<double>(report.params));
+            obs::gauge_set("headstart.flops", static_cast<double>(report.flops));
+            obs::LayerRow row;
+            row.pipeline = "headstart";
+            row.name = trace.name;
+            row.units_before = maps_before;
+            row.units_after = trace.maps_after;
+            row.params = trace.params;
+            row.flops = trace.flops;
+            row.acc_inception = trace.acc_inception;
+            row.acc_finetuned = trace.acc_finetuned;
+            row.search_iterations = trace.search_iterations;
+            row.elapsed_s = layer_watch.seconds();
+            obs::RunReport::global().add_layer(std::move(row));
+        }
 
         log_info("[headstart] " + trace.name + ": " + std::to_string(maps_before) +
                  " -> " + std::to_string(trace.maps_after) + " maps in " +

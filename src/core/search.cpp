@@ -2,9 +2,11 @@
 
 #include <algorithm>
 
+#include "obs/obs.h"
 #include "pruning/mask.h"
 #include "util/error.h"
 #include "util/logging.h"
+#include "util/stopwatch.h"
 
 namespace hs::core {
 
@@ -21,6 +23,10 @@ ActionSearch::ActionSearch(int actions, ActionEvaluator evaluate, double acc_ori
 }
 
 SearchResult ActionSearch::run() {
+    const std::string label = config_.label.empty() ? "search" : config_.label;
+    obs::Span run_span("search.run/" + label, "search");
+    Stopwatch run_watch;
+
     SearchConfig cfg = config_;
     cfg.policy.seed = config_.seed * 0x9e37 + 1; // decorrelate policy init
     HeadStartNet policy(actions_, cfg.policy);
@@ -40,6 +46,7 @@ SearchResult ActionSearch::run() {
     double best_reward = -1e30;
 
     for (int iter = 0; iter < config_.max_iters; ++iter) {
+        obs::Span iter_span("search.iteration", "search");
         const auto probs = policy.probs(rng);
 
         // Baseline: reward of the thresholded inference action (Eq. 9–10).
@@ -88,6 +95,15 @@ SearchResult ActionSearch::run() {
         result.l0_history.push_back(infer_l0);
         result.iterations = iter + 1;
 
+        if (obs::enabled()) {
+            obs::count("search.iterations");
+            obs::count("search.action_evaluations", 1 + config_.monte_carlo_k);
+            obs::gauge_set("search.reward", infer_reward);
+            obs::gauge_set("search.l0", infer_l0);
+            obs::gauge_set("search.baseline", baseline);
+            obs::gauge_set("search.mean_sample_reward", mean_sample_reward);
+        }
+
         // Convergence: the inference reward stays within stable_eps across
         // the stability window ("nearly constant loss and reward").
         if (static_cast<int>(result.reward_history.size()) >= config_.stable_window) {
@@ -111,6 +127,19 @@ SearchResult ActionSearch::run() {
 
     result.inception_accuracy = evaluate_(final_action);
     result.keep = pruning::keep_from_mask(final_action);
+
+    if (obs::enabled()) {
+        obs::SearchTrace trace;
+        trace.label = label;
+        trace.actions = actions_;
+        trace.speedup = config_.speedup;
+        trace.reward_history = result.reward_history;
+        trace.l0_history = result.l0_history;
+        trace.iterations = result.iterations;
+        trace.inception_accuracy = result.inception_accuracy;
+        trace.elapsed_s = run_watch.seconds();
+        obs::RunReport::global().add_search(std::move(trace));
+    }
     return result;
 }
 

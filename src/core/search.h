@@ -9,6 +9,7 @@
 // evaluator (which applies the action to the model being pruned).
 
 #include <functional>
+#include <string>
 #include <vector>
 
 #include "core/headstart_net.h"
@@ -32,6 +33,9 @@ struct SearchConfig {
     BaselineMode baseline = BaselineMode::kInferenceAction;
     PolicyConfig policy;
     std::uint64_t seed = 11;
+    /// Observability label of this search ("conv4_1", "blocks", …); shows
+    /// up in trace spans and the run report. Empty → "search".
+    std::string label;
 };
 
 /// Outcome of a search.

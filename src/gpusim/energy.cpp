@@ -1,5 +1,6 @@
 #include "gpusim/energy.h"
 
+#include "obs/obs.h"
 #include "util/error.h"
 
 namespace hs::gpusim {
@@ -41,8 +42,22 @@ EnergyEstimate estimate_energy(const InferenceEstimate& latency,
 
 EnergyEstimate estimate_energy(nn::Layer& model, const Shape& input_chw,
                                const Device& device, int batch) {
-    return estimate_energy(estimate_inference(model, input_chw, device, batch),
-                           power_of(device));
+    obs::Span span("gpusim.energy/" + device.name, "gpusim");
+    const auto latency = estimate_inference(model, input_chw, device, batch);
+    const auto energy = estimate_energy(latency, power_of(device));
+    if (obs::enabled()) {
+        obs::gauge_set("gpusim.joules_per_image", energy.joules_per_image);
+        // estimate_inference just appended this device's estimate; attach
+        // the energy figure to it.
+        obs::DeviceEstimate de;
+        de.device = device.name;
+        de.latency_s = latency.latency;
+        de.fps = latency.fps;
+        de.batch = batch;
+        de.joules_per_image = energy.joules_per_image;
+        obs::RunReport::global().add_device_estimate(std::move(de));
+    }
+    return energy;
 }
 
 } // namespace hs::gpusim

@@ -3,12 +3,14 @@
 #include <algorithm>
 
 #include "models/summary.h"
+#include "obs/obs.h"
 #include "util/error.h"
 
 namespace hs::gpusim {
 
 InferenceEstimate estimate_inference(nn::Layer& model, const Shape& input_chw,
                                      const Device& device, int batch) {
+    obs::Span span("gpusim.estimate/" + device.name, "gpusim");
     require(batch >= 1, "batch must be at least 1");
     const auto report = models::summarize(model, input_chw);
 
@@ -61,6 +63,20 @@ InferenceEstimate estimate_inference(nn::Layer& model, const Shape& input_chw,
     }
 
     est.fps = est.latency > 0.0 ? batch / est.latency : 0.0;
+
+    if (obs::enabled()) {
+        obs::count("gpusim.estimates");
+        obs::gauge_set("gpusim.latency_s", est.latency);
+        obs::gauge_set("gpusim.fps", est.fps);
+        obs::DeviceEstimate de;
+        de.device = device.name;
+        de.latency_s = est.latency;
+        de.fps = est.fps;
+        de.batch = batch;
+        for (const auto& layer : est.layers)
+            de.layer_seconds.emplace_back(layer.kind, layer.total_s);
+        obs::RunReport::global().add_device_estimate(std::move(de));
+    }
     return est;
 }
 

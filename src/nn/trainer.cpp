@@ -1,9 +1,14 @@
 #include "nn/trainer.h"
 
+#include "obs/obs.h"
+#include "util/stopwatch.h"
+
 namespace hs::nn {
 
 EpochStats train_epoch(Layer& model, SoftmaxCrossEntropy& loss, Optimizer& opt,
                        data::DataLoader& loader) {
+    obs::Span span("train.epoch", "train");
+    Stopwatch watch;
     loader.start_epoch();
     const int batches = loader.batches_per_epoch();
     double loss_sum = 0.0;
@@ -25,10 +30,24 @@ EpochStats train_epoch(Layer& model, SoftmaxCrossEntropy& loss, Optimizer& opt,
     EpochStats stats;
     stats.loss = loss_sum / batches;
     stats.accuracy = total > 0 ? static_cast<double>(correct_weighted) / total : 0.0;
+
+    if (obs::enabled()) {
+        const double elapsed = watch.seconds();
+        obs::count("train.epochs");
+        obs::count("train.samples", total);
+        obs::gauge_set("train.loss", stats.loss);
+        obs::gauge_set("train.accuracy", stats.accuracy);
+        if (elapsed > 0.0)
+            obs::gauge_set("train.samples_per_s",
+                           static_cast<double>(total) / elapsed);
+        obs::observe("train.epoch_seconds", elapsed);
+    }
     return stats;
 }
 
 double evaluate(Layer& model, const data::Split& split, int batch_size) {
+    obs::Span span("eval.split", "eval");
+    Stopwatch watch;
     data::DataLoader loader(split, batch_size, /*shuffle=*/false);
     const int batches = loader.batches_per_epoch();
     std::int64_t correct = 0;
@@ -38,7 +57,15 @@ double evaluate(Layer& model, const data::Split& split, int batch_size) {
         correct += static_cast<std::int64_t>(
             accuracy(logits, batch.labels) * batch.size() + 0.5);
     }
-    return static_cast<double>(correct) / split.size();
+    const double acc = static_cast<double>(correct) / split.size();
+    if (obs::enabled()) {
+        const double elapsed = watch.seconds();
+        obs::count("eval.samples", split.size());
+        obs::gauge_set("eval.accuracy", acc);
+        if (elapsed > 0.0)
+            obs::gauge_set("eval.samples_per_s", split.size() / elapsed);
+    }
+    return acc;
 }
 
 double evaluate_batch(Layer& model, const data::Batch& batch) {
@@ -48,6 +75,7 @@ double evaluate_batch(Layer& model, const data::Batch& batch) {
 
 EpochStats finetune(Layer& model, data::DataLoader& loader, int epochs, float lr,
                     float weight_decay) {
+    obs::Span span("finetune", "train");
     SoftmaxCrossEntropy loss;
     SGD opt(model.params(), lr, 0.9f, weight_decay);
     EpochStats stats;

@@ -1,0 +1,285 @@
+#include "obs/json.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+namespace hs::obs {
+
+// ---------------------------------------------------------------- writer
+
+void JsonWriter::separate() {
+    if (after_key_) {
+        after_key_ = false;
+        return;
+    }
+    if (!wrote_element_.empty()) {
+        if (wrote_element_.back()) out_.push_back(',');
+        wrote_element_.back() = true;
+    }
+}
+
+void JsonWriter::open(char c) {
+    separate();
+    out_.push_back(c);
+    wrote_element_.push_back(false);
+}
+
+void JsonWriter::close(char c) {
+    if (!wrote_element_.empty()) wrote_element_.pop_back();
+    out_.push_back(c);
+}
+
+void JsonWriter::key(std::string_view name) {
+    separate();
+    out_.push_back('"');
+    out_.append(escape(name));
+    out_.append("\":");
+    after_key_ = true;
+}
+
+void JsonWriter::value(std::string_view s) {
+    separate();
+    out_.push_back('"');
+    out_.append(escape(s));
+    out_.push_back('"');
+}
+
+void JsonWriter::value(double d) {
+    separate();
+    if (!std::isfinite(d)) { // JSON has no inf/nan; null is the convention
+        out_.append("null");
+        return;
+    }
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%.9g", d);
+    out_.append(buf);
+}
+
+void JsonWriter::value(std::int64_t i) {
+    separate();
+    out_.append(std::to_string(i));
+}
+
+void JsonWriter::value(bool b) {
+    separate();
+    out_.append(b ? "true" : "false");
+}
+
+void JsonWriter::value_null() {
+    separate();
+    out_.append("null");
+}
+
+void JsonWriter::raw(std::string_view json) {
+    separate();
+    out_.append(json);
+}
+
+std::string JsonWriter::escape(std::string_view s) {
+    std::string out;
+    out.reserve(s.size());
+    for (const char c : s) {
+        switch (c) {
+        case '"': out.append("\\\""); break;
+        case '\\': out.append("\\\\"); break;
+        case '\n': out.append("\\n"); break;
+        case '\r': out.append("\\r"); break;
+        case '\t': out.append("\\t"); break;
+        default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof buf, "\\u%04x",
+                              static_cast<unsigned>(c));
+                out.append(buf);
+            } else {
+                out.push_back(c);
+            }
+        }
+    }
+    return out;
+}
+
+// ---------------------------------------------------------------- parser
+
+const JsonValue* JsonValue::find(std::string_view key) const {
+    for (const auto& [k, v] : object)
+        if (k == key) return &v;
+    return nullptr;
+}
+
+namespace {
+
+class Parser {
+public:
+    explicit Parser(std::string_view text) : text_(text) {}
+
+    std::optional<JsonValue> parse_document() {
+        auto v = parse_value();
+        if (!v) return std::nullopt;
+        skip_ws();
+        if (pos_ != text_.size()) return std::nullopt; // trailing garbage
+        return v;
+    }
+
+private:
+    void skip_ws() {
+        while (pos_ < text_.size() &&
+               std::isspace(static_cast<unsigned char>(text_[pos_])))
+            ++pos_;
+    }
+
+    bool consume(char c) {
+        skip_ws();
+        if (pos_ < text_.size() && text_[pos_] == c) {
+            ++pos_;
+            return true;
+        }
+        return false;
+    }
+
+    bool literal(std::string_view word) {
+        if (text_.substr(pos_, word.size()) == word) {
+            pos_ += word.size();
+            return true;
+        }
+        return false;
+    }
+
+    std::optional<JsonValue> parse_value() {
+        skip_ws();
+        if (pos_ >= text_.size()) return std::nullopt;
+        const char c = text_[pos_];
+        if (c == '{') return parse_object();
+        if (c == '[') return parse_array();
+        if (c == '"') return parse_string();
+        if (literal("true")) {
+            JsonValue v;
+            v.kind = JsonValue::Kind::kBool;
+            v.boolean = true;
+            return v;
+        }
+        if (literal("false")) {
+            JsonValue v;
+            v.kind = JsonValue::Kind::kBool;
+            return v;
+        }
+        if (literal("null")) return JsonValue{};
+        return parse_number();
+    }
+
+    std::optional<JsonValue> parse_object() {
+        if (!consume('{')) return std::nullopt;
+        JsonValue v;
+        v.kind = JsonValue::Kind::kObject;
+        if (consume('}')) return v;
+        while (true) {
+            auto key = parse_string();
+            if (!key || !consume(':')) return std::nullopt;
+            auto member = parse_value();
+            if (!member) return std::nullopt;
+            v.object.emplace_back(std::move(key->string), std::move(*member));
+            if (consume(',')) continue;
+            if (consume('}')) return v;
+            return std::nullopt;
+        }
+    }
+
+    std::optional<JsonValue> parse_array() {
+        if (!consume('[')) return std::nullopt;
+        JsonValue v;
+        v.kind = JsonValue::Kind::kArray;
+        if (consume(']')) return v;
+        while (true) {
+            auto element = parse_value();
+            if (!element) return std::nullopt;
+            v.array.push_back(std::move(*element));
+            if (consume(',')) continue;
+            if (consume(']')) return v;
+            return std::nullopt;
+        }
+    }
+
+    std::optional<JsonValue> parse_string() {
+        if (!consume('"')) return std::nullopt;
+        JsonValue v;
+        v.kind = JsonValue::Kind::kString;
+        while (pos_ < text_.size()) {
+            const char c = text_[pos_++];
+            if (c == '"') return v;
+            if (c == '\\') {
+                if (pos_ >= text_.size()) return std::nullopt;
+                const char e = text_[pos_++];
+                switch (e) {
+                case '"': v.string.push_back('"'); break;
+                case '\\': v.string.push_back('\\'); break;
+                case '/': v.string.push_back('/'); break;
+                case 'b': v.string.push_back('\b'); break;
+                case 'f': v.string.push_back('\f'); break;
+                case 'n': v.string.push_back('\n'); break;
+                case 'r': v.string.push_back('\r'); break;
+                case 't': v.string.push_back('\t'); break;
+                case 'u': {
+                    if (pos_ + 4 > text_.size()) return std::nullopt;
+                    unsigned code = 0;
+                    for (int i = 0; i < 4; ++i) {
+                        const char h = text_[pos_++];
+                        code <<= 4;
+                        if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+                        else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
+                        else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
+                        else return std::nullopt;
+                    }
+                    // The writer only emits \u00xx; decode BMP as UTF-8.
+                    if (code < 0x80) {
+                        v.string.push_back(static_cast<char>(code));
+                    } else if (code < 0x800) {
+                        v.string.push_back(static_cast<char>(0xC0 | (code >> 6)));
+                        v.string.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+                    } else {
+                        v.string.push_back(static_cast<char>(0xE0 | (code >> 12)));
+                        v.string.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+                        v.string.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+                    }
+                    break;
+                }
+                default: return std::nullopt;
+                }
+            } else {
+                v.string.push_back(c);
+            }
+        }
+        return std::nullopt; // unterminated
+    }
+
+    std::optional<JsonValue> parse_number() {
+        const std::size_t start = pos_;
+        if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+        while (pos_ < text_.size() &&
+               (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+                text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+                text_[pos_] == '+' || text_[pos_] == '-'))
+            ++pos_;
+        if (pos_ == start) return std::nullopt;
+        const std::string token(text_.substr(start, pos_ - start));
+        char* end = nullptr;
+        const double d = std::strtod(token.c_str(), &end);
+        if (end != token.c_str() + token.size()) return std::nullopt;
+        JsonValue v;
+        v.kind = JsonValue::Kind::kNumber;
+        v.number = d;
+        return v;
+    }
+
+    std::string_view text_;
+    std::size_t pos_ = 0;
+};
+
+} // namespace
+
+std::optional<JsonValue> parse_json(std::string_view text) {
+    return Parser(text).parse_document();
+}
+
+} // namespace hs::obs

@@ -1,0 +1,86 @@
+#pragma once
+
+// Minimal JSON support for the observability subsystem: a streaming
+// writer (used by the metrics/trace/report exporters) and a small
+// recursive-descent parser (used by tests and by `json_check` to validate
+// emitted artifacts round-trip). Deliberately tiny — no external deps,
+// no allocator tricks — JSON here is an output format, not a hot path.
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace hs::obs {
+
+/// Append-only JSON emitter with automatic comma/nesting management.
+///
+///   JsonWriter w;
+///   w.begin_object();
+///   w.key("name"); w.value("run");
+///   w.key("iters"); w.value(std::int64_t{32});
+///   w.end_object();
+///   std::string text = std::move(w).str();
+class JsonWriter {
+public:
+    void begin_object() { open('{'); }
+    void end_object() { close('}'); }
+    void begin_array() { open('['); }
+    void end_array() { close(']'); }
+
+    /// Object key; must be followed by exactly one value or container.
+    void key(std::string_view name);
+
+    void value(std::string_view s);
+    void value(const char* s) { value(std::string_view(s)); }
+    void value(double d);
+    void value(std::int64_t i);
+    void value(int i) { value(static_cast<std::int64_t>(i)); }
+    void value(bool b);
+    void value_null();
+    /// Emit `json` verbatim as one value (caller guarantees validity).
+    void raw(std::string_view json);
+
+    /// JSON-escape `s` (quotes not included).
+    static std::string escape(std::string_view s);
+
+    [[nodiscard]] const std::string& str() const& { return out_; }
+    [[nodiscard]] std::string str() && { return std::move(out_); }
+
+private:
+    void open(char c);
+    void close(char c);
+    void separate();
+
+    std::string out_;
+    // One frame per open container: true once the first element was written
+    // (so the next element needs a leading comma).
+    std::vector<bool> wrote_element_;
+    bool after_key_ = false;
+};
+
+/// Parsed JSON value (tests / artifact validation only).
+struct JsonValue {
+    enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+    Kind kind = Kind::kNull;
+    bool boolean = false;
+    double number = 0.0;
+    std::string string;
+    std::vector<JsonValue> array;
+    std::vector<std::pair<std::string, JsonValue>> object;
+
+    /// First object member named `key`, or nullptr.
+    [[nodiscard]] const JsonValue* find(std::string_view key) const;
+
+    [[nodiscard]] bool is_object() const { return kind == Kind::kObject; }
+    [[nodiscard]] bool is_array() const { return kind == Kind::kArray; }
+};
+
+/// Parse a complete JSON document; std::nullopt on any syntax error or
+/// trailing garbage.
+[[nodiscard]] std::optional<JsonValue> parse_json(std::string_view text);
+
+} // namespace hs::obs

@@ -1,0 +1,166 @@
+#include "obs/metrics.h"
+
+#include <map>
+#include <mutex>
+
+#include "obs/json.h"
+#include "obs/trace.h"
+#include "util/error.h"
+
+namespace hs::obs {
+
+// ------------------------------------------------------------- histogram
+
+Histogram::Histogram(std::vector<double> bounds) : bounds_(std::move(bounds)) {
+    for (std::size_t i = 1; i < bounds_.size(); ++i)
+        require(bounds_[i - 1] < bounds_[i],
+                "histogram bounds must be strictly increasing");
+    buckets_ = std::make_unique<std::atomic<std::int64_t>[]>(bounds_.size() + 1);
+}
+
+void Histogram::observe(double v) {
+    std::size_t bucket = bounds_.size(); // overflow slot
+    for (std::size_t i = 0; i < bounds_.size(); ++i) {
+        if (v <= bounds_[i]) {
+            bucket = i;
+            break;
+        }
+    }
+    buckets_[bucket].fetch_add(1, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+    // fetch_add on atomic<double> needs C++20 + hardware support; a CAS
+    // loop keeps the sum portable.
+    double expected = sum_.load(std::memory_order_relaxed);
+    while (!sum_.compare_exchange_weak(expected, expected + v,
+                                       std::memory_order_relaxed)) {
+    }
+}
+
+std::vector<std::int64_t> Histogram::bucket_counts() const {
+    std::vector<std::int64_t> out(bounds_.size() + 1);
+    for (std::size_t i = 0; i < out.size(); ++i)
+        out[i] = buckets_[i].load(std::memory_order_relaxed);
+    return out;
+}
+
+// -------------------------------------------------------------- registry
+
+struct Registry::Impl {
+    mutable std::mutex mutex;
+    // std::map: node-stable, and exports come out name-sorted.
+    std::map<std::string, std::unique_ptr<Counter>> counters;
+    std::map<std::string, std::unique_ptr<Gauge>> gauges;
+    std::map<std::string, std::unique_ptr<Histogram>> histograms;
+};
+
+Registry::Impl& Registry::impl() const {
+    // Intentionally leaked: read by the obs atexit exporter (see trace.cpp).
+    static Impl* impl = new Impl;
+    return *impl;
+}
+
+Registry& Registry::instance() {
+    static Registry registry;
+    return registry;
+}
+
+Counter& Registry::counter(std::string_view name) {
+    Impl& i = impl();
+    std::lock_guard<std::mutex> lock(i.mutex);
+    auto& slot = i.counters[std::string(name)];
+    if (!slot) slot = std::make_unique<Counter>();
+    return *slot;
+}
+
+Gauge& Registry::gauge(std::string_view name) {
+    Impl& i = impl();
+    std::lock_guard<std::mutex> lock(i.mutex);
+    auto& slot = i.gauges[std::string(name)];
+    if (!slot) slot = std::make_unique<Gauge>();
+    return *slot;
+}
+
+Histogram& Registry::histogram(std::string_view name,
+                               std::vector<double> bounds) {
+    Impl& i = impl();
+    std::lock_guard<std::mutex> lock(i.mutex);
+    auto& slot = i.histograms[std::string(name)];
+    if (!slot) slot = std::make_unique<Histogram>(std::move(bounds));
+    return *slot;
+}
+
+std::string Registry::to_json() const {
+    Impl& i = impl();
+    std::lock_guard<std::mutex> lock(i.mutex);
+    JsonWriter w;
+    w.begin_object();
+
+    w.key("counters");
+    w.begin_object();
+    for (const auto& [name, c] : i.counters) {
+        w.key(name);
+        w.value(c->value());
+    }
+    w.end_object();
+
+    w.key("gauges");
+    w.begin_object();
+    for (const auto& [name, g] : i.gauges) {
+        w.key(name);
+        w.value(g->value());
+    }
+    w.end_object();
+
+    w.key("histograms");
+    w.begin_object();
+    for (const auto& [name, h] : i.histograms) {
+        w.key(name);
+        w.begin_object();
+        w.key("count");
+        w.value(h->count());
+        w.key("sum");
+        w.value(h->sum());
+        w.key("bounds");
+        w.begin_array();
+        for (const double b : h->bounds()) w.value(b);
+        w.end_array();
+        w.key("buckets");
+        w.begin_array();
+        for (const std::int64_t c : h->bucket_counts()) w.value(c);
+        w.end_array();
+        w.end_object();
+    }
+    w.end_object();
+
+    w.end_object();
+    return std::move(w).str();
+}
+
+void Registry::reset() {
+    Impl& i = impl();
+    std::lock_guard<std::mutex> lock(i.mutex);
+    i.counters.clear();
+    i.gauges.clear();
+    i.histograms.clear();
+}
+
+std::vector<double> default_time_buckets() {
+    return {1e-3, 3e-3, 1e-2, 3e-2, 0.1, 0.3, 1.0, 3.0, 10.0, 30.0, 120.0};
+}
+
+void count(std::string_view name, std::int64_t delta) {
+    if (!enabled()) return;
+    Registry::instance().counter(name).add(delta);
+}
+
+void gauge_set(std::string_view name, double v) {
+    if (!enabled()) return;
+    Registry::instance().gauge(name).set(v);
+}
+
+void observe(std::string_view name, double v) {
+    if (!enabled()) return;
+    Registry::instance().histogram(name, default_time_buckets()).observe(v);
+}
+
+} // namespace hs::obs

@@ -1,0 +1,102 @@
+#pragma once
+
+// Process-global metrics registry: counters, gauges, and fixed-bucket
+// histograms, exportable as JSON (standalone or embedded in the run
+// report). Registration is mutex-protected; recording on an already
+// registered instrument is lock-free (atomics), so instrumented hot paths
+// pay one hash lookup + one atomic op. The free helpers at the bottom
+// additionally honor the obs enabled() gate, making the disabled path a
+// relaxed load + branch.
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace hs::obs {
+
+/// Monotonically increasing integer metric.
+class Counter {
+public:
+    void add(std::int64_t delta = 1) {
+        value_.fetch_add(delta, std::memory_order_relaxed);
+    }
+    [[nodiscard]] std::int64_t value() const {
+        return value_.load(std::memory_order_relaxed);
+    }
+
+private:
+    std::atomic<std::int64_t> value_{0};
+};
+
+/// Last-written floating-point metric.
+class Gauge {
+public:
+    void set(double v) { value_.store(v, std::memory_order_relaxed); }
+    [[nodiscard]] double value() const {
+        return value_.load(std::memory_order_relaxed);
+    }
+
+private:
+    std::atomic<double> value_{0.0};
+};
+
+/// Fixed-bucket histogram: `bounds` are the inclusive upper edges of the
+/// first N buckets; one overflow bucket catches everything above. Bucket
+/// layout is fixed at registration — observe() is atomics only.
+class Histogram {
+public:
+    explicit Histogram(std::vector<double> bounds);
+
+    void observe(double v);
+
+    [[nodiscard]] const std::vector<double>& bounds() const { return bounds_; }
+    [[nodiscard]] std::vector<std::int64_t> bucket_counts() const;
+    [[nodiscard]] std::int64_t count() const {
+        return count_.load(std::memory_order_relaxed);
+    }
+    [[nodiscard]] double sum() const {
+        return sum_.load(std::memory_order_relaxed);
+    }
+
+private:
+    std::vector<double> bounds_;
+    std::unique_ptr<std::atomic<std::int64_t>[]> buckets_; // bounds+1 slots
+    std::atomic<std::int64_t> count_{0};
+    std::atomic<double> sum_{0.0};
+};
+
+/// Name → instrument registry. Returned references stay valid for the
+/// process lifetime (node-stable storage).
+class Registry {
+public:
+    static Registry& instance();
+
+    Counter& counter(std::string_view name);
+    Gauge& gauge(std::string_view name);
+    /// `bounds` are used only on first registration of `name`.
+    Histogram& histogram(std::string_view name, std::vector<double> bounds);
+
+    /// {"counters":{...},"gauges":{...},"histograms":{...}}
+    [[nodiscard]] std::string to_json() const;
+
+    /// Drop every registered instrument (tests).
+    void reset();
+
+private:
+    Registry() = default;
+    struct Impl;
+    Impl& impl() const;
+};
+
+/// Default histogram edges for durations in seconds (1ms … ~2min).
+[[nodiscard]] std::vector<double> default_time_buckets();
+
+// Convenience recorders; no-ops while obs is disabled.
+void count(std::string_view name, std::int64_t delta = 1);
+void gauge_set(std::string_view name, double v);
+void observe(std::string_view name, double v); // default_time_buckets()
+
+} // namespace hs::obs

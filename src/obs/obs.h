@@ -1,0 +1,17 @@
+#pragma once
+
+// Umbrella header for the hs::obs observability subsystem.
+//
+//   * trace.h   — enabled()/set_enabled(), RAII Span, Chrome trace export
+//   * metrics.h — counters / gauges / histograms registry + JSON export
+//   * report.h  — whole-run JSON report (config, traces, estimates)
+//   * json.h    — the minimal writer/parser the exporters share
+//
+// Environment: HS_OBS=1 enables collection; HS_TRACE_FILE=<path> and
+// HS_REPORT_FILE=<path> additionally export the trace / report at exit.
+// Benches expose the same report through `--json <path>`.
+
+#include "obs/json.h"
+#include "obs/metrics.h"
+#include "obs/report.h"
+#include "obs/trace.h"

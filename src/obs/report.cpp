@@ -1,0 +1,285 @@
+#include "obs/report.h"
+
+#include <cstdio>
+#include <mutex>
+
+#include "obs/json.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "util/logging.h"
+
+namespace hs::obs {
+
+struct RunReport::Impl {
+    mutable std::mutex mutex;
+    std::vector<std::pair<std::string, std::string>> config; // value = raw JSON
+    std::vector<SearchTrace> searches;
+    std::vector<LayerRow> layers;
+    std::vector<DeviceEstimate> estimates;
+    std::vector<std::pair<std::string, double>> sections;
+};
+
+RunReport::Impl& RunReport::impl() const {
+    // Intentionally leaked: read by the obs atexit exporter (see trace.cpp).
+    static Impl* impl = new Impl;
+    return *impl;
+}
+
+RunReport& RunReport::global() {
+    static RunReport report;
+    return report;
+}
+
+namespace {
+
+/// Insert-or-replace by key so re-running a stage keeps one entry.
+void upsert(std::vector<std::pair<std::string, std::string>>& kv,
+            std::string key, std::string raw_json) {
+    for (auto& [k, v] : kv) {
+        if (k == key) {
+            v = std::move(raw_json);
+            return;
+        }
+    }
+    kv.emplace_back(std::move(key), std::move(raw_json));
+}
+
+} // namespace
+
+void RunReport::set_config(std::string key, std::string value) {
+    if (!enabled()) return;
+    JsonWriter w;
+    w.value(value);
+    Impl& i = impl();
+    std::lock_guard<std::mutex> lock(i.mutex);
+    upsert(i.config, std::move(key), std::move(w).str());
+}
+
+void RunReport::set_config(std::string key, double value) {
+    if (!enabled()) return;
+    JsonWriter w;
+    w.value(value);
+    Impl& i = impl();
+    std::lock_guard<std::mutex> lock(i.mutex);
+    upsert(i.config, std::move(key), std::move(w).str());
+}
+
+void RunReport::set_config(std::string key, std::int64_t value) {
+    if (!enabled()) return;
+    Impl& i = impl();
+    std::lock_guard<std::mutex> lock(i.mutex);
+    upsert(i.config, std::move(key), std::to_string(value));
+}
+
+void RunReport::add_search(SearchTrace trace) {
+    if (!enabled()) return;
+    Impl& i = impl();
+    std::lock_guard<std::mutex> lock(i.mutex);
+    i.searches.push_back(std::move(trace));
+}
+
+void RunReport::add_layer(LayerRow row) {
+    if (!enabled()) return;
+    Impl& i = impl();
+    std::lock_guard<std::mutex> lock(i.mutex);
+    i.layers.push_back(std::move(row));
+}
+
+void RunReport::add_device_estimate(DeviceEstimate estimate) {
+    if (!enabled()) return;
+    Impl& i = impl();
+    std::lock_guard<std::mutex> lock(i.mutex);
+    i.estimates.push_back(std::move(estimate));
+}
+
+void RunReport::add_section(std::string name, double seconds) {
+    if (!enabled()) return;
+    Impl& i = impl();
+    std::lock_guard<std::mutex> lock(i.mutex);
+    i.sections.emplace_back(std::move(name), seconds);
+}
+
+std::size_t RunReport::search_count() const {
+    Impl& i = impl();
+    std::lock_guard<std::mutex> lock(i.mutex);
+    return i.searches.size();
+}
+
+std::size_t RunReport::layer_count() const {
+    Impl& i = impl();
+    std::lock_guard<std::mutex> lock(i.mutex);
+    return i.layers.size();
+}
+
+std::string RunReport::to_json() const {
+    // Snapshot shared state first; the metrics/span exports take their own
+    // locks, so never hold ours across them.
+    Impl snapshot;
+    {
+        Impl& i = impl();
+        std::lock_guard<std::mutex> lock(i.mutex);
+        snapshot.config = i.config;
+        snapshot.searches = i.searches;
+        snapshot.layers = i.layers;
+        snapshot.estimates = i.estimates;
+        snapshot.sections = i.sections;
+    }
+
+    JsonWriter w;
+    w.begin_object();
+
+    w.key("schema");
+    w.value("headstart-run-report/v1");
+
+    w.key("config");
+    w.begin_object();
+    for (const auto& [k, raw_value] : snapshot.config) {
+        w.key(k);
+        w.raw(raw_value); // serialized by JsonWriter at insert time
+    }
+    w.end_object();
+
+    w.key("searches");
+    w.begin_array();
+    for (const auto& s : snapshot.searches) {
+        w.begin_object();
+        w.key("label");
+        w.value(s.label);
+        w.key("actions");
+        w.value(s.actions);
+        w.key("speedup");
+        w.value(s.speedup);
+        w.key("iterations");
+        w.value(s.iterations);
+        w.key("inception_accuracy");
+        w.value(s.inception_accuracy);
+        w.key("elapsed_s");
+        w.value(s.elapsed_s);
+        w.key("reward_history");
+        w.begin_array();
+        for (const double r : s.reward_history) w.value(r);
+        w.end_array();
+        w.key("l0_history");
+        w.begin_array();
+        for (const int l0 : s.l0_history) w.value(l0);
+        w.end_array();
+        w.end_object();
+    }
+    w.end_array();
+
+    w.key("layers");
+    w.begin_array();
+    for (const auto& l : snapshot.layers) {
+        w.begin_object();
+        w.key("pipeline");
+        w.value(l.pipeline);
+        w.key("name");
+        w.value(l.name);
+        w.key("units_before");
+        w.value(l.units_before);
+        w.key("units_after");
+        w.value(l.units_after);
+        w.key("params");
+        w.value(l.params);
+        w.key("flops");
+        w.value(l.flops);
+        w.key("acc_inception");
+        w.value(l.acc_inception);
+        w.key("acc_finetuned");
+        w.value(l.acc_finetuned);
+        w.key("search_iterations");
+        w.value(l.search_iterations);
+        w.key("elapsed_s");
+        w.value(l.elapsed_s);
+        w.end_object();
+    }
+    w.end_array();
+
+    w.key("device_estimates");
+    w.begin_array();
+    for (const auto& e : snapshot.estimates) {
+        w.begin_object();
+        w.key("device");
+        w.value(e.device);
+        w.key("latency_s");
+        w.value(e.latency_s);
+        w.key("fps");
+        w.value(e.fps);
+        w.key("batch");
+        w.value(e.batch);
+        w.key("joules_per_image");
+        w.value(e.joules_per_image);
+        w.key("layer_seconds");
+        w.begin_array();
+        for (const auto& [kind, seconds] : e.layer_seconds) {
+            w.begin_object();
+            w.key("kind");
+            w.value(kind);
+            w.key("seconds");
+            w.value(seconds);
+            w.end_object();
+        }
+        w.end_array();
+        w.end_object();
+    }
+    w.end_array();
+
+    w.key("sections");
+    w.begin_object();
+    for (const auto& [name, seconds] : snapshot.sections) {
+        w.key(name);
+        w.value(seconds);
+    }
+    w.end_object();
+
+    // Wall-clock breakdown aggregated from every finished span.
+    w.key("span_totals");
+    w.begin_object();
+    for (const auto& [name, stats] : span_aggregates()) {
+        w.key(name);
+        w.begin_object();
+        w.key("count");
+        w.value(stats.count);
+        w.key("total_s");
+        w.value(stats.total_s);
+        w.end_object();
+    }
+    w.end_object();
+    w.key("dropped_span_events");
+    w.value(dropped_span_events());
+
+    w.key("metrics");
+    w.raw(Registry::instance().to_json());
+
+    w.end_object();
+    return std::move(w).str();
+}
+
+bool write_run_report(const std::string& path) {
+    const std::string text = RunReport::global().to_json();
+    std::FILE* f = std::fopen(path.c_str(), "wb");
+    if (f == nullptr) {
+        log_warn("obs: cannot open report file " + path);
+        return false;
+    }
+    const std::size_t written = std::fwrite(text.data(), 1, text.size(), f);
+    std::fclose(f);
+    if (written != text.size()) {
+        log_warn("obs: short write to report file " + path);
+        return false;
+    }
+    log_info("obs: wrote run report to " + path);
+    return true;
+}
+
+void RunReport::reset() {
+    Impl& i = impl();
+    std::lock_guard<std::mutex> lock(i.mutex);
+    i.config.clear();
+    i.searches.clear();
+    i.layers.clear();
+    i.estimates.clear();
+    i.sections.clear();
+}
+
+} // namespace hs::obs

@@ -1,0 +1,92 @@
+#pragma once
+
+// Run report: one JSON document describing a whole run — configuration,
+// per-layer pruning trace rows, per-search reward/‖A‖₀ histories, device
+// (roofline/energy) estimates, the span wall-clock breakdown, and a
+// snapshot of the metrics registry. Instrumented library code appends to
+// the global report while obs is enabled; benches serialize it with
+// `--json <path>` (and HS_REPORT_FILE exports it at process exit).
+//
+// The structs here are deliberately obs-local (no dependency on
+// hs::pruning / hs::core types) so every layer of the library can link
+// against obs without cycles; callers copy their fields in.
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace hs::obs {
+
+/// One REINFORCE search trajectory (Fig. 3–4 raw material).
+struct SearchTrace {
+    std::string label;                   ///< e.g. "conv4_1", "blocks"
+    int actions = 0;                     ///< C, size of the action vector
+    double speedup = 0.0;                ///< preset sp
+    std::vector<double> reward_history;  ///< inference-action reward / iter
+    std::vector<int> l0_history;         ///< ‖A‖₀ / iter
+    int iterations = 0;
+    double inception_accuracy = 0.0;
+    double elapsed_s = 0.0;
+};
+
+/// One layer/block pruning step (Table 1 raw material).
+struct LayerRow {
+    std::string pipeline;  ///< "headstart", "li17-l1", "headstart-blocks", …
+    std::string name;      ///< "conv1_1", "blocks", …
+    int units_before = 0;  ///< feature maps (or blocks) before the step
+    int units_after = 0;
+    std::int64_t params = 0;  ///< whole-model parameters after the step
+    std::int64_t flops = 0;
+    double acc_inception = 0.0;
+    double acc_finetuned = 0.0;
+    int search_iterations = 0;
+    double elapsed_s = 0.0;
+};
+
+/// One gpusim roofline/energy evaluation.
+struct DeviceEstimate {
+    std::string device;
+    double latency_s = 0.0;
+    double fps = 0.0;
+    int batch = 1;
+    double joules_per_image = 0.0;  ///< 0 when only latency was estimated
+    /// Per-layer (kind, seconds) breakdown in model order.
+    std::vector<std::pair<std::string, double>> layer_seconds;
+};
+
+/// Accumulator behind the JSON document. All mutators are no-ops while
+/// obs is disabled, so un-gated library instrumentation records nothing
+/// on the fast path.
+class RunReport {
+public:
+    static RunReport& global();
+
+    void set_config(std::string key, std::string value);
+    void set_config(std::string key, double value);
+    void set_config(std::string key, std::int64_t value);
+
+    void add_search(SearchTrace trace);
+    void add_layer(LayerRow row);
+    void add_device_estimate(DeviceEstimate estimate);
+    /// Explicit named wall-clock section (coarser than spans).
+    void add_section(std::string name, double seconds);
+
+    [[nodiscard]] std::string to_json() const;
+    void reset();
+
+    // Read-side accessors (tests / bench summaries).
+    [[nodiscard]] std::size_t search_count() const;
+    [[nodiscard]] std::size_t layer_count() const;
+
+private:
+    RunReport() = default;
+    struct Impl;
+    Impl& impl() const;
+};
+
+/// Serialize the global report to `path`; false (with a log line) on
+/// failure.
+bool write_run_report(const std::string& path);
+
+} // namespace hs::obs

@@ -1,0 +1,213 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <mutex>
+
+#include "obs/json.h"
+#include "obs/report.h"
+#include "util/logging.h"
+#include "util/stopwatch.h"
+
+namespace hs::obs {
+
+namespace detail {
+std::atomic<bool> g_enabled{false};
+} // namespace detail
+
+namespace {
+
+// Bounds the event buffer: a full bench run emits a few thousand spans
+// (layer granularity); the cap only matters if someone instruments a
+// per-batch loop by mistake. Aggregates keep counting past the cap.
+constexpr std::size_t kMaxEvents = 1 << 18;
+
+struct Collector {
+    std::mutex mutex;
+    std::vector<SpanEvent> events;
+    std::map<std::string, SpanStats> aggregates;
+    std::int64_t dropped = 0;
+};
+
+Collector& collector() {
+    // Intentionally leaked: the HS_TRACE_FILE/HS_REPORT_FILE atexit
+    // exporter may run after function-local statics constructed later in
+    // the program are already destroyed.
+    static Collector* c = new Collector;
+    return *c;
+}
+
+std::atomic<int> g_next_tid{0};
+
+int this_thread_tid() {
+    thread_local const int tid = g_next_tid.fetch_add(1);
+    return tid;
+}
+
+int& this_thread_depth() {
+    thread_local int depth = 0;
+    return depth;
+}
+
+std::string g_trace_file;   // set once in configure_from_env
+std::string g_report_file;  // set once in configure_from_env
+
+void export_at_exit() {
+    if (!g_trace_file.empty()) (void)write_chrome_trace(g_trace_file);
+    if (!g_report_file.empty()) (void)write_run_report(g_report_file);
+}
+
+// Arm the subsystem from the environment before main() runs, so spans in
+// static-free code and examples need no explicit init call.
+const bool g_env_configured = [] {
+    configure_from_env();
+    return true;
+}();
+
+} // namespace
+
+void configure_from_env() {
+    static std::once_flag once;
+    std::call_once(once, [] {
+        const char* obs = std::getenv("HS_OBS");
+        const char* trace = std::getenv("HS_TRACE_FILE");
+        const char* report = std::getenv("HS_REPORT_FILE");
+        if (trace != nullptr && trace[0] != '\0') g_trace_file = trace;
+        if (report != nullptr && report[0] != '\0') g_report_file = report;
+        const bool obs_on =
+            obs != nullptr && obs[0] != '\0' && std::strcmp(obs, "0") != 0;
+        if (obs_on || !g_trace_file.empty() || !g_report_file.empty()) {
+            detail::g_enabled.store(true, std::memory_order_relaxed);
+            if (!g_trace_file.empty() || !g_report_file.empty())
+                std::atexit(export_at_exit);
+        }
+    });
+}
+
+void set_enabled(bool on) {
+    detail::g_enabled.store(on, std::memory_order_relaxed);
+}
+
+Span::Span(std::string name, std::string category)
+    : name_(std::move(name)), category_(std::move(category)) {
+    if (!enabled()) return;
+    active_ = true;
+    depth_ = this_thread_depth()++;
+    start_ns_ = monotonic_ns();
+}
+
+Span::~Span() {
+    if (!active_) return;
+    const std::int64_t end_ns = monotonic_ns();
+    --this_thread_depth();
+
+    SpanEvent event;
+    event.name = std::move(name_);
+    event.category = std::move(category_);
+    event.start_us = start_ns_ / 1000;
+    event.duration_us = std::max<std::int64_t>(0, (end_ns - start_ns_) / 1000);
+    event.tid = this_thread_tid();
+    event.depth = depth_;
+
+    auto& c = collector();
+    std::lock_guard<std::mutex> lock(c.mutex);
+    auto& agg = c.aggregates[event.name];
+    agg.count += 1;
+    agg.total_s += static_cast<double>(end_ns - start_ns_) * 1e-9;
+    if (c.events.size() < kMaxEvents)
+        c.events.push_back(std::move(event));
+    else
+        ++c.dropped;
+}
+
+std::vector<SpanEvent> span_events() {
+    auto& c = collector();
+    std::lock_guard<std::mutex> lock(c.mutex);
+    return c.events;
+}
+
+std::vector<std::pair<std::string, SpanStats>> span_aggregates() {
+    auto& c = collector();
+    std::vector<std::pair<std::string, SpanStats>> out;
+    {
+        std::lock_guard<std::mutex> lock(c.mutex);
+        out.assign(c.aggregates.begin(), c.aggregates.end());
+    }
+    std::sort(out.begin(), out.end(), [](const auto& a, const auto& b) {
+        return a.second.total_s > b.second.total_s;
+    });
+    return out;
+}
+
+std::int64_t dropped_span_events() {
+    auto& c = collector();
+    std::lock_guard<std::mutex> lock(c.mutex);
+    return c.dropped;
+}
+
+std::string chrome_trace_json() {
+    const auto events = span_events();
+    JsonWriter w;
+    w.begin_object();
+    w.key("traceEvents");
+    w.begin_array();
+    for (const auto& e : events) {
+        w.begin_object();
+        w.key("name");
+        w.value(e.name);
+        w.key("cat");
+        w.value(e.category);
+        w.key("ph");
+        w.value("X"); // complete event: ts + dur
+        w.key("ts");
+        w.value(e.start_us);
+        w.key("dur");
+        w.value(e.duration_us);
+        w.key("pid");
+        w.value(std::int64_t{1});
+        w.key("tid");
+        w.value(std::int64_t{e.tid});
+        w.key("args");
+        w.begin_object();
+        w.key("depth");
+        w.value(std::int64_t{e.depth});
+        w.end_object();
+        w.end_object();
+    }
+    w.end_array();
+    w.key("displayTimeUnit");
+    w.value("ms");
+    w.end_object();
+    return std::move(w).str();
+}
+
+bool write_chrome_trace(const std::string& path) {
+    const std::string text = chrome_trace_json();
+    std::FILE* f = std::fopen(path.c_str(), "wb");
+    if (f == nullptr) {
+        log_warn("obs: cannot open trace file " + path);
+        return false;
+    }
+    const std::size_t written = std::fwrite(text.data(), 1, text.size(), f);
+    std::fclose(f);
+    if (written != text.size()) {
+        log_warn("obs: short write to trace file " + path);
+        return false;
+    }
+    log_info("obs: wrote " + std::to_string(span_events().size()) +
+             " spans to " + path);
+    return true;
+}
+
+void reset_spans() {
+    auto& c = collector();
+    std::lock_guard<std::mutex> lock(c.mutex);
+    c.events.clear();
+    c.aggregates.clear();
+    c.dropped = 0;
+}
+
+} // namespace hs::obs

@@ -1,0 +1,97 @@
+#pragma once
+
+// Scoped trace spans + the process-wide enable switch of the hs::obs
+// subsystem.
+//
+// Design (see DESIGN.md §7):
+//  * Instrumentation is always compiled in, gated by one relaxed atomic
+//    bool. With observability off, a Span is a load + branch — negligible
+//    against the layer-/iteration-granularity call sites.
+//  * Spans are RAII, nestable, and thread-safe (the OpenMP GEMM paths
+//    never open spans, but concurrent span end/record is mutex-protected
+//    and per-thread depth/ids are thread_local).
+//  * Completed spans feed two sinks: an aggregate table (count + total
+//    seconds per span name, always on while enabled — the run report's
+//    wall-clock breakdown) and an event buffer (bounded) exported in
+//    Chrome trace_event format, loadable in chrome://tracing / Perfetto.
+//
+// Enablement: HS_OBS=1 (or any non-empty value except "0"), or setting
+// HS_TRACE_FILE / HS_REPORT_FILE (which also auto-export on exit), or
+// programmatically via set_enabled(true) (what the benches' --json does).
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace hs::obs {
+
+namespace detail {
+extern std::atomic<bool> g_enabled;
+} // namespace detail
+
+/// Cheap global gate every instrumentation site checks first.
+[[nodiscard]] inline bool enabled() {
+    return detail::g_enabled.load(std::memory_order_relaxed);
+}
+
+/// Flip instrumentation on/off at runtime (benches, tests).
+void set_enabled(bool on);
+
+/// One finished span, in microseconds on the shared monotonic clock.
+struct SpanEvent {
+    std::string name;
+    std::string category;
+    std::int64_t start_us = 0;
+    std::int64_t duration_us = 0;
+    int tid = 0;    ///< small dense thread id (0 = first thread seen)
+    int depth = 0;  ///< nesting depth at open time (0 = top level)
+};
+
+/// Aggregate per span name.
+struct SpanStats {
+    std::int64_t count = 0;
+    double total_s = 0.0;
+};
+
+/// RAII scope timer. Records nothing unless obs is enabled at open time.
+class Span {
+public:
+    explicit Span(std::string name, std::string category = "hs");
+    ~Span();
+
+    Span(const Span&) = delete;
+    Span& operator=(const Span&) = delete;
+
+private:
+    std::string name_;
+    std::string category_;
+    std::int64_t start_ns_ = 0;
+    int depth_ = 0;
+    bool active_ = false;
+};
+
+/// Snapshot of the bounded event buffer (oldest first).
+[[nodiscard]] std::vector<SpanEvent> span_events();
+
+/// Aggregate wall-clock per span name, sorted by descending total time.
+[[nodiscard]] std::vector<std::pair<std::string, SpanStats>> span_aggregates();
+
+/// Events dropped because the bounded buffer filled up.
+[[nodiscard]] std::int64_t dropped_span_events();
+
+/// Chrome trace_event JSON ({"traceEvents":[...]}) of the current buffer.
+[[nodiscard]] std::string chrome_trace_json();
+
+/// Write chrome_trace_json() to `path`; false (and a log line) on failure.
+bool write_chrome_trace(const std::string& path);
+
+/// Drop all recorded spans and aggregates (tests).
+void reset_spans();
+
+/// Read HS_OBS / HS_TRACE_FILE / HS_REPORT_FILE and arm the subsystem;
+/// called once automatically before main() and idempotent afterwards.
+void configure_from_env();
+
+} // namespace hs::obs

@@ -5,10 +5,12 @@
 #include "models/summary.h"
 #include "nn/conv2d.h"
 #include "nn/trainer.h"
+#include "obs/obs.h"
 #include "pruning/autopruner.h"
 #include "pruning/surgery.h"
 #include "pruning/thinet.h"
 #include "util/logging.h"
+#include "util/stopwatch.h"
 
 namespace hs::pruning {
 
@@ -52,6 +54,9 @@ PipelineResult prune_vgg_pipeline(models::VggModel& model,
     const int last = config.prune_last_conv ? num_convs : num_convs - 1;
 
     for (int i = 0; i < last; ++i) {
+        obs::Span layer_span(
+            std::string("pipeline.layer/") + scheme_name(scheme), "pruning");
+        Stopwatch layer_watch;
         auto& conv = model.net.layer_as<nn::Conv2d>(
             model.conv_indices[static_cast<std::size_t>(i)]);
         const int maps_before = conv.out_channels();
@@ -108,6 +113,25 @@ PipelineResult prune_vgg_pipeline(models::VggModel& model,
         trace.params = report.params;
         trace.flops = report.flops;
         result.trace.push_back(trace);
+
+        if (obs::enabled()) {
+            obs::count("pipeline.layers_pruned");
+            obs::count("pipeline.maps_removed",
+                       maps_before - trace.maps_after);
+            obs::gauge_set("pipeline.params", static_cast<double>(report.params));
+            obs::gauge_set("pipeline.flops", static_cast<double>(report.flops));
+            obs::LayerRow row;
+            row.pipeline = scheme_name(scheme);
+            row.name = trace.name;
+            row.units_before = maps_before;
+            row.units_after = trace.maps_after;
+            row.params = trace.params;
+            row.flops = trace.flops;
+            row.acc_inception = trace.acc_inception;
+            row.acc_finetuned = trace.acc_finetuned;
+            row.elapsed_s = layer_watch.seconds();
+            obs::RunReport::global().add_layer(std::move(row));
+        }
 
         log_info("[" + std::string(scheme_name(scheme)) + "] " + trace.name +
                  ": " + std::to_string(maps_before) + " -> " +

@@ -2,13 +2,29 @@
 
 #include <atomic>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <mutex>
 #include <string>
+
+#include "util/stopwatch.h"
 
 namespace hs {
 namespace {
 
-std::atomic<LogLevel> g_level{LogLevel::kInfo};
+/// Initial level: HS_LOG_LEVEL=debug|info|warn|error|off, default info.
+LogLevel initial_level() {
+    const char* env = std::getenv("HS_LOG_LEVEL");
+    if (env == nullptr) return LogLevel::kInfo;
+    if (std::strcmp(env, "debug") == 0) return LogLevel::kDebug;
+    if (std::strcmp(env, "info") == 0) return LogLevel::kInfo;
+    if (std::strcmp(env, "warn") == 0) return LogLevel::kWarn;
+    if (std::strcmp(env, "error") == 0) return LogLevel::kError;
+    if (std::strcmp(env, "off") == 0) return LogLevel::kOff;
+    return LogLevel::kInfo;
+}
+
+std::atomic<LogLevel> g_level{initial_level()};
 std::mutex g_mutex;
 
 const char* level_name(LogLevel level) {
@@ -30,14 +46,20 @@ LogLevel log_level() { return g_level.load(); }
 
 void log(LogLevel level, std::string_view message) {
     if (static_cast<int>(level) < static_cast<int>(g_level.load())) return;
-    std::lock_guard<std::mutex> lock(g_mutex);
+    // Monotonic timestamp (seconds since process start, shared clock with
+    // Stopwatch and the obs trace spans) so log lines line up with spans.
+    char stamp[32];
+    std::snprintf(stamp, sizeof stamp, "[%10.3f] ", monotonic_seconds());
     std::string line;
-    line.reserve(message.size() + 16);
+    line.reserve(message.size() + 32);
+    line.append(stamp);
     line.push_back('[');
     line.append(level_name(level));
     line.append("] ");
     line.append(message);
     line.push_back('\n');
+    // One mutexed write: lines from concurrent threads never interleave.
+    std::lock_guard<std::mutex> lock(g_mutex);
     std::fputs(line.c_str(), stderr);
 }
 

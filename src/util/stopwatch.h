@@ -1,30 +1,49 @@
 #pragma once
 
 // Monotonic wall-clock stopwatch used by benches and progress logging.
+//
+// monotonic_ns() is the single process-wide clock: Stopwatch, the leveled
+// logger's timestamps, and the hs::obs trace spans all read it, so bench
+// timing and span timing are directly comparable (same epoch, same
+// steady_clock source, no mixed ad-hoc std::chrono call sites).
 
 #include <chrono>
+#include <cstdint>
 
 namespace hs {
 
-/// Simple RAII-free stopwatch over std::chrono::steady_clock.
+/// Nanoseconds since the process-wide monotonic epoch (first call).
+[[nodiscard]] inline std::int64_t monotonic_ns() {
+    using clock = std::chrono::steady_clock;
+    static const clock::time_point epoch = clock::now();
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(clock::now() -
+                                                                epoch)
+        .count();
+}
+
+/// Seconds since the process-wide monotonic epoch.
+[[nodiscard]] inline double monotonic_seconds() {
+    return static_cast<double>(monotonic_ns()) * 1e-9;
+}
+
+/// Simple RAII-free stopwatch over the shared monotonic clock.
 class Stopwatch {
 public:
-    Stopwatch() : start_(clock::now()) {}
+    Stopwatch() : start_ns_(monotonic_ns()) {}
 
     /// Restart the measurement window.
-    void reset() { start_ = clock::now(); }
+    void reset() { start_ns_ = monotonic_ns(); }
 
     /// Seconds elapsed since construction or the last reset().
     [[nodiscard]] double seconds() const {
-        return std::chrono::duration<double>(clock::now() - start_).count();
+        return static_cast<double>(monotonic_ns() - start_ns_) * 1e-9;
     }
 
     /// Milliseconds elapsed since construction or the last reset().
     [[nodiscard]] double millis() const { return seconds() * 1e3; }
 
 private:
-    using clock = std::chrono::steady_clock;
-    clock::time_point start_;
+    std::int64_t start_ns_;
 };
 
 } // namespace hs

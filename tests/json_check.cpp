@@ -1,0 +1,51 @@
+// Tiny artifact validator used by the CTest observability smoke test:
+// exit 0 iff the file at argv[1] is non-empty, parseable JSON, and (when
+// a key is given as argv[2]) contains a non-empty array/object member
+// with that name at the top level. Example:
+//   json_check trace.json traceEvents
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "obs/json.h"
+
+int main(int argc, char** argv) {
+    if (argc < 2) {
+        std::fprintf(stderr, "usage: json_check <file> [required-key]\n");
+        return 2;
+    }
+    std::ifstream in(argv[1], std::ios::binary);
+    if (!in) {
+        std::fprintf(stderr, "json_check: cannot open %s\n", argv[1]);
+        return 1;
+    }
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    const std::string text = buffer.str();
+    if (text.empty()) {
+        std::fprintf(stderr, "json_check: %s is empty\n", argv[1]);
+        return 1;
+    }
+    const auto parsed = hs::obs::parse_json(text);
+    if (!parsed) {
+        std::fprintf(stderr, "json_check: %s is not valid JSON\n", argv[1]);
+        return 1;
+    }
+    if (argc >= 3) {
+        const auto* member = parsed->find(argv[2]);
+        if (member == nullptr) {
+            std::fprintf(stderr, "json_check: %s lacks key %s\n", argv[1],
+                         argv[2]);
+            return 1;
+        }
+        if (member->is_array() && member->array.empty()) {
+            std::fprintf(stderr, "json_check: %s[%s] is an empty array\n",
+                         argv[1], argv[2]);
+            return 1;
+        }
+    }
+    std::printf("json_check: %s ok (%zu bytes)\n", argv[1], text.size());
+    return 0;
+}

@@ -1,0 +1,326 @@
+// Tests for the hs::obs observability subsystem: metric semantics, span
+// nesting/ordering, JSON validity (parse round-trip) of the trace and
+// report exports, and the disabled fast path recording nothing.
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "obs/obs.h"
+#include "util/error.h"
+
+namespace hs::obs {
+namespace {
+
+/// Every test runs against clean global state with obs enabled (except
+/// the disabled-path tests, which flip the gate themselves).
+class ObsTest : public ::testing::Test {
+protected:
+    void SetUp() override {
+        Registry::instance().reset();
+        RunReport::global().reset();
+        reset_spans();
+        set_enabled(true);
+    }
+    void TearDown() override {
+        set_enabled(false);
+        Registry::instance().reset();
+        RunReport::global().reset();
+        reset_spans();
+    }
+};
+
+// ----------------------------------------------------------------- JSON
+
+TEST(Json, WriterProducesParseableNesting) {
+    JsonWriter w;
+    w.begin_object();
+    w.key("name");
+    w.value("a \"quoted\"\nstring\twith\\escapes");
+    w.key("pi");
+    w.value(3.25);
+    w.key("n");
+    w.value(std::int64_t{-42});
+    w.key("flag");
+    w.value(true);
+    w.key("nothing");
+    w.value_null();
+    w.key("list");
+    w.begin_array();
+    w.value(1);
+    w.value(2);
+    w.begin_object();
+    w.key("inner");
+    w.value("x");
+    w.end_object();
+    w.end_array();
+    w.end_object();
+
+    const auto parsed = parse_json(w.str());
+    ASSERT_TRUE(parsed.has_value());
+    ASSERT_TRUE(parsed->is_object());
+    EXPECT_EQ(parsed->find("name")->string, "a \"quoted\"\nstring\twith\\escapes");
+    EXPECT_DOUBLE_EQ(parsed->find("pi")->number, 3.25);
+    EXPECT_DOUBLE_EQ(parsed->find("n")->number, -42.0);
+    EXPECT_TRUE(parsed->find("flag")->boolean);
+    EXPECT_EQ(parsed->find("nothing")->kind, JsonValue::Kind::kNull);
+    ASSERT_EQ(parsed->find("list")->array.size(), 3u);
+    EXPECT_EQ(parsed->find("list")->array[2].find("inner")->string, "x");
+}
+
+TEST(Json, ControlCharactersRoundTrip) {
+    JsonWriter w;
+    w.begin_array();
+    w.value(std::string("\x01\x02 ok"));
+    w.end_array();
+    const auto parsed = parse_json(w.str());
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(parsed->array[0].string, std::string("\x01\x02 ok"));
+}
+
+TEST(Json, RejectsMalformedInput) {
+    EXPECT_FALSE(parse_json("").has_value());
+    EXPECT_FALSE(parse_json("{").has_value());
+    EXPECT_FALSE(parse_json("[1,]").has_value());
+    EXPECT_FALSE(parse_json("{\"a\":1} trailing").has_value());
+    EXPECT_FALSE(parse_json("{'a':1}").has_value());
+    EXPECT_FALSE(parse_json("\"unterminated").has_value());
+    EXPECT_TRUE(parse_json(" { \"a\" : [ 1 , 2.5e3 , null ] } ").has_value());
+}
+
+// -------------------------------------------------------------- metrics
+
+TEST_F(ObsTest, CounterAccumulates) {
+    count("c");
+    count("c", 4);
+    EXPECT_EQ(Registry::instance().counter("c").value(), 5);
+}
+
+TEST_F(ObsTest, GaugeKeepsLastValue) {
+    gauge_set("g", 1.5);
+    gauge_set("g", -2.25);
+    EXPECT_DOUBLE_EQ(Registry::instance().gauge("g").value(), -2.25);
+}
+
+TEST_F(ObsTest, HistogramBucketsBySemantics) {
+    auto& h = Registry::instance().histogram("h", {1.0, 2.0, 4.0});
+    h.observe(0.5);  // bucket 0 (<= 1)
+    h.observe(1.0);  // bucket 0 (inclusive upper edge)
+    h.observe(3.0);  // bucket 2
+    h.observe(100.0); // overflow
+    EXPECT_EQ(h.count(), 4);
+    EXPECT_DOUBLE_EQ(h.sum(), 104.5);
+    const auto buckets = h.bucket_counts();
+    ASSERT_EQ(buckets.size(), 4u);
+    EXPECT_EQ(buckets[0], 2);
+    EXPECT_EQ(buckets[1], 0);
+    EXPECT_EQ(buckets[2], 1);
+    EXPECT_EQ(buckets[3], 1);
+}
+
+TEST_F(ObsTest, HistogramRejectsUnsortedBounds) {
+    EXPECT_THROW(Histogram({2.0, 1.0}), Error);
+}
+
+TEST_F(ObsTest, CountersAreThreadSafe) {
+    constexpr int kThreads = 4;
+    constexpr int kIncrements = 10000;
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kThreads; ++t)
+        threads.emplace_back([] {
+            for (int i = 0; i < kIncrements; ++i) count("mt");
+        });
+    for (auto& t : threads) t.join();
+    EXPECT_EQ(Registry::instance().counter("mt").value(),
+              kThreads * kIncrements);
+}
+
+TEST_F(ObsTest, RegistryJsonRoundTrips) {
+    count("requests", 7);
+    gauge_set("loss", 0.125);
+    observe("latency", 0.02);
+    const auto parsed = parse_json(Registry::instance().to_json());
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_DOUBLE_EQ(parsed->find("counters")->find("requests")->number, 7.0);
+    EXPECT_DOUBLE_EQ(parsed->find("gauges")->find("loss")->number, 0.125);
+    const JsonValue* hist = parsed->find("histograms")->find("latency");
+    ASSERT_NE(hist, nullptr);
+    EXPECT_DOUBLE_EQ(hist->find("count")->number, 1.0);
+}
+
+// ---------------------------------------------------------------- spans
+
+TEST_F(ObsTest, SpanNestingAndOrdering) {
+    {
+        Span outer("outer");
+        {
+            Span inner1("inner");
+        }
+        {
+            Span inner2("inner");
+        }
+    }
+    const auto events = span_events();
+    ASSERT_EQ(events.size(), 3u); // children close before the parent
+    EXPECT_EQ(events[0].name, "inner");
+    EXPECT_EQ(events[0].depth, 1);
+    EXPECT_EQ(events[1].name, "inner");
+    EXPECT_EQ(events[1].depth, 1);
+    EXPECT_EQ(events[2].name, "outer");
+    EXPECT_EQ(events[2].depth, 0);
+    // Parent interval covers both children on the shared clock.
+    EXPECT_LE(events[2].start_us, events[0].start_us);
+    EXPECT_LE(events[0].start_us + events[0].duration_us,
+              events[2].start_us + events[2].duration_us);
+    // Sequential children are ordered.
+    EXPECT_LE(events[0].start_us, events[1].start_us);
+
+    const auto aggregates = span_aggregates();
+    ASSERT_EQ(aggregates.size(), 2u);
+    std::int64_t inner_count = 0;
+    for (const auto& [name, stats] : aggregates)
+        if (name == "inner") inner_count = stats.count;
+    EXPECT_EQ(inner_count, 2);
+}
+
+TEST_F(ObsTest, ChromeTraceExportsValidJson) {
+    {
+        Span a("phase-a", "test");
+        Span b("phase-b", "test");
+    }
+    const auto parsed = parse_json(chrome_trace_json());
+    ASSERT_TRUE(parsed.has_value());
+    const JsonValue* events = parsed->find("traceEvents");
+    ASSERT_NE(events, nullptr);
+    ASSERT_EQ(events->array.size(), 2u);
+    for (const auto& e : events->array) {
+        EXPECT_EQ(e.find("ph")->string, "X");
+        EXPECT_EQ(e.find("cat")->string, "test");
+        EXPECT_GE(e.find("dur")->number, 0.0);
+    }
+}
+
+// --------------------------------------------------------------- report
+
+TEST_F(ObsTest, RunReportJsonRoundTrips) {
+    auto& report = RunReport::global();
+    report.set_config("bench", std::string("unit"));
+    report.set_config("speedup", 2.0);
+    report.set_config("iters", std::int64_t{32});
+
+    SearchTrace trace;
+    trace.label = "conv1_1";
+    trace.actions = 64;
+    trace.speedup = 2.0;
+    trace.reward_history = {0.1, 0.2, 0.25};
+    trace.l0_history = {40, 36, 32};
+    trace.iterations = 3;
+    trace.inception_accuracy = 0.5;
+    report.add_search(trace);
+
+    LayerRow row;
+    row.pipeline = "headstart";
+    row.name = "conv1_1";
+    row.units_before = 64;
+    row.units_after = 32;
+    row.params = 123456;
+    row.flops = 7890123;
+    row.acc_inception = 0.5;
+    row.acc_finetuned = 0.7;
+    row.search_iterations = 3;
+    report.add_layer(row);
+
+    DeviceEstimate de;
+    de.device = "GTX 1080Ti";
+    de.latency_s = 0.004;
+    de.fps = 250.0;
+    de.layer_seconds = {{"conv", 0.003}, {"linear", 0.001}};
+    report.add_device_estimate(de);
+
+    report.add_section("total", 12.5);
+    count("requests", 3);
+    { Span s("work"); }
+
+    const auto parsed = parse_json(report.to_json());
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(parsed->find("schema")->string, "headstart-run-report/v1");
+    EXPECT_EQ(parsed->find("config")->find("bench")->string, "unit");
+    EXPECT_DOUBLE_EQ(parsed->find("config")->find("speedup")->number, 2.0);
+    EXPECT_DOUBLE_EQ(parsed->find("config")->find("iters")->number, 32.0);
+
+    const auto& searches = parsed->find("searches")->array;
+    ASSERT_EQ(searches.size(), 1u);
+    EXPECT_EQ(searches[0].find("label")->string, "conv1_1");
+    ASSERT_EQ(searches[0].find("reward_history")->array.size(), 3u);
+    EXPECT_DOUBLE_EQ(searches[0].find("reward_history")->array[2].number, 0.25);
+    EXPECT_DOUBLE_EQ(searches[0].find("l0_history")->array[0].number, 40.0);
+
+    const auto& layers = parsed->find("layers")->array;
+    ASSERT_EQ(layers.size(), 1u);
+    EXPECT_DOUBLE_EQ(layers[0].find("params")->number, 123456.0);
+    EXPECT_DOUBLE_EQ(layers[0].find("acc_finetuned")->number, 0.7);
+
+    const auto& estimates = parsed->find("device_estimates")->array;
+    ASSERT_EQ(estimates.size(), 1u);
+    EXPECT_EQ(estimates[0].find("device")->string, "GTX 1080Ti");
+    ASSERT_EQ(estimates[0].find("layer_seconds")->array.size(), 2u);
+
+    EXPECT_DOUBLE_EQ(parsed->find("sections")->find("total")->number, 12.5);
+    EXPECT_NE(parsed->find("span_totals")->find("work"), nullptr);
+    EXPECT_DOUBLE_EQ(
+        parsed->find("metrics")->find("counters")->find("requests")->number,
+        3.0);
+}
+
+TEST_F(ObsTest, ConfigUpsertsByKey) {
+    auto& report = RunReport::global();
+    report.set_config("bench", std::string("first"));
+    report.set_config("bench", std::string("second"));
+    const auto parsed = parse_json(report.to_json());
+    ASSERT_TRUE(parsed.has_value());
+    ASSERT_EQ(parsed->find("config")->object.size(), 1u);
+    EXPECT_EQ(parsed->find("config")->find("bench")->string, "second");
+}
+
+// -------------------------------------------------------- disabled path
+
+TEST_F(ObsTest, DisabledPathRecordsNothing) {
+    set_enabled(false);
+
+    count("c", 5);
+    gauge_set("g", 1.0);
+    observe("h", 0.1);
+    { Span s("never"); }
+    auto& report = RunReport::global();
+    report.set_config("bench", std::string("x"));
+    report.add_search(SearchTrace{});
+    report.add_layer(LayerRow{});
+    report.add_device_estimate(DeviceEstimate{});
+    report.add_section("total", 1.0);
+
+    EXPECT_TRUE(span_events().empty());
+    EXPECT_TRUE(span_aggregates().empty());
+    EXPECT_EQ(report.search_count(), 0u);
+    EXPECT_EQ(report.layer_count(), 0u);
+
+    const auto parsed = parse_json(report.to_json());
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_TRUE(parsed->find("searches")->array.empty());
+    EXPECT_TRUE(parsed->find("layers")->array.empty());
+    EXPECT_TRUE(parsed->find("config")->object.empty());
+    EXPECT_TRUE(
+        parsed->find("metrics")->find("counters")->object.empty());
+}
+
+TEST_F(ObsTest, SpanOpenedWhileDisabledStaysInactive) {
+    set_enabled(false);
+    {
+        Span s("off-at-open");
+        set_enabled(true); // flipping mid-span must not record a half span
+    }
+    EXPECT_TRUE(span_events().empty());
+}
+
+} // namespace
+} // namespace hs::obs

@@ -1,0 +1,29 @@
+# CTest driver for the observability smoke test: run the quickstart
+# example with HS_TRACE_FILE set, then assert the emitted Chrome trace is
+# non-empty valid JSON with at least one traceEvent.
+#
+# Variables (passed via -D): QUICKSTART, JSON_CHECK, TRACE_FILE
+
+file(REMOVE "${TRACE_FILE}")
+
+execute_process(
+  COMMAND ${CMAKE_COMMAND} -E env "HS_TRACE_FILE=${TRACE_FILE}"
+          "${QUICKSTART}" --smoke
+  RESULT_VARIABLE quickstart_rv
+  OUTPUT_QUIET
+)
+if(NOT quickstart_rv EQUAL 0)
+  message(FATAL_ERROR "quickstart --smoke failed with exit code ${quickstart_rv}")
+endif()
+
+if(NOT EXISTS "${TRACE_FILE}")
+  message(FATAL_ERROR "quickstart did not write ${TRACE_FILE}")
+endif()
+
+execute_process(
+  COMMAND "${JSON_CHECK}" "${TRACE_FILE}" traceEvents
+  RESULT_VARIABLE check_rv
+)
+if(NOT check_rv EQUAL 0)
+  message(FATAL_ERROR "trace file ${TRACE_FILE} failed JSON validation")
+endif()

@@ -60,7 +60,7 @@ TEST(Table, NumFormatting) {
 TEST(StopwatchTest, MeasuresElapsed) {
     Stopwatch w;
     volatile double sink = 0.0;
-    for (int i = 0; i < 100000; ++i) sink += i;
+    for (int i = 0; i < 100000; ++i) sink = sink + i;
     EXPECT_GE(w.seconds(), 0.0);
     EXPECT_GE(w.millis(), w.seconds() * 1e3 - 1e-9);
     w.reset();
