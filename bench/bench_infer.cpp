@@ -1,0 +1,146 @@
+// Frozen-engine inference bench: batch-1 latency of the live layer graph
+// (eval-mode Sequential forward) vs the frozen engine (BN folded, bias and
+// ReLU fused, planned arena) on scaled VGG-16 — base and sp=2 pruned —
+// and a small ResNet. Measured CPU fps is printed next to the roofline
+// simulator's estimate for the same model on the Xeon E5-2620, closing
+// the measured-vs-modelled loop (DESIGN.md §8).
+//
+// Timing is median-of-k single-image forwards after warmup, so one-off
+// page faults and allocator warmup do not skew either side.
+
+#include <algorithm>
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "bench/common.h"
+#include "gpusim/device.h"
+#include "gpusim/roofline.h"
+#include "infer/infer.h"
+#include "models/resnet.h"
+#include "models/vgg.h"
+#include "obs/obs.h"
+#include "nn/conv2d.h"
+#include "pruning/surgery.h"
+#include "tensor/rng.h"
+#include "util/stopwatch.h"
+#include "util/table.h"
+
+namespace {
+
+using namespace hs;
+
+Tensor random_image(int c, int s, std::uint64_t seed) {
+    Tensor t({1, c, s, s});
+    Rng rng(seed);
+    rng.fill_normal(t, 0.0, 1.0);
+    return t;
+}
+
+/// Median wall-clock milliseconds of `fn()` over `reps` runs (after 2
+/// warmup calls).
+template <typename F>
+double median_ms(int reps, F&& fn) {
+    fn();
+    fn();
+    std::vector<double> ms(static_cast<std::size_t>(reps));
+    for (double& m : ms) {
+        Stopwatch watch;
+        fn();
+        m = watch.millis();
+    }
+    std::sort(ms.begin(), ms.end());
+    return ms[ms.size() / 2];
+}
+
+/// Halve every conv except the last (the paper's learnt sp=2 VGG shape).
+models::VggModel halved_vgg(const models::VggModel& original) {
+    auto pruned = original;
+    pruning::ConvChain chain{&pruned.net, pruned.conv_indices,
+                             pruned.classifier_index};
+    for (int i = 0; i < pruned.num_convs() - 1; ++i) {
+        const auto& conv =
+            pruned.net.layer_as<nn::Conv2d>(pruned.conv_indices[i]);
+        std::vector<int> keep;
+        for (int c = 0; c < conv.out_channels(); c += 2) keep.push_back(c);
+        pruning::prune_feature_maps(chain, i, keep);
+    }
+    return pruned;
+}
+
+struct RowResult {
+    double naive_ms = 0.0;
+    double frozen_ms = 0.0;
+    double frozen_fps = 0.0;
+};
+
+RowResult bench_model(TablePrinter& table, const char* name,
+                      nn::Sequential& net, int input_size, int reps) {
+    const Shape chw{3, input_size, input_size};
+    const Tensor x = random_image(3, input_size, 17);
+
+    const double naive_ms =
+        median_ms(reps, [&] { (void)net.forward(x, /*train=*/false); });
+
+    auto frozen =
+        std::make_shared<const infer::FrozenModel>(infer::freeze(net, chw));
+    infer::Engine engine(frozen, 1);
+    const double frozen_ms = median_ms(reps, [&] { (void)engine.run(x); });
+
+    const auto roofline =
+        gpusim::estimate_inference(net, chw, gpusim::xeon_e5_2620(), 1);
+    const double frozen_fps = 1e3 / frozen_ms;
+    table.add_row({name, TablePrinter::num(naive_ms, 3),
+                   TablePrinter::num(frozen_ms, 3),
+                   TablePrinter::num(naive_ms / frozen_ms, 2) + "x",
+                   TablePrinter::num(frozen_fps, 1),
+                   TablePrinter::num(roofline.fps, 1)});
+    return {naive_ms, frozen_ms, frozen_fps};
+}
+
+} // namespace
+
+int main(int argc, char** argv) {
+    const bench::BenchRun run = bench::bench_run("infer", argc, argv);
+    Stopwatch total;
+
+    const int reps = bench::scale() == bench::Scale::kFull    ? 51
+                     : bench::scale() == bench::Scale::kQuick ? 21
+                                                              : 7;
+
+    models::VggConfig vgg_cfg;
+    auto vgg = models::make_vgg16(vgg_cfg);
+    auto vgg_pruned = halved_vgg(vgg);
+
+    models::ResNetConfig res_cfg;
+    res_cfg.blocks_per_group = {2, 2, 2};
+    auto resnet = models::make_resnet(res_cfg);
+    // Move BN statistics off their init so folding runs on real values.
+    Rng rng(5);
+    for (int i = 0; i < 3; ++i) {
+        Tensor warm({4, 3, res_cfg.input_size, res_cfg.input_size});
+        rng.fill_normal(warm, 0.0, 1.0);
+        (void)resnet.net.forward(warm, /*train=*/true);
+    }
+    resnet.net.zero_grad();
+
+    TablePrinter table({"model", "naive ms", "frozen ms", "speedup",
+                        "measured fps", "roofline fps"});
+    const RowResult base =
+        bench_model(table, "VGG-16 (scaled)", vgg.net, vgg_cfg.input_size, reps);
+    const RowResult pruned = bench_model(table, "VGG-16 sp=2", vgg_pruned.net,
+                                         vgg_cfg.input_size, reps);
+    const RowResult res =
+        bench_model(table, "ResNet-14", resnet.net, res_cfg.input_size, reps);
+    table.print();
+
+    obs::gauge_set("infer.vgg_speedup", base.naive_ms / base.frozen_ms);
+    obs::gauge_set("infer.vgg_pruned_speedup",
+                   pruned.naive_ms / pruned.frozen_ms);
+    obs::gauge_set("infer.resnet_speedup", res.naive_ms / res.frozen_ms);
+    obs::RunReport::global().set_config("reps",
+                                        static_cast<std::int64_t>(reps));
+
+    bench::bench_finish(run, total.seconds());
+    return 0;
+}

@@ -1,0 +1,197 @@
+// serve_pruned: the deployment round trip. Prune a scaled VGG-16, save the
+// checkpoint, reload it into a freshly built twin of the pruned
+// architecture, freeze it (BN folding + memory planning), and serve
+// synthetic open-loop traffic through the batching runtime — reporting
+// p50/p95/p99 latency and throughput.
+//
+//   serve_pruned [--smoke] [--json <path>] [--weights <path>]
+//                [--requests N] [--rps R] [--workers N] [--batch N]
+//                [--delay-us N]
+//
+// `--smoke` shrinks the run to a couple of seconds (used by the CTest
+// smoke test); `--json` writes the hs::obs run report with the serving
+// percentiles as gauges.
+
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <future>
+#include <memory>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "infer/infer.h"
+#include "models/vgg.h"
+#include "nn/conv2d.h"
+#include "nn/serialize.h"
+#include "obs/obs.h"
+#include "pruning/surgery.h"
+#include "tensor/rng.h"
+#include "util/stopwatch.h"
+#include "util/table.h"
+
+namespace {
+
+using namespace hs;
+
+struct Options {
+    bool smoke = false;
+    std::string json_path;
+    std::string weights_path;
+    int requests = 256;
+    double rps = 500.0;
+    int workers = 2;
+    int max_batch = 8;
+    std::int64_t delay_us = 2000;
+};
+
+Options parse_options(int argc, char** argv) {
+    Options opt;
+    auto value = [&](int& i) -> const char* {
+        if (i + 1 >= argc) {
+            std::fprintf(stderr, "missing value for %s\n", argv[i]);
+            std::exit(2);
+        }
+        return argv[++i];
+    };
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--smoke") == 0) opt.smoke = true;
+        else if (std::strcmp(argv[i], "--json") == 0) opt.json_path = value(i);
+        else if (std::strcmp(argv[i], "--weights") == 0)
+            opt.weights_path = value(i);
+        else if (std::strcmp(argv[i], "--requests") == 0)
+            opt.requests = std::atoi(value(i));
+        else if (std::strcmp(argv[i], "--rps") == 0) opt.rps = std::atof(value(i));
+        else if (std::strcmp(argv[i], "--workers") == 0)
+            opt.workers = std::atoi(value(i));
+        else if (std::strcmp(argv[i], "--batch") == 0)
+            opt.max_batch = std::atoi(value(i));
+        else if (std::strcmp(argv[i], "--delay-us") == 0)
+            opt.delay_us = std::atol(value(i));
+        else {
+            std::fprintf(stderr, "unknown flag %s\n", argv[i]);
+            std::exit(2);
+        }
+    }
+    if (opt.smoke) {
+        opt.requests = 48;
+        opt.rps = 2000.0;
+        opt.workers = 2;
+        opt.max_batch = 4;
+        opt.delay_us = 500;
+    }
+    if (opt.weights_path.empty())
+        opt.weights_path = (std::filesystem::temp_directory_path() /
+                            "hs_serve_pruned_weights.bin")
+                               .string();
+    return opt;
+}
+
+/// Keep every other feature map in each conv except the last (conv5_3),
+/// the shape of the paper's learnt sp=2 VGG. Returns the pruned widths.
+std::vector<int> prune_vgg(models::VggModel& model) {
+    pruning::ConvChain chain{&model.net, model.conv_indices,
+                             model.classifier_index};
+    for (int i = 0; i < model.num_convs() - 1; ++i) {
+        const auto& conv =
+            model.net.layer_as<nn::Conv2d>(model.conv_indices[i]);
+        std::vector<int> keep;
+        for (int c = 0; c < conv.out_channels(); c += 2) keep.push_back(c);
+        pruning::prune_feature_maps(chain, i, keep);
+    }
+    std::vector<int> widths;
+    widths.reserve(static_cast<std::size_t>(model.num_convs()));
+    for (const int ci : model.conv_indices)
+        widths.push_back(model.net.layer_as<nn::Conv2d>(ci).out_channels());
+    return widths;
+}
+
+} // namespace
+
+int main(int argc, char** argv) {
+    const Options opt = parse_options(argc, argv);
+    if (!opt.json_path.empty()) obs::set_enabled(true);
+    Stopwatch total;
+
+    // 1. Train-side: build, prune, checkpoint.
+    models::VggConfig cfg;
+    auto trained = models::make_vgg16(cfg);
+    const std::vector<int> widths = prune_vgg(trained);
+    nn::save_parameters(trained.net, opt.weights_path);
+    std::printf("checkpointed pruned VGG-16 (widths");
+    for (const int w : widths) std::printf(" %d", w);
+    std::printf(") to %s\n", opt.weights_path.c_str());
+
+    // 2. Serve-side: rebuild the pruned architecture fresh, restore the
+    //    checkpoint, freeze for the fixed input shape.
+    auto served = models::make_vgg16_widths(widths, cfg);
+    nn::load_parameters(served.net, opt.weights_path);
+    auto frozen = std::make_shared<const infer::FrozenModel>(infer::freeze(
+        served.net, {cfg.input_channels, cfg.input_size, cfg.input_size}));
+    std::printf("frozen: %zu ops, %.2f MMACs/image\n", frozen->ops.size(),
+                static_cast<double>(frozen->macs) * 1e-6);
+
+    // 3. Open-loop synthetic traffic at a fixed request rate.
+    infer::ServingConfig serve_cfg;
+    serve_cfg.workers = opt.workers;
+    serve_cfg.max_batch = opt.max_batch;
+    serve_cfg.max_delay_us = opt.delay_us;
+    serve_cfg.queue_capacity = 4 * opt.max_batch * opt.workers;
+    infer::ServingEngine serving(frozen, serve_cfg);
+
+    Tensor image({cfg.input_channels, cfg.input_size, cfg.input_size});
+    Rng rng(7);
+    rng.fill_normal(image, 0.0, 1.0);
+
+    const std::int64_t gap_ns =
+        static_cast<std::int64_t>(1e9 / std::max(opt.rps, 1.0));
+    std::vector<std::future<Tensor>> inflight;
+    inflight.reserve(static_cast<std::size_t>(opt.requests));
+    std::int64_t next_ns = monotonic_ns();
+    for (int i = 0; i < opt.requests; ++i) {
+        while (monotonic_ns() < next_ns) std::this_thread::yield();
+        next_ns += gap_ns;
+        auto fut = serving.submit(image);
+        if (fut.has_value()) inflight.push_back(std::move(*fut));
+        // Rejected submissions (backpressure) are counted by the engine.
+    }
+    for (auto& fut : inflight) (void)fut.get();
+    serving.stop();
+
+    // 4. Report.
+    const infer::ServingStats stats = serving.stats();
+    TablePrinter table({"metric", "value"});
+    table.add_row({"requests", std::to_string(opt.requests)});
+    table.add_row({"completed", std::to_string(stats.completed)});
+    table.add_row({"rejected", std::to_string(stats.rejected)});
+    table.add_row({"batches", std::to_string(stats.batches)});
+    table.add_row({"mean batch", TablePrinter::num(stats.mean_batch, 2)});
+    table.add_row({"p50 latency (ms)", TablePrinter::num(stats.p50_ms, 3)});
+    table.add_row({"p95 latency (ms)", TablePrinter::num(stats.p95_ms, 3)});
+    table.add_row({"p99 latency (ms)", TablePrinter::num(stats.p99_ms, 3)});
+    table.add_row(
+        {"throughput (req/s)", TablePrinter::num(stats.throughput_rps, 1)});
+    table.print();
+
+    obs::gauge_set("serve.p50_ms", stats.p50_ms);
+    obs::gauge_set("serve.p95_ms", stats.p95_ms);
+    obs::gauge_set("serve.p99_ms", stats.p99_ms);
+    obs::gauge_set("serve.throughput_rps", stats.throughput_rps);
+
+    auto& report = obs::RunReport::global();
+    report.set_config("example", std::string("serve_pruned"));
+    report.set_config("requests", static_cast<std::int64_t>(opt.requests));
+    report.set_config("rps", opt.rps);
+    report.set_config("workers", static_cast<std::int64_t>(opt.workers));
+    report.set_config("max_batch", static_cast<std::int64_t>(opt.max_batch));
+    report.set_config("max_delay_us",
+                      static_cast<std::int64_t>(opt.delay_us));
+    report.add_section("total", total.seconds());
+    if (!opt.json_path.empty() && obs::write_run_report(opt.json_path))
+        std::printf("run report: %s\n", opt.json_path.c_str());
+
+    std::remove(opt.weights_path.c_str());
+    return stats.completed > 0 ? 0 : 1;
+}

@@ -1,0 +1,233 @@
+#include "infer/engine.h"
+
+#include <algorithm>
+#include <cstring>
+#include <limits>
+
+#include "tensor/gemm.h"
+#include "tensor/im2col.h"
+#include "util/error.h"
+
+namespace hs::infer {
+namespace {
+
+void relu_inplace(float* data, std::int64_t n) {
+    for (std::int64_t i = 0; i < n; ++i)
+        if (data[i] < 0.0f) data[i] = 0.0f;
+}
+
+} // namespace
+
+Engine::Engine(std::shared_ptr<const FrozenModel> model, int max_batch)
+    : model_(std::move(model)), max_batch_(max_batch) {
+    require(model_ != nullptr, "Engine needs a frozen model");
+    require(max_batch_ >= 1, "Engine max_batch must be >= 1");
+    std::int64_t off = 0;
+    for (int s = 0; s < kNumSlots; ++s) {
+        slot_off_[static_cast<std::size_t>(s)] = off;
+        off += model_->slot_elems[static_cast<std::size_t>(s)] * max_batch_;
+    }
+    cols_off_ = off;
+    off += model_->cols_elems;
+    tr_off_ = off;
+    off += model_->tr_elems;
+    arena_.assign(static_cast<std::size_t>(off), 0.0f);
+}
+
+Tensor Engine::run(const Tensor& input) {
+    require(input.rank() == 4, "Engine expects NCHW input");
+    const Shape& chw = model_->input_chw;
+    require(input.dim(1) == chw[0] && input.dim(2) == chw[1] &&
+                input.dim(3) == chw[2],
+            "Engine input shape mismatch: expected [N, " + shape_str(chw) +
+                "], got " + shape_str(input.shape()));
+    const int n = input.dim(0);
+    Shape out_shape{n};
+    out_shape.insert(out_shape.end(), model_->output_shape.begin(),
+                     model_->output_shape.end());
+    Tensor output(out_shape);
+    run(input.data(), n, output.data());
+    return output;
+}
+
+void Engine::run(std::span<const float> input, int batch,
+                 std::span<float> output) {
+    require(batch >= 1 && batch <= max_batch_,
+            "Engine batch must be in [1, max_batch]");
+    require(static_cast<std::int64_t>(input.size()) ==
+                model_->input_elems * batch,
+            "Engine input span size mismatch");
+    require(static_cast<std::int64_t>(output.size()) ==
+                model_->output_elems * batch,
+            "Engine output span size mismatch");
+
+    std::memcpy(slot(0), input.data(), input.size() * sizeof(float));
+
+    for (const FrozenOp& op : model_->ops) {
+        switch (op.kind) {
+        case OpKind::kConv: exec_conv(op, batch); break;
+        case OpKind::kLinear: exec_linear(op, batch); break;
+        case OpKind::kScale: exec_scale(op, batch); break;
+        case OpKind::kMaxPool: exec_maxpool(op, batch); break;
+        case OpKind::kGlobalAvgPool: exec_gavgpool(op, batch); break;
+        case OpKind::kAdd: exec_add(op, batch); break;
+        }
+    }
+
+    std::memcpy(output.data(), slot(model_->output_slot),
+                output.size() * sizeof(float));
+}
+
+void Engine::exec_conv(const FrozenOp& op, int batch) {
+    const float* in = slot(op.in);
+    float* out = slot(op.out);
+    float* cols = arena_.data() + cols_off_;
+    const ConvGeom& g = op.geom;
+    const std::int64_t ckk = g.col_rows();
+    const std::int64_t ohw = g.col_cols();
+    const int f = op.out_channels;
+    const auto bias = op.bias.data();
+
+    for (int i = 0; i < batch; ++i) {
+        const float* image = in + static_cast<std::int64_t>(i) * op.in_elems;
+        float* dst = out + static_cast<std::int64_t>(i) * op.out_elems;
+        im2col(g, {image, static_cast<std::size_t>(op.in_elems)},
+               {cols, static_cast<std::size_t>(ckk * ohw)});
+        if (op.transposed) {
+            // Deep-layer path (see freeze.h): compute the output
+            // transposed ([oh·ow, F] = colsᵀ · Wᵀ) so the kernel's inner
+            // loop runs over F, then restore channel-major layout with
+            // the bias add and ReLU fused into the copy.
+            float* tr = arena_.data() + tr_off_;
+            gemm_at(static_cast<int>(ohw), f, static_cast<int>(ckk), 1.0f,
+                    {cols, static_cast<std::size_t>(ckk * ohw)},
+                    op.weight.data(), 0.0f,
+                    {tr, static_cast<std::size_t>(f * ohw)});
+            for (int r = 0; r < f; ++r) {
+                float* drow = dst + static_cast<std::int64_t>(r) * ohw;
+                const float b = bias[r];
+                if (op.relu_after)
+                    for (std::int64_t j = 0; j < ohw; ++j)
+                        drow[j] = std::max(0.0f, tr[j * f + r] + b);
+                else
+                    for (std::int64_t j = 0; j < ohw; ++j)
+                        drow[j] = tr[j * f + r] + b;
+            }
+        } else {
+            // Pre-fill each filter row with its folded bias; the GEMM
+            // accumulates onto it (beta = 1), fusing the bias add.
+            for (int r = 0; r < f; ++r)
+                std::fill_n(dst + static_cast<std::int64_t>(r) * ohw, ohw,
+                            bias[r]);
+            gemm(f, static_cast<int>(ohw), static_cast<int>(ckk), 1.0f,
+                 op.weight.data(), {cols, static_cast<std::size_t>(ckk * ohw)},
+                 1.0f, {dst, static_cast<std::size_t>(op.out_elems)});
+        }
+    }
+    if (op.relu_after && !op.transposed)
+        relu_inplace(out, static_cast<std::int64_t>(batch) * op.out_elems);
+}
+
+void Engine::exec_linear(const FrozenOp& op, int batch) {
+    const float* in = slot(op.in);
+    float* out = slot(op.out);
+    const int in_f = static_cast<int>(op.in_elems);
+    const int out_f = op.out_channels;
+    const auto bias = op.bias.data();
+    for (int i = 0; i < batch; ++i)
+        std::memcpy(out + static_cast<std::int64_t>(i) * out_f, bias.data(),
+                    static_cast<std::size_t>(out_f) * sizeof(float));
+    gemm_bt(batch, out_f, in_f, 1.0f,
+            {in, static_cast<std::size_t>(batch) * in_f}, op.weight.data(),
+            1.0f, {out, static_cast<std::size_t>(batch) * out_f});
+    if (op.relu_after)
+        relu_inplace(out, static_cast<std::int64_t>(batch) * out_f);
+}
+
+void Engine::exec_scale(const FrozenOp& op, int batch) {
+    const float* in = slot(op.in);
+    float* out = slot(op.out);
+    const int c = op.out_channels;
+    const std::int64_t hw = op.out_elems / c;
+    const auto gain = op.weight.data();
+    const auto bias = op.bias.data();
+    for (int i = 0; i < batch; ++i)
+        for (int ch = 0; ch < c; ++ch) {
+            const float a = gain[ch];
+            const float b = bias[ch];
+            const std::int64_t base =
+                static_cast<std::int64_t>(i) * op.out_elems + ch * hw;
+            const float* src = in + base;
+            float* dst = out + base;
+            if (op.relu_after)
+                for (std::int64_t j = 0; j < hw; ++j)
+                    dst[j] = std::max(0.0f, a * src[j] + b);
+            else
+                for (std::int64_t j = 0; j < hw; ++j) dst[j] = a * src[j] + b;
+        }
+}
+
+void Engine::exec_maxpool(const FrozenOp& op, int batch) {
+    const float* in = slot(op.in);
+    float* out = slot(op.out);
+    const ConvGeom& g = op.geom;
+    const int c = op.out_channels;
+    const int oh = g.out_h();
+    const int ow = g.out_w();
+    const std::int64_t in_hw = static_cast<std::int64_t>(g.height) * g.width;
+
+    for (int i = 0; i < batch; ++i) {
+        float* dst = out + static_cast<std::int64_t>(i) * op.out_elems;
+        for (int ch = 0; ch < c; ++ch) {
+            const float* plane =
+                in + static_cast<std::int64_t>(i) * op.in_elems + ch * in_hw;
+            for (int oy = 0; oy < oh; ++oy)
+                for (int ox = 0; ox < ow; ++ox) {
+                    float best = -std::numeric_limits<float>::infinity();
+                    for (int ky = 0; ky < g.kernel; ++ky) {
+                        const float* row =
+                            plane +
+                            static_cast<std::int64_t>(oy * g.stride + ky) *
+                                g.width +
+                            ox * g.stride;
+                        for (int kx = 0; kx < g.kernel; ++kx)
+                            if (row[kx] > best) best = row[kx];
+                    }
+                    *dst++ = best;
+                }
+        }
+    }
+    if (op.relu_after)
+        relu_inplace(out, static_cast<std::int64_t>(batch) * op.out_elems);
+}
+
+void Engine::exec_gavgpool(const FrozenOp& op, int batch) {
+    const float* in = slot(op.in);
+    float* out = slot(op.out);
+    const int c = op.out_channels;
+    const std::int64_t hw = op.in_elems / c;
+    for (int i = 0; i < batch; ++i)
+        for (int ch = 0; ch < c; ++ch) {
+            const float* plane =
+                in + static_cast<std::int64_t>(i) * op.in_elems + ch * hw;
+            double acc = 0.0;
+            for (std::int64_t j = 0; j < hw; ++j) acc += plane[j];
+            const float v = static_cast<float>(acc / static_cast<double>(hw));
+            out[static_cast<std::int64_t>(i) * c + ch] =
+                op.relu_after ? std::max(0.0f, v) : v;
+        }
+}
+
+void Engine::exec_add(const FrozenOp& op, int batch) {
+    const float* a = slot(op.in);
+    const float* b = slot(op.in2);
+    float* out = slot(op.out);
+    const std::int64_t n = static_cast<std::int64_t>(batch) * op.out_elems;
+    if (op.relu_after)
+        for (std::int64_t i = 0; i < n; ++i)
+            out[i] = std::max(0.0f, a[i] + b[i]);
+    else
+        for (std::int64_t i = 0; i < n; ++i) out[i] = a[i] + b[i];
+}
+
+} // namespace hs::infer

@@ -1,0 +1,67 @@
+#pragma once
+
+// Frozen-model execution engine with planned memory. Construction lays
+// out one arena for the whole run: three activation slots (sized to the
+// widest op that touches them, times max_batch) plus a single im2col
+// scratch region — so run() performs zero heap allocations on the hot
+// path. Convolution bias is pre-filled into the output rows and the GEMM
+// accumulates onto it (beta = 1), and ReLU is applied in place where the
+// freeze pass fused it; the OpenMP GEMM kernels are untouched.
+//
+// An Engine is cheap (one arena) but stateful: use one Engine per thread.
+// The FrozenModel behind it is immutable and safely shared.
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "infer/freeze.h"
+#include "tensor/tensor.h"
+
+namespace hs::infer {
+
+/// Executes a FrozenModel for batches up to a fixed max size.
+class Engine {
+public:
+    /// Plan the arena for `max_batch` images of model->input_chw.
+    Engine(std::shared_ptr<const FrozenModel> model, int max_batch = 1);
+
+    [[nodiscard]] const FrozenModel& model() const { return *model_; }
+    [[nodiscard]] int max_batch() const { return max_batch_; }
+    /// Arena footprint in bytes (activations + im2col scratch).
+    [[nodiscard]] std::int64_t arena_bytes() const {
+        return static_cast<std::int64_t>(arena_.size()) *
+               static_cast<std::int64_t>(sizeof(float));
+    }
+
+    /// Run a batch: input is [N, C, H, W] with N <= max_batch(); returns
+    /// [N, ...output_shape]. Allocates only the returned tensor.
+    [[nodiscard]] Tensor run(const Tensor& input);
+
+    /// Zero-allocation variant over raw spans: `input` holds batch·C·H·W
+    /// floats, `output` receives batch·output_elems floats.
+    void run(std::span<const float> input, int batch, std::span<float> output);
+
+private:
+    std::shared_ptr<const FrozenModel> model_;
+    int max_batch_;
+    std::vector<float> arena_;
+    std::array<std::int64_t, kNumSlots> slot_off_{};
+    std::int64_t cols_off_ = 0;
+    std::int64_t tr_off_ = 0;
+
+    [[nodiscard]] float* slot(int s) {
+        return arena_.data() + slot_off_[static_cast<std::size_t>(s)];
+    }
+
+    void exec_conv(const FrozenOp& op, int batch);
+    void exec_linear(const FrozenOp& op, int batch);
+    void exec_scale(const FrozenOp& op, int batch);
+    void exec_maxpool(const FrozenOp& op, int batch);
+    void exec_gavgpool(const FrozenOp& op, int batch);
+    void exec_add(const FrozenOp& op, int batch);
+};
+
+} // namespace hs::infer

@@ -1,0 +1,371 @@
+#include "infer/freeze.h"
+
+#include <cmath>
+#include <utility>
+
+#include "nn/activations.h"
+#include "nn/batchnorm.h"
+#include "nn/conv2d.h"
+#include "nn/linear.h"
+#include "nn/pooling.h"
+#include "nn/residual.h"
+#include "nn/sequential.h"
+#include "util/error.h"
+
+namespace hs::infer {
+namespace {
+
+// Flatten nested Sequential containers into a linear list of atoms;
+// ResidualBlock stays atomic (it is expanded with its own buffer plan).
+void collect_atoms(const nn::Layer& layer, std::vector<const nn::Layer*>& out) {
+    if (const auto* seq = dynamic_cast<const nn::Sequential*>(&layer)) {
+        for (int i = 0; i < seq->size(); ++i) collect_atoms(seq->layer(i), out);
+        return;
+    }
+    out.push_back(&layer);
+}
+
+class Builder {
+public:
+    explicit Builder(Shape input_chw) {
+        require(input_chw.size() == 3 && input_chw[0] > 0 && input_chw[1] > 0 &&
+                    input_chw[2] > 0,
+                "freeze: input shape must be [C, H, W]");
+        model_.input_chw = input_chw;
+        model_.input_elems = shape_numel(input_chw);
+        model_.slot_elems[0] = model_.input_elems;
+        cur_shape_ = std::move(input_chw);
+    }
+
+    void build(const std::vector<const nn::Layer*>& atoms) {
+        for (std::size_t i = 0; i < atoms.size(); ++i) {
+            const nn::Layer* atom = atoms[i];
+            if (const auto* conv = dynamic_cast<const nn::Conv2d*>(atom)) {
+                const nn::BatchNorm2d* bn = nullptr;
+                if (i + 1 < atoms.size())
+                    bn = dynamic_cast<const nn::BatchNorm2d*>(atoms[i + 1]);
+                if (bn != nullptr) ++i;
+                const bool relu = fuse_relu(atoms, i);
+                const int dst = peer(cur_);
+                cur_shape_ = emit_conv(*conv, bn, 1.0f, cur_, dst, relu, cur_shape_);
+                cur_ = dst;
+            } else if (const auto* bn = dynamic_cast<const nn::BatchNorm2d*>(atom)) {
+                emit_scale(*bn, fuse_relu(atoms, i));
+            } else if (dynamic_cast<const nn::ReLU*>(atom) != nullptr) {
+                emit_relu();
+            } else if (const auto* pool = dynamic_cast<const nn::MaxPool2d*>(atom)) {
+                emit_maxpool(*pool);
+            } else if (dynamic_cast<const nn::GlobalAvgPool*>(atom) != nullptr) {
+                emit_gavgpool();
+            } else if (dynamic_cast<const nn::Flatten*>(atom) != nullptr) {
+                cur_shape_ = {static_cast<int>(shape_numel(cur_shape_))};
+            } else if (const auto* lin = dynamic_cast<const nn::Linear*>(atom)) {
+                emit_linear(*lin, fuse_relu(atoms, i));
+            } else if (const auto* block =
+                           dynamic_cast<const nn::ResidualBlock*>(atom)) {
+                emit_residual(*block);
+            } else {
+                throw Error("freeze: unsupported layer kind '" + atom->kind() +
+                            "'");
+            }
+        }
+        require(!model_.ops.empty(), "freeze: model produced no ops");
+        model_.output_slot = cur_;
+        model_.output_shape = cur_shape_;
+        model_.output_elems = shape_numel(cur_shape_);
+    }
+
+    [[nodiscard]] FrozenModel take() && { return std::move(model_); }
+
+private:
+    FrozenModel model_;
+    Shape cur_shape_;
+    int cur_ = 0;  // ping-pong slot currently holding the activation (0 or 1)
+
+    static int peer(int slot) { return slot == 0 ? 1 : 0; }
+
+    // Consume a ReLU directly following atom `i` (advances the cursor).
+    static bool fuse_relu(const std::vector<const nn::Layer*>& atoms,
+                          std::size_t& i) {
+        if (i + 1 < atoms.size() &&
+            dynamic_cast<const nn::ReLU*>(atoms[i + 1]) != nullptr) {
+            ++i;
+            return true;
+        }
+        return false;
+    }
+
+    void note_slot(int slot, std::int64_t elems) {
+        require(slot >= 0 && slot < kNumSlots, "freeze: slot out of range");
+        if (elems > model_.slot_elems[static_cast<std::size_t>(slot)])
+            model_.slot_elems[static_cast<std::size_t>(slot)] = elems;
+    }
+
+    void push(FrozenOp op, const Shape& in_shape, Shape out_shape) {
+        op.in_shape = in_shape;
+        op.in_elems = shape_numel(in_shape);
+        op.out_shape = std::move(out_shape);
+        op.out_elems = shape_numel(op.out_shape);
+        note_slot(op.in, op.in_elems);
+        note_slot(op.out, op.out_elems);
+        if (op.in2 >= 0) note_slot(op.in2, op.out_elems);
+        model_.ops.push_back(std::move(op));
+    }
+
+    /// Emit one folded convolution: conv (+ optional BatchNorm) (+ output
+    /// mask) scaled by `extra` (the residual gate). Returns the per-image
+    /// output shape.
+    Shape emit_conv(const nn::Conv2d& conv, const nn::BatchNorm2d* bn,
+                    float extra, int src, int dst, bool relu,
+                    const Shape& in_shape) {
+        require(in_shape.size() == 3, "freeze: conv input must be [C, H, W]");
+        require(in_shape[0] == conv.in_channels(),
+                "freeze: conv expects " + std::to_string(conv.in_channels()) +
+                    " input channels, model provides " +
+                    std::to_string(in_shape[0]));
+        if (bn != nullptr)
+            require(bn->channels() == conv.out_channels(),
+                    "freeze: BatchNorm channels do not match the conv output");
+
+        const int f = conv.out_channels();
+        const int c = conv.in_channels();
+        const int k = conv.kernel();
+        const std::int64_t ckk = static_cast<std::int64_t>(c) * k * k;
+
+        FrozenOp op;
+        op.kind = OpKind::kConv;
+        op.in = src;
+        op.out = dst;
+        op.relu_after = relu;
+        op.out_channels = f;
+        op.geom = ConvGeom{c,    in_shape[1],   in_shape[2],
+                           k,    conv.stride(), conv.pad()};
+        require(op.geom.out_h() > 0 && op.geom.out_w() > 0,
+                "freeze: conv output would be empty for this input shape");
+
+        // [F, C, k, k] is row-major contiguous == the GEMM-ready [F, C·k·k].
+        op.weight = conv.weight().value.reshape({f, static_cast<int>(ckk)});
+        op.bias = Tensor({f});
+        if (conv.has_bias())
+            for (int i = 0; i < f; ++i) op.bias[i] = conv.bias().value[i];
+
+        const std::span<const float> mask =
+            conv.has_output_mask() ? conv.output_mask() : std::span<const float>{};
+
+        // Live eval order: y = mask ⊙ (Wx + b), then BN(y), then ·extra.
+        // Folded:  W'_f = extra·γ_f·inv_f·m_f · W_f
+        //          b'_f = extra·(γ_f·inv_f·(m_f·b_f − μ_f) + β_f)
+        auto w = op.weight.data();
+        for (int i = 0; i < f; ++i) {
+            const double m = mask.empty() ? 1.0 : mask[static_cast<std::size_t>(i)];
+            double gi = 1.0, mu = 0.0, beta = 0.0;
+            if (bn != nullptr) {
+                gi = bn->gamma().value[i] /
+                     std::sqrt(static_cast<double>(bn->running_var()[i]) +
+                               bn->eps());
+                mu = bn->running_mean()[i];
+                beta = bn->beta().value[i];
+            }
+            const double wscale = static_cast<double>(extra) * gi * m;
+            float* row = w.data() + static_cast<std::int64_t>(i) * ckk;
+            for (std::int64_t j = 0; j < ckk; ++j)
+                row[j] = static_cast<float>(row[j] * wscale);
+            op.bias[i] = static_cast<float>(
+                extra * (gi * (m * op.bias[i] - mu) + beta));
+        }
+
+        // Shape-aware GEMM dispatch (see freeze.h): when the spatial
+        // extent is narrower than the filter count, repack the weight
+        // transposed so the engine's inner loop runs over F instead.
+        const std::int64_t ohw =
+            static_cast<std::int64_t>(op.geom.out_h()) * op.geom.out_w();
+        if (ohw < f) {
+            Tensor wt({static_cast<int>(ckk), f});
+            for (int i = 0; i < f; ++i)
+                for (std::int64_t j = 0; j < ckk; ++j)
+                    wt[j * f + i] = w[static_cast<std::size_t>(i * ckk + j)];
+            op.weight = std::move(wt);
+            op.transposed = true;
+            if (f * ohw > model_.tr_elems) model_.tr_elems = f * ohw;
+        }
+
+        Shape out_shape{f, op.geom.out_h(), op.geom.out_w()};
+        model_.macs += static_cast<std::int64_t>(f) * ckk * op.geom.out_h() *
+                       op.geom.out_w();
+        push(std::move(op), in_shape, out_shape);
+        return out_shape;
+    }
+
+    void emit_scale(const nn::BatchNorm2d& bn, bool relu) {
+        require(cur_shape_.size() == 3 && cur_shape_[0] == bn.channels(),
+                "freeze: standalone BatchNorm channel mismatch");
+        FrozenOp op;
+        op.kind = OpKind::kScale;
+        op.in = cur_;
+        op.out = cur_;  // in place
+        op.relu_after = relu;
+        op.out_channels = bn.channels();
+        op.weight = Tensor({bn.channels()});
+        op.bias = Tensor({bn.channels()});
+        for (int i = 0; i < bn.channels(); ++i) {
+            const double gi =
+                bn.gamma().value[i] /
+                std::sqrt(static_cast<double>(bn.running_var()[i]) + bn.eps());
+            op.weight[i] = static_cast<float>(gi);
+            op.bias[i] =
+                static_cast<float>(bn.beta().value[i] - gi * bn.running_mean()[i]);
+        }
+        push(std::move(op), cur_shape_, cur_shape_);
+    }
+
+    void emit_relu() {
+        // A standalone ReLU fuses into whichever op produced the current
+        // activation; only a ReLU at the very start of a model (or after a
+        // pure reshape) needs its own identity pass.
+        if (!model_.ops.empty() && model_.ops.back().out == cur_) {
+            model_.ops.back().relu_after = true;
+            return;
+        }
+        FrozenOp op;
+        op.kind = OpKind::kScale;
+        op.in = cur_;
+        op.out = cur_;
+        op.relu_after = true;
+        op.out_channels = static_cast<int>(shape_numel(cur_shape_));
+        op.weight = Tensor::full({op.out_channels}, 1.0f);
+        op.bias = Tensor({op.out_channels});
+        push(std::move(op), cur_shape_, cur_shape_);
+    }
+
+    void emit_maxpool(const nn::MaxPool2d& pool) {
+        require(cur_shape_.size() == 3, "freeze: maxpool input must be [C, H, W]");
+        FrozenOp op;
+        op.kind = OpKind::kMaxPool;
+        op.in = cur_;
+        op.out = peer(cur_);
+        op.out_channels = cur_shape_[0];
+        op.geom = ConvGeom{cur_shape_[0], cur_shape_[1], cur_shape_[2],
+                           pool.kernel(), pool.stride(), 0};
+        require(op.geom.out_h() > 0 && op.geom.out_w() > 0,
+                "freeze: maxpool output would be empty");
+        Shape out_shape{cur_shape_[0], op.geom.out_h(), op.geom.out_w()};
+        const int dst = op.out;
+        push(std::move(op), cur_shape_, out_shape);
+        cur_ = dst;
+        cur_shape_ = std::move(out_shape);
+    }
+
+    void emit_gavgpool() {
+        require(cur_shape_.size() == 3, "freeze: gavgpool input must be [C, H, W]");
+        FrozenOp op;
+        op.kind = OpKind::kGlobalAvgPool;
+        op.in = cur_;
+        op.out = peer(cur_);
+        op.out_channels = cur_shape_[0];
+        Shape out_shape{cur_shape_[0]};  // [C, 1, 1] pre-flattened
+        const int dst = op.out;
+        push(std::move(op), cur_shape_, out_shape);
+        cur_ = dst;
+        cur_shape_ = std::move(out_shape);
+    }
+
+    void emit_linear(const nn::Linear& lin, bool relu) {
+        require(shape_numel(cur_shape_) == lin.in_features(),
+                "freeze: Linear expects " + std::to_string(lin.in_features()) +
+                    " features, model provides " +
+                    std::to_string(shape_numel(cur_shape_)));
+        FrozenOp op;
+        op.kind = OpKind::kLinear;
+        op.in = cur_;
+        op.out = peer(cur_);
+        op.relu_after = relu;
+        op.out_channels = lin.out_features();
+        op.weight = lin.weight().value;  // [out, in], already GEMM-ready
+        op.bias = lin.bias().value;
+        Shape out_shape{lin.out_features()};
+        model_.macs +=
+            static_cast<std::int64_t>(lin.out_features()) * lin.in_features();
+        const int dst = op.out;
+        push(std::move(op), {lin.in_features()}, out_shape);
+        cur_ = dst;
+        cur_shape_ = std::move(out_shape);
+    }
+
+    void emit_add(int a, int b, int dst, const Shape& shape) {
+        FrozenOp op;
+        op.kind = OpKind::kAdd;
+        op.in = a;
+        op.in2 = b;
+        op.out = dst;
+        op.relu_after = true;  // residual join is always followed by ReLU
+        op.out_channels = shape[0];
+        push(std::move(op), shape, shape);
+    }
+
+    /// Expand a residual block over the three buffer slots. `cur_` holds
+    /// x; slot 2 carries the shortcut across the branch convs.
+    void emit_residual(const nn::ResidualBlock& block) {
+        const float gate = block.gate();
+        if (gate == 0.0f && !block.has_projection()) return;  // passthrough
+
+        const Shape x_shape = cur_shape_;
+        const int a = cur_;
+        const int b = peer(cur_);
+        constexpr int kSide = 2;
+
+        if (gate == 0.0f) {
+            // Dropped block with projection shortcut: y = ReLU(proj(x)).
+            cur_shape_ = emit_conv(*block.projection(), block.projection_bn(),
+                                   1.0f, a, b, /*relu=*/true, x_shape);
+            cur_ = b;
+            return;
+        }
+
+        if (block.has_projection()) {
+            const Shape sc_shape =
+                emit_conv(*block.projection(), block.projection_bn(), 1.0f, a,
+                          kSide, /*relu=*/false, x_shape);
+            const Shape mid = emit_conv(block.conv1(), &block.bn1(), 1.0f, a, b,
+                                        /*relu=*/true, x_shape);
+            // x (slot a) is dead after conv1; conv2 may overwrite it.
+            const Shape out =
+                emit_conv(block.conv2(), &block.bn2(), gate, b, a,
+                          /*relu=*/false, mid);
+            require(out == sc_shape,
+                    "freeze: residual branch and projection shapes disagree");
+            emit_add(a, kSide, b, out);
+            cur_ = b;
+            cur_shape_ = out;
+        } else {
+            const Shape mid = emit_conv(block.conv1(), &block.bn1(), 1.0f, a, b,
+                                        /*relu=*/true, x_shape);
+            const Shape out =
+                emit_conv(block.conv2(), &block.bn2(), gate, b, kSide,
+                          /*relu=*/false, mid);
+            require(out == x_shape,
+                    "freeze: identity-shortcut block changed the shape");
+            emit_add(kSide, a, b, out);
+            cur_ = b;
+            cur_shape_ = out;
+        }
+    }
+};
+
+} // namespace
+
+FrozenModel freeze(const nn::Layer& model, const Shape& input_chw) {
+    std::vector<const nn::Layer*> atoms;
+    collect_atoms(model, atoms);
+    Builder builder(input_chw);
+    builder.build(atoms);
+    FrozenModel frozen = std::move(builder).take();
+    // im2col scratch: one image at a time, sized for the widest conv.
+    for (const FrozenOp& op : frozen.ops)
+        if (op.kind == OpKind::kConv) {
+            const std::int64_t cols = op.geom.col_rows() * op.geom.col_cols();
+            if (cols > frozen.cols_elems) frozen.cols_elems = cols;
+        }
+    return frozen;
+}
+
+} // namespace hs::infer

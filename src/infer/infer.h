@@ -1,0 +1,17 @@
+#pragma once
+
+// Umbrella header for the hs::infer frozen-inference subsystem.
+//
+//   * freeze.h  — compile a trained/pruned model into a flat op list with
+//                 BatchNorm folded into conv weights and ReLU/bias fused
+//   * engine.h  — execute a FrozenModel with a pre-planned arena (zero
+//                 hot-path allocations)
+//   * serving.h — thread-pool runtime with dynamic micro-batching and
+//                 bounded-queue backpressure
+//
+// Typical deployment path: train/prune -> save_parameters -> (new process)
+// load_parameters -> freeze -> Engine or ServingEngine. See DESIGN.md §8.
+
+#include "infer/engine.h"
+#include "infer/freeze.h"
+#include "infer/serving.h"

@@ -1,0 +1,183 @@
+#include "infer/serving.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstring>
+#include <utility>
+
+#include "obs/metrics.h"
+#include "util/error.h"
+#include "util/stopwatch.h"
+
+namespace hs::infer {
+namespace {
+
+double percentile(std::vector<double>& sorted, double q) {
+    if (sorted.empty()) return 0.0;
+    const auto idx = static_cast<std::size_t>(
+        q * static_cast<double>(sorted.size() - 1) + 0.5);
+    return sorted[std::min(idx, sorted.size() - 1)];
+}
+
+} // namespace
+
+ServingEngine::ServingEngine(std::shared_ptr<const FrozenModel> model,
+                             ServingConfig cfg)
+    : model_(std::move(model)), cfg_(cfg) {
+    require(model_ != nullptr, "ServingEngine needs a frozen model");
+    require(cfg_.workers >= 1, "ServingEngine needs at least one worker");
+    require(cfg_.max_batch >= 1, "ServingEngine max_batch must be >= 1");
+    require(cfg_.max_delay_us >= 0, "ServingEngine max_delay_us must be >= 0");
+    require(cfg_.queue_capacity >= 1,
+            "ServingEngine queue_capacity must be >= 1");
+    workers_.reserve(static_cast<std::size_t>(cfg_.workers));
+    for (int w = 0; w < cfg_.workers; ++w)
+        workers_.emplace_back([this, w] { worker_loop(w); });
+}
+
+ServingEngine::~ServingEngine() { stop(); }
+
+std::optional<std::future<Tensor>> ServingEngine::submit(Tensor image) {
+    if (image.rank() == 4) {
+        require(image.dim(0) == 1, "submit() takes a single image");
+    } else {
+        require(image.rank() == 3, "submit() expects a [C, H, W] image");
+    }
+    require(image.numel() == model_->input_elems,
+            "submit() image shape mismatch: expected " +
+                shape_str(model_->input_chw) + ", got " +
+                shape_str(image.shape()));
+
+    Request req;
+    req.image = std::move(image);
+    req.enqueue_ns = monotonic_ns();
+    std::future<Tensor> fut = req.promise.get_future();
+
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        if (stopping_ ||
+            queue_.size() >= static_cast<std::size_t>(cfg_.queue_capacity)) {
+            ++rejected_;
+            obs::count("serve.rejected");
+            return std::nullopt;
+        }
+        queue_.push_back(std::move(req));
+        obs::count("serve.requests");
+    }
+    cv_.notify_one();
+    return fut;
+}
+
+void ServingEngine::stop() {
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        stopping_ = true;
+    }
+    cv_.notify_all();
+    for (std::thread& t : workers_)
+        if (t.joinable()) t.join();
+}
+
+ServingStats ServingEngine::stats() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    ServingStats s;
+    s.completed = completed_;
+    s.rejected = rejected_;
+    s.batches = batches_;
+    s.mean_batch = batches_ > 0 ? static_cast<double>(batched_requests_) /
+                                      static_cast<double>(batches_)
+                                : 0.0;
+    std::vector<double> sorted = latencies_ms_;
+    std::sort(sorted.begin(), sorted.end());
+    s.p50_ms = percentile(sorted, 0.50);
+    s.p95_ms = percentile(sorted, 0.95);
+    s.p99_ms = percentile(sorted, 0.99);
+    const std::int64_t span_ns = last_complete_ns_ - first_complete_ns_;
+    if (completed_ > 1 && span_ns > 0)
+        s.throughput_rps = static_cast<double>(completed_ - 1) /
+                           (static_cast<double>(span_ns) * 1e-9);
+    return s;
+}
+
+void ServingEngine::worker_loop(int /*worker_id*/) {
+    Engine engine(model_, cfg_.max_batch);
+    std::vector<Request> batch;
+    std::vector<float> in(static_cast<std::size_t>(model_->input_elems) *
+                          static_cast<std::size_t>(cfg_.max_batch));
+    std::vector<float> out(static_cast<std::size_t>(model_->output_elems) *
+                           static_cast<std::size_t>(cfg_.max_batch));
+
+    for (;;) {
+        batch.clear();
+        {
+            std::unique_lock<std::mutex> lock(mu_);
+            cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+            if (queue_.empty()) {
+                // Stopping with a drained queue: exit. Otherwise keep
+                // serving until every accepted request is fulfilled.
+                if (stopping_) return;
+                continue;
+            }
+            // Micro-batch gather: wait for a full batch or until the
+            // oldest request's delay budget expires, whichever is first.
+            const std::int64_t deadline_ns =
+                queue_.front().enqueue_ns + cfg_.max_delay_us * 1000;
+            while (!stopping_ &&
+                   queue_.size() < static_cast<std::size_t>(cfg_.max_batch)) {
+                const std::int64_t now = monotonic_ns();
+                if (now >= deadline_ns) break;
+                cv_.wait_for(lock, std::chrono::nanoseconds(deadline_ns - now));
+                if (queue_.empty()) break; // another worker took the batch
+            }
+            const std::size_t take = std::min(
+                queue_.size(), static_cast<std::size_t>(cfg_.max_batch));
+            for (std::size_t i = 0; i < take; ++i) {
+                batch.push_back(std::move(queue_.front()));
+                queue_.pop_front();
+            }
+        }
+        if (batch.empty()) continue;
+
+        const int n = static_cast<int>(batch.size());
+        for (int i = 0; i < n; ++i)
+            std::memcpy(in.data() +
+                            static_cast<std::int64_t>(i) * model_->input_elems,
+                        batch[static_cast<std::size_t>(i)].image.data().data(),
+                        static_cast<std::size_t>(model_->input_elems) *
+                            sizeof(float));
+        engine.run(
+            {in.data(), static_cast<std::size_t>(n * model_->input_elems)}, n,
+            {out.data(), static_cast<std::size_t>(n * model_->output_elems)});
+
+        const std::int64_t done_ns = monotonic_ns();
+        Shape per_image = model_->output_shape;
+        for (int i = 0; i < n; ++i) {
+            Tensor result(per_image);
+            std::memcpy(result.data().data(),
+                        out.data() +
+                            static_cast<std::int64_t>(i) * model_->output_elems,
+                        static_cast<std::size_t>(model_->output_elems) *
+                            sizeof(float));
+            batch[static_cast<std::size_t>(i)].promise.set_value(
+                std::move(result));
+        }
+
+        std::lock_guard<std::mutex> lock(mu_);
+        ++batches_;
+        batched_requests_ += n;
+        obs::count("serve.batches");
+        for (int i = 0; i < n; ++i) {
+            const double ms =
+                static_cast<double>(
+                    done_ns - batch[static_cast<std::size_t>(i)].enqueue_ns) *
+                1e-6;
+            latencies_ms_.push_back(ms);
+            obs::observe("serve.latency_ms", ms);
+        }
+        if (completed_ == 0) first_complete_ns_ = done_ns;
+        last_complete_ns_ = done_ns;
+        completed_ += n;
+    }
+}
+
+} // namespace hs::infer

@@ -1,0 +1,100 @@
+#pragma once
+
+// Batch-serving runtime over the frozen engine. A ServingEngine owns a
+// pool of worker threads, each with its own Engine (private arena), fed
+// from one bounded request queue. Workers gather dynamic micro-batches:
+// a batch is flushed as soon as `max_batch` requests are waiting, or when
+// the oldest queued request has waited `max_delay_us` — the standard
+// latency/throughput trade (larger batches amortize the GEMM, the delay
+// cap bounds tail latency). When the queue is full, submit() rejects
+// instead of blocking, pushing backpressure to the caller.
+//
+// Per-request latency (submit -> result ready) feeds an hs::obs histogram
+// and the Stats percentiles; counters serve.requests / serve.rejected /
+// serve.batches track volume when observability is enabled.
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <thread>
+#include <vector>
+
+#include "infer/engine.h"
+#include "infer/freeze.h"
+#include "tensor/tensor.h"
+
+namespace hs::infer {
+
+struct ServingConfig {
+    int workers = 2;           ///< worker threads (one Engine each)
+    int max_batch = 8;         ///< flush when this many requests are queued
+    std::int64_t max_delay_us = 2000;  ///< flush when the oldest waits this long
+    int queue_capacity = 64;   ///< submit() rejects beyond this depth
+};
+
+/// Aggregate serving statistics; percentiles are computed over all
+/// completed request latencies since start.
+struct ServingStats {
+    std::int64_t completed = 0;
+    std::int64_t rejected = 0;
+    std::int64_t batches = 0;
+    double mean_batch = 0.0;      ///< mean micro-batch size
+    double p50_ms = 0.0;
+    double p95_ms = 0.0;
+    double p99_ms = 0.0;
+    double throughput_rps = 0.0;  ///< completed / wall span of completions
+};
+
+class ServingEngine {
+public:
+    ServingEngine(std::shared_ptr<const FrozenModel> model, ServingConfig cfg);
+    ~ServingEngine();
+
+    ServingEngine(const ServingEngine&) = delete;
+    ServingEngine& operator=(const ServingEngine&) = delete;
+
+    /// Submit one image [C, H, W] (or [1, C, H, W]). Returns a future for
+    /// the per-image output, or nullopt if the queue is full (backpressure)
+    /// or the engine is stopped. Throws hs::Error on a shape mismatch.
+    [[nodiscard]] std::optional<std::future<Tensor>> submit(Tensor image);
+
+    /// Stop accepting requests, drain the queue, join the workers. Every
+    /// request accepted before stop() still gets its future fulfilled.
+    void stop();
+
+    [[nodiscard]] ServingStats stats() const;
+    [[nodiscard]] const ServingConfig& config() const { return cfg_; }
+
+private:
+    struct Request {
+        Tensor image;
+        std::promise<Tensor> promise;
+        std::int64_t enqueue_ns = 0;
+    };
+
+    void worker_loop(int worker_id);
+
+    std::shared_ptr<const FrozenModel> model_;
+    ServingConfig cfg_;
+
+    mutable std::mutex mu_;
+    std::condition_variable cv_;
+    std::deque<Request> queue_;
+    bool stopping_ = false;
+
+    std::int64_t completed_ = 0;
+    std::int64_t rejected_ = 0;
+    std::int64_t batches_ = 0;
+    std::int64_t batched_requests_ = 0;
+    std::vector<double> latencies_ms_;
+    std::int64_t first_complete_ns_ = 0;
+    std::int64_t last_complete_ns_ = 0;
+
+    std::vector<std::thread> workers_;
+};
+
+} // namespace hs::infer

@@ -133,6 +133,10 @@ Tensor BatchNorm2d::backward(const Tensor& grad_output) {
 
 std::vector<Param*> BatchNorm2d::params() { return {&gamma_, &beta_}; }
 
+std::vector<std::pair<std::string, Tensor*>> BatchNorm2d::buffers() {
+    return {{"bn.running_mean", &running_mean_}, {"bn.running_var", &running_var_}};
+}
+
 std::unique_ptr<Layer> BatchNorm2d::clone() const {
     return std::make_unique<BatchNorm2d>(*this);
 }

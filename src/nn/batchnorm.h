@@ -16,12 +16,16 @@ public:
     [[nodiscard]] Tensor forward(const Tensor& input, bool train) override;
     [[nodiscard]] Tensor backward(const Tensor& grad_output) override;
     [[nodiscard]] std::vector<Param*> params() override;
+    [[nodiscard]] std::vector<std::pair<std::string, Tensor*>> buffers() override;
     [[nodiscard]] std::string kind() const override { return "batchnorm"; }
     [[nodiscard]] std::unique_ptr<Layer> clone() const override;
 
     [[nodiscard]] int channels() const { return channels_; }
+    [[nodiscard]] float eps() const { return eps_; }
     [[nodiscard]] Param& gamma() { return gamma_; }
+    [[nodiscard]] const Param& gamma() const { return gamma_; }
     [[nodiscard]] Param& beta() { return beta_; }
+    [[nodiscard]] const Param& beta() const { return beta_; }
     [[nodiscard]] const Tensor& running_mean() const { return running_mean_; }
     [[nodiscard]] const Tensor& running_var() const { return running_var_; }
 

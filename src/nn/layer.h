@@ -9,6 +9,7 @@
 
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "nn/param.h"
@@ -36,6 +37,13 @@ public:
 
     /// Non-owning views of the trainable parameters (possibly empty).
     [[nodiscard]] virtual std::vector<Param*> params() { return {}; }
+
+    /// Non-owning views of persistent non-trainable state that a deployed
+    /// model depends on (e.g. BatchNorm running statistics). Serialized
+    /// alongside params(); gradient-free.
+    [[nodiscard]] virtual std::vector<std::pair<std::string, Tensor*>> buffers() {
+        return {};
+    }
 
     /// Short type tag, e.g. "conv", "linear", "relu".
     [[nodiscard]] virtual std::string kind() const = 0;

@@ -83,6 +83,15 @@ std::vector<Param*> ResidualBlock::params() {
     return out;
 }
 
+std::vector<std::pair<std::string, Tensor*>> ResidualBlock::buffers() {
+    std::vector<std::pair<std::string, Tensor*>> out;
+    for (auto& b : bn1_.buffers()) out.push_back(std::move(b));
+    for (auto& b : bn2_.buffers()) out.push_back(std::move(b));
+    if (has_projection_)
+        for (auto& b : proj_bn_.buffers()) out.push_back(std::move(b));
+    return out;
+}
+
 std::unique_ptr<Layer> ResidualBlock::clone() const {
     return std::make_unique<ResidualBlock>(*this);
 }

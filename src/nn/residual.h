@@ -27,6 +27,7 @@ public:
     [[nodiscard]] Tensor forward(const Tensor& input, bool train) override;
     [[nodiscard]] Tensor backward(const Tensor& grad_output) override;
     [[nodiscard]] std::vector<Param*> params() override;
+    [[nodiscard]] std::vector<std::pair<std::string, Tensor*>> buffers() override;
     [[nodiscard]] std::string kind() const override { return "resblock"; }
     [[nodiscard]] std::unique_ptr<Layer> clone() const override;
 
@@ -51,8 +52,13 @@ public:
     [[nodiscard]] BatchNorm2d& bn2() { return bn2_; }
     [[nodiscard]] const Conv2d& conv1() const { return conv1_; }
     [[nodiscard]] const Conv2d& conv2() const { return conv2_; }
+    [[nodiscard]] const BatchNorm2d& bn1() const { return bn1_; }
+    [[nodiscard]] const BatchNorm2d& bn2() const { return bn2_; }
     [[nodiscard]] const Conv2d* projection() const {
         return has_projection_ ? &proj_conv_ : nullptr;
+    }
+    [[nodiscard]] const BatchNorm2d* projection_bn() const {
+        return has_projection_ ? &proj_bn_ : nullptr;
     }
 
 private:

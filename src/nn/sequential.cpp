@@ -1,5 +1,7 @@
 #include "nn/sequential.h"
 
+#include <iterator>
+
 namespace hs::nn {
 
 Sequential::Sequential(const Sequential& other) {
@@ -60,6 +62,16 @@ std::vector<Param*> Sequential::params() {
     for (auto& layer : layers_) {
         auto ps = layer->params();
         out.insert(out.end(), ps.begin(), ps.end());
+    }
+    return out;
+}
+
+std::vector<std::pair<std::string, Tensor*>> Sequential::buffers() {
+    std::vector<std::pair<std::string, Tensor*>> out;
+    for (auto& layer : layers_) {
+        auto bs = layer->buffers();
+        out.insert(out.end(), std::make_move_iterator(bs.begin()),
+                   std::make_move_iterator(bs.end()));
     }
     return out;
 }

@@ -48,6 +48,7 @@ public:
 
     [[nodiscard]] Tensor backward(const Tensor& grad_output) override;
     [[nodiscard]] std::vector<Param*> params() override;
+    [[nodiscard]] std::vector<std::pair<std::string, Tensor*>> buffers() override;
     [[nodiscard]] std::string kind() const override { return "sequential"; }
     [[nodiscard]] std::unique_ptr<Layer> clone() const override;
 

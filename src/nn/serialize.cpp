@@ -11,7 +11,11 @@ namespace hs::nn {
 namespace {
 
 constexpr char kMagic[4] = {'H', 'S', 'W', 'T'};
-constexpr std::uint32_t kVersion = 1;
+constexpr std::uint32_t kVersion = 2;
+// Byte-order canary: written as a native u32, so a reader on a host with
+// the opposite endianness sees kEndianTag with its bytes reversed.
+constexpr std::uint32_t kEndianTag = 0x01020304u;
+constexpr std::uint32_t kEndianTagSwapped = 0x04030201u;
 
 void put_u32(std::string& out, std::uint32_t v) {
     char buf[4];
@@ -23,6 +27,17 @@ void put_u64(std::string& out, std::uint64_t v) {
     char buf[8];
     std::memcpy(buf, &v, 8);
     out.append(buf, 8);
+}
+
+void put_record(std::string& out, const std::string& name, const Tensor& value) {
+    put_u32(out, static_cast<std::uint32_t>(name.size()));
+    out.append(name);
+    put_u32(out, static_cast<std::uint32_t>(value.rank()));
+    for (int d = 0; d < value.rank(); ++d)
+        put_u32(out, static_cast<std::uint32_t>(value.dim(d)));
+    const auto data = value.data();
+    out.append(reinterpret_cast<const char*>(data.data()),
+               data.size() * sizeof(float));
 }
 
 class Reader {
@@ -51,24 +66,37 @@ private:
     std::size_t pos_ = 0;
 };
 
+void read_record(Reader& reader, const std::string& kind,
+                 const std::string& expected_name, Tensor& target) {
+    const std::uint32_t name_len = reader.u32();
+    std::string name(name_len, '\0');
+    reader.read(name.data(), name_len);
+    require(name == expected_name, kind + " name mismatch: file '" + name +
+                                       "' vs model '" + expected_name + "'");
+    const std::uint32_t rank = reader.u32();
+    Shape shape(rank);
+    for (std::uint32_t d = 0; d < rank; ++d)
+        shape[d] = static_cast<int>(reader.u32());
+    require(shape == target.shape(),
+            kind + " shape mismatch for '" + name + "': file " +
+                shape_str(shape) + " vs model " + shape_str(target.shape()));
+    auto data = target.data();
+    reader.read(data.data(), data.size() * sizeof(float));
+}
+
 } // namespace
 
 std::string serialize_parameters(Layer& model) {
     const auto params = model.params();
+    const auto buffers = model.buffers();
     std::string out;
     out.append(kMagic, 4);
+    put_u32(out, kEndianTag);
     put_u32(out, kVersion);
     put_u64(out, params.size());
-    for (const Param* p : params) {
-        put_u32(out, static_cast<std::uint32_t>(p->name.size()));
-        out.append(p->name);
-        put_u32(out, static_cast<std::uint32_t>(p->value.rank()));
-        for (int d = 0; d < p->value.rank(); ++d)
-            put_u32(out, static_cast<std::uint32_t>(p->value.dim(d)));
-        const auto data = p->value.data();
-        out.append(reinterpret_cast<const char*>(data.data()),
-                   data.size() * sizeof(float));
-    }
+    for (const Param* p : params) put_record(out, p->name, p->value);
+    put_u64(out, buffers.size());
+    for (const auto& [name, tensor] : buffers) put_record(out, name, *tensor);
     return out;
 }
 
@@ -77,30 +105,37 @@ void deserialize_parameters(Layer& model, const std::string& bytes) {
     char magic[4];
     reader.read(magic, 4);
     require(std::memcmp(magic, kMagic, 4) == 0, "not a HeadStart weight file");
-    require(reader.u32() == kVersion, "unsupported weight file version");
+
+    const std::uint32_t tag = reader.u32();
+    // v1 files carried the version directly after the magic; tell those
+    // apart from a byte-order mismatch so both get an actionable message.
+    require(tag != 1u,
+            "unsupported weight file version 1: re-save the checkpoint with "
+            "this build (v2 adds the endianness tag and buffer section)");
+    require(tag != kEndianTagSwapped,
+            "weight file endianness mismatch: file was written on a host "
+            "with the opposite byte order");
+    require(tag == kEndianTag, "corrupt weight file header (bad endian tag)");
+    const std::uint32_t version = reader.u32();
+    require(version == kVersion, "unsupported weight file version " +
+                                     std::to_string(version) + " (expected " +
+                                     std::to_string(kVersion) + ")");
 
     const auto params = model.params();
     const std::uint64_t count = reader.u64();
     require(count == params.size(),
             "parameter count mismatch: file has " + std::to_string(count) +
                 ", model has " + std::to_string(params.size()));
+    for (Param* p : params) read_record(reader, "parameter", p->name, p->value);
 
-    for (Param* p : params) {
-        const std::uint32_t name_len = reader.u32();
-        std::string name(name_len, '\0');
-        reader.read(name.data(), name_len);
-        require(name == p->name, "parameter name mismatch: file '" + name +
-                                     "' vs model '" + p->name + "'");
-        const std::uint32_t rank = reader.u32();
-        Shape shape(rank);
-        for (std::uint32_t d = 0; d < rank; ++d)
-            shape[d] = static_cast<int>(reader.u32());
-        require(shape == p->value.shape(),
-                "parameter shape mismatch for '" + name + "': file " +
-                    shape_str(shape) + " vs model " + shape_str(p->value.shape()));
-        auto data = p->value.data();
-        reader.read(data.data(), data.size() * sizeof(float));
-    }
+    const auto buffers = model.buffers();
+    const std::uint64_t buffer_count = reader.u64();
+    require(buffer_count == buffers.size(),
+            "buffer count mismatch: file has " + std::to_string(buffer_count) +
+                ", model has " + std::to_string(buffers.size()));
+    for (auto& [name, tensor] : buffers)
+        read_record(reader, "buffer", name, *tensor);
+
     require(reader.exhausted(), "trailing bytes in weight file");
 }
 

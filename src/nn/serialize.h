@@ -5,14 +5,24 @@
 // runs, shipping a pruned model to a deployment target, and reproducing a
 // bench result without re-training.
 //
-// Format (little-endian):
-//   magic "HSWT" | u32 version | u64 param_count
-//   per param: u32 name_len | name bytes | u32 rank | u32 dims[rank]
-//              | f32 values[numel]
+// Format v2 (host byte order, tagged):
+//   magic "HSWT" | u32 endian tag 0x01020304 | u32 version (= 2)
+//   u64 param_count  | per param:  u32 name_len | name bytes | u32 rank
+//                    | u32 dims[rank] | f32 values[numel]
+//   u64 buffer_count | per buffer: same record layout
+//
+// Buffers are the persistent non-trainable state a deployed model depends
+// on (Layer::buffers(): BatchNorm running statistics), so a saved
+// checkpoint reproduces eval-mode inference exactly — the contract the
+// hs::infer freeze pass relies on.
+//
+// Hardening: the endian tag reads as 0x04030201 on a foreign-byte-order
+// host and is rejected with a clear hs::Error, as are v1 files (which
+// lack the tag and buffer section) and any unknown version.
 //
 // Loading is shape-checked: the target model must have the same parameter
-// sequence (names, shapes) — i.e. the same architecture, including any
-// pruning surgery already applied.
+// and buffer sequence (names, shapes) — i.e. the same architecture,
+// including any pruning surgery already applied.
 
 #include <string>
 

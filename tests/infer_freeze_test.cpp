@@ -1,0 +1,176 @@
+// BN-fold / freeze equivalence: the frozen engine must reproduce the
+// eval-mode forward of the live layer graph to within float tolerance,
+// across VGG (conv/pool/linear), ResNet (BatchNorm, shortcut blocks,
+// gates), pruned-and-surgered models, and active conv output masks.
+
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "infer/infer.h"
+#include "models/resnet.h"
+#include "models/vgg.h"
+#include "nn/activations.h"
+#include "nn/conv2d.h"
+#include "nn/sequential.h"
+#include "pruning/resnet_surgery.h"
+#include "pruning/surgery.h"
+#include "tensor/rng.h"
+
+namespace hs::infer {
+namespace {
+
+Tensor random_batch(int n, int c, int s, std::uint64_t seed) {
+    Tensor t({n, c, s, s});
+    Rng rng(seed);
+    rng.fill_normal(t, 0.0, 1.0);
+    return t;
+}
+
+// Move BN running statistics off their (0, 1) init so folding is
+// exercised against real values, then clear the training side effects.
+void populate_running_stats(nn::Sequential& net, int input_size,
+                            std::uint64_t seed = 7) {
+    for (int i = 0; i < 3; ++i)
+        (void)net.forward(random_batch(4, 3, input_size, seed + i),
+                          /*train=*/true);
+    net.zero_grad();
+}
+
+void expect_equivalent(nn::Sequential& net, int input_size, int batch,
+                       std::uint64_t seed, float tol = 1e-4f) {
+    const Tensor x = random_batch(batch, 3, input_size, seed);
+    const Tensor want = net.forward(x, /*train=*/false);
+    auto frozen = std::make_shared<const FrozenModel>(
+        freeze(net, {3, input_size, input_size}));
+    Engine engine(frozen, batch);
+    const Tensor got = engine.run(x);
+    ASSERT_EQ(want.shape(), got.shape());
+    EXPECT_TRUE(want.allclose(got, tol))
+        << "frozen output diverged (size=" << input_size
+        << " batch=" << batch << " seed=" << seed << ")";
+}
+
+TEST(Freeze, VggMatchesEvalForward) {
+    for (const std::uint64_t seed : {1u, 2u, 3u}) {
+        models::VggConfig cfg;
+        cfg.seed = 100 + seed;
+        auto model = models::make_vgg16(cfg);
+        expect_equivalent(model.net, cfg.input_size, 2, seed);
+    }
+}
+
+TEST(Freeze, VggRandomShapes) {
+    for (const int size : {8, 16, 32}) {
+        models::VggConfig cfg;
+        cfg.input_size = size;
+        auto model = models::make_vgg16(cfg);
+        expect_equivalent(model.net, size, 1, static_cast<std::uint64_t>(size));
+    }
+}
+
+TEST(Freeze, VggWithOutputMasks) {
+    models::VggConfig cfg;
+    auto model = models::make_vgg16(cfg);
+    // Mix of hard-dropped, attenuated and kept channels on two convs.
+    for (const int ci : {1, 4}) {
+        auto& conv = model.net.layer_as<nn::Conv2d>(model.conv_indices[ci]);
+        std::vector<float> mask(static_cast<std::size_t>(conv.out_channels()));
+        for (std::size_t f = 0; f < mask.size(); ++f)
+            mask[f] = f % 3 == 0 ? 0.0f : (f % 3 == 1 ? 0.5f : 1.0f);
+        conv.set_output_mask(mask);
+    }
+    expect_equivalent(model.net, cfg.input_size, 2, 44);
+}
+
+TEST(Freeze, ResNetMatchesEvalForward) {
+    for (const std::uint64_t seed : {5u, 6u}) {
+        models::ResNetConfig cfg;
+        cfg.blocks_per_group = {2, 2, 2};
+        cfg.seed = 200 + seed;
+        auto model = models::make_resnet(cfg);
+        populate_running_stats(model.net, cfg.input_size, seed);
+        expect_equivalent(model.net, cfg.input_size, 2, seed);
+    }
+}
+
+TEST(Freeze, ResNetWithGates) {
+    models::ResNetConfig cfg;
+    cfg.blocks_per_group = {2, 2, 2};
+    auto model = models::make_resnet(cfg);
+    populate_running_stats(model.net, cfg.input_size);
+    // One dropped identity block, one attenuated block, one dropped
+    // projection block (first block of group 1 changes width/stride).
+    model.block(1).set_gate(0.0f);
+    model.block(3).set_gate(0.35f);
+    model.block(2).set_gate(0.0f);
+    ASSERT_TRUE(model.block(2).has_projection());
+    expect_equivalent(model.net, cfg.input_size, 2, 77);
+}
+
+TEST(Freeze, PrunedResNetMatchesEvalForward) {
+    models::ResNetConfig cfg;
+    cfg.blocks_per_group = {2, 2, 2};
+    auto model = models::make_resnet(cfg);
+    populate_running_stats(model.net, cfg.input_size);
+
+    const auto droppable = pruning::droppable_blocks(model);
+    ASSERT_FALSE(droppable.empty());
+    model.block(droppable[0]).set_gate(0.0f);
+    auto pruned = pruning::remove_dropped_blocks(model);
+    const std::vector<int> keep{0, 1, 2, 3};
+    pruning::prune_block_internal(pruned.block(0), keep);
+
+    expect_equivalent(pruned.net, cfg.input_size, 2, 88);
+}
+
+TEST(Freeze, BatchSizesOneThroughFour) {
+    models::VggConfig cfg;
+    auto model = models::make_vgg16(cfg);
+    const auto frozen = std::make_shared<const FrozenModel>(
+        freeze(model.net, {3, cfg.input_size, cfg.input_size}));
+    Engine engine(frozen, 4);
+    for (int n = 1; n <= 4; ++n) {
+        const Tensor x = random_batch(n, 3, cfg.input_size, 300 + n);
+        EXPECT_TRUE(model.net.forward(x, false).allclose(engine.run(x), 1e-4f))
+            << "batch " << n;
+    }
+}
+
+TEST(Freeze, ReportsModelPlan) {
+    models::ResNetConfig cfg;
+    cfg.blocks_per_group = {1, 1, 1};
+    auto model = models::make_resnet(cfg);
+    const FrozenModel frozen =
+        freeze(model.net, {3, cfg.input_size, cfg.input_size});
+    EXPECT_GT(frozen.macs, 0);
+    EXPECT_GT(frozen.cols_elems, 0);
+    for (const std::int64_t elems : frozen.slot_elems) EXPECT_GT(elems, 0);
+    auto shared = std::make_shared<const FrozenModel>(frozen);
+    Engine engine(shared, 2);
+    EXPECT_GT(engine.arena_bytes(), 0);
+}
+
+TEST(Freeze, RejectsUnsupportedLayer) {
+    Rng rng(1);
+    nn::Sequential net;
+    net.emplace<nn::Conv2d>(3, 4, 3, 1, 1, /*bias=*/true, rng);
+    net.emplace<nn::Sigmoid>();
+    EXPECT_THROW((void)freeze(net, {3, 8, 8}), Error);
+}
+
+TEST(Freeze, RejectsBadInputShape) {
+    models::VggConfig cfg;
+    auto model = models::make_vgg16(cfg);
+    EXPECT_THROW((void)freeze(model.net, {16, 16}), Error);
+    const auto frozen = std::make_shared<const FrozenModel>(
+        freeze(model.net, {3, cfg.input_size, cfg.input_size}));
+    Engine engine(frozen, 1);
+    EXPECT_THROW((void)engine.run(random_batch(1, 3, cfg.input_size * 2, 9)),
+                 Error);
+    // Batch beyond the planned maximum is rejected, not silently clipped.
+    EXPECT_THROW((void)engine.run(random_batch(2, 3, cfg.input_size, 9)), Error);
+}
+
+} // namespace
+} // namespace hs::infer

@@ -1,0 +1,158 @@
+// Serving-runtime semantics: micro-batch flush on both the max_batch and
+// max_delay paths, bounded-queue backpressure, exactly-once delivery under
+// multi-threaded load, and lifecycle/validation edges.
+
+#include <chrono>
+#include <future>
+#include <memory>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "infer/infer.h"
+#include "models/vgg.h"
+#include "nn/pooling.h"
+#include "nn/sequential.h"
+#include "util/error.h"
+
+namespace hs::infer {
+namespace {
+
+constexpr int kChannels = 4;
+
+// A model whose output equals its (constant-filled) input: global average
+// pooling over a constant plane is the identity per channel. Lets every
+// test tag a request with an id and verify which response it got.
+std::shared_ptr<const FrozenModel> identity_model() {
+    nn::Sequential net;
+    net.emplace<nn::GlobalAvgPool>();
+    return std::make_shared<const FrozenModel>(freeze(net, {kChannels, 2, 2}));
+}
+
+Tensor tagged_image(float id) { return Tensor::full({kChannels, 2, 2}, id); }
+
+TEST(Serving, MaxBatchFlush) {
+    ServingConfig cfg;
+    cfg.workers = 1;
+    cfg.max_batch = 4;
+    cfg.max_delay_us = 10'000'000; // effectively never flush on delay
+    ServingEngine serving(identity_model(), cfg);
+
+    std::vector<std::future<Tensor>> futures;
+    for (int i = 0; i < 4; ++i) {
+        auto fut = serving.submit(tagged_image(static_cast<float>(i + 1)));
+        ASSERT_TRUE(fut.has_value());
+        futures.push_back(std::move(*fut));
+    }
+    for (int i = 0; i < 4; ++i) {
+        const Tensor out = futures[static_cast<std::size_t>(i)].get();
+        EXPECT_NEAR(out[0], static_cast<float>(i + 1), 1e-6f);
+    }
+    const ServingStats stats = serving.stats();
+    EXPECT_EQ(stats.completed, 4);
+    // The full batch flushed at once — the delay path never fired.
+    EXPECT_EQ(stats.batches, 1);
+    EXPECT_DOUBLE_EQ(stats.mean_batch, 4.0);
+}
+
+TEST(Serving, MaxDelayFlush) {
+    ServingConfig cfg;
+    cfg.workers = 1;
+    cfg.max_batch = 64; // never reached
+    cfg.max_delay_us = 2000;
+    ServingEngine serving(identity_model(), cfg);
+
+    auto a = serving.submit(tagged_image(5.0f));
+    auto b = serving.submit(tagged_image(6.0f));
+    ASSERT_TRUE(a.has_value() && b.has_value());
+    // Futures resolve without ever filling the batch: the delay fired.
+    EXPECT_NEAR(a->get()[0], 5.0f, 1e-6f);
+    EXPECT_NEAR(b->get()[0], 6.0f, 1e-6f);
+    const ServingStats stats = serving.stats();
+    EXPECT_EQ(stats.completed, 2);
+    EXPECT_GE(stats.batches, 1);
+    EXPECT_GE(stats.p50_ms, 0.0);
+}
+
+TEST(Serving, QueueBackpressure) {
+    ServingConfig cfg;
+    cfg.workers = 1;
+    cfg.max_batch = 8;
+    cfg.max_delay_us = 10'000'000; // worker holds the gather open
+    cfg.queue_capacity = 2;
+    ServingEngine serving(identity_model(), cfg);
+
+    auto a = serving.submit(tagged_image(1.0f));
+    auto b = serving.submit(tagged_image(2.0f));
+    ASSERT_TRUE(a.has_value() && b.has_value());
+    // Third submit exceeds capacity while the worker is still gathering.
+    auto c = serving.submit(tagged_image(3.0f));
+    EXPECT_FALSE(c.has_value());
+
+    serving.stop(); // drains the two accepted requests
+    EXPECT_NEAR(a->get()[0], 1.0f, 1e-6f);
+    EXPECT_NEAR(b->get()[0], 2.0f, 1e-6f);
+    const ServingStats stats = serving.stats();
+    EXPECT_EQ(stats.completed, 2);
+    EXPECT_EQ(stats.rejected, 1);
+}
+
+TEST(Serving, ExactlyOnceUnderLoad) {
+    ServingConfig cfg;
+    cfg.workers = 4;
+    cfg.max_batch = 3;
+    cfg.max_delay_us = 200;
+    cfg.queue_capacity = 1024;
+    ServingEngine serving(identity_model(), cfg);
+
+    constexpr int kRequests = 64;
+    std::vector<std::future<Tensor>> futures;
+    futures.reserve(kRequests);
+    for (int i = 0; i < kRequests; ++i) {
+        auto fut = serving.submit(tagged_image(static_cast<float>(i)));
+        ASSERT_TRUE(fut.has_value()) << "unexpected rejection at " << i;
+        futures.push_back(std::move(*fut));
+    }
+    // Each future resolves exactly once with its own request's payload —
+    // a lost request would hang, a double delivery would throw.
+    for (int i = 0; i < kRequests; ++i) {
+        const Tensor out = futures[static_cast<std::size_t>(i)].get();
+        for (int c = 0; c < kChannels; ++c)
+            ASSERT_NEAR(out[c], static_cast<float>(i), 1e-6f)
+                << "request " << i << " got someone else's response";
+    }
+    serving.stop();
+    const ServingStats stats = serving.stats();
+    EXPECT_EQ(stats.completed, kRequests);
+    EXPECT_GE(stats.batches, (kRequests + cfg.max_batch - 1) / cfg.max_batch);
+    EXPECT_GT(stats.throughput_rps, 0.0);
+}
+
+TEST(Serving, StopDrainsAcceptedRequests) {
+    ServingConfig cfg;
+    cfg.workers = 2;
+    cfg.max_batch = 16;
+    cfg.max_delay_us = 10'000'000;
+    ServingEngine serving(identity_model(), cfg);
+
+    auto fut = serving.submit(tagged_image(9.0f));
+    ASSERT_TRUE(fut.has_value());
+    serving.stop();
+    // Accepted before stop() => still answered.
+    EXPECT_NEAR(fut->get()[0], 9.0f, 1e-6f);
+    // After stop() new submissions are rejected.
+    EXPECT_FALSE(serving.submit(tagged_image(1.0f)).has_value());
+}
+
+TEST(Serving, RejectsWrongShape) {
+    ServingEngine serving(identity_model(), ServingConfig{});
+    EXPECT_THROW((void)serving.submit(Tensor({kChannels + 1, 2, 2})), Error);
+    EXPECT_THROW((void)serving.submit(Tensor({kChannels, 2})), Error);
+    // [1, C, H, W] is accepted as a single image.
+    auto fut = serving.submit(Tensor::full({1, kChannels, 2, 2}, 3.0f));
+    ASSERT_TRUE(fut.has_value());
+    EXPECT_NEAR(fut->get()[0], 3.0f, 1e-6f);
+}
+
+} // namespace
+} // namespace hs::infer

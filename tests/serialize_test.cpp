@@ -1,9 +1,12 @@
-// Tests for parameter serialization: byte-exact round trips, corruption
-// detection, and architecture-mismatch rejection (including after pruning
-// surgery, the main deployment use case).
+// Tests for parameter serialization: byte-exact round trips (including
+// BatchNorm running statistics), corruption/endianness/version rejection,
+// and architecture-mismatch rejection (including after pruning surgery,
+// the main deployment use case).
 
 #include <cstdio>
+#include <cstring>
 #include <filesystem>
+#include <utility>
 
 #include <gtest/gtest.h>
 
@@ -11,6 +14,7 @@
 #include "models/resnet.h"
 #include "nn/conv2d.h"
 #include "nn/serialize.h"
+#include "pruning/resnet_surgery.h"
 #include "pruning/surgery.h"
 #include "tensor/rng.h"
 
@@ -81,6 +85,110 @@ TEST(Serialize, RejectsPrunedVsUnpruned) {
     const Tensor x = random_batch(1, cfg.input_size, 4);
     EXPECT_TRUE(
         pruned.net.forward(x, false).equals(pruned2.net.forward(x, false)));
+}
+
+// Train-mode forwards move the BN running statistics away from their
+// (0, 1) initialization so buffer round trips are actually exercised.
+void populate_running_stats(nn::Sequential& net, int input_size,
+                            std::uint64_t seed = 11) {
+    for (int i = 0; i < 3; ++i)
+        (void)net.forward(random_batch(4, input_size, seed + i), /*train=*/true);
+    net.zero_grad();
+}
+
+TEST(Serialize, BatchNormRunningStatsRoundTrip) {
+    models::ResNetConfig cfg;
+    cfg.blocks_per_group = {1, 1, 1};
+    auto a = models::make_resnet(cfg);
+    populate_running_stats(a.net, cfg.input_size);
+
+    cfg.seed = 555;
+    auto b = models::make_resnet(cfg);
+    // Fresh model differs in eval mode (default running stats)…
+    const Tensor x = random_batch(2, cfg.input_size, 21);
+    EXPECT_FALSE(a.net.forward(x, false).allclose(b.net.forward(x, false), 1e-6f));
+
+    deserialize_parameters(b.net, serialize_parameters(a.net));
+    // …and matches bit-exactly once params AND buffers are restored.
+    EXPECT_TRUE(a.net.forward(x, false).equals(b.net.forward(x, false)));
+    const auto ba = a.net.buffers();
+    const auto bb = b.net.buffers();
+    ASSERT_EQ(ba.size(), bb.size());
+    for (std::size_t i = 0; i < ba.size(); ++i)
+        EXPECT_TRUE(ba[i].second->equals(*bb[i].second));
+}
+
+TEST(Serialize, PrunedResNetCheckpointRoundTrip) {
+    // The deployment path: block-drop + channel surgery, checkpoint, then
+    // restore into a freshly surgered twin.
+    models::ResNetConfig cfg;
+    cfg.blocks_per_group = {2, 2, 2};
+    auto model = models::make_resnet(cfg);
+    populate_running_stats(model.net, cfg.input_size);
+
+    const auto droppable = pruning::droppable_blocks(model);
+    ASSERT_FALSE(droppable.empty());
+    model.block(droppable[0]).set_gate(0.0f);
+    auto pruned = pruning::remove_dropped_blocks(model);
+    const std::vector<int> keep{0, 1, 2, 3};
+    pruning::prune_block_internal(pruned.block(0), keep);
+
+    // Twin with identical (surgered) architecture but scrambled state.
+    auto twin = pruned;
+    Rng rng(99);
+    for (nn::Param* p : twin.net.params()) rng.fill_normal(p->value, 0.0, 1.0);
+    for (auto& [name, tensor] : twin.net.buffers()) tensor->fill(0.25f);
+
+    const Tensor x = random_batch(2, cfg.input_size, 33);
+    EXPECT_FALSE(
+        pruned.net.forward(x, false).allclose(twin.net.forward(x, false), 1e-6f));
+    deserialize_parameters(twin.net, serialize_parameters(pruned.net));
+    EXPECT_TRUE(pruned.net.forward(x, false).equals(twin.net.forward(x, false)));
+}
+
+TEST(Serialize, RejectsEndiannessMismatch) {
+    models::LeNetConfig cfg;
+    auto a = models::make_lenet(cfg);
+    std::string bytes = serialize_parameters(a.net);
+    // Reverse the endian tag bytes, simulating a file written on a host
+    // with the opposite byte order.
+    std::swap(bytes[4], bytes[7]);
+    std::swap(bytes[5], bytes[6]);
+    try {
+        deserialize_parameters(a.net, bytes);
+        FAIL() << "endianness mismatch not rejected";
+    } catch (const Error& e) {
+        EXPECT_NE(std::string(e.what()).find("endianness"), std::string::npos);
+    }
+}
+
+TEST(Serialize, RejectsV1Files) {
+    // A v1 header carried "u32 version = 1" where v2 stores the endian tag.
+    std::string bytes("HSWT", 4);
+    const std::uint32_t v1 = 1;
+    bytes.append(reinterpret_cast<const char*>(&v1), 4);
+    models::LeNetConfig cfg;
+    auto a = models::make_lenet(cfg);
+    try {
+        deserialize_parameters(a.net, bytes);
+        FAIL() << "v1 file not rejected";
+    } catch (const Error& e) {
+        EXPECT_NE(std::string(e.what()).find("version 1"), std::string::npos);
+    }
+}
+
+TEST(Serialize, RejectsUnknownVersion) {
+    models::LeNetConfig cfg;
+    auto a = models::make_lenet(cfg);
+    std::string bytes = serialize_parameters(a.net);
+    const std::uint32_t bogus = 99;
+    std::memcpy(bytes.data() + 8, &bogus, 4); // version field
+    try {
+        deserialize_parameters(a.net, bytes);
+        FAIL() << "unknown version not rejected";
+    } catch (const Error& e) {
+        EXPECT_NE(std::string(e.what()).find("version 99"), std::string::npos);
+    }
 }
 
 TEST(Serialize, RejectsCorruption) {

@@ -1,0 +1,28 @@
+# CTest driver for the serving smoke test: run the serve_pruned example in
+# smoke mode with a JSON report path, then assert the report is valid JSON
+# carrying the run configuration.
+#
+# Variables (passed via -D): SERVE, JSON_CHECK, REPORT_FILE
+
+file(REMOVE "${REPORT_FILE}")
+
+execute_process(
+  COMMAND "${SERVE}" --smoke --json "${REPORT_FILE}"
+  RESULT_VARIABLE serve_rv
+  OUTPUT_QUIET
+)
+if(NOT serve_rv EQUAL 0)
+  message(FATAL_ERROR "serve_pruned --smoke failed with exit code ${serve_rv}")
+endif()
+
+if(NOT EXISTS "${REPORT_FILE}")
+  message(FATAL_ERROR "serve_pruned did not write ${REPORT_FILE}")
+endif()
+
+execute_process(
+  COMMAND "${JSON_CHECK}" "${REPORT_FILE}" config
+  RESULT_VARIABLE check_rv
+)
+if(NOT check_rv EQUAL 0)
+  message(FATAL_ERROR "report ${REPORT_FILE} failed JSON validation")
+endif()
