@@ -6,12 +6,19 @@
 //
 //   serve_pruned [--smoke] [--json <path>] [--weights <path>]
 //                [--requests N] [--rps R] [--workers N] [--batch N]
-//                [--delay-us N]
+//                [--delay-us N] [--deadline-us N] [--watchdog-us N]
+//                [--retries N]
 //
 // `--smoke` shrinks the run to a couple of seconds (used by the CTest
 // smoke test); `--json` writes the hs::obs run report with the serving
-// percentiles as gauges.
+// percentiles as gauges. Backpressure is handled like a real client:
+// rejected submits are retried with exponential backoff (seeded from the
+// engine's retry-after hint) up to `--retries` times before giving up,
+// and the report includes the shed / deadline-missed / worker-restart
+// counters next to the latency percentiles.
 
+#include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
@@ -45,6 +52,9 @@ struct Options {
     int workers = 2;
     int max_batch = 8;
     std::int64_t delay_us = 2000;
+    std::int64_t deadline_us = 0;   ///< per-request deadline; 0 = none
+    std::int64_t watchdog_us = 0;   ///< worker watchdog timeout; 0 = off
+    int retries = 6;                ///< submit attempts after a rejection
 };
 
 Options parse_options(int argc, char** argv) {
@@ -70,6 +80,12 @@ Options parse_options(int argc, char** argv) {
             opt.max_batch = std::atoi(value(i));
         else if (std::strcmp(argv[i], "--delay-us") == 0)
             opt.delay_us = std::atol(value(i));
+        else if (std::strcmp(argv[i], "--deadline-us") == 0)
+            opt.deadline_us = std::atol(value(i));
+        else if (std::strcmp(argv[i], "--watchdog-us") == 0)
+            opt.watchdog_us = std::atol(value(i));
+        else if (std::strcmp(argv[i], "--retries") == 0)
+            opt.retries = std::atoi(value(i));
         else {
             std::fprintf(stderr, "unknown flag %s\n", argv[i]);
             std::exit(2);
@@ -81,6 +97,8 @@ Options parse_options(int argc, char** argv) {
         opt.workers = 2;
         opt.max_batch = 4;
         opt.delay_us = 500;
+        opt.deadline_us = 500'000; // generous: smoke asserts completions
+        opt.watchdog_us = 250'000;
     }
     if (opt.weights_path.empty())
         opt.weights_path = (std::filesystem::temp_directory_path() /
@@ -139,6 +157,8 @@ int main(int argc, char** argv) {
     serve_cfg.max_batch = opt.max_batch;
     serve_cfg.max_delay_us = opt.delay_us;
     serve_cfg.queue_capacity = 4 * opt.max_batch * opt.workers;
+    serve_cfg.default_deadline_us = opt.deadline_us;
+    serve_cfg.watchdog_timeout_us = opt.watchdog_us;
     infer::ServingEngine serving(frozen, serve_cfg);
 
     Tensor image({cfg.input_channels, cfg.input_size, cfg.input_size});
@@ -149,15 +169,39 @@ int main(int argc, char** argv) {
         static_cast<std::int64_t>(1e9 / std::max(opt.rps, 1.0));
     std::vector<std::future<Tensor>> inflight;
     inflight.reserve(static_cast<std::size_t>(opt.requests));
+    std::int64_t submit_retries = 0;
+    std::int64_t gave_up = 0;
     std::int64_t next_ns = monotonic_ns();
     for (int i = 0; i < opt.requests; ++i) {
         while (monotonic_ns() < next_ns) std::this_thread::yield();
         next_ns += gap_ns;
-        auto fut = serving.submit(image);
-        if (fut.has_value()) inflight.push_back(std::move(*fut));
-        // Rejected submissions (backpressure) are counted by the engine.
+        // Backpressure loop: honor the engine's retry-after hint with
+        // exponential backoff instead of silently dropping the request.
+        std::int64_t backoff_us = 200;
+        for (int attempt = 0;; ++attempt) {
+            auto result = serving.submit(image, infer::SubmitOptions{});
+            if (result.accepted()) {
+                inflight.push_back(std::move(*result.future));
+                break;
+            }
+            if (result.admission == infer::Admission::kStopped ||
+                attempt >= opt.retries) {
+                ++gave_up;
+                break;
+            }
+            ++submit_retries;
+            backoff_us = std::max(backoff_us * 2, result.retry_after_us);
+            std::this_thread::sleep_for(std::chrono::microseconds(backoff_us));
+        }
     }
-    for (auto& fut : inflight) (void)fut.get();
+    std::int64_t client_deadline_failures = 0;
+    for (auto& fut : inflight) {
+        try {
+            (void)fut.get();
+        } catch (const infer::DeadlineExceeded&) {
+            ++client_deadline_failures; // shed by the engine; also in stats
+        }
+    }
     serving.stop();
 
     // 4. Report.
@@ -166,6 +210,13 @@ int main(int argc, char** argv) {
     table.add_row({"requests", std::to_string(opt.requests)});
     table.add_row({"completed", std::to_string(stats.completed)});
     table.add_row({"rejected", std::to_string(stats.rejected)});
+    table.add_row({"shed (deadline)", std::to_string(stats.shed)});
+    table.add_row({"deadline missed", std::to_string(stats.deadline_missed)});
+    table.add_row({"worker restarts", std::to_string(stats.worker_restarts)});
+    table.add_row({"submit retries", std::to_string(submit_retries)});
+    table.add_row({"gave up (backoff)", std::to_string(gave_up)});
+    table.add_row(
+        {"futures failed (client)", std::to_string(client_deadline_failures)});
     table.add_row({"batches", std::to_string(stats.batches)});
     table.add_row({"mean batch", TablePrinter::num(stats.mean_batch, 2)});
     table.add_row({"p50 latency (ms)", TablePrinter::num(stats.p50_ms, 3)});
@@ -179,6 +230,14 @@ int main(int argc, char** argv) {
     obs::gauge_set("serve.p95_ms", stats.p95_ms);
     obs::gauge_set("serve.p99_ms", stats.p99_ms);
     obs::gauge_set("serve.throughput_rps", stats.throughput_rps);
+    obs::gauge_set("serve.shed", static_cast<double>(stats.shed));
+    obs::gauge_set("serve.deadline_missed",
+                   static_cast<double>(stats.deadline_missed));
+    obs::gauge_set("serve.worker_restarts",
+                   static_cast<double>(stats.worker_restarts));
+    obs::gauge_set("serve.submit_retries",
+                   static_cast<double>(submit_retries));
+    obs::gauge_set("serve.gave_up", static_cast<double>(gave_up));
 
     auto& report = obs::RunReport::global();
     report.set_config("example", std::string("serve_pruned"));
@@ -188,6 +247,10 @@ int main(int argc, char** argv) {
     report.set_config("max_batch", static_cast<std::int64_t>(opt.max_batch));
     report.set_config("max_delay_us",
                       static_cast<std::int64_t>(opt.delay_us));
+    report.set_config("deadline_us",
+                      static_cast<std::int64_t>(opt.deadline_us));
+    report.set_config("watchdog_us",
+                      static_cast<std::int64_t>(opt.watchdog_us));
     report.add_section("total", total.seconds());
     if (!opt.json_path.empty() && obs::write_run_report(opt.json_path))
         std::printf("run report: %s\n", opt.json_path.c_str());

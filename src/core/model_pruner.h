@@ -23,6 +23,18 @@ struct HeadStartConfig {
     int reward_subset = 128;      ///< held-out training images scoring actions
     bool prune_last_conv = false; ///< paper keeps conv5_3 intact
     std::uint64_t seed = 47;
+
+    /// Crash safety: when non-empty, model + trace are checkpointed into
+    /// this directory after every layer (atomic writes), and a fresh call
+    /// with the same unpruned model resumes from the last completed layer.
+    std::string checkpoint_dir;
+    /// Divergence handling: on a non-finite fine-tune loss the layer is
+    /// rolled back to its post-surgery weights and retried with the
+    /// learning rate multiplied by `retry_lr_decay`, up to
+    /// `max_finetune_retries` times; after that the layer's fine-tune is
+    /// skipped with a logged warning.
+    int max_finetune_retries = 2;
+    float retry_lr_decay = 0.5f;
 };
 
 /// Result of pruning a whole VGG-style model with HeadStart.
@@ -33,11 +45,15 @@ struct HeadStartResult {
     std::int64_t flops = 0;
     /// Learnt compression ratio ‖W'‖₀/‖W‖₀ over conv parameters (Eq. 11).
     double compression_ratio = 0.0;
+    int start_layer = 0;        ///< first layer processed (>0 = resumed)
+    int finetune_retries = 0;   ///< rollback + LR-decay retries taken
+    int layers_skipped = 0;     ///< layers whose fine-tune never converged
 };
 
 /// Prune `model` in place with HeadStart. `dataset` provides the training
 /// split (fine-tuning + reward subset) and the test split (reported
-/// accuracies).
+/// accuracies). `model` must be the unpruned architecture even when
+/// resuming — the recorded surgery is re-applied before weights load.
 [[nodiscard]] HeadStartResult headstart_prune_vgg(
     models::VggModel& model, const data::SyntheticImageDataset& dataset,
     const HeadStartConfig& config);

@@ -1,0 +1,187 @@
+#include "fault/fault.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <map>
+#include <mutex>
+
+#include "util/error.h"
+
+namespace hs::fault {
+namespace {
+
+struct Spec {
+    Outcome outcome;
+    std::int64_t start_hit = 1;   // first hit (1-based) that may fire
+    std::int64_t max_fires = -1;  // -1 = unlimited
+    double prob = 1.0;
+    std::int64_t hit = 0;
+    std::int64_t fired = 0;
+};
+
+struct State {
+    std::mutex mu;
+    std::map<std::string, Spec, std::less<>> specs;
+    std::uint64_t seed = 1;
+};
+
+State& state() {
+    static State s;
+    return s;
+}
+
+// Armed flag mirrored outside the mutex so disabled-path callers pay one
+// relaxed load.
+std::atomic<bool> g_armed{false};
+
+std::uint64_t splitmix64(std::uint64_t x) {
+    x += 0x9e3779b97f4a7c15ull;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+    return x ^ (x >> 31);
+}
+
+std::uint64_t fnv1a(std::string_view s) {
+    std::uint64_t h = 0xcbf29ce484222325ull;
+    for (const char c : s) {
+        h ^= static_cast<unsigned char>(c);
+        h *= 0x100000001b3ull;
+    }
+    return h;
+}
+
+/// Deterministic per-(seed, site, hit) uniform in [0, 1).
+double hit_uniform(std::uint64_t seed, std::string_view site, std::int64_t hit) {
+    const std::uint64_t r =
+        splitmix64(seed ^ fnv1a(site) ^ static_cast<std::uint64_t>(hit));
+    return static_cast<double>(r >> 11) * (1.0 / 9007199254740992.0); // 2^53
+}
+
+/// Parse one "site=action[:value][@start][#count][~prob]" entry.
+std::pair<std::string, Spec> parse_entry(std::string_view entry) {
+    const auto eq = entry.find('=');
+    require(eq != std::string_view::npos && eq > 0,
+            "HS_FAULT entry '" + std::string(entry) + "' needs site=action");
+    std::string site(entry.substr(0, eq));
+    std::string_view rest = entry.substr(eq + 1);
+
+    Spec spec;
+    // Peel the optional suffixes right-to-left; their markers never occur
+    // inside action names or numbers.
+    auto peel = [&rest](char marker) -> std::optional<std::string_view> {
+        const auto pos = rest.rfind(marker);
+        if (pos == std::string_view::npos) return std::nullopt;
+        std::string_view v = rest.substr(pos + 1);
+        rest = rest.substr(0, pos);
+        return v;
+    };
+    auto to_double = [&entry](std::string_view v, const char* what) {
+        const std::string copy(v);
+        char* end = nullptr;
+        const double d = copy.empty() ? 0.0 : std::strtod(copy.c_str(), &end);
+        require(!copy.empty() && end == copy.c_str() + copy.size(),
+                "HS_FAULT entry '" + std::string(entry) + "': bad " +
+                    std::string(what) + " '" + copy + "'");
+        return d;
+    };
+    if (const auto p = peel('~')) spec.prob = to_double(*p, "probability");
+    if (const auto c = peel('#'))
+        spec.max_fires = static_cast<std::int64_t>(to_double(*c, "count"));
+    if (const auto s = peel('@'))
+        spec.start_hit = static_cast<std::int64_t>(to_double(*s, "start hit"));
+    if (const auto colon = rest.find(':'); colon != std::string_view::npos) {
+        spec.outcome.value = to_double(rest.substr(colon + 1), "value");
+        rest = rest.substr(0, colon);
+    }
+    require(!rest.empty(),
+            "HS_FAULT entry '" + std::string(entry) + "' has an empty action");
+    require(spec.start_hit >= 1, "HS_FAULT '@start' must be >= 1 in '" +
+                                     std::string(entry) + "'");
+    require(spec.prob >= 0.0 && spec.prob <= 1.0,
+            "HS_FAULT '~prob' must be in [0, 1] in '" + std::string(entry) + "'");
+    spec.outcome.action = std::string(rest);
+    return {std::move(site), std::move(spec)};
+}
+
+/// One-time pickup of HS_FAULT / HS_FAULT_SEED from the environment.
+void load_env_once() {
+    static const bool loaded = [] {
+        if (const char* seed = std::getenv("HS_FAULT_SEED"))
+            state().seed = std::strtoull(seed, nullptr, 10);
+        if (const char* spec = std::getenv("HS_FAULT"); spec && *spec)
+            arm(spec);
+        return true;
+    }();
+    (void)loaded;
+}
+
+} // namespace
+
+bool enabled() {
+    load_env_once();
+    return g_armed.load(std::memory_order_relaxed);
+}
+
+void arm(const std::string& spec_list) {
+    State& s = state();
+    std::lock_guard<std::mutex> lock(s.mu);
+    std::string_view rest = spec_list;
+    while (!rest.empty()) {
+        const auto comma = rest.find(',');
+        const std::string_view entry = rest.substr(0, comma);
+        rest = comma == std::string_view::npos ? std::string_view{}
+                                               : rest.substr(comma + 1);
+        if (entry.empty()) continue;
+        auto [site, spec] = parse_entry(entry);
+        s.specs.insert_or_assign(std::move(site), std::move(spec));
+    }
+    g_armed.store(!s.specs.empty(), std::memory_order_relaxed);
+}
+
+void disarm() {
+    State& s = state();
+    std::lock_guard<std::mutex> lock(s.mu);
+    s.specs.clear();
+    g_armed.store(false, std::memory_order_relaxed);
+}
+
+void reseed(std::uint64_t seed) {
+    State& s = state();
+    std::lock_guard<std::mutex> lock(s.mu);
+    s.seed = seed;
+    for (auto& [site, spec] : s.specs) {
+        spec.hit = 0;
+        spec.fired = 0;
+    }
+}
+
+std::optional<Outcome> at(std::string_view site) {
+    if (!enabled()) return std::nullopt;
+    State& s = state();
+    std::lock_guard<std::mutex> lock(s.mu);
+    const auto it = s.specs.find(site);
+    if (it == s.specs.end()) return std::nullopt;
+    Spec& spec = it->second;
+    ++spec.hit;
+    if (spec.hit < spec.start_hit) return std::nullopt;
+    if (spec.max_fires >= 0 && spec.fired >= spec.max_fires) return std::nullopt;
+    if (spec.prob < 1.0 && hit_uniform(s.seed, site, spec.hit) >= spec.prob)
+        return std::nullopt;
+    ++spec.fired;
+    return spec.outcome;
+}
+
+bool should_fail(std::string_view site) {
+    const auto outcome = at(site);
+    return outcome.has_value() && outcome->action == "fail";
+}
+
+std::int64_t hits(std::string_view site) {
+    if (!enabled()) return 0;
+    State& s = state();
+    std::lock_guard<std::mutex> lock(s.mu);
+    const auto it = s.specs.find(site);
+    return it == s.specs.end() ? 0 : it->second.hit;
+}
+
+} // namespace hs::fault

@@ -1,0 +1,72 @@
+#pragma once
+
+// Deterministic fault-injection harness (hs::fault). Long-running paths
+// (checkpoint writes, fine-tuning, the serving workers) declare named
+// injection points; a spec armed via the HS_FAULT environment variable or
+// fault::arm() decides which points fire, when, and with what action. The
+// points are compiled in always — the disabled path is one relaxed atomic
+// load and a branch — so the exact binary that ships is the one the fault
+// suite exercises.
+//
+// Spec grammar (comma-separated entries):
+//
+//   HS_FAULT="site=action[:value][@start][#count][~prob],..."
+//
+//   site    injection-point name, e.g. fsio.atomic_write, serving.worker
+//   action  what to do; the site defines the semantics (fail / torn:<bytes>
+//           / nan / delay:<us> / full / ...)
+//   value   numeric argument of the action (after ':')
+//   @start  first hit (1-based) of the site that fires; default 1
+//   #count  fire at most this many times; default unlimited
+//   ~prob   fire with this probability per eligible hit, drawn from a
+//           deterministic per-hit stream seeded by HS_FAULT_SEED; default 1
+//
+// Examples:
+//   HS_FAULT="fsio.atomic_write=torn:64@3#1"   tear the 3rd atomic write
+//   HS_FAULT="serving.worker=delay:50000"      every batch sleeps 50 ms
+//   HS_FAULT="trainer.nan_grad=nan@2#1~0.5"    maybe-NaN the 2nd batch
+//
+// Hit counters are tracked per armed site only; arming and disarming are
+// mutex-protected (fault paths are never hot once armed), and a given
+// (seed, spec, hit sequence) always reproduces the same firing pattern.
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace hs::fault {
+
+/// What an armed injection point asks the site to do this hit.
+struct Outcome {
+    std::string action;  ///< "fail", "torn", "nan", "delay", ...
+    double value = 0.0;  ///< action argument (bytes, microseconds, ...)
+};
+
+/// True when at least one spec is armed (one relaxed atomic load).
+[[nodiscard]] bool enabled();
+
+/// Parse and arm a spec list (same grammar as HS_FAULT). Entries add to
+/// the armed set; a second entry for the same site replaces the first.
+/// Throws hs::Error on a malformed spec.
+void arm(const std::string& spec_list);
+
+/// Drop every armed spec and reset all hit counters.
+void disarm();
+
+/// Reseed the deterministic probability stream (default: HS_FAULT_SEED
+/// env var, else 1). Also resets hit counters.
+void reseed(std::uint64_t seed);
+
+/// Evaluate injection point `site`: bumps its hit counter and returns the
+/// action to apply on this hit, or nullopt. When nothing at all is armed
+/// this is a relaxed load + branch — safe on the hottest path.
+[[nodiscard]] std::optional<Outcome> at(std::string_view site);
+
+/// Convenience: true when `site` fires with action "fail".
+[[nodiscard]] bool should_fail(std::string_view site);
+
+/// Total evaluations of `site` since it was armed (0 if not armed).
+[[nodiscard]] std::int64_t hits(std::string_view site);
+
+} // namespace hs::fault

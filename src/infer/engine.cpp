@@ -4,6 +4,7 @@
 #include <cstring>
 #include <limits>
 
+#include "fault/fault.h"
 #include "tensor/gemm.h"
 #include "tensor/im2col.h"
 #include "util/error.h"
@@ -31,6 +32,13 @@ Engine::Engine(std::shared_ptr<const FrozenModel> model, int max_batch)
     off += model_->cols_elems;
     tr_off_ = off;
     off += model_->tr_elems;
+    // The arena is the engine's only allocation; an injected failure here
+    // stands in for OOM at engine bring-up (e.g. a watchdog respawn on a
+    // memory-starved host).
+    require(!fault::should_fail("engine.alloc"),
+            "injected fault: engine arena allocation of " +
+                std::to_string(off * static_cast<std::int64_t>(sizeof(float))) +
+                " bytes failed");
     arena_.assign(static_cast<std::size_t>(off), 0.0f);
 }
 

@@ -5,15 +5,17 @@
 #include <cstring>
 #include <utility>
 
+#include "fault/fault.h"
 #include "obs/metrics.h"
 #include "util/error.h"
+#include "util/logging.h"
 #include "util/stopwatch.h"
 
 namespace hs::infer {
 namespace {
 
-double percentile(std::vector<double>& sorted, double q) {
-    if (sorted.empty()) return 0.0;
+double percentile(const std::vector<double>& sorted, double q) {
+    if (sorted.empty()) return 0.0;  // zero completed requests => 0, not UB
     const auto idx = static_cast<std::size_t>(
         q * static_cast<double>(sorted.size() - 1) + 0.5);
     return sorted[std::min(idx, sorted.size() - 1)];
@@ -30,14 +32,31 @@ ServingEngine::ServingEngine(std::shared_ptr<const FrozenModel> model,
     require(cfg_.max_delay_us >= 0, "ServingEngine max_delay_us must be >= 0");
     require(cfg_.queue_capacity >= 1,
             "ServingEngine queue_capacity must be >= 1");
-    workers_.reserve(static_cast<std::size_t>(cfg_.workers));
-    for (int w = 0; w < cfg_.workers; ++w)
-        workers_.emplace_back([this, w] { worker_loop(w); });
+    require(cfg_.default_deadline_us >= 0,
+            "ServingEngine default_deadline_us must be >= 0");
+    require(cfg_.watchdog_timeout_us >= 0,
+            "ServingEngine watchdog_timeout_us must be >= 0");
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        workers_.reserve(static_cast<std::size_t>(cfg_.workers));
+        for (int w = 0; w < cfg_.workers; ++w) spawn_worker_locked();
+    }
+    if (cfg_.watchdog_timeout_us > 0)
+        watchdog_ = std::thread([this] { watchdog_loop(); });
 }
 
 ServingEngine::~ServingEngine() { stop(); }
 
-std::optional<std::future<Tensor>> ServingEngine::submit(Tensor image) {
+void ServingEngine::spawn_worker_locked() {
+    auto worker = std::make_unique<Worker>();
+    worker->id = next_worker_id_++;
+    worker->heartbeat_ns.store(monotonic_ns(), std::memory_order_relaxed);
+    Worker* raw = worker.get();
+    worker->thread = std::thread([this, raw] { worker_loop(raw); });
+    workers_.push_back(std::move(worker));
+}
+
+SubmitResult ServingEngine::submit(Tensor image, const SubmitOptions& opts) {
     if (image.rank() == 4) {
         require(image.dim(0) == 1, "submit() takes a single image");
     } else {
@@ -48,34 +67,89 @@ std::optional<std::future<Tensor>> ServingEngine::submit(Tensor image) {
                 shape_str(model_->input_chw) + ", got " +
                 shape_str(image.shape()));
 
+    const std::int64_t deadline_us =
+        opts.deadline_us < 0 ? cfg_.default_deadline_us : opts.deadline_us;
+
     Request req;
     req.image = std::move(image);
     req.enqueue_ns = monotonic_ns();
+    if (deadline_us > 0) req.deadline_ns = req.enqueue_ns + deadline_us * 1000;
     std::future<Tensor> fut = req.promise.get_future();
 
+    SubmitResult result;
     {
         std::lock_guard<std::mutex> lock(mu_);
-        if (stopping_ ||
-            queue_.size() >= static_cast<std::size_t>(cfg_.queue_capacity)) {
+        if (stopping_) {
+            result.admission = Admission::kStopped;
+            return result;
+        }
+        if (const auto fault = fault::at("serving.submit")) {
+            // Forced admission verdicts so overload paths are testable
+            // without needing to actually saturate the queue.
+            if (fault->action == "full" || fault->action == "overload") {
+                ++rejected_;
+                obs::count("serve.rejected");
+                result.admission = fault->action == "full"
+                                       ? Admission::kQueueFull
+                                       : Admission::kOverloaded;
+                result.retry_after_us =
+                    static_cast<std::int64_t>(fault->value);
+                return result;
+            }
+        }
+        if (queue_.size() >= static_cast<std::size_t>(cfg_.queue_capacity)) {
             ++rejected_;
             obs::count("serve.rejected");
-            return std::nullopt;
+            result.admission = Admission::kQueueFull;
+            // Hint: roughly the time one queued request takes to drain.
+            result.retry_after_us = std::max<std::int64_t>(
+                static_cast<std::int64_t>(ewma_req_ms_ * 1000.0 /
+                                          cfg_.workers),
+                cfg_.max_delay_us);
+            return result;
+        }
+        if (deadline_us > 0) {
+            const std::int64_t est_wait_us = estimated_wait_us_locked();
+            if (est_wait_us > deadline_us) {
+                // Admission control: the request would expire in the
+                // queue anyway — reject it now with an honest hint
+                // instead of shedding it later (reject-newest).
+                ++rejected_;
+                obs::count("serve.rejected");
+                obs::count("serve.overload_rejected");
+                result.admission = Admission::kOverloaded;
+                result.retry_after_us = est_wait_us - deadline_us;
+                return result;
+            }
         }
         queue_.push_back(std::move(req));
         obs::count("serve.requests");
     }
     cv_.notify_one();
-    return fut;
+    result.admission = Admission::kAccepted;
+    result.future = std::move(fut);
+    return result;
+}
+
+std::optional<std::future<Tensor>> ServingEngine::submit(Tensor image) {
+    SubmitResult result = submit(std::move(image), SubmitOptions{});
+    if (!result.accepted()) return std::nullopt;
+    return std::move(result.future);
 }
 
 void ServingEngine::stop() {
     {
         std::lock_guard<std::mutex> lock(mu_);
+        if (stopped_) return;  // idempotent: later calls are no-ops
+        stopped_ = true;
         stopping_ = true;
     }
     cv_.notify_all();
-    for (std::thread& t : workers_)
-        if (t.joinable()) t.join();
+    watchdog_cv_.notify_all();
+    // Join the watchdog first: afterwards workers_ can no longer grow.
+    if (watchdog_.joinable()) watchdog_.join();
+    for (auto& worker : workers_)
+        if (worker->thread.joinable()) worker->thread.join();
 }
 
 ServingStats ServingEngine::stats() const {
@@ -83,6 +157,9 @@ ServingStats ServingEngine::stats() const {
     ServingStats s;
     s.completed = completed_;
     s.rejected = rejected_;
+    s.shed = shed_;
+    s.deadline_missed = deadline_missed_;
+    s.worker_restarts = worker_restarts_;
     s.batches = batches_;
     s.mean_batch = batches_ > 0 ? static_cast<double>(batched_requests_) /
                                       static_cast<double>(batches_)
@@ -92,6 +169,8 @@ ServingStats ServingEngine::stats() const {
     s.p50_ms = percentile(sorted, 0.50);
     s.p95_ms = percentile(sorted, 0.95);
     s.p99_ms = percentile(sorted, 0.99);
+    // Throughput needs two completion timestamps and a positive span;
+    // anything else reports 0 rather than dividing by a zero-width span.
     const std::int64_t span_ns = last_complete_ns_ - first_complete_ns_;
     if (completed_ > 1 && span_ns > 0)
         s.throughput_rps = static_cast<double>(completed_ - 1) /
@@ -99,8 +178,78 @@ ServingStats ServingEngine::stats() const {
     return s;
 }
 
-void ServingEngine::worker_loop(int /*worker_id*/) {
-    Engine engine(model_, cfg_.max_batch);
+void ServingEngine::shed_expired_locked(std::int64_t now_ns) {
+    for (auto it = queue_.begin(); it != queue_.end();) {
+        if (it->deadline_ns != 0 && now_ns >= it->deadline_ns) {
+            const double late_ms =
+                static_cast<double>(now_ns - it->deadline_ns) * 1e-6;
+            it->promise.set_exception(std::make_exception_ptr(DeadlineExceeded(
+                "request shed: deadline exceeded by " +
+                std::to_string(late_ms) + " ms while queued")));
+            ++shed_;
+            obs::count("serve.shed");
+            it = queue_.erase(it);
+        } else {
+            ++it;
+        }
+    }
+}
+
+std::int64_t ServingEngine::estimated_wait_us_locked() const {
+    if (ewma_req_ms_ <= 0.0) return 0;  // no signal yet: admit optimistically
+    const double per_req_us = ewma_req_ms_ * 1000.0;
+    return static_cast<std::int64_t>(
+        per_req_us * static_cast<double>(queue_.size()) /
+        static_cast<double>(cfg_.workers));
+}
+
+void ServingEngine::watchdog_loop() {
+    const auto period = std::chrono::microseconds(
+        std::max<std::int64_t>(cfg_.watchdog_timeout_us / 4, 1000));
+    std::unique_lock<std::mutex> lock(mu_);
+    while (!stopping_) {
+        watchdog_cv_.wait_for(lock, period, [this] { return stopping_; });
+        if (stopping_) return;
+        const std::int64_t now = monotonic_ns();
+        const std::size_t count = workers_.size();
+        for (std::size_t i = 0; i < count; ++i) {
+            Worker* w = workers_[i].get();
+            if (w->retired.load(std::memory_order_relaxed)) continue;
+            if (!w->busy.load(std::memory_order_relaxed)) continue;
+            const std::int64_t busy_ns =
+                now - w->heartbeat_ns.load(std::memory_order_relaxed);
+            if (busy_ns <= cfg_.watchdog_timeout_us * 1000) continue;
+            // Stuck worker: retire it (it still owns its in-flight batch
+            // and will deliver those futures if it ever wakes) and bring
+            // up a replacement with a fresh Engine for the queue.
+            w->retired.store(true, std::memory_order_relaxed);
+            ++worker_restarts_;
+            obs::count("serve.worker_restarts");
+            log_warn("[serving] worker " + std::to_string(w->id) +
+                     " busy for " + std::to_string(busy_ns / 1000000) +
+                     " ms (timeout " +
+                     std::to_string(cfg_.watchdog_timeout_us / 1000) +
+                     " ms) — spawning replacement");
+            spawn_worker_locked();
+        }
+    }
+}
+
+void ServingEngine::worker_loop(Worker* self) {
+    // Engine bring-up can fail (arena allocation — injectable via the
+    // "engine.alloc" fault site). A worker that cannot build its engine
+    // retires itself instead of tearing down the process; the remaining
+    // workers (or a later watchdog respawn) keep the queue draining.
+    std::optional<Engine> engine_slot;
+    try {
+        engine_slot.emplace(model_, cfg_.max_batch);
+    } catch (const Error& e) {
+        log_error("[serving] worker " + std::to_string(self->id) +
+                  " failed to build its engine: " + e.what());
+        self->retired.store(true, std::memory_order_relaxed);
+        return;
+    }
+    Engine& engine = *engine_slot;
     std::vector<Request> batch;
     std::vector<float> in(static_cast<std::size_t>(model_->input_elems) *
                           static_cast<std::size_t>(cfg_.max_batch));
@@ -111,7 +260,16 @@ void ServingEngine::worker_loop(int /*worker_id*/) {
         batch.clear();
         {
             std::unique_lock<std::mutex> lock(mu_);
-            cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+            self->busy.store(false, std::memory_order_relaxed);
+            cv_.wait(lock, [this, self] {
+                return stopping_ ||
+                       self->retired.load(std::memory_order_relaxed) ||
+                       !queue_.empty();
+            });
+            // A retired worker never takes new queue work — its
+            // replacement owns the queue now.
+            if (self->retired.load(std::memory_order_relaxed)) return;
+            shed_expired_locked(monotonic_ns());
             if (queue_.empty()) {
                 // Stopping with a drained queue: exit. Otherwise keep
                 // serving until every accepted request is fulfilled.
@@ -120,23 +278,45 @@ void ServingEngine::worker_loop(int /*worker_id*/) {
             }
             // Micro-batch gather: wait for a full batch or until the
             // oldest request's delay budget expires, whichever is first.
-            const std::int64_t deadline_ns =
+            const std::int64_t gather_deadline_ns =
                 queue_.front().enqueue_ns + cfg_.max_delay_us * 1000;
             while (!stopping_ &&
+                   !self->retired.load(std::memory_order_relaxed) &&
                    queue_.size() < static_cast<std::size_t>(cfg_.max_batch)) {
                 const std::int64_t now = monotonic_ns();
-                if (now >= deadline_ns) break;
-                cv_.wait_for(lock, std::chrono::nanoseconds(deadline_ns - now));
+                if (now >= gather_deadline_ns) break;
+                cv_.wait_for(lock, std::chrono::nanoseconds(gather_deadline_ns -
+                                                            now));
+                shed_expired_locked(monotonic_ns());
                 if (queue_.empty()) break; // another worker took the batch
             }
+            if (queue_.empty()) continue;
             const std::size_t take = std::min(
                 queue_.size(), static_cast<std::size_t>(cfg_.max_batch));
             for (std::size_t i = 0; i < take; ++i) {
                 batch.push_back(std::move(queue_.front()));
                 queue_.pop_front();
             }
+            // Mark busy while still holding the lock so the watchdog sees
+            // a consistent (busy, heartbeat) pair for this batch.
+            self->heartbeat_ns.store(monotonic_ns(),
+                                     std::memory_order_relaxed);
+            self->busy.store(true, std::memory_order_relaxed);
         }
         if (batch.empty()) continue;
+
+        // Service time starts here so an injected stall below is part of
+        // the measured window (a slow worker must look slow to admission).
+        const std::int64_t exec_start_ns = monotonic_ns();
+
+        if (const auto fault = fault::at("serving.worker");
+            fault && (fault->action == "delay" || fault->action == "stuck")) {
+            // Injected stall: the worker sleeps holding its batch, exactly
+            // what a page fault storm / runaway kernel looks like from the
+            // queue's point of view. Bounded so joins always succeed.
+            std::this_thread::sleep_for(std::chrono::microseconds(
+                static_cast<std::int64_t>(fault->value)));
+        }
 
         const int n = static_cast<int>(batch.size());
         for (int i = 0; i < n; ++i)
@@ -150,6 +330,39 @@ void ServingEngine::worker_loop(int /*worker_id*/) {
             {out.data(), static_cast<std::size_t>(n * model_->output_elems)});
 
         const std::int64_t done_ns = monotonic_ns();
+        {
+            // Record stats BEFORE fulfilling the promises: a client that
+            // returns from future.get() must already see its request in
+            // stats() (completed, batches, latency percentiles).
+            std::lock_guard<std::mutex> lock(mu_);
+            ++batches_;
+            batched_requests_ += n;
+            obs::count("serve.batches");
+            // Service-time EWMA feeding admission control. The window
+            // covers the injected stall on purpose: a slow worker should
+            // make the engine advertise longer waits.
+            const double batch_ms =
+                static_cast<double>(done_ns - exec_start_ns) * 1e-6;
+            const double req_ms = batch_ms / static_cast<double>(n);
+            ewma_req_ms_ = ewma_req_ms_ <= 0.0
+                               ? req_ms
+                               : 0.8 * ewma_req_ms_ + 0.2 * req_ms;
+            for (int i = 0; i < n; ++i) {
+                const Request& r = batch[static_cast<std::size_t>(i)];
+                const double ms =
+                    static_cast<double>(done_ns - r.enqueue_ns) * 1e-6;
+                latencies_ms_.push_back(ms);
+                obs::observe("serve.latency_ms", ms);
+                if (r.deadline_ns != 0 && done_ns > r.deadline_ns) {
+                    ++deadline_missed_;
+                    obs::count("serve.deadline_missed");
+                }
+            }
+            if (completed_ == 0) first_complete_ns_ = done_ns;
+            last_complete_ns_ = done_ns;
+            completed_ += n;
+        }
+
         Shape per_image = model_->output_shape;
         for (int i = 0; i < n; ++i) {
             Tensor result(per_image);
@@ -161,22 +374,6 @@ void ServingEngine::worker_loop(int /*worker_id*/) {
             batch[static_cast<std::size_t>(i)].promise.set_value(
                 std::move(result));
         }
-
-        std::lock_guard<std::mutex> lock(mu_);
-        ++batches_;
-        batched_requests_ += n;
-        obs::count("serve.batches");
-        for (int i = 0; i < n; ++i) {
-            const double ms =
-                static_cast<double>(
-                    done_ns - batch[static_cast<std::size_t>(i)].enqueue_ns) *
-                1e-6;
-            latencies_ms_.push_back(ms);
-            obs::observe("serve.latency_ms", ms);
-        }
-        if (completed_ == 0) first_complete_ns_ = done_ns;
-        last_complete_ns_ = done_ns;
-        completed_ += n;
     }
 }
 

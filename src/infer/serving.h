@@ -6,12 +6,35 @@
 // a batch is flushed as soon as `max_batch` requests are waiting, or when
 // the oldest queued request has waited `max_delay_us` — the standard
 // latency/throughput trade (larger batches amortize the GEMM, the delay
-// cap bounds tail latency). When the queue is full, submit() rejects
-// instead of blocking, pushing backpressure to the caller.
+// cap bounds tail latency).
+//
+// Overload behavior is explicit rather than emergent:
+//   * submit() never blocks: a full queue rejects with kQueueFull, and
+//     when the caller carries a deadline that the estimated queue delay
+//     (EWMA of recent per-request service time) already exceeds, the
+//     request is rejected up front with kOverloaded plus a retry-after
+//     hint — reject-newest admission control.
+//   * An accepted request whose deadline expires while still queued is
+//     shed: it is dropped without executing and its future fails with
+//     DeadlineExceeded. A request that executes but finishes late still
+//     gets its value (the compute is already spent) and is counted in
+//     `deadline_missed`.
+//   * A watchdog thread (watchdog_timeout_us > 0) retires any worker that
+//     stays busy on a single batch past the timeout and spawns a fresh
+//     worker with its own Engine; the retired worker's in-flight batch is
+//     still delivered if it ever finishes, so futures resolve exactly
+//     once across a restart.
+//
+// Every accepted future is fulfilled exactly once — with a value or with
+// DeadlineExceeded; stop() drains accepted requests and is idempotent.
 //
 // Per-request latency (submit -> result ready) feeds an hs::obs histogram
 // and the Stats percentiles; counters serve.requests / serve.rejected /
-// serve.batches track volume when observability is enabled.
+// serve.batches / serve.shed / serve.deadline_missed /
+// serve.worker_restarts track volume when observability is enabled.
+// Fault sites (hs::fault): "serving.worker" (delay:<us> — stall a worker
+// mid-batch) and "serving.submit" (full / overload — force an admission
+// verdict), used by the failure-semantics test suite.
 
 #include <condition_variable>
 #include <cstdint>
@@ -26,21 +49,62 @@
 #include "infer/engine.h"
 #include "infer/freeze.h"
 #include "tensor/tensor.h"
+#include "util/error.h"
 
 namespace hs::infer {
+
+/// Thrown into a request's future when its deadline expires while the
+/// request is still queued (the request is shed, never executed).
+class DeadlineExceeded : public Error {
+public:
+    explicit DeadlineExceeded(const std::string& what) : Error(what) {}
+};
 
 struct ServingConfig {
     int workers = 2;           ///< worker threads (one Engine each)
     int max_batch = 8;         ///< flush when this many requests are queued
     std::int64_t max_delay_us = 2000;  ///< flush when the oldest waits this long
     int queue_capacity = 64;   ///< submit() rejects beyond this depth
+    /// Deadline for submits that don't carry their own; 0 = no deadline.
+    std::int64_t default_deadline_us = 0;
+    /// A worker busy on one batch longer than this is retired and replaced
+    /// (fresh thread + fresh Engine). 0 disables the watchdog.
+    std::int64_t watchdog_timeout_us = 0;
+};
+
+/// Per-submit knobs.
+struct SubmitOptions {
+    /// Deadline in microseconds from submit; 0 = none, negative = use
+    /// ServingConfig::default_deadline_us.
+    std::int64_t deadline_us = -1;
+};
+
+/// Admission verdict of one submit.
+enum class Admission { kAccepted, kQueueFull, kOverloaded, kStopped };
+
+struct SubmitResult {
+    Admission admission = Admission::kStopped;
+    /// Set iff accepted; resolves with the output tensor or throws
+    /// DeadlineExceeded if the request was shed.
+    std::optional<std::future<Tensor>> future;
+    /// For kQueueFull/kOverloaded: suggested wait before retrying, from
+    /// the estimated queue drain rate (best-effort hint, may be 0 early).
+    std::int64_t retry_after_us = 0;
+
+    [[nodiscard]] bool accepted() const {
+        return admission == Admission::kAccepted;
+    }
 };
 
 /// Aggregate serving statistics; percentiles are computed over all
-/// completed request latencies since start.
+/// completed request latencies since start. All fields are zero (not
+/// garbage, not NaN) when no request has completed yet.
 struct ServingStats {
     std::int64_t completed = 0;
-    std::int64_t rejected = 0;
+    std::int64_t rejected = 0;         ///< queue-full + overload rejections
+    std::int64_t shed = 0;             ///< expired in queue, DeadlineExceeded
+    std::int64_t deadline_missed = 0;  ///< completed but after the deadline
+    std::int64_t worker_restarts = 0;  ///< watchdog respawns
     std::int64_t batches = 0;
     double mean_batch = 0.0;      ///< mean micro-batch size
     double p50_ms = 0.0;
@@ -57,13 +121,18 @@ public:
     ServingEngine(const ServingEngine&) = delete;
     ServingEngine& operator=(const ServingEngine&) = delete;
 
-    /// Submit one image [C, H, W] (or [1, C, H, W]). Returns a future for
-    /// the per-image output, or nullopt if the queue is full (backpressure)
-    /// or the engine is stopped. Throws hs::Error on a shape mismatch.
+    /// Submit one image [C, H, W] (or [1, C, H, W]) with per-request
+    /// options. Never blocks; the admission verdict says why a request was
+    /// not accepted. Throws hs::Error on a shape mismatch.
+    [[nodiscard]] SubmitResult submit(Tensor image, const SubmitOptions& opts);
+
+    /// Back-compat convenience: submit with default options; nullopt on
+    /// any non-accepted admission.
     [[nodiscard]] std::optional<std::future<Tensor>> submit(Tensor image);
 
     /// Stop accepting requests, drain the queue, join the workers. Every
-    /// request accepted before stop() still gets its future fulfilled.
+    /// request accepted before stop() still gets its future fulfilled
+    /// (value or DeadlineExceeded). Idempotent: later calls are no-ops.
     void stop();
 
     [[nodiscard]] ServingStats stats() const;
@@ -74,27 +143,55 @@ private:
         Tensor image;
         std::promise<Tensor> promise;
         std::int64_t enqueue_ns = 0;
+        std::int64_t deadline_ns = 0;  ///< 0 = no deadline
     };
 
-    void worker_loop(int worker_id);
+    /// One worker thread plus the state the watchdog reads. Heap-stable
+    /// (unique_ptr in workers_) so the thread can keep a pointer to it
+    /// while the vector grows.
+    struct Worker {
+        std::thread thread;
+        std::atomic<std::int64_t> heartbeat_ns{0};
+        std::atomic<bool> busy{false};     ///< executing a batch right now
+        std::atomic<bool> retired{false};  ///< watchdog replaced this worker
+        int id = 0;
+    };
+
+    void worker_loop(Worker* self);
+    void watchdog_loop();
+    /// Drop expired requests from the queue front-to-back, failing their
+    /// futures with DeadlineExceeded. Caller holds mu_.
+    void shed_expired_locked(std::int64_t now_ns);
+    /// Estimated time a request entering the queue now waits before
+    /// executing, from the service-time EWMA. Caller holds mu_.
+    [[nodiscard]] std::int64_t estimated_wait_us_locked() const;
+    void spawn_worker_locked();
 
     std::shared_ptr<const FrozenModel> model_;
     ServingConfig cfg_;
 
     mutable std::mutex mu_;
     std::condition_variable cv_;
+    std::condition_variable watchdog_cv_;
     std::deque<Request> queue_;
     bool stopping_ = false;
+    bool stopped_ = false;  ///< stop() already completed (idempotence)
 
     std::int64_t completed_ = 0;
     std::int64_t rejected_ = 0;
+    std::int64_t shed_ = 0;
+    std::int64_t deadline_missed_ = 0;
+    std::int64_t worker_restarts_ = 0;
     std::int64_t batches_ = 0;
     std::int64_t batched_requests_ = 0;
+    double ewma_req_ms_ = 0.0;  ///< per-request service time estimate
     std::vector<double> latencies_ms_;
     std::int64_t first_complete_ns_ = 0;
     std::int64_t last_complete_ns_ = 0;
 
-    std::vector<std::thread> workers_;
+    std::vector<std::unique_ptr<Worker>> workers_;
+    int next_worker_id_ = 0;
+    std::thread watchdog_;
 };
 
 } // namespace hs::infer

@@ -38,7 +38,12 @@ double SoftmaxCrossEntropy::forward(const Tensor& logits,
     for (int i = 0; i < n; ++i) {
         const int y = labels[static_cast<std::size_t>(i)];
         require(y >= 0 && y < k, "label out of range");
-        loss -= std::log(std::max(1e-12f, probs_.at(i, y)));
+        const float p = probs_.at(i, y);
+        // Clamp only genuinely small probabilities. A NaN here means the
+        // weights have diverged; std::max(1e-12f, NaN) would silently
+        // launder it into a finite loss and defeat the trainer's
+        // divergence guard, so propagate it instead.
+        loss -= std::isnan(p) ? p : std::log(std::max(1e-12f, p));
     }
     return loss / n;
 }

@@ -2,16 +2,16 @@
 
 #include <cstdint>
 #include <cstring>
-#include <fstream>
-#include <sstream>
 
+#include "util/crc32.h"
 #include "util/error.h"
+#include "util/fsio.h"
 
 namespace hs::nn {
 namespace {
 
 constexpr char kMagic[4] = {'H', 'S', 'W', 'T'};
-constexpr std::uint32_t kVersion = 2;
+constexpr std::uint32_t kVersion = 3;
 // Byte-order canary: written as a native u32, so a reader on a host with
 // the opposite endianness sees kEndianTag with its bytes reversed.
 constexpr std::uint32_t kEndianTag = 0x01020304u;
@@ -40,9 +40,13 @@ void put_record(std::string& out, const std::string& name, const Tensor& value) 
                data.size() * sizeof(float));
 }
 
+/// Bounds-checked cursor over the raw bytes. `source` (file path or
+/// "<memory>") and the current byte offset are woven into every error so
+/// a corrupt checkpoint names exactly where decoding stopped.
 class Reader {
 public:
-    explicit Reader(const std::string& bytes) : bytes_(bytes) {}
+    Reader(const std::string& bytes, const std::string& source)
+        : bytes_(bytes), source_(source) {}
 
     std::uint32_t u32() {
         std::uint32_t v = 0;
@@ -55,14 +59,24 @@ public:
         return v;
     }
     void read(void* dst, std::size_t n) {
-        require(pos_ + n <= bytes_.size(), "truncated parameter file");
+        require(pos_ + n <= bytes_.size(),
+                "truncated weight file " + where() + ": need " +
+                    std::to_string(n) + " more bytes, " +
+                    std::to_string(bytes_.size() - pos_) + " left of " +
+                    std::to_string(bytes_.size()));
         std::memcpy(dst, bytes_.data() + pos_, n);
         pos_ += n;
     }
     [[nodiscard]] bool exhausted() const { return pos_ == bytes_.size(); }
+    [[nodiscard]] std::size_t pos() const { return pos_; }
+    /// "'<source>' at byte <offset>" — the error-message location tag.
+    [[nodiscard]] std::string where() const {
+        return "'" + source_ + "' at byte " + std::to_string(pos_);
+    }
 
 private:
     const std::string& bytes_;
+    const std::string& source_;
     std::size_t pos_ = 0;
 };
 
@@ -71,15 +85,17 @@ void read_record(Reader& reader, const std::string& kind,
     const std::uint32_t name_len = reader.u32();
     std::string name(name_len, '\0');
     reader.read(name.data(), name_len);
-    require(name == expected_name, kind + " name mismatch: file '" + name +
+    require(name == expected_name, kind + " name mismatch in " +
+                                       reader.where() + ": file '" + name +
                                        "' vs model '" + expected_name + "'");
     const std::uint32_t rank = reader.u32();
     Shape shape(rank);
     for (std::uint32_t d = 0; d < rank; ++d)
         shape[d] = static_cast<int>(reader.u32());
     require(shape == target.shape(),
-            kind + " shape mismatch for '" + name + "': file " +
-                shape_str(shape) + " vs model " + shape_str(target.shape()));
+            kind + " shape mismatch for '" + name + "' in " + reader.where() +
+                ": file " + shape_str(shape) + " vs model " +
+                shape_str(target.shape()));
     auto data = target.data();
     reader.read(data.data(), data.size() * sizeof(float));
 }
@@ -89,70 +105,98 @@ void read_record(Reader& reader, const std::string& kind,
 std::string serialize_parameters(Layer& model) {
     const auto params = model.params();
     const auto buffers = model.buffers();
+    std::string payload;
+    put_u64(payload, params.size());
+    for (const Param* p : params) put_record(payload, p->name, p->value);
+    put_u64(payload, buffers.size());
+    for (const auto& [name, tensor] : buffers)
+        put_record(payload, name, *tensor);
+
     std::string out;
     out.append(kMagic, 4);
     put_u32(out, kEndianTag);
     put_u32(out, kVersion);
-    put_u64(out, params.size());
-    for (const Param* p : params) put_record(out, p->name, p->value);
-    put_u64(out, buffers.size());
-    for (const auto& [name, tensor] : buffers) put_record(out, name, *tensor);
+    put_u32(out, crc32(payload));
+    put_u64(out, payload.size());
+    out.append(payload);
     return out;
 }
 
-void deserialize_parameters(Layer& model, const std::string& bytes) {
-    Reader reader(bytes);
+void deserialize_parameters(Layer& model, const std::string& bytes,
+                            const std::string& source) {
+    Reader reader(bytes, source);
     char magic[4];
     reader.read(magic, 4);
-    require(std::memcmp(magic, kMagic, 4) == 0, "not a HeadStart weight file");
+    require(std::memcmp(magic, kMagic, 4) == 0,
+            "not a HeadStart weight file: '" + source + "'");
 
     const std::uint32_t tag = reader.u32();
     // v1 files carried the version directly after the magic; tell those
     // apart from a byte-order mismatch so both get an actionable message.
     require(tag != 1u,
-            "unsupported weight file version 1: re-save the checkpoint with "
-            "this build (v2 adds the endianness tag and buffer section)");
+            "unsupported weight file version 1 in '" + source +
+                "': re-save the checkpoint with this build");
     require(tag != kEndianTagSwapped,
-            "weight file endianness mismatch: file was written on a host "
-            "with the opposite byte order");
-    require(tag == kEndianTag, "corrupt weight file header (bad endian tag)");
+            "weight file endianness mismatch in '" + source +
+                "': file was written on a host with the opposite byte order");
+    require(tag == kEndianTag, "corrupt weight file header in " +
+                                   reader.where() + " (bad endian tag)");
     const std::uint32_t version = reader.u32();
+    require(version != 2u,
+            "unsupported weight file version 2 in '" + source +
+                "': re-save the checkpoint with this build (v3 adds the "
+                "payload checksum)");
     require(version == kVersion, "unsupported weight file version " +
-                                     std::to_string(version) + " (expected " +
+                                     std::to_string(version) + " in '" +
+                                     source + "' (expected " +
                                      std::to_string(kVersion) + ")");
+
+    const std::uint32_t stored_crc = reader.u32();
+    const std::uint64_t payload_len = reader.u64();
+    const std::size_t payload_start = reader.pos();
+    require(payload_len <= bytes.size() - payload_start,
+            "truncated weight file " + reader.where() + ": header promises " +
+                std::to_string(payload_len) + " payload bytes, file has " +
+                std::to_string(bytes.size() - payload_start));
+    require(payload_len == bytes.size() - payload_start,
+            "trailing bytes in weight file '" + source + "': payload is " +
+                std::to_string(payload_len) + " bytes, file carries " +
+                std::to_string(bytes.size() - payload_start));
+    const std::uint32_t actual_crc =
+        crc32(bytes.data() + payload_start, payload_len);
+    require(actual_crc == stored_crc,
+            "weight file checksum mismatch in " + reader.where() +
+                ": stored " + std::to_string(stored_crc) + ", computed " +
+                std::to_string(actual_crc) +
+                " — the file is corrupt (torn write or bit rot)");
 
     const auto params = model.params();
     const std::uint64_t count = reader.u64();
     require(count == params.size(),
-            "parameter count mismatch: file has " + std::to_string(count) +
-                ", model has " + std::to_string(params.size()));
+            "parameter count mismatch in '" + source + "': file has " +
+                std::to_string(count) + ", model has " +
+                std::to_string(params.size()));
     for (Param* p : params) read_record(reader, "parameter", p->name, p->value);
 
     const auto buffers = model.buffers();
     const std::uint64_t buffer_count = reader.u64();
     require(buffer_count == buffers.size(),
-            "buffer count mismatch: file has " + std::to_string(buffer_count) +
-                ", model has " + std::to_string(buffers.size()));
+            "buffer count mismatch in '" + source + "': file has " +
+                std::to_string(buffer_count) + ", model has " +
+                std::to_string(buffers.size()));
     for (auto& [name, tensor] : buffers)
         read_record(reader, "buffer", name, *tensor);
 
-    require(reader.exhausted(), "trailing bytes in weight file");
+    require(reader.exhausted(),
+            "trailing bytes in weight file " + reader.where());
 }
 
 void save_parameters(Layer& model, const std::string& path) {
-    const std::string bytes = serialize_parameters(model);
-    std::ofstream file(path, std::ios::binary | std::ios::trunc);
-    require(file.good(), "cannot open '" + path + "' for writing");
-    file.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
-    require(file.good(), "write failed for '" + path + "'");
+    atomic_write_file(path, serialize_parameters(model));
 }
 
 void load_parameters(Layer& model, const std::string& path) {
-    std::ifstream file(path, std::ios::binary);
-    require(file.good(), "cannot open '" + path + "' for reading");
-    std::ostringstream buffer;
-    buffer << file.rdbuf();
-    deserialize_parameters(model, buffer.str());
+    deserialize_parameters(model, read_file(path), path);
 }
 
 } // namespace hs::nn

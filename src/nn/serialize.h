@@ -5,11 +5,12 @@
 // runs, shipping a pruned model to a deployment target, and reproducing a
 // bench result without re-training.
 //
-// Format v2 (host byte order, tagged):
-//   magic "HSWT" | u32 endian tag 0x01020304 | u32 version (= 2)
-//   u64 param_count  | per param:  u32 name_len | name bytes | u32 rank
-//                    | u32 dims[rank] | f32 values[numel]
-//   u64 buffer_count | per buffer: same record layout
+// Format v3 (host byte order, tagged, checksummed):
+//   magic "HSWT" | u32 endian tag 0x01020304 | u32 version (= 3)
+//   u32 crc32(payload) | u64 payload_len | payload
+//   payload = u64 param_count  | per param:  u32 name_len | name bytes
+//                              | u32 rank | u32 dims[rank] | f32 values[numel]
+//           | u64 buffer_count | per buffer: same record layout
 //
 // Buffers are the persistent non-trainable state a deployed model depends
 // on (Layer::buffers(): BatchNorm running statistics), so a saved
@@ -17,8 +18,12 @@
 // hs::infer freeze pass relies on.
 //
 // Hardening: the endian tag reads as 0x04030201 on a foreign-byte-order
-// host and is rejected with a clear hs::Error, as are v1 files (which
-// lack the tag and buffer section) and any unknown version.
+// host and is rejected with a clear hs::Error, as are v1/v2 files and any
+// unknown version. The payload CRC catches torn writes and bit rot before
+// any tensor is touched, and save_parameters() goes through
+// hs::atomic_write_file (temp + fsync + rename) so a crash mid-save can
+// never destroy the previous checkpoint. Error messages carry the source
+// (file path) and the byte offset where decoding stopped.
 //
 // Loading is shape-checked: the target model must have the same parameter
 // and buffer sequence (names, shapes) — i.e. the same architecture,
@@ -30,17 +35,20 @@
 
 namespace hs::nn {
 
-/// Serialize all parameters of `model` to `path`. Throws hs::Error on I/O
-/// failure.
+/// Serialize all parameters of `model` to `path` atomically (the previous
+/// file survives any failure). Throws hs::Error on I/O failure.
 void save_parameters(Layer& model, const std::string& path);
 
 /// Load parameters saved by save_parameters() into `model`. Throws
-/// hs::Error on I/O failure, format corruption, or any name/shape
-/// mismatch with the target model.
+/// hs::Error on I/O failure, format corruption (bad CRC, truncation), or
+/// any name/shape mismatch with the target model.
 void load_parameters(Layer& model, const std::string& path);
 
 /// In-memory round trip helpers (used by tests and by remote transports).
+/// `source` labels the byte stream in error messages (file path or
+/// "<memory>").
 [[nodiscard]] std::string serialize_parameters(Layer& model);
-void deserialize_parameters(Layer& model, const std::string& bytes);
+void deserialize_parameters(Layer& model, const std::string& bytes,
+                            const std::string& source = "<memory>");
 
 } // namespace hs::nn

@@ -1,5 +1,9 @@
 #include "nn/trainer.h"
 
+#include <cmath>
+#include <limits>
+
+#include "fault/fault.h"
 #include "obs/obs.h"
 #include "util/stopwatch.h"
 
@@ -19,11 +23,28 @@ EpochStats train_epoch(Layer& model, SoftmaxCrossEntropy& loss, Optimizer& opt,
         const data::Batch batch = loader.batch(b);
         opt.zero_grad();
         const Tensor logits = model.forward(batch.images, /*train=*/true);
-        loss_sum += loss.forward(logits, batch.labels);
+        const double batch_loss = loss.forward(logits, batch.labels);
+        // Divergence guard: a NaN/Inf loss means the weights (or the
+        // incoming gradients) are already poisoned — abort the epoch so
+        // the caller can roll back instead of training on garbage.
+        if (!std::isfinite(batch_loss))
+            throw NonFiniteLoss("non-finite loss " +
+                                std::to_string(batch_loss) + " at batch " +
+                                std::to_string(b) + " of " +
+                                std::to_string(batches));
+        loss_sum += batch_loss;
         correct_weighted += static_cast<std::int64_t>(
             accuracy(logits, batch.labels) * batch.size() + 0.5);
         total += batch.size();
-        (void)model.backward(loss.grad());
+        Tensor grad = loss.grad();
+        if (const auto fault = fault::at("trainer.nan_grad");
+            fault && fault->action == "nan") {
+            // Injected instability: poison the loss gradient the way an
+            // exploding update would, so the divergence shows up as a
+            // non-finite loss on the next batch.
+            grad.fill(std::numeric_limits<float>::quiet_NaN());
+        }
+        (void)model.backward(grad);
         opt.step();
     }
 

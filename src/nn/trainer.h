@@ -7,8 +7,18 @@
 #include "nn/loss.h"
 #include "nn/optimizer.h"
 #include "nn/sequential.h"
+#include "util/error.h"
 
 namespace hs::nn {
+
+/// Thrown by train_epoch() when the batch loss goes NaN/Inf — the model's
+/// weights are poisoned past that point, so callers must roll back to a
+/// known-good checkpoint (see headstart_prune_vgg's retry loop) rather
+/// than keep training. Fault site "trainer.nan_grad" injects this.
+class NonFiniteLoss : public Error {
+public:
+    explicit NonFiniteLoss(const std::string& what) : Error(what) {}
+};
 
 /// Result of one training epoch.
 struct EpochStats {

@@ -1,0 +1,24 @@
+#pragma once
+
+// CRC-32 (IEEE 802.3, polynomial 0xEDB88320) over a byte range. Used to
+// guard checkpoint payloads against torn writes and bit rot: cheap enough
+// to run on every load, strong enough to catch any burst shorter than the
+// polynomial and all single-bit flips.
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace hs {
+
+/// CRC-32 of `n` bytes at `data`; `seed` chains incremental updates
+/// (pass the previous return value to continue a running checksum).
+[[nodiscard]] std::uint32_t crc32(const void* data, std::size_t n,
+                                  std::uint32_t seed = 0);
+
+[[nodiscard]] inline std::uint32_t crc32(std::string_view bytes,
+                                         std::uint32_t seed = 0) {
+    return crc32(bytes.data(), bytes.size(), seed);
+}
+
+} // namespace hs

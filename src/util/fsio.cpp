@@ -1,0 +1,81 @@
+#include "util/fsio.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "fault/fault.h"
+#include "util/error.h"
+
+#ifndef _WIN32
+#include <unistd.h>
+#endif
+
+namespace hs {
+namespace {
+
+/// fsync the stdio stream's descriptor so the rename that follows cannot
+/// be reordered before the data blocks reach the device.
+void sync_stream(std::FILE* f, const std::string& path) {
+#ifndef _WIN32
+    require(fsync(fileno(f)) == 0, "fsync failed for '" + path + "'");
+#else
+    (void)f;
+    (void)path;
+#endif
+}
+
+} // namespace
+
+std::string read_file(const std::string& path) {
+    std::ifstream file(path, std::ios::binary);
+    require(file.good(), "cannot open '" + path + "' for reading");
+    std::ostringstream buffer;
+    buffer << file.rdbuf();
+    require(!file.bad(), "read failed for '" + path + "'");
+    return std::move(buffer).str();
+}
+
+void atomic_write_file(const std::string& path, std::string_view bytes) {
+    const std::string tmp = path + ".tmp";
+    if (const auto fault = fault::at("fsio.atomic_write")) {
+        if (fault->action == "fail")
+            throw Error("injected fault: atomic write of '" + path + "' failed");
+        if (fault->action == "torn") {
+            // Crash mid-write: a prefix of the temp file reaches disk and
+            // the rename never happens — `path` keeps its old contents.
+            const auto keep = std::min(
+                bytes.size(), static_cast<std::size_t>(fault->value));
+            std::FILE* f = std::fopen(tmp.c_str(), "wb");
+            require(f != nullptr, "cannot open '" + tmp + "' for writing");
+            std::fwrite(bytes.data(), 1, keep, f);
+            std::fclose(f);
+            throw Error("injected fault: torn write of '" + path + "' (" +
+                        std::to_string(keep) + " of " +
+                        std::to_string(bytes.size()) + " bytes)");
+        }
+    }
+
+    std::FILE* f = std::fopen(tmp.c_str(), "wb");
+    require(f != nullptr, "cannot open '" + tmp + "' for writing");
+    const std::size_t written = std::fwrite(bytes.data(), 1, bytes.size(), f);
+    if (written != bytes.size() || std::fflush(f) != 0) {
+        std::fclose(f);
+        std::remove(tmp.c_str());
+        throw Error("write failed for '" + tmp + "' (" +
+                    std::to_string(written) + " of " +
+                    std::to_string(bytes.size()) + " bytes)");
+    }
+    try {
+        sync_stream(f, tmp);
+    } catch (...) {
+        std::fclose(f);
+        std::remove(tmp.c_str());
+        throw;
+    }
+    require(std::fclose(f) == 0, "close failed for '" + tmp + "'");
+    require(std::rename(tmp.c_str(), path.c_str()) == 0,
+            "rename '" + tmp + "' -> '" + path + "' failed");
+}
+
+} // namespace hs

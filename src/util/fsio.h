@@ -1,0 +1,30 @@
+#pragma once
+
+// Crash-safe file I/O. Checkpoints are only useful if a crash mid-write
+// cannot destroy the previous good copy, so every writer in the repo goes
+// through atomic_write_file(): write a temp file next to the target,
+// flush + fsync it, then rename() over the destination — the POSIX
+// publish-or-nothing idiom. A reader therefore sees either the old bytes
+// or the complete new bytes, never a prefix.
+//
+// Fault injection (hs::fault), site "fsio.atomic_write":
+//   fail          throw before writing anything
+//   torn:<bytes>  write only the first <bytes> of the temp file, skip the
+//                 rename, and throw — simulating a crash mid-write; the
+//                 destination file is left untouched
+
+#include <string>
+#include <string_view>
+
+namespace hs {
+
+/// Read a whole file into a string. Throws hs::Error naming `path` on any
+/// failure.
+[[nodiscard]] std::string read_file(const std::string& path);
+
+/// Atomically replace `path` with `bytes` (temp file + fsync + rename).
+/// Throws hs::Error naming `path` on any failure; on failure the previous
+/// contents of `path` are preserved.
+void atomic_write_file(const std::string& path, std::string_view bytes);
+
+} // namespace hs

@@ -1,0 +1,135 @@
+// hs::fault harness semantics: spec grammar, hit gating (@start, #count),
+// deterministic probability, disarm/reseed, and the crash-safe file-write
+// sites the checkpoint path depends on.
+
+#include <filesystem>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "fault/fault.h"
+#include "util/crc32.h"
+#include "util/error.h"
+#include "util/fsio.h"
+
+namespace hs {
+namespace {
+
+class FaultTest : public ::testing::Test {
+protected:
+    void TearDown() override { fault::disarm(); }
+};
+
+TEST_F(FaultTest, DisabledByDefaultAndAfterDisarm) {
+    fault::disarm();
+    EXPECT_FALSE(fault::enabled());
+    EXPECT_FALSE(fault::at("any.site").has_value());
+    EXPECT_EQ(fault::hits("any.site"), 0);
+
+    fault::arm("some.site=fail");
+    EXPECT_TRUE(fault::enabled());
+    fault::disarm();
+    EXPECT_FALSE(fault::enabled());
+    EXPECT_FALSE(fault::at("some.site").has_value());
+}
+
+TEST_F(FaultTest, ActionValueAndUnmatchedSites) {
+    fault::arm("io.write=torn:64");
+    const auto hit = fault::at("io.write");
+    ASSERT_TRUE(hit.has_value());
+    EXPECT_EQ(hit->action, "torn");
+    EXPECT_DOUBLE_EQ(hit->value, 64.0);
+    // Other sites stay silent even while armed.
+    EXPECT_FALSE(fault::at("io.read").has_value());
+    EXPECT_TRUE(fault::should_fail("io.write") == false); // torn != fail
+}
+
+TEST_F(FaultTest, StartHitAndCountGating) {
+    fault::arm("site.a=fail@3#2");
+    // Hits 1-2 pass, hits 3-4 fire, hit 5+ exhausted.
+    EXPECT_FALSE(fault::at("site.a").has_value());
+    EXPECT_FALSE(fault::at("site.a").has_value());
+    EXPECT_TRUE(fault::at("site.a").has_value());
+    EXPECT_TRUE(fault::at("site.a").has_value());
+    EXPECT_FALSE(fault::at("site.a").has_value());
+    EXPECT_EQ(fault::hits("site.a"), 5);
+}
+
+TEST_F(FaultTest, MultipleEntriesAndReplacement) {
+    fault::arm("a=fail,b=delay:100");
+    EXPECT_TRUE(fault::should_fail("a"));
+    const auto b = fault::at("b");
+    ASSERT_TRUE(b.has_value());
+    EXPECT_EQ(b->action, "delay");
+    // Re-arming a site replaces its spec.
+    fault::arm("a=delay:5");
+    const auto a = fault::at("a");
+    ASSERT_TRUE(a.has_value());
+    EXPECT_EQ(a->action, "delay");
+}
+
+TEST_F(FaultTest, ProbabilityIsDeterministicUnderSeed) {
+    auto run_pattern = [] {
+        fault::disarm();
+        fault::arm("p.site=fail~0.5");
+        fault::reseed(1234);
+        std::string pattern;
+        for (int i = 0; i < 64; ++i)
+            pattern.push_back(fault::at("p.site").has_value() ? '1' : '0');
+        return pattern;
+    };
+    const std::string first = run_pattern();
+    const std::string second = run_pattern();
+    EXPECT_EQ(first, second);
+    // A 0.5 coin over 64 draws lands strictly inside (0, 64) with
+    // probability 1 - 2^-63; both extremes would mean a broken stream.
+    EXPECT_NE(first.find('1'), std::string::npos);
+    EXPECT_NE(first.find('0'), std::string::npos);
+}
+
+TEST_F(FaultTest, RejectsMalformedSpecs) {
+    EXPECT_THROW(fault::arm("no-equals-sign"), Error);
+    EXPECT_THROW(fault::arm("site="), Error);
+    EXPECT_THROW(fault::arm("site=fail@zero"), Error);
+    EXPECT_THROW(fault::arm("site=fail~2.0"), Error);
+    EXPECT_THROW(fault::arm("site=fail@0"), Error);
+    fault::disarm();
+}
+
+TEST_F(FaultTest, Crc32KnownVectors) {
+    // "123456789" is the classic CRC-32 check string.
+    EXPECT_EQ(crc32("123456789"), 0xCBF43926u);
+    EXPECT_EQ(crc32(""), 0x00000000u);
+    // Incremental chaining matches one-shot.
+    const std::uint32_t part = crc32("12345");
+    EXPECT_EQ(crc32(std::string_view("6789"), part), crc32("123456789"));
+}
+
+TEST_F(FaultTest, AtomicWriteReplacesAndSurvivesTornWrite) {
+    const std::string path =
+        (std::filesystem::temp_directory_path() / "hs_fault_atomic.bin")
+            .string();
+    atomic_write_file(path, "first version");
+    EXPECT_EQ(read_file(path), "first version");
+    atomic_write_file(path, "second version");
+    EXPECT_EQ(read_file(path), "second version");
+
+    // A torn write crashes mid-temp-file: the destination keeps its old
+    // contents byte for byte.
+    fault::arm("fsio.atomic_write=torn:4#1");
+    EXPECT_THROW(atomic_write_file(path, "third version, much longer"), Error);
+    EXPECT_EQ(read_file(path), "second version");
+    fault::disarm();
+
+    // And an injected plain failure leaves it untouched too.
+    fault::arm("fsio.atomic_write=fail#1");
+    EXPECT_THROW(atomic_write_file(path, "fourth"), Error);
+    EXPECT_EQ(read_file(path), "second version");
+    fault::disarm();
+
+    std::filesystem::remove(path);
+    std::filesystem::remove(path + ".tmp");
+}
+
+} // namespace
+} // namespace hs

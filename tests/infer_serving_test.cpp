@@ -144,6 +144,34 @@ TEST(Serving, StopDrainsAcceptedRequests) {
     EXPECT_FALSE(serving.submit(tagged_image(1.0f)).has_value());
 }
 
+TEST(Serving, StatsSafeWithZeroCompletedRequests) {
+    // Percentiles over an empty latency set must be well-defined zeros,
+    // not a divide-by-zero or an out-of-range index.
+    ServingEngine serving(identity_model(), ServingConfig{});
+    const ServingStats stats = serving.stats();
+    EXPECT_EQ(stats.completed, 0);
+    EXPECT_EQ(stats.rejected, 0);
+    EXPECT_EQ(stats.shed, 0);
+    EXPECT_EQ(stats.deadline_missed, 0);
+    EXPECT_EQ(stats.worker_restarts, 0);
+    EXPECT_EQ(stats.batches, 0);
+    EXPECT_DOUBLE_EQ(stats.mean_batch, 0.0);
+    EXPECT_DOUBLE_EQ(stats.p50_ms, 0.0);
+    EXPECT_DOUBLE_EQ(stats.p95_ms, 0.0);
+    EXPECT_DOUBLE_EQ(stats.p99_ms, 0.0);
+    EXPECT_DOUBLE_EQ(stats.throughput_rps, 0.0);
+}
+
+TEST(Serving, StopIsIdempotent) {
+    ServingEngine serving(identity_model(), ServingConfig{});
+    serving.stop();
+    serving.stop(); // second call must be an immediate no-op, not a hang
+    EXPECT_FALSE(serving.submit(tagged_image(1.0f)).has_value());
+    // stats() after stop() on an idle engine is still safe.
+    EXPECT_EQ(serving.stats().completed, 0);
+    serving.stop();
+}
+
 TEST(Serving, RejectsWrongShape) {
     ServingEngine serving(identity_model(), ServingConfig{});
     EXPECT_THROW((void)serving.submit(Tensor({kChannels + 1, 2, 2})), Error);

@@ -7,6 +7,7 @@
 #include <cstring>
 #include <filesystem>
 #include <utility>
+#include <vector>
 
 #include <gtest/gtest.h>
 
@@ -17,6 +18,7 @@
 #include "pruning/resnet_surgery.h"
 #include "pruning/surgery.h"
 #include "tensor/rng.h"
+#include "util/fsio.h"
 
 namespace hs::nn {
 namespace {
@@ -189,6 +191,95 @@ TEST(Serialize, RejectsUnknownVersion) {
     } catch (const Error& e) {
         EXPECT_NE(std::string(e.what()).find("version 99"), std::string::npos);
     }
+}
+
+// ---------------------------------------------------------------------
+// v3 corruption fuzz: every truncation point, CRC damage, and shape
+// mismatch must be rejected with an error naming the file path (the
+// `source`) and, where decoding stopped, the byte offset.
+
+TEST(Serialize, TruncationFuzzNamesPathAndOffset) {
+    models::LeNetConfig cfg;
+    auto a = models::make_lenet(cfg);
+    const std::string path =
+        (std::filesystem::temp_directory_path() / "hs_weights_fuzz.bin")
+            .string();
+    save_parameters(a.net, path);
+    const std::string bytes = read_file(path);
+    ASSERT_GT(bytes.size(), 64u);
+
+    // Cut inside the header, at every field boundary, and through the
+    // payload; every prefix must fail and say where.
+    const std::size_t cuts[] = {0,  3,  4,  11, 15, 19,
+                                23, 24, bytes.size() / 2, bytes.size() - 1};
+    for (const std::size_t cut : cuts) {
+        try {
+            deserialize_parameters(a.net, bytes.substr(0, cut), path);
+            FAIL() << "truncation at byte " << cut << " not rejected";
+        } catch (const Error& e) {
+            const std::string msg = e.what();
+            EXPECT_NE(msg.find(path), std::string::npos)
+                << "cut " << cut << ": message lacks file path: " << msg;
+            EXPECT_NE(msg.find("at byte"), std::string::npos)
+                << "cut " << cut << ": message lacks byte offset: " << msg;
+        }
+    }
+    std::remove(path.c_str());
+}
+
+TEST(Serialize, CrcFlipFuzzNamesPathAndOffset) {
+    models::LeNetConfig cfg;
+    auto a = models::make_lenet(cfg);
+    const std::string path =
+        (std::filesystem::temp_directory_path() / "hs_weights_crc.bin")
+            .string();
+    save_parameters(a.net, path);
+    const std::string bytes = read_file(path);
+    constexpr std::size_t kPayloadStart = 24; // magic+endian+ver+crc+len
+
+    // Flip one bit at a stride of payload offsets (and the stored CRC
+    // itself): each damaged copy must fail the checksum with location.
+    std::vector<std::size_t> offsets{12}; // stored CRC field
+    for (std::size_t off = kPayloadStart; off < bytes.size();
+         off += bytes.size() / 17 + 1)
+        offsets.push_back(off);
+    for (const std::size_t off : offsets) {
+        std::string damaged = bytes;
+        damaged[off] = static_cast<char>(damaged[off] ^ 0x40);
+        try {
+            deserialize_parameters(a.net, damaged, path);
+            FAIL() << "bit flip at byte " << off << " not rejected";
+        } catch (const Error& e) {
+            const std::string msg = e.what();
+            EXPECT_NE(msg.find("checksum mismatch"), std::string::npos)
+                << "flip " << off << ": " << msg;
+            EXPECT_NE(msg.find(path), std::string::npos) << msg;
+            EXPECT_NE(msg.find("at byte"), std::string::npos) << msg;
+        }
+    }
+    std::remove(path.c_str());
+}
+
+TEST(Serialize, ShapeMismatchNamesPathAndOffset) {
+    models::LeNetConfig cfg;
+    auto a = models::make_lenet(cfg);
+    const std::string path =
+        (std::filesystem::temp_directory_path() / "hs_weights_shape.bin")
+            .string();
+    save_parameters(a.net, path);
+
+    cfg.conv1_maps += 2; // same layer list, different tensor shapes
+    auto b = models::make_lenet(cfg);
+    try {
+        load_parameters(b.net, path);
+        FAIL() << "shape mismatch not rejected";
+    } catch (const Error& e) {
+        const std::string msg = e.what();
+        EXPECT_NE(msg.find("shape mismatch"), std::string::npos) << msg;
+        EXPECT_NE(msg.find(path), std::string::npos) << msg;
+        EXPECT_NE(msg.find("at byte"), std::string::npos) << msg;
+    }
+    std::remove(path.c_str());
 }
 
 TEST(Serialize, RejectsCorruption) {
