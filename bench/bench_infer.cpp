@@ -1,19 +1,28 @@
 // Frozen-engine inference bench: batch-1 latency of the live layer graph
 // (eval-mode Sequential forward) vs the frozen engine (BN folded, bias and
-// ReLU fused, planned arena) on scaled VGG-16 — base and sp=2 pruned —
-// and a small ResNet. Measured CPU fps is printed next to the roofline
-// simulator's estimate for the same model on the Xeon E5-2620, closing
-// the measured-vs-modelled loop (DESIGN.md §8).
+// ReLU fused, planned arena) vs the int8 quantized engine (per-channel
+// weight scales, fused dequant epilogue) on scaled VGG-16 — base and sp=2
+// pruned — and a small ResNet. Measured CPU fps is printed next to the
+// roofline simulator's estimate for the same model on the Xeon E5-2620,
+// closing the measured-vs-modelled loop (DESIGN.md §8, §10).
+//
+// The int8 column carries its own quality gate: top-1 accuracy of fp32
+// and int8 on a synthetic eval set (labels exact by construction), their
+// delta in points, and the per-image argmax agreement — all exported as
+// gauges into BENCH_infer.json so a regression in either speed or
+// fidelity is machine-visible.
 //
 // Timing is median-of-k single-image forwards after warmup, so one-off
-// page faults and allocator warmup do not skew either side.
+// page faults and allocator warmup do not skew any side.
 
 #include <algorithm>
 #include <cstdio>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "bench/common.h"
+#include "data/synthetic.h"
 #include "gpusim/device.h"
 #include "gpusim/roofline.h"
 #include "infer/infer.h"
@@ -68,14 +77,49 @@ models::VggModel halved_vgg(const models::VggModel& original) {
     return pruned;
 }
 
+int argmax(std::span<const float> row) {
+    return static_cast<int>(
+        std::max_element(row.begin(), row.end()) - row.begin());
+}
+
+/// Top-1 accuracy of `engine` on the split, plus per-image predictions.
+double top1(infer::Engine& engine, const data::Split& split, int classes,
+            std::vector<int>& preds) {
+    const int n = split.size();
+    preds.resize(static_cast<std::size_t>(n));
+    const int batch = engine.max_batch();
+    int correct = 0;
+    for (int i0 = 0; i0 < n; i0 += batch) {
+        const int b = std::min(batch, n - i0);
+        const std::int64_t per = split.images.numel() / n;
+        Tensor x({b, 3, split.images.dim(2), split.images.dim(3)});
+        std::copy_n(split.images.data().data() + i0 * per, b * per,
+                    x.data().data());
+        const Tensor out = engine.run(x);
+        for (int i = 0; i < b; ++i) {
+            const int p = argmax(out.data().subspan(
+                static_cast<std::size_t>(i * classes),
+                static_cast<std::size_t>(classes)));
+            preds[static_cast<std::size_t>(i0 + i)] = p;
+            if (p == split.labels[static_cast<std::size_t>(i0 + i)]) ++correct;
+        }
+    }
+    return 100.0 * correct / n;
+}
+
 struct RowResult {
     double naive_ms = 0.0;
     double frozen_ms = 0.0;
     double frozen_fps = 0.0;
+    double int8_ms = 0.0;
+    double int8_speedup = 0.0;   ///< frozen fp32 ms / int8 ms, batch 1
+    double top1_delta_pts = 0.0; ///< |top1(fp32) − top1(int8)| in points
+    double agreement = 0.0;      ///< fraction of images with equal argmax
 };
 
 RowResult bench_model(TablePrinter& table, const char* name,
-                      nn::Sequential& net, int input_size, int reps) {
+                      nn::Sequential& net, int input_size, int reps,
+                      const data::SyntheticImageDataset& eval) {
     const Shape chw{3, input_size, input_size};
     const Tensor x = random_image(3, input_size, 17);
 
@@ -87,15 +131,57 @@ RowResult bench_model(TablePrinter& table, const char* name,
     infer::Engine engine(frozen, 1);
     const double frozen_ms = median_ms(reps, [&] { (void)engine.run(x); });
 
+    // Int8 twin: calibrate on a slice of the train split (representative
+    // activations), then time the same batch-1 loop.
+    const int calib_n = std::min(8, eval.train().size());
+    const std::int64_t per = eval.train().images.numel() / eval.train().size();
+    Tensor calib({calib_n, 3, input_size, input_size});
+    std::copy_n(eval.train().images.data().data(),
+                static_cast<std::int64_t>(calib_n) * per, calib.data().data());
+    auto int8 = std::make_shared<const infer::FrozenModel>(
+        infer::quantize(*frozen, calib));
+    infer::Engine qengine(int8, 1);
+    const double int8_ms = median_ms(reps, [&] { (void)qengine.run(x); });
+
+    // Fidelity: top-1 of both precisions on the labeled eval set.
+    const int classes = static_cast<int>(frozen->output_elems);
+    infer::Engine feval(frozen, 16);
+    infer::Engine qeval(int8, 16);
+    std::vector<int> fp, qp;
+    const double f_top1 = top1(feval, eval.test(), classes, fp);
+    const double q_top1 = top1(qeval, eval.test(), classes, qp);
+    int agree = 0;
+    for (std::size_t i = 0; i < fp.size(); ++i)
+        if (fp[i] == qp[i]) ++agree;
+
     const auto roofline =
         gpusim::estimate_inference(net, chw, gpusim::xeon_e5_2620(), 1);
-    const double frozen_fps = 1e3 / frozen_ms;
+    RowResult r;
+    r.naive_ms = naive_ms;
+    r.frozen_ms = frozen_ms;
+    r.frozen_fps = 1e3 / frozen_ms;
+    r.int8_ms = int8_ms;
+    r.int8_speedup = frozen_ms / int8_ms;
+    r.top1_delta_pts = std::abs(f_top1 - q_top1);
+    r.agreement = fp.empty() ? 0.0 : static_cast<double>(agree) / fp.size();
     table.add_row({name, TablePrinter::num(naive_ms, 3),
                    TablePrinter::num(frozen_ms, 3),
-                   TablePrinter::num(naive_ms / frozen_ms, 2) + "x",
-                   TablePrinter::num(frozen_fps, 1),
+                   TablePrinter::num(int8_ms, 3),
+                   TablePrinter::num(r.int8_speedup, 2) + "x",
+                   TablePrinter::num(1e3 / int8_ms, 1),
+                   TablePrinter::num(r.top1_delta_pts, 2),
+                   TablePrinter::num(100.0 * r.agreement, 1) + "%",
                    TablePrinter::num(roofline.fps, 1)});
-    return {naive_ms, frozen_ms, frozen_fps};
+    return r;
+}
+
+void export_row(const char* key, const RowResult& r) {
+    const std::string k(key);
+    obs::gauge_set("infer." + k + "_speedup", r.naive_ms / r.frozen_ms);
+    obs::gauge_set("infer.int8_" + k + "_speedup", r.int8_speedup);
+    obs::gauge_set("infer.int8_" + k + "_ms", r.int8_ms);
+    obs::gauge_set("infer.int8_" + k + "_top1_delta_pts", r.top1_delta_pts);
+    obs::gauge_set("infer.int8_" + k + "_argmax_agreement", r.agreement);
 }
 
 } // namespace
@@ -124,22 +210,35 @@ int main(int argc, char** argv) {
     }
     resnet.net.zero_grad();
 
-    TablePrinter table({"model", "naive ms", "frozen ms", "speedup",
-                        "measured fps", "roofline fps"});
-    const RowResult base =
-        bench_model(table, "VGG-16 (scaled)", vgg.net, vgg_cfg.input_size, reps);
+    // Eval set matching the models' class count and input geometry; the
+    // train split doubles as the quantization calibration source.
+    data::SyntheticConfig eval_cfg;
+    eval_cfg.num_classes = vgg_cfg.num_classes;
+    eval_cfg.image_size = vgg_cfg.input_size;
+    eval_cfg.train_per_class = 1;
+    eval_cfg.test_per_class = bench::scale() == bench::Scale::kFull    ? 25
+                              : bench::scale() == bench::Scale::kQuick ? 10
+                                                                       : 4;
+    const data::SyntheticImageDataset eval(eval_cfg);
+
+    TablePrinter table({"model", "naive ms", "fp32 ms", "int8 ms",
+                        "int8 speedup", "int8 fps", "top1 Δpt", "agree",
+                        "roofline fps"});
+    const RowResult base = bench_model(table, "VGG-16 (scaled)", vgg.net,
+                                       vgg_cfg.input_size, reps, eval);
     const RowResult pruned = bench_model(table, "VGG-16 sp=2", vgg_pruned.net,
-                                         vgg_cfg.input_size, reps);
-    const RowResult res =
-        bench_model(table, "ResNet-14", resnet.net, res_cfg.input_size, reps);
+                                         vgg_cfg.input_size, reps, eval);
+    const RowResult res = bench_model(table, "ResNet-14", resnet.net,
+                                      res_cfg.input_size, reps, eval);
     table.print();
 
-    obs::gauge_set("infer.vgg_speedup", base.naive_ms / base.frozen_ms);
-    obs::gauge_set("infer.vgg_pruned_speedup",
-                   pruned.naive_ms / pruned.frozen_ms);
-    obs::gauge_set("infer.resnet_speedup", res.naive_ms / res.frozen_ms);
+    export_row("vgg", base);
+    export_row("vgg_pruned", pruned);
+    export_row("resnet", res);
     obs::RunReport::global().set_config("reps",
                                         static_cast<std::int64_t>(reps));
+    obs::RunReport::global().set_config(
+        "eval_images", static_cast<std::int64_t>(eval.test().size()));
 
     bench::bench_finish(run, total.seconds());
     return 0;

@@ -4,14 +4,16 @@
 // synthetic open-loop traffic through the batching runtime — reporting
 // p50/p95/p99 latency and throughput.
 //
-//   serve_pruned [--smoke] [--json <path>] [--weights <path>]
+//   serve_pruned [--smoke] [--int8] [--json <path>] [--weights <path>]
 //                [--requests N] [--rps R] [--workers N] [--batch N]
 //                [--delay-us N] [--deadline-us N] [--watchdog-us N]
 //                [--retries N]
 //
 // `--smoke` shrinks the run to a couple of seconds (used by the CTest
-// smoke test); `--json` writes the hs::obs run report with the serving
-// percentiles as gauges. Backpressure is handled like a real client:
+// smoke test); `--int8` quantizes the frozen plan (calibrating on a
+// synthetic batch) and round-trips it through the v4 frozen-model file
+// before serving, exercising the full deploy path; `--json` writes the
+// hs::obs run report with the serving percentiles as gauges. Backpressure is handled like a real client:
 // rejected submits are retried with exponential backoff (seeded from the
 // engine's retry-after hint) up to `--retries` times before giving up,
 // and the report includes the shed / deadline-missed / worker-restart
@@ -45,6 +47,7 @@ using namespace hs;
 
 struct Options {
     bool smoke = false;
+    bool int8 = false;
     std::string json_path;
     std::string weights_path;
     int requests = 256;
@@ -68,6 +71,7 @@ Options parse_options(int argc, char** argv) {
     };
     for (int i = 1; i < argc; ++i) {
         if (std::strcmp(argv[i], "--smoke") == 0) opt.smoke = true;
+        else if (std::strcmp(argv[i], "--int8") == 0) opt.int8 = true;
         else if (std::strcmp(argv[i], "--json") == 0) opt.json_path = value(i);
         else if (std::strcmp(argv[i], "--weights") == 0)
             opt.weights_path = value(i);
@@ -150,6 +154,26 @@ int main(int argc, char** argv) {
         served.net, {cfg.input_channels, cfg.input_size, cfg.input_size}));
     std::printf("frozen: %zu ops, %.2f MMACs/image\n", frozen->ops.size(),
                 static_cast<double>(frozen->macs) * 1e-6);
+
+    // Optional int8 deploy path: calibrate + quantize, then round-trip
+    // the plan through the v4 frozen-model container exactly as a
+    // deployment would ship it to a serving host.
+    if (opt.int8) {
+        Tensor calib({8, cfg.input_channels, cfg.input_size, cfg.input_size});
+        Rng calib_rng(11);
+        calib_rng.fill_normal(calib, 0.0, 1.0);
+        const infer::FrozenModel quantized = infer::quantize(*frozen, calib);
+        const std::string frozen_path =
+            (std::filesystem::temp_directory_path() /
+             "hs_serve_pruned_frozen_int8.bin")
+                .string();
+        infer::save_frozen(quantized, frozen_path);
+        frozen = std::make_shared<const infer::FrozenModel>(
+            infer::load_frozen(frozen_path));
+        std::remove(frozen_path.c_str());
+        std::printf("int8: quantized plan round-tripped through %s\n",
+                    frozen_path.c_str());
+    }
 
     // 3. Open-loop synthetic traffic at a fixed request rate.
     infer::ServingConfig serve_cfg;
@@ -241,6 +265,8 @@ int main(int argc, char** argv) {
 
     auto& report = obs::RunReport::global();
     report.set_config("example", std::string("serve_pruned"));
+    report.set_config("precision",
+                      std::string(opt.int8 ? "int8" : "fp32"));
     report.set_config("requests", static_cast<std::int64_t>(opt.requests));
     report.set_config("rps", opt.rps);
     report.set_config("workers", static_cast<std::int64_t>(opt.workers));

@@ -16,7 +16,9 @@ for b in build/bench/*; do
       # google-benchmark binary: own flag parser, no --json run report.
       "$b" >> "$out" 2>&1 ;;
     *)
-      "$b" --json "$outdir/BENCH_${name}.json" >> "$out" 2>&1 ;;
+      # Reports are named after the artifact, not the binary:
+      # bench_infer -> BENCH_infer.json.
+      "$b" --json "$outdir/BENCH_${name#bench_}.json" >> "$out" 2>&1 ;;
   esac
   echo "exit=$? $b" >> "$out"
 done

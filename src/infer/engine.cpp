@@ -6,6 +6,7 @@
 
 #include "fault/fault.h"
 #include "tensor/gemm.h"
+#include "tensor/gemm_int8.h"
 #include "tensor/im2col.h"
 #include "util/error.h"
 
@@ -32,6 +33,31 @@ Engine::Engine(std::shared_ptr<const FrozenModel> model, int max_batch)
     off += model_->cols_elems;
     tr_off_ = off;
     off += model_->tr_elems;
+    // Int8 plan: size the quantized-operand (u8) and accumulator (s32)
+    // scratch for the widest conv (per image) / FC (whole batch) op.
+    std::int64_t q_elems = 0;
+    std::int64_t acc_elems = 0;
+    if (model_->precision == Precision::kInt8) {
+        for (const FrozenOp& op : model_->ops) {
+            if (op.kind == OpKind::kConv) {
+                // Quantized image + padded patch rows (exec_conv_q).
+                const std::int64_t patch =
+                    op.in_elems + padded_k(op.geom.col_rows()) *
+                                      op.geom.col_cols();
+                const std::int64_t acc =
+                    static_cast<std::int64_t>(op.out_channels) *
+                    op.geom.col_cols();
+                if (patch > q_elems) q_elems = patch;
+                if (acc > acc_elems) acc_elems = acc;
+            } else if (op.kind == OpKind::kLinear) {
+                const std::int64_t in = padded_k(op.in_elems) * max_batch_;
+                const std::int64_t acc =
+                    static_cast<std::int64_t>(op.out_channels) * max_batch_;
+                if (in > q_elems) q_elems = in;
+                if (acc > acc_elems) acc_elems = acc;
+            }
+        }
+    }
     // The arena is the engine's only allocation; an injected failure here
     // stands in for OOM at engine bring-up (e.g. a watchdog respawn on a
     // memory-starved host).
@@ -40,6 +66,8 @@ Engine::Engine(std::shared_ptr<const FrozenModel> model, int max_batch)
                 std::to_string(off * static_cast<std::int64_t>(sizeof(float))) +
                 " bytes failed");
     arena_.assign(static_cast<std::size_t>(off), 0.0f);
+    qarena_.assign(static_cast<std::size_t>(q_elems), 0);
+    iarena_.assign(static_cast<std::size_t>(acc_elems), 0);
 }
 
 Tensor Engine::run(const Tensor& input) {
@@ -70,20 +98,57 @@ void Engine::run(std::span<const float> input, int batch,
             "Engine output span size mismatch");
 
     std::memcpy(slot(0), input.data(), input.size() * sizeof(float));
+    exec_ops(batch, nullptr);
+    std::memcpy(output.data(), slot(model_->output_slot),
+                output.size() * sizeof(float));
+}
 
+void Engine::run_calibrate(const Tensor& input,
+                           std::vector<float>& op_in_maxabs) {
+    require(model_->precision == Precision::kFloat32,
+            "run_calibrate needs the fp32 plan (calibration precedes "
+            "quantization)");
+    require(input.rank() == 4, "run_calibrate expects NCHW input");
+    const int batch = input.dim(0);
+    require(batch >= 1 && batch <= max_batch_,
+            "run_calibrate batch must be in [1, max_batch]");
+    require(input.numel() == model_->input_elems * batch,
+            "run_calibrate input shape mismatch");
+    op_in_maxabs.resize(model_->ops.size(), 0.0f);
+    std::memcpy(slot(0), input.data().data(),
+                static_cast<std::size_t>(input.numel()) * sizeof(float));
+    exec_ops(batch, op_in_maxabs.data());
+}
+
+void Engine::exec_ops(int batch, float* op_in_maxabs) {
+    const bool int8 = model_->precision == Precision::kInt8;
+    std::size_t idx = 0;
     for (const FrozenOp& op : model_->ops) {
+        if (op_in_maxabs != nullptr) {
+            const float* src = slot(op.in);
+            const std::int64_t n =
+                static_cast<std::int64_t>(batch) * op.in_elems;
+            float m = op_in_maxabs[idx];
+            for (std::int64_t i = 0; i < n; ++i) {
+                const float a = src[i] < 0.0f ? -src[i] : src[i];
+                if (a > m) m = a;
+            }
+            op_in_maxabs[idx] = m;
+        }
         switch (op.kind) {
-        case OpKind::kConv: exec_conv(op, batch); break;
-        case OpKind::kLinear: exec_linear(op, batch); break;
+        case OpKind::kConv:
+            int8 ? exec_conv_q(op, batch) : exec_conv(op, batch);
+            break;
+        case OpKind::kLinear:
+            int8 ? exec_linear_q(op, batch) : exec_linear(op, batch);
+            break;
         case OpKind::kScale: exec_scale(op, batch); break;
         case OpKind::kMaxPool: exec_maxpool(op, batch); break;
         case OpKind::kGlobalAvgPool: exec_gavgpool(op, batch); break;
         case OpKind::kAdd: exec_add(op, batch); break;
         }
+        ++idx;
     }
-
-    std::memcpy(output.data(), slot(model_->output_slot),
-                output.size() * sizeof(float));
 }
 
 void Engine::exec_conv(const FrozenOp& op, int batch) {
@@ -136,6 +201,53 @@ void Engine::exec_conv(const FrozenOp& op, int batch) {
         relu_inplace(out, static_cast<std::int64_t>(batch) * op.out_elems);
 }
 
+void Engine::exec_conv_q(const FrozenOp& op, int batch) {
+    const float* in = slot(op.in);
+    float* out = slot(op.out);
+    const ConvGeom& g = op.geom;
+    const std::int64_t ckk = g.col_rows();
+    const std::int64_t ohw = g.col_cols();
+    const int f = op.out_channels;
+    const auto bias = op.bias.data();
+    const float inv_in = op.in_scale > 0.0f ? 1.0f / op.in_scale : 0.0f;
+    const std::int64_t k_pad = padded_k(ckk);
+    std::uint8_t* qimg = qarena_.data();
+    std::uint8_t* qrows = qimg + op.in_elems;
+    std::int32_t* acc = iarena_.data();
+
+    for (int i = 0; i < batch; ++i) {
+        const float* image = in + static_cast<std::int64_t>(i) * op.in_elems;
+        float* dst = out + static_cast<std::int64_t>(i) * op.out_elems;
+        // Quantize the image once, then gather padded byte patch rows
+        // ([oh·ow, k_pad]) — the Bᵀ operand of the fused GEMM. Rows are
+        // padded with the zero point so the kernel never runs a k-tail.
+        quantize_u8({image, static_cast<std::size_t>(op.in_elems)}, inv_in,
+                    {qimg, static_cast<std::size_t>(op.in_elems)});
+        im2row_u8(g, {qimg, static_cast<std::size_t>(op.in_elems)}, k_pad,
+                  {qrows, static_cast<std::size_t>(k_pad * ohw)});
+        gemm_s8u8_bt(f, static_cast<int>(ohw), static_cast<int>(k_pad),
+                     {op.qweight.data(), op.qweight.size()},
+                     {qrows, static_cast<std::size_t>(k_pad * ohw)},
+                     {acc, static_cast<std::size_t>(f * ohw)});
+        // Fused requantize epilogue: one pass writes fp32 + bias + ReLU.
+        for (int r = 0; r < f; ++r) {
+            const float s = op.qscale[static_cast<std::size_t>(r)] *
+                            op.in_scale;
+            const float b = bias[r];
+            const std::int32_t* arow =
+                acc + static_cast<std::int64_t>(r) * ohw;
+            float* drow = dst + static_cast<std::int64_t>(r) * ohw;
+            if (op.relu_after)
+                for (std::int64_t j = 0; j < ohw; ++j)
+                    drow[j] = std::max(
+                        0.0f, s * static_cast<float>(arow[j]) + b);
+            else
+                for (std::int64_t j = 0; j < ohw; ++j)
+                    drow[j] = s * static_cast<float>(arow[j]) + b;
+        }
+    }
+}
+
 void Engine::exec_linear(const FrozenOp& op, int batch) {
     const float* in = slot(op.in);
     float* out = slot(op.out);
@@ -150,6 +262,54 @@ void Engine::exec_linear(const FrozenOp& op, int batch) {
             1.0f, {out, static_cast<std::size_t>(batch) * out_f});
     if (op.relu_after)
         relu_inplace(out, static_cast<std::int64_t>(batch) * out_f);
+}
+
+void Engine::exec_linear_q(const FrozenOp& op, int batch) {
+    const float* in = slot(op.in);
+    float* out = slot(op.out);
+    const int in_f = static_cast<int>(op.in_elems);
+    const int out_f = op.out_channels;
+    const auto bias = op.bias.data();
+    const float inv_in = op.in_scale > 0.0f ? 1.0f / op.in_scale : 0.0f;
+    std::uint8_t* qin = qarena_.data();
+    std::int32_t* acc = iarena_.data();
+
+    // Quantize each input row at the padded stride. The pad bytes are
+    // left untouched: the matching weight pad is zero, so they cannot
+    // contribute to any product.
+    const std::int64_t in_pad = padded_k(in_f);
+    if (in_pad == in_f) {
+        const std::size_t total = static_cast<std::size_t>(batch) *
+                                  static_cast<std::size_t>(in_f);
+        quantize_u8({in, total}, inv_in, {qin, total});
+    } else {
+        for (int i = 0; i < batch; ++i)
+            quantize_u8({in + static_cast<std::int64_t>(i) * in_f,
+                         static_cast<std::size_t>(in_f)},
+                        inv_in,
+                        {qin + static_cast<std::int64_t>(i) * in_pad,
+                         static_cast<std::size_t>(in_f)});
+    }
+    // acc is [out_f, batch] (the kernel's natural layout); the epilogue
+    // restores [batch, out_f] while dequantizing.
+    gemm_s8u8_bt(out_f, batch, static_cast<int>(in_pad),
+                 {op.qweight.data(), op.qweight.size()},
+                 {qin, static_cast<std::size_t>(batch) *
+                           static_cast<std::size_t>(in_pad)},
+                 {acc, static_cast<std::size_t>(out_f) *
+                           static_cast<std::size_t>(batch)});
+    for (int r = 0; r < out_f; ++r) {
+        const float s = op.qscale[static_cast<std::size_t>(r)] * op.in_scale;
+        const float b = bias[r];
+        for (int i = 0; i < batch; ++i) {
+            const float v =
+                s * static_cast<float>(
+                        acc[static_cast<std::int64_t>(r) * batch + i]) +
+                b;
+            out[static_cast<std::int64_t>(i) * out_f + r] =
+                op.relu_after ? std::max(0.0f, v) : v;
+        }
+    }
 }
 
 void Engine::exec_scale(const FrozenOp& op, int batch) {

@@ -8,6 +8,15 @@
 // accumulates onto it (beta = 1), and ReLU is applied in place where the
 // freeze pass fused it; the OpenMP GEMM kernels are untouched.
 //
+// A Precision::kInt8 plan (quantize.h) swaps the conv/FC inner loops for
+// the int8 kernels in tensor/gemm_int8.h: the input activation is
+// quantized to u8 (fused with the patch extraction for convs), multiplied
+// against the packed int8 weights with int32 accumulation, and the
+// requantize/dequantize + bias + ReLU epilogue writes fp32 straight back
+// into the activation slot — no extra passes. The planner sizes two
+// additional scratch regions for that path (quantized operand bytes and
+// int32 accumulators); every other op runs fp32 unchanged.
+//
 // An Engine is cheap (one arena) but stateful: use one Engine per thread.
 // The FrozenModel behind it is immutable and safely shared.
 
@@ -30,10 +39,14 @@ public:
 
     [[nodiscard]] const FrozenModel& model() const { return *model_; }
     [[nodiscard]] int max_batch() const { return max_batch_; }
-    /// Arena footprint in bytes (activations + im2col scratch).
+    /// Arena footprint in bytes (activations + im2col scratch + the int8
+    /// quantized-operand and int32 accumulator scratch of an int8 plan).
     [[nodiscard]] std::int64_t arena_bytes() const {
         return static_cast<std::int64_t>(arena_.size()) *
-               static_cast<std::int64_t>(sizeof(float));
+                   static_cast<std::int64_t>(sizeof(float)) +
+               static_cast<std::int64_t>(qarena_.size()) +
+               static_cast<std::int64_t>(iarena_.size()) *
+                   static_cast<std::int64_t>(sizeof(std::int32_t));
     }
 
     /// Run a batch: input is [N, C, H, W] with N <= max_batch(); returns
@@ -44,10 +57,18 @@ public:
     /// floats, `output` receives batch·output_elems floats.
     void run(std::span<const float> input, int batch, std::span<float> output);
 
+    /// Calibration pass (quantize.h): run [N, C, H, W] through the plan
+    /// and fold the max-abs of every op's input activation into
+    /// `op_in_maxabs` (one entry per model op, taking the running max so
+    /// several batches can be folded in). The output is discarded.
+    void run_calibrate(const Tensor& input, std::vector<float>& op_in_maxabs);
+
 private:
     std::shared_ptr<const FrozenModel> model_;
     int max_batch_;
     std::vector<float> arena_;
+    std::vector<std::uint8_t> qarena_;  ///< int8 plan: quantized operand
+    std::vector<std::int32_t> iarena_;  ///< int8 plan: int32 accumulators
     std::array<std::int64_t, kNumSlots> slot_off_{};
     std::int64_t cols_off_ = 0;
     std::int64_t tr_off_ = 0;
@@ -56,8 +77,11 @@ private:
         return arena_.data() + slot_off_[static_cast<std::size_t>(s)];
     }
 
+    void exec_ops(int batch, float* op_in_maxabs);
     void exec_conv(const FrozenOp& op, int batch);
+    void exec_conv_q(const FrozenOp& op, int batch);
     void exec_linear(const FrozenOp& op, int batch);
+    void exec_linear_q(const FrozenOp& op, int batch);
     void exec_scale(const FrozenOp& op, int batch);
     void exec_maxpool(const FrozenOp& op, int batch);
     void exec_gavgpool(const FrozenOp& op, int batch);

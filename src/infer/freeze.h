@@ -34,6 +34,13 @@
 
 namespace hs::infer {
 
+/// Numeric plan of a FrozenModel. kFloat32 is what freeze() emits;
+/// kInt8 plans come out of quantize() (quantize.h): conv/FC weights are
+/// packed int8 with per-output-channel scales, activations are quantized
+/// per tensor on entry to each conv/FC and dequantized (fused with bias
+/// and ReLU) on exit, everything else stays fp32.
+enum class Precision { kFloat32, kInt8 };
+
 /// Frozen instruction kinds (see FrozenOp).
 enum class OpKind {
     kConv,           ///< im2col + GEMM conv, bias folded in, optional ReLU
@@ -80,11 +87,21 @@ struct FrozenOp {
     Shape out_shape;       ///< per-image output shape
     std::int64_t in_elems = 0;   ///< product of in_shape
     std::int64_t out_elems = 0;  ///< product of out_shape
+
+    // Int8 side data, populated by quantize() on kConv/kLinear ops of a
+    // Precision::kInt8 plan (empty otherwise). qweight is always packed
+    // in row-major [F, C·k·k] / [out, in] — the int8 dot-product kernel
+    // has contiguous operands for every shape, so the fp32 deep-layer
+    // `transposed` repack does not apply (the flag is ignored in int8).
+    std::vector<std::int8_t> qweight;
+    std::vector<float> qscale;  ///< per-output-channel weight scale
+    float in_scale = 0.0f;      ///< per-tensor input activation scale
 };
 
 /// A compiled model: flat op list + the memory plan for one image.
 /// Immutable after freeze(); share via shared_ptr<const FrozenModel>.
 struct FrozenModel {
+    Precision precision = Precision::kFloat32;
     Shape input_chw;       ///< expected per-image input shape [C, H, W]
     Shape output_shape;    ///< per-image output shape (e.g. [classes])
     std::vector<FrozenOp> ops;

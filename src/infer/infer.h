@@ -2,16 +2,25 @@
 
 // Umbrella header for the hs::infer frozen-inference subsystem.
 //
-//   * freeze.h  — compile a trained/pruned model into a flat op list with
-//                 BatchNorm folded into conv weights and ReLU/bias fused
-//   * engine.h  — execute a FrozenModel with a pre-planned arena (zero
-//                 hot-path allocations)
-//   * serving.h — thread-pool runtime with dynamic micro-batching and
-//                 bounded-queue backpressure
+//   * freeze.h    — compile a trained/pruned model into a flat op list
+//                   with BatchNorm folded into conv weights and ReLU/bias
+//                   fused
+//   * quantize.h  — post-training int8 quantization of a frozen plan
+//                   (per-channel weight scales, calibrated activation
+//                   scales)
+//   * engine.h    — execute a FrozenModel (fp32 or int8) with a
+//                   pre-planned arena (zero hot-path allocations)
+//   * serving.h   — thread-pool runtime with dynamic micro-batching and
+//                   bounded-queue backpressure, hosting either precision
+//   * frozen_io.h — ship a compiled plan (v4 container) to a serving host
+//                   that never builds the live graph
 //
 // Typical deployment path: train/prune -> save_parameters -> (new process)
-// load_parameters -> freeze -> Engine or ServingEngine. See DESIGN.md §8.
+// load_parameters -> freeze -> [quantize] -> [save_frozen/load_frozen] ->
+// Engine or ServingEngine. See DESIGN.md §8 and §10.
 
 #include "infer/engine.h"
 #include "infer/freeze.h"
+#include "infer/frozen_io.h"
+#include "infer/quantize.h"
 #include "infer/serving.h"

@@ -1,0 +1,80 @@
+#include "infer/quantize.h"
+
+#include <cmath>
+#include <memory>
+#include <vector>
+
+#include "infer/engine.h"
+#include "tensor/gemm_int8.h"
+#include "util/error.h"
+
+namespace hs::infer {
+
+FrozenModel quantize(const FrozenModel& model, const Tensor& calibration) {
+    require(model.precision == Precision::kFloat32,
+            "quantize: model is already int8");
+    require(calibration.rank() == 4 && calibration.dim(0) >= 1,
+            "quantize: calibration batch must be [N, C, H, W] with N >= 1");
+    const Shape& chw = model.input_chw;
+    require(calibration.dim(1) == chw[0] && calibration.dim(2) == chw[1] &&
+                calibration.dim(3) == chw[2],
+            "quantize: calibration shape mismatch: expected [N, " +
+                shape_str(chw) + "], got " + shape_str(calibration.shape()));
+
+    // Activation-scale calibration: one fp32 pass recording per-op input
+    // max-abs. The engine is temporary; its arena dies with this scope.
+    std::vector<float> op_in_maxabs;
+    {
+        auto fp32 = std::make_shared<const FrozenModel>(model);
+        Engine engine(fp32, calibration.dim(0));
+        engine.run_calibrate(calibration, op_in_maxabs);
+    }
+
+    FrozenModel q = model;
+    q.precision = Precision::kInt8;
+    q.tr_elems = 0;  // the fp32 transposed-conv scratch has no int8 use
+    for (std::size_t i = 0; i < q.ops.size(); ++i) {
+        FrozenOp& op = q.ops[i];
+        if (op.kind != OpKind::kConv && op.kind != OpKind::kLinear) continue;
+
+        const int f = op.out_channels;
+        const std::int64_t cols = op.kind == OpKind::kConv
+                                      ? op.geom.col_rows()
+                                      : op.in_elems;
+        // Rows are padded to the kernel's byte alignment with zero
+        // weights, so the GEMM over padded activations never runs a
+        // scalar k-tail (gemm_int8.h).
+        const std::int64_t k_pad = padded_k(cols);
+        const auto w = op.weight.data();
+        op.qweight.assign(static_cast<std::size_t>(f) *
+                              static_cast<std::size_t>(k_pad),
+                          0);
+        op.qscale.resize(static_cast<std::size_t>(f));
+        std::vector<float> row(static_cast<std::size_t>(cols));
+        for (int r = 0; r < f; ++r) {
+            // Transposed convs store the weight [C·k·k, F]; regather the
+            // filter row so qweight is uniformly [F, C·k·k].
+            for (std::int64_t j = 0; j < cols; ++j)
+                row[static_cast<std::size_t>(j)] =
+                    op.transposed
+                        ? w[static_cast<std::size_t>(j * f + r)]
+                        : w[static_cast<std::size_t>(r * cols + j)];
+            float maxw = 0.0f;
+            for (const float v : row) maxw = std::max(maxw, std::fabs(v));
+            const float scale = maxw / static_cast<float>(kWeightQMax);
+            op.qscale[static_cast<std::size_t>(r)] = scale;
+            quantize_s8({row.data(), row.size()},
+                        scale > 0.0f ? 1.0f / scale : 0.0f, kWeightQMax,
+                        {op.qweight.data() +
+                             static_cast<std::size_t>(r) *
+                                 static_cast<std::size_t>(k_pad),
+                         static_cast<std::size_t>(cols)});
+        }
+        op.in_scale = op_in_maxabs[i] / static_cast<float>(kActQMax);
+        op.weight = Tensor();      // int8 engine never reads fp32 weights
+        op.transposed = false;     // qweight is row-major filter rows
+    }
+    return q;
+}
+
+} // namespace hs::infer

@@ -1,0 +1,38 @@
+#pragma once
+
+// Post-training quantization of a frozen plan (DESIGN.md §10). Takes the
+// fp32 FrozenModel that freeze() produced plus a small calibration batch,
+// and compiles a Precision::kInt8 twin:
+//
+//  * conv/FC weights get per-output-channel symmetric scales
+//    (s_w[f] = max|row_f| / 63, signed 7-bit — see tensor/gemm_int8.h for
+//    why 7 bits) and are packed row-major int8, GEMM-ready. A transposed
+//    deep-layer conv (freeze.h) is repacked back to filter rows: the int8
+//    dot-product kernel is shape-oblivious, so the fp32 repack trick has
+//    no int8 counterpart.
+//  * the calibration batch runs once through the fp32 plan, recording
+//    max|x| of every op's input activation; conv/FC ops get a per-tensor
+//    activation scale s_x = max|x| / 127. Inputs outside the calibrated
+//    range saturate at ±127 steps — use a representative batch.
+//  * fp32 conv/FC weights are dropped from the returned plan (the int8
+//    engine never reads them); biases and every non-GEMM op stay fp32.
+//
+// An all-zero output channel quantizes to scale 0 / all-zero rows and
+// dequantizes back to exactly bias[f] — no special casing anywhere.
+//
+// The result runs on the same Engine/ServingEngine as an fp32 plan; the
+// engine dispatches per op on FrozenModel::precision.
+
+#include "infer/freeze.h"
+#include "tensor/tensor.h"
+
+namespace hs::infer {
+
+/// Quantize `model` (must be Precision::kFloat32) using `calibration`
+/// ([N, C, H, W], shape matching model.input_chw, N ≥ 1) to set the
+/// activation scales. Throws hs::Error on shape mismatch or if `model`
+/// is already quantized.
+[[nodiscard]] FrozenModel quantize(const FrozenModel& model,
+                                   const Tensor& calibration);
+
+} // namespace hs::infer

@@ -7,6 +7,7 @@
 
 #include "fault/fault.h"
 #include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/error.h"
 #include "util/logging.h"
 #include "util/stopwatch.h"
@@ -57,6 +58,12 @@ void ServingEngine::spawn_worker_locked() {
 }
 
 SubmitResult ServingEngine::submit(Tensor image, const SubmitOptions& opts) {
+    // Start of the per-request trace: the admission decision itself is a
+    // span, and the enqueue timestamp taken here anchors the request's
+    // queue-wait span, which the worker closes when it lifts the request
+    // into a batch (see worker_loop) — so queue wait vs compute separate
+    // on the Perfetto timeline.
+    obs::Span submit_span("serve.submit", "serving");
     if (image.rank() == 4) {
         require(image.dim(0) == 1, "submit() takes a single image");
     } else {
@@ -258,6 +265,8 @@ void ServingEngine::worker_loop(Worker* self) {
 
     for (;;) {
         batch.clear();
+        std::int64_t gather_start_ns = 0;  // batch-assembly span endpoints
+        std::int64_t taken_ns = 0;
         {
             std::unique_lock<std::mutex> lock(mu_);
             self->busy.store(false, std::memory_order_relaxed);
@@ -278,6 +287,7 @@ void ServingEngine::worker_loop(Worker* self) {
             }
             // Micro-batch gather: wait for a full batch or until the
             // oldest request's delay budget expires, whichever is first.
+            gather_start_ns = monotonic_ns();
             const std::int64_t gather_deadline_ns =
                 queue_.front().enqueue_ns + cfg_.max_delay_us * 1000;
             while (!stopping_ &&
@@ -299,11 +309,23 @@ void ServingEngine::worker_loop(Worker* self) {
             }
             // Mark busy while still holding the lock so the watchdog sees
             // a consistent (busy, heartbeat) pair for this batch.
-            self->heartbeat_ns.store(monotonic_ns(),
-                                     std::memory_order_relaxed);
+            taken_ns = monotonic_ns();
+            self->heartbeat_ns.store(taken_ns, std::memory_order_relaxed);
             self->busy.store(true, std::memory_order_relaxed);
         }
         if (batch.empty()) continue;
+
+        if (obs::enabled()) {
+            // Close the per-request queue-wait spans (opened at submit via
+            // enqueue_ns) and the batch-assembly window; engine execution
+            // below gets its own span, so the timeline splits a request's
+            // latency into wait vs compute.
+            obs::record_span("serve.batch_assemble", "serving",
+                             gather_start_ns, taken_ns);
+            for (const Request& r : batch)
+                obs::record_span("serve.queue_wait", "serving", r.enqueue_ns,
+                                 taken_ns);
+        }
 
         // Service time starts here so an injected stall below is part of
         // the measured window (a slow worker must look slow to admission).
@@ -319,15 +341,21 @@ void ServingEngine::worker_loop(Worker* self) {
         }
 
         const int n = static_cast<int>(batch.size());
-        for (int i = 0; i < n; ++i)
-            std::memcpy(in.data() +
-                            static_cast<std::int64_t>(i) * model_->input_elems,
-                        batch[static_cast<std::size_t>(i)].image.data().data(),
-                        static_cast<std::size_t>(model_->input_elems) *
-                            sizeof(float));
-        engine.run(
-            {in.data(), static_cast<std::size_t>(n * model_->input_elems)}, n,
-            {out.data(), static_cast<std::size_t>(n * model_->output_elems)});
+        {
+            obs::Span compute_span("serve.batch_compute", "serving");
+            for (int i = 0; i < n; ++i)
+                std::memcpy(
+                    in.data() +
+                        static_cast<std::int64_t>(i) * model_->input_elems,
+                    batch[static_cast<std::size_t>(i)].image.data().data(),
+                    static_cast<std::size_t>(model_->input_elems) *
+                        sizeof(float));
+            engine.run(
+                {in.data(), static_cast<std::size_t>(n * model_->input_elems)},
+                n,
+                {out.data(),
+                 static_cast<std::size_t>(n * model_->output_elems)});
+        }
 
         const std::int64_t done_ns = monotonic_ns();
         {

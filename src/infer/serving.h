@@ -35,6 +35,15 @@
 // Fault sites (hs::fault): "serving.worker" (delay:<us> — stall a worker
 // mid-batch) and "serving.submit" (full / overload — force an admission
 // verdict), used by the failure-semantics test suite.
+//
+// With observability enabled, every request also leaves spans on the
+// Perfetto timeline: "serve.submit" (admission), "serve.queue_wait"
+// (enqueue → lifted into a batch, closed across threads via
+// obs::record_span), "serve.batch_assemble" and "serve.batch_compute" —
+// so a request's latency visibly splits into queue wait vs compute.
+//
+// A ServingEngine hosts fp32 and int8 FrozenModels alike: each worker's
+// Engine dispatches per op on the model's Precision (see quantize.h).
 
 #include <condition_variable>
 #include <cstdint>

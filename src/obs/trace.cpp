@@ -123,6 +123,30 @@ Span::~Span() {
         ++c.dropped;
 }
 
+void record_span(std::string name, std::string category,
+                 std::int64_t start_ns, std::int64_t end_ns) {
+    if (!enabled()) return;
+    SpanEvent event;
+    event.name = std::move(name);
+    event.category = std::move(category);
+    event.start_us = start_ns / 1000;
+    event.duration_us = std::max<std::int64_t>(0, (end_ns - start_ns) / 1000);
+    event.tid = this_thread_tid();
+    event.depth = 0;
+
+    auto& c = collector();
+    std::lock_guard<std::mutex> lock(c.mutex);
+    auto& agg = c.aggregates[event.name];
+    agg.count += 1;
+    agg.total_s +=
+        static_cast<double>(std::max<std::int64_t>(0, end_ns - start_ns)) *
+        1e-9;
+    if (c.events.size() < kMaxEvents)
+        c.events.push_back(std::move(event));
+    else
+        ++c.dropped;
+}
+
 std::vector<SpanEvent> span_events() {
     auto& c = collector();
     std::lock_guard<std::mutex> lock(c.mutex);

@@ -72,6 +72,15 @@ private:
     bool active_ = false;
 };
 
+/// Record a span with explicit endpoints on the shared monotonic clock
+/// (nanoseconds, as returned by hs::monotonic_ns). For intervals that do
+/// not nest as a C++ scope — e.g. a serving request's queue wait, whose
+/// start lives on the submitting thread and whose end lives on the worker
+/// that picked it up. Feeds the same two sinks as a Span; no-op while
+/// observability is disabled.
+void record_span(std::string name, std::string category,
+                 std::int64_t start_ns, std::int64_t end_ns);
+
 /// Snapshot of the bounded event buffer (oldest first).
 [[nodiscard]] std::vector<SpanEvent> span_events();
 

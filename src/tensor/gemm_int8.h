@@ -1,0 +1,102 @@
+#pragma once
+
+// Int8 matrix multiply kernels and quantization helpers — the hot path of
+// the frozen engine's Precision::kInt8 plan (see DESIGN.md §10).
+//
+// Scheme (symmetric weights, shifted activations):
+//  * weights are quantized per output channel to signed 7-bit
+//    [-kWeightQMax, kWeightQMax]: w_q = round(w / s_w), s_w = max|row|/63.
+//    The 7-bit ceiling guarantees the AVX2 maddubs path below cannot
+//    saturate its int16 intermediate (2 · 255 · 63 = 32130 < 32767) —
+//    the same "reduced range" contract ONNX Runtime uses on pre-VNNI
+//    hardware. One bit of weight precision buys a 4×-wide multiplier.
+//  * activations are quantized per tensor to u8 with a fixed zero point
+//    of kActZeroPoint = 128: x_q = round(x / s_x) + 128, s_x calibrated
+//    as max|x|/127 over a representative batch.
+//  * accumulation is int32; the engine fuses dequantization
+//    (y = acc · s_w[f] · s_x + bias[f], optional ReLU) into the output
+//    write, so no extra pass touches the activations.
+//
+// Two kernels are exposed:
+//  * gemm_s8 — C(m×n) s32 = A(m×k) · B(k×n), both s8. Cache-blocked ikj
+//    order mirroring the fp32 gemm(), OpenMP over rows. The general
+//    full-range kernel (and the reference the fused path is tested
+//    against).
+//  * gemm_s8u8_bt — C(m×n) s32 = A(m×k, s8) · Bᵀ(n×k, u8 − 128). The
+//    engine's kernel: both operand rows are contiguous byte runs, so one
+//    dot-product loop serves every conv shape — the deep-layer
+//    "transposed weight" repack the fp32 path needs (freeze.h) is
+//    unnecessary in int8. The AVX2 path computes 2×4 output tiles with
+//    the horizontal reductions shared across the tile; exact for
+//    |a| ≤ kWeightQMax. The u8 zero point is corrected inside the kernel
+//    (−128 · Σ a_row), so C holds true products of the centered values.
+//
+// The engine pads the reduction dimension to kQKAlign (padded_k) with
+// zero weight bytes and zero-point activation bytes — both contribute
+// exactly zero to every product — so the hot path never runs the
+// kernels' scalar k-tails. The kernels themselves stay correct for any
+// k; padding is purely a caller-side optimization.
+//
+// Rounding is to-nearest-even everywhere (scalar std::lrintf and the
+// vector cvtps path agree bit-for-bit), so SIMD and scalar builds
+// quantize identically.
+
+#include <cstdint>
+#include <span>
+
+#include "tensor/im2col.h"
+
+namespace hs {
+
+/// Fixed zero point of u8-quantized activations.
+inline constexpr int kActZeroPoint = 128;
+/// Weight quantization ceiling: signed 7-bit, saturation-free under
+/// the AVX2 maddubs inner loop.
+inline constexpr int kWeightQMax = 63;
+/// Activation quantization ceiling (symmetric around the zero point).
+inline constexpr int kActQMax = 127;
+/// Packed-operand row alignment: one AVX2 register of bytes.
+inline constexpr int kQKAlign = 32;
+
+/// Reduction length rounded up to the packed-row alignment.
+[[nodiscard]] inline std::int64_t padded_k(std::int64_t k) {
+    return (k + kQKAlign - 1) / kQKAlign * kQKAlign;
+}
+
+/// C(m×n) s32 = A(m×k, s8) · B(k×n, s8). Cache-blocked ikj order
+/// mirroring the fp32 gemm(); OpenMP over rows. C is overwritten.
+void gemm_s8(int m, int n, int k, std::span<const std::int8_t> a,
+             std::span<const std::int8_t> b, std::span<std::int32_t> c);
+
+/// C(m×n) s32 = A(m×k, s8) · Bᵀ(n×k, u8 with zero point 128), i.e.
+/// c[i,j] = Σ_p a[i·k+p] · (b[j·k+p] − 128). C is overwritten. Exact
+/// when |a| ≤ kWeightQMax (the engine's weight contract); larger
+/// magnitudes may saturate the AVX2 int16 intermediate.
+void gemm_s8u8_bt(int m, int n, int k, std::span<const std::int8_t> a,
+                  std::span<const std::uint8_t> b,
+                  std::span<std::int32_t> c);
+
+/// q[i] = clamp(round(x[i] · inv_scale), −qmax, qmax). With
+/// inv_scale == 0 (an all-zero source channel) every output is 0.
+void quantize_s8(std::span<const float> x, float inv_scale, int qmax,
+                 std::span<std::int8_t> q);
+
+/// q[i] = clamp(round(x[i] · inv_scale) + 128, 0, 255) — u8 activation
+/// quantization around the fixed zero point. AVX2 processes 32 floats
+/// per iteration; the scalar tail rounds identically.
+void quantize_u8(std::span<const float> x, float inv_scale,
+                 std::span<std::uint8_t> q);
+
+/// Byte-level im2col over an already-quantized image, emitting the patch
+/// matrix transposed: `rows` receives oh·ow rows of `row_stride` bytes
+/// (row_stride ≥ C·k·k), one patch per output position — exactly the Bᵀ
+/// operand gemm_s8u8_bt wants. Padding samples inside [0, C·k·k) are the
+/// zero point; the [C·k·k, row_stride) tail of a row is UNSPECIFIED (the
+/// copy loop may spill into it), which a padded-k GEMM tolerates because
+/// the matching weight pad bytes are zero. The fp32 cols matrix is never
+/// materialized: the image is quantized once (quantize_u8) and patches
+/// are gathered as bytes, 4× less traffic than an fp32 im2col.
+void im2row_u8(const ConvGeom& g, std::span<const std::uint8_t> qimage,
+               std::int64_t row_stride, std::span<std::uint8_t> rows);
+
+} // namespace hs

@@ -26,3 +26,28 @@ execute_process(
 if(NOT check_rv EQUAL 0)
   message(FATAL_ERROR "report ${REPORT_FILE} failed JSON validation")
 endif()
+
+# Same round trip on the int8 deploy path: quantize + v4 frozen-file
+# round trip + serving must complete and report just like fp32.
+file(REMOVE "${REPORT_FILE}")
+
+execute_process(
+  COMMAND "${SERVE}" --smoke --int8 --json "${REPORT_FILE}"
+  RESULT_VARIABLE serve_rv
+  OUTPUT_QUIET
+)
+if(NOT serve_rv EQUAL 0)
+  message(FATAL_ERROR "serve_pruned --smoke --int8 failed with exit code ${serve_rv}")
+endif()
+
+if(NOT EXISTS "${REPORT_FILE}")
+  message(FATAL_ERROR "serve_pruned --int8 did not write ${REPORT_FILE}")
+endif()
+
+execute_process(
+  COMMAND "${JSON_CHECK}" "${REPORT_FILE}" config
+  RESULT_VARIABLE check_rv
+)
+if(NOT check_rv EQUAL 0)
+  message(FATAL_ERROR "int8 report ${REPORT_FILE} failed JSON validation")
+endif()
