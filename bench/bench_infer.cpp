@@ -31,6 +31,8 @@
 #include "obs/obs.h"
 #include "nn/conv2d.h"
 #include "pruning/surgery.h"
+#include "tensor/gemm.h"
+#include "tensor/gemm_int8.h"
 #include "tensor/rng.h"
 #include "util/stopwatch.h"
 #include "util/table.h"
@@ -60,6 +62,80 @@ double median_ms(int reps, F&& fn) {
     }
     std::sort(ms.begin(), ms.end());
     return ms[ms.size() / 2];
+}
+
+// --------------------------------------------------------- measured peaks
+//
+// The roofline's "% of peak" compares against what this machine's own
+// GEMM kernels sustain on an in-cache problem — a measured ceiling, not a
+// datasheet number — so the per-layer percentages answer "how much of the
+// attainable throughput does this shape reach".
+
+/// Best-of-8 fp32 gemm() on a 128³ problem (~130 KB of operands: L2-hot).
+double measured_fp32_peak_gflops() {
+    constexpr int n = 128;
+    std::vector<float> a(n * n), b(n * n), c(n * n);
+    for (int i = 0; i < n * n; ++i) {
+        a[static_cast<std::size_t>(i)] = static_cast<float>(i % 13) * 0.125f;
+        b[static_cast<std::size_t>(i)] = static_cast<float>(i % 7) * 0.25f;
+    }
+    double best_ms = 1e30;
+    for (int r = 0; r < 8; ++r) {
+        Stopwatch watch;
+        gemm(n, n, n, 1.0f, {a.data(), a.size()}, {b.data(), b.size()}, 0.0f,
+             {c.data(), c.size()});
+        best_ms = std::min(best_ms, watch.millis());
+    }
+    return 2.0 * n * n * n / (best_ms * 1e6); // flops / ns == GFLOP/s
+}
+
+/// Best-of-8 int8 gemm_s8u8_bt() at [128, 256]x[128, 256]ᵀ (k aligned to
+/// the kernel's 32-byte quantum). "GFLOP/s" counts 2·MACs like the fp32
+/// number so the two columns compare directly.
+double measured_int8_peak_gflops() {
+    constexpr int m = 128, n = 128, k = 256;
+    std::vector<std::int8_t> a(static_cast<std::size_t>(m) * k);
+    std::vector<std::uint8_t> b(static_cast<std::size_t>(n) * k);
+    std::vector<std::int32_t> c(static_cast<std::size_t>(m) * n);
+    for (std::size_t i = 0; i < a.size(); ++i)
+        a[i] = static_cast<std::int8_t>(static_cast<int>(i % 251) - 125);
+    for (std::size_t i = 0; i < b.size(); ++i)
+        b[i] = static_cast<std::uint8_t>(i % 253);
+    double best_ms = 1e30;
+    for (int r = 0; r < 8; ++r) {
+        Stopwatch watch;
+        gemm_s8u8_bt(m, n, k, {a.data(), a.size()}, {b.data(), b.size()},
+                     {c.data(), c.size()});
+        best_ms = std::min(best_ms, watch.millis());
+    }
+    return 2.0 * m * n * k / (best_ms * 1e6);
+}
+
+/// Turn an Engine's accumulated per-layer profile into roofline rows of
+/// the run report. Profiles only accumulate while obs is enabled (i.e.
+/// --json runs), so rows with no recorded execution are skipped.
+void export_roofline(const char* model_name, const char* precision,
+                     const infer::Engine& engine, double peak_gflops) {
+    for (const infer::LayerProfile& lp : engine.layer_profile()) {
+        if (lp.images == 0 || lp.total_ns == 0) continue;
+        obs::RooflineRow row;
+        row.model = model_name;
+        row.precision = precision;
+        row.layer = lp.name;
+        row.kind = lp.kind;
+        row.macs = lp.macs;
+        row.bytes = (lp.weight_bytes + lp.act_bytes) * lp.images;
+        row.wall_ns = lp.total_ns;
+        row.images = lp.images;
+        const double flops =
+            2.0 * static_cast<double>(lp.macs) * static_cast<double>(lp.images);
+        row.gflops = flops / static_cast<double>(lp.total_ns);
+        row.intensity =
+            row.bytes > 0 ? flops / static_cast<double>(row.bytes) : 0.0;
+        row.pct_peak =
+            peak_gflops > 0.0 ? 100.0 * row.gflops / peak_gflops : 0.0;
+        obs::RunReport::global().add_roofline(row);
+    }
 }
 
 /// Halve every conv except the last (the paper's learnt sp=2 VGG shape).
@@ -119,7 +195,8 @@ struct RowResult {
 
 RowResult bench_model(TablePrinter& table, const char* name,
                       nn::Sequential& net, int input_size, int reps,
-                      const data::SyntheticImageDataset& eval) {
+                      const data::SyntheticImageDataset& eval,
+                      double fp32_peak_gflops, double int8_peak_gflops) {
     const Shape chw{3, input_size, input_size};
     const Tensor x = random_image(3, input_size, 17);
 
@@ -153,6 +230,11 @@ RowResult bench_model(TablePrinter& table, const char* name,
     int agree = 0;
     for (std::size_t i = 0; i < fp.size(); ++i)
         if (fp[i] == qp[i]) ++agree;
+
+    // Roofline rows from the batch-1 timing engines: everything the
+    // median_ms loops executed while obs was enabled (--json runs).
+    export_roofline(name, "fp32", engine, fp32_peak_gflops);
+    export_roofline(name, "int8", qengine, int8_peak_gflops);
 
     const auto roofline =
         gpusim::estimate_inference(net, chw, gpusim::xeon_e5_2620(), 1);
@@ -221,15 +303,26 @@ int main(int argc, char** argv) {
                                                                        : 4;
     const data::SyntheticImageDataset eval(eval_cfg);
 
+    // Measured in-cache GEMM ceilings anchoring every pct_peak column.
+    const double fp32_peak = measured_fp32_peak_gflops();
+    const double int8_peak = measured_int8_peak_gflops();
+    std::printf("measured peak: fp32 %.1f GFLOP/s, int8 %.1f Gop/s\n",
+                fp32_peak, int8_peak);
+    obs::gauge_set("roofline.fp32_peak_gflops", fp32_peak);
+    obs::gauge_set("roofline.int8_peak_gflops", int8_peak);
+
     TablePrinter table({"model", "naive ms", "fp32 ms", "int8 ms",
                         "int8 speedup", "int8 fps", "top1 Δpt", "agree",
                         "roofline fps"});
-    const RowResult base = bench_model(table, "VGG-16 (scaled)", vgg.net,
-                                       vgg_cfg.input_size, reps, eval);
-    const RowResult pruned = bench_model(table, "VGG-16 sp=2", vgg_pruned.net,
-                                         vgg_cfg.input_size, reps, eval);
+    const RowResult base =
+        bench_model(table, "VGG-16 (scaled)", vgg.net, vgg_cfg.input_size,
+                    reps, eval, fp32_peak, int8_peak);
+    const RowResult pruned =
+        bench_model(table, "VGG-16 sp=2", vgg_pruned.net, vgg_cfg.input_size,
+                    reps, eval, fp32_peak, int8_peak);
     const RowResult res = bench_model(table, "ResNet-14", resnet.net,
-                                      res_cfg.input_size, reps, eval);
+                                      res_cfg.input_size, reps, eval,
+                                      fp32_peak, int8_peak);
     table.print();
 
     export_row("vgg", base);

@@ -7,6 +7,7 @@
 out="${1:-/root/repo/bench_output.txt}"
 outdir=$(dirname "$out")
 : > "$out"
+status=0
 for b in build/bench/*; do
   [ -f "$b" ] && [ -x "$b" ] || continue
   name=$(basename "$b")
@@ -20,6 +21,11 @@ for b in build/bench/*; do
       # bench_infer -> BENCH_infer.json.
       "$b" --json "$outdir/BENCH_${name#bench_}.json" >> "$out" 2>&1 ;;
   esac
-  echo "exit=$? $b" >> "$out"
+  rc=$?
+  echo "exit=$rc $b" >> "$out"
+  # A crashing or self-failing bench (e.g. bench_obs' overhead budget)
+  # must fail the whole run, not vanish into the log.
+  [ "$rc" -eq 0 ] || status=1
 done
 echo "ALL_BENCHES_DONE" >> "$out"
+exit "$status"

@@ -34,6 +34,9 @@ State& state() {
 // relaxed load.
 std::atomic<bool> g_armed{false};
 
+// Fire observer, invoked outside the state mutex (see set_fire_hook).
+std::atomic<FireHook> g_fire_hook{nullptr};
+
 std::uint64_t splitmix64(std::uint64_t x) {
     x += 0x9e3779b97f4a7c15ull;
     x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
@@ -157,18 +160,27 @@ void reseed(std::uint64_t seed) {
 
 std::optional<Outcome> at(std::string_view site) {
     if (!enabled()) return std::nullopt;
-    State& s = state();
-    std::lock_guard<std::mutex> lock(s.mu);
-    const auto it = s.specs.find(site);
-    if (it == s.specs.end()) return std::nullopt;
-    Spec& spec = it->second;
-    ++spec.hit;
-    if (spec.hit < spec.start_hit) return std::nullopt;
-    if (spec.max_fires >= 0 && spec.fired >= spec.max_fires) return std::nullopt;
-    if (spec.prob < 1.0 && hit_uniform(s.seed, site, spec.hit) >= spec.prob)
-        return std::nullopt;
-    ++spec.fired;
-    return spec.outcome;
+    std::optional<Outcome> out;
+    {
+        State& s = state();
+        std::lock_guard<std::mutex> lock(s.mu);
+        const auto it = s.specs.find(site);
+        if (it == s.specs.end()) return std::nullopt;
+        Spec& spec = it->second;
+        ++spec.hit;
+        if (spec.hit < spec.start_hit) return std::nullopt;
+        if (spec.max_fires >= 0 && spec.fired >= spec.max_fires)
+            return std::nullopt;
+        if (spec.prob < 1.0 && hit_uniform(s.seed, site, spec.hit) >= spec.prob)
+            return std::nullopt;
+        ++spec.fired;
+        out = spec.outcome;
+    }
+    // Hook runs with the lock dropped: it may re-enter hs::fault or take
+    // arbitrary locks of its own (the flight recorder does both).
+    if (const FireHook hook = g_fire_hook.load(std::memory_order_acquire))
+        hook(site, *out);
+    return out;
 }
 
 bool should_fail(std::string_view site) {
@@ -182,6 +194,10 @@ std::int64_t hits(std::string_view site) {
     std::lock_guard<std::mutex> lock(s.mu);
     const auto it = s.specs.find(site);
     return it == s.specs.end() ? 0 : it->second.hit;
+}
+
+void set_fire_hook(FireHook hook) {
+    g_fire_hook.store(hook, std::memory_order_release);
 }
 
 } // namespace hs::fault

@@ -69,4 +69,13 @@ void reseed(std::uint64_t seed);
 /// Total evaluations of `site` since it was armed (0 if not armed).
 [[nodiscard]] std::int64_t hits(std::string_view site);
 
+/// Observer invoked every time an armed injection point actually fires
+/// (i.e. at() returns an Outcome). The hook runs on the faulting thread
+/// AFTER fault's internal lock is released, so it may take its own locks
+/// and even call back into hs::fault without deadlocking. One process-wide
+/// hook; nullptr disarms it. Used by the obs flight recorder to snapshot
+/// recent history around an injected fault.
+using FireHook = void (*)(std::string_view site, const Outcome& outcome);
+void set_fire_hook(FireHook hook);
+
 } // namespace hs::fault

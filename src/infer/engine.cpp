@@ -1,14 +1,18 @@
 #include "infer/engine.h"
 
 #include <algorithm>
+#include <cstdio>
 #include <cstring>
 #include <limits>
 
 #include "fault/fault.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "tensor/gemm.h"
 #include "tensor/gemm_int8.h"
 #include "tensor/im2col.h"
 #include "util/error.h"
+#include "util/stopwatch.h"
 
 namespace hs::infer {
 namespace {
@@ -16,6 +20,49 @@ namespace {
 void relu_inplace(float* data, std::int64_t n) {
     for (std::int64_t i = 0; i < n; ++i)
         if (data[i] < 0.0f) data[i] = 0.0f;
+}
+
+const char* kind_str(OpKind kind) {
+    switch (kind) {
+    case OpKind::kConv: return "conv";
+    case OpKind::kLinear: return "linear";
+    case OpKind::kScale: return "scale";
+    case OpKind::kMaxPool: return "maxpool";
+    case OpKind::kGlobalAvgPool: return "gavgpool";
+    case OpKind::kAdd: return "add";
+    }
+    return "unknown";
+}
+
+/// Static profile facts of one op under the model's precision plan.
+LayerProfile make_profile(const FrozenOp& op, Precision precision, int idx) {
+    LayerProfile lp;
+    char name[32];
+    std::snprintf(name, sizeof(name), "op%02d_%s", idx, kind_str(op.kind));
+    lp.name = name;
+    lp.kind = kind_str(op.kind);
+
+    const bool gemm_op =
+        op.kind == OpKind::kConv || op.kind == OpKind::kLinear;
+    if (op.kind == OpKind::kConv)
+        lp.macs = static_cast<std::int64_t>(op.out_channels) *
+                  op.geom.col_rows() * op.geom.col_cols();
+    else if (op.kind == OpKind::kLinear)
+        lp.macs = static_cast<std::int64_t>(op.out_channels) * op.in_elems;
+
+    const std::int64_t f32 = static_cast<std::int64_t>(sizeof(float));
+    if (gemm_op && precision == Precision::kInt8) {
+        lp.weight_bytes = static_cast<std::int64_t>(op.qweight.size()) +
+                          static_cast<std::int64_t>(op.qscale.size()) * f32 +
+                          op.bias.numel() * f32;
+        // fp32 input read + u8 quantized write, fp32 output write.
+        lp.act_bytes = 5 * op.in_elems + 4 * op.out_elems;
+    } else {
+        lp.weight_bytes = (op.weight.numel() + op.bias.numel()) * f32;
+        lp.act_bytes = (op.in_elems + op.out_elems) * f32;
+        if (op.in2 >= 0) lp.act_bytes += op.in_elems * f32; // residual join
+    }
+    return lp;
 }
 
 } // namespace
@@ -68,6 +115,19 @@ Engine::Engine(std::shared_ptr<const FrozenModel> model, int max_batch)
     arena_.assign(static_cast<std::size_t>(off), 0.0f);
     qarena_.assign(static_cast<std::size_t>(q_elems), 0);
     iarena_.assign(static_cast<std::size_t>(acc_elems), 0);
+
+    profile_.reserve(model_->ops.size());
+    int idx = 0;
+    for (const FrozenOp& op : model_->ops)
+        profile_.push_back(make_profile(op, model_->precision, idx++));
+}
+
+void Engine::reset_profile() {
+    for (LayerProfile& lp : profile_) {
+        lp.calls = 0;
+        lp.images = 0;
+        lp.total_ns = 0;
+    }
 }
 
 Tensor Engine::run(const Tensor& input) {
@@ -97,10 +157,17 @@ void Engine::run(std::span<const float> input, int batch,
                 model_->output_elems * batch,
             "Engine output span size mismatch");
 
+    const bool prof = obs::enabled();
+    const std::int64_t t0 = prof ? monotonic_ns() : 0;
     std::memcpy(slot(0), input.data(), input.size() * sizeof(float));
     exec_ops(batch, nullptr);
     std::memcpy(output.data(), slot(model_->output_slot),
                 output.size() * sizeof(float));
+    if (prof) {
+        obs::observe_hdr_us("engine.run_us", (monotonic_ns() - t0) / 1000);
+        obs::count("engine.images", batch);
+        obs::count("engine.batches");
+    }
 }
 
 void Engine::run_calibrate(const Tensor& input,
@@ -122,6 +189,9 @@ void Engine::run_calibrate(const Tensor& input,
 
 void Engine::exec_ops(int batch, float* op_in_maxabs) {
     const bool int8 = model_->precision == Precision::kInt8;
+    // One relaxed load for the whole plan: per-op timing costs two clock
+    // reads per op only while obs is on.
+    const bool prof = obs::enabled();
     std::size_t idx = 0;
     for (const FrozenOp& op : model_->ops) {
         if (op_in_maxabs != nullptr) {
@@ -135,6 +205,7 @@ void Engine::exec_ops(int batch, float* op_in_maxabs) {
             }
             op_in_maxabs[idx] = m;
         }
+        const std::int64_t t0 = prof ? monotonic_ns() : 0;
         switch (op.kind) {
         case OpKind::kConv:
             int8 ? exec_conv_q(op, batch) : exec_conv(op, batch);
@@ -146,6 +217,12 @@ void Engine::exec_ops(int batch, float* op_in_maxabs) {
         case OpKind::kMaxPool: exec_maxpool(op, batch); break;
         case OpKind::kGlobalAvgPool: exec_gavgpool(op, batch); break;
         case OpKind::kAdd: exec_add(op, batch); break;
+        }
+        if (prof) {
+            LayerProfile& lp = profile_[idx];
+            lp.total_ns += monotonic_ns() - t0;
+            lp.calls += 1;
+            lp.images += batch;
         }
         ++idx;
     }

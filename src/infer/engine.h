@@ -24,12 +24,33 @@
 #include <cstdint>
 #include <memory>
 #include <span>
+#include <string>
 #include <vector>
 
 #include "infer/freeze.h"
 #include "tensor/tensor.h"
 
 namespace hs::infer {
+
+/// Per-op execution profile of one Engine: the raw material for roofline
+/// reporting. Static facts (macs, bytes) are filled at construction from
+/// the plan; dynamic ones (calls, images, wall time) accumulate in
+/// exec_ops while obs is enabled. An Engine is per-thread, so these are
+/// plain counters — snapshot via layer_profile().
+///
+/// Byte accounting is the roofline convention, not a cache simulation:
+/// weights + input + output traffic once per image; im2col/accumulator
+/// scratch (which mostly stays in cache) is excluded.
+struct LayerProfile {
+    std::string name;  ///< "op03_conv", in plan order
+    std::string kind;  ///< "conv" | "linear" | "scale" | ...
+    std::int64_t macs = 0;          ///< multiply-accumulates per image
+    std::int64_t weight_bytes = 0;  ///< weight + bias (+scales) footprint
+    std::int64_t act_bytes = 0;     ///< input + output traffic per image
+    std::int64_t calls = 0;         ///< exec invocations (one per batch)
+    std::int64_t images = 0;        ///< total images processed
+    std::int64_t total_ns = 0;      ///< wall time across all calls
+};
 
 /// Executes a FrozenModel for batches up to a fixed max size.
 class Engine {
@@ -63,6 +84,15 @@ public:
     /// several batches can be folded in). The output is discarded.
     void run_calibrate(const Tensor& input, std::vector<float>& op_in_maxabs);
 
+    /// Per-op profile rows (plan order). calls/images/total_ns only
+    /// accumulate while obs::enabled() — with obs off the hot loop pays
+    /// one relaxed load per op.
+    [[nodiscard]] const std::vector<LayerProfile>& layer_profile() const {
+        return profile_;
+    }
+    /// Zero the dynamic profile fields (keeps the static macs/bytes).
+    void reset_profile();
+
 private:
     std::shared_ptr<const FrozenModel> model_;
     int max_batch_;
@@ -72,6 +102,7 @@ private:
     std::array<std::int64_t, kNumSlots> slot_off_{};
     std::int64_t cols_off_ = 0;
     std::int64_t tr_off_ = 0;
+    std::vector<LayerProfile> profile_;
 
     [[nodiscard]] float* slot(int s) {
         return arena_.data() + slot_off_[static_cast<std::size_t>(s)];

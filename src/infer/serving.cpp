@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "fault/fault.h"
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "util/error.h"
@@ -15,12 +16,11 @@
 namespace hs::infer {
 namespace {
 
-double percentile(const std::vector<double>& sorted, double q) {
-    if (sorted.empty()) return 0.0;  // zero completed requests => 0, not UB
-    const auto idx = static_cast<std::size_t>(
-        q * static_cast<double>(sorted.size() - 1) + 0.5);
-    return sorted[std::min(idx, sorted.size() - 1)];
-}
+// Flight-recorder spike triggers: this many sheds / deadline misses
+// inside one window means the service is visibly degrading — snapshot
+// the last moments while they are still in the rings.
+constexpr std::int64_t kSpikeWindowNs = 1'000'000'000;
+constexpr std::int64_t kSpikeThreshold = 8;
 
 } // namespace
 
@@ -171,11 +171,11 @@ ServingStats ServingEngine::stats() const {
     s.mean_batch = batches_ > 0 ? static_cast<double>(batched_requests_) /
                                       static_cast<double>(batches_)
                                 : 0.0;
-    std::vector<double> sorted = latencies_ms_;
-    std::sort(sorted.begin(), sorted.end());
-    s.p50_ms = percentile(sorted, 0.50);
-    s.p95_ms = percentile(sorted, 0.95);
-    s.p99_ms = percentile(sorted, 0.99);
+    // Merge-on-read quantiles from the bounded histogram: O(buckets),
+    // no retained samples, no sort — stats() stays cheap forever.
+    s.p50_ms = static_cast<double>(latency_us_.value_at_quantile(0.50)) / 1000.0;
+    s.p95_ms = static_cast<double>(latency_us_.value_at_quantile(0.95)) / 1000.0;
+    s.p99_ms = static_cast<double>(latency_us_.value_at_quantile(0.99)) / 1000.0;
     // Throughput needs two completion timestamps and a positive span;
     // anything else reports 0 rather than dividing by a zero-width span.
     const std::int64_t span_ns = last_complete_ns_ - first_complete_ns_;
@@ -183,6 +183,24 @@ ServingStats ServingEngine::stats() const {
         s.throughput_rps = static_cast<double>(completed_ - 1) /
                            (static_cast<double>(span_ns) * 1e-9);
     return s;
+}
+
+void ServingEngine::note_spike_locked(std::int64_t now_ns,
+                                      std::int64_t& window_start_ns,
+                                      std::int64_t& window_count,
+                                      const char* reason) {
+    if (window_start_ns == 0 || now_ns - window_start_ns > kSpikeWindowNs) {
+        window_start_ns = now_ns;
+        window_count = 0;
+    }
+    if (++window_count == kSpikeThreshold) {
+        // Dumping under mu_ is deliberate: the dump path takes only
+        // obs-side locks (rings, registry, dump state), never serving
+        // locks, and it is rate-limited — freezing the queue briefly at
+        // incident time beats losing the evidence.
+        obs::flight_mark(reason);
+        (void)obs::flight_dump(reason);
+    }
 }
 
 void ServingEngine::shed_expired_locked(std::int64_t now_ns) {
@@ -195,6 +213,8 @@ void ServingEngine::shed_expired_locked(std::int64_t now_ns) {
                 std::to_string(late_ms) + " ms while queued")));
             ++shed_;
             obs::count("serve.shed");
+            note_spike_locked(now_ns, shed_window_start_ns_,
+                              shed_window_count_, "shed_spike");
             it = queue_.erase(it);
         } else {
             ++it;
@@ -238,6 +258,12 @@ void ServingEngine::watchdog_loop() {
                      std::to_string(cfg_.watchdog_timeout_us / 1000) +
                      " ms) — spawning replacement");
             spawn_worker_locked();
+            // A respawn always dumps the flight recorder: the spans the
+            // stuck worker recorded before stalling are exactly the
+            // evidence that explains the restart. Safe under mu_ — the
+            // dump path never takes serving locks.
+            obs::flight_mark("watchdog_restart");
+            (void)obs::flight_dump("watchdog_restart");
         }
     }
 }
@@ -375,15 +401,24 @@ void ServingEngine::worker_loop(Worker* self) {
             ewma_req_ms_ = ewma_req_ms_ <= 0.0
                                ? req_ms
                                : 0.8 * ewma_req_ms_ + 0.2 * req_ms;
+            obs::observe_hdr_us("serve.batch_compute_us",
+                                (done_ns - exec_start_ns) / 1000);
             for (int i = 0; i < n; ++i) {
                 const Request& r = batch[static_cast<std::size_t>(i)];
-                const double ms =
-                    static_cast<double>(done_ns - r.enqueue_ns) * 1e-6;
-                latencies_ms_.push_back(ms);
-                obs::observe("serve.latency_ms", ms);
+                const std::int64_t us = (done_ns - r.enqueue_ns) / 1000;
+                // Unconditional: this histogram backs stats() whether or
+                // not obs is enabled (bounded memory either way).
+                latency_us_.observe(us);
+                obs::observe_hdr_us("serve.latency_us", us);
+                obs::observe_hdr_us("serve.queue_wait_us",
+                                    (taken_ns - r.enqueue_ns) / 1000);
+                obs::observe("serve.latency_ms",
+                             static_cast<double>(us) * 1e-3);
                 if (r.deadline_ns != 0 && done_ns > r.deadline_ns) {
                     ++deadline_missed_;
                     obs::count("serve.deadline_missed");
+                    note_spike_locked(done_ns, miss_window_start_ns_,
+                                      miss_window_count_, "deadline_miss_spike");
                 }
             }
             if (completed_ == 0) first_complete_ns_ = done_ns;

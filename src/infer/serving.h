@@ -28,10 +28,16 @@
 // Every accepted future is fulfilled exactly once — with a value or with
 // DeadlineExceeded; stop() drains accepted requests and is idempotent.
 //
-// Per-request latency (submit -> result ready) feeds an hs::obs histogram
-// and the Stats percentiles; counters serve.requests / serve.rejected /
-// serve.batches / serve.shed / serve.deadline_missed /
-// serve.worker_restarts track volume when observability is enabled.
+// Per-request latency (submit -> result ready) feeds a bounded sharded
+// HDR histogram (obs::HdrHistogram) that backs the Stats percentiles —
+// O(buckets) to read, O(1) memory under sustained load, ≤ ~3% relative
+// error — plus the registry HDR series serve.latency_us /
+// serve.queue_wait_us / serve.batch_compute_us when observability is
+// enabled; counters serve.requests / serve.rejected / serve.batches /
+// serve.shed / serve.deadline_missed / serve.worker_restarts track
+// volume. Incidents auto-dump the obs flight recorder: a watchdog worker
+// respawn always, and shedding / deadline-miss spikes (8+ events inside
+// one second) rate-limited.
 // Fault sites (hs::fault): "serving.worker" (delay:<us> — stall a worker
 // mid-batch) and "serving.submit" (full / overload — force an admission
 // verdict), used by the failure-semantics test suite.
@@ -57,6 +63,7 @@
 
 #include "infer/engine.h"
 #include "infer/freeze.h"
+#include "obs/hdr_histogram.h"
 #include "tensor/tensor.h"
 #include "util/error.h"
 
@@ -106,8 +113,10 @@ struct SubmitResult {
 };
 
 /// Aggregate serving statistics; percentiles are computed over all
-/// completed request latencies since start. All fields are zero (not
-/// garbage, not NaN) when no request has completed yet.
+/// completed request latencies since start, read from a bounded HDR
+/// histogram (no per-request samples are retained; quantiles carry
+/// ≤ ~3% relative error). All fields are zero (not garbage, not NaN)
+/// when no request has completed yet.
 struct ServingStats {
     std::int64_t completed = 0;
     std::int64_t rejected = 0;         ///< queue-full + overload rejections
@@ -175,6 +184,11 @@ private:
     /// executing, from the service-time EWMA. Caller holds mu_.
     [[nodiscard]] std::int64_t estimated_wait_us_locked() const;
     void spawn_worker_locked();
+    /// Sliding 1s-window spike detector feeding the flight recorder: when
+    /// `count` crosses the threshold inside one window, trigger a
+    /// (rate-limited) incident dump tagged `reason`. Caller holds mu_.
+    void note_spike_locked(std::int64_t now_ns, std::int64_t& window_start_ns,
+                           std::int64_t& window_count, const char* reason);
 
     std::shared_ptr<const FrozenModel> model_;
     ServingConfig cfg_;
@@ -194,9 +208,18 @@ private:
     std::int64_t batches_ = 0;
     std::int64_t batched_requests_ = 0;
     double ewma_req_ms_ = 0.0;  ///< per-request service time estimate
-    std::vector<double> latencies_ms_;
+    /// Completed-request latency in µs. Owned here (not a Registry
+    /// reference) so stats() works with obs disabled and survives
+    /// Registry::reset() in tests; recording is lock-free, reading merges
+    /// the shards — O(buckets), independent of request count.
+    obs::HdrHistogram latency_us_;
     std::int64_t first_complete_ns_ = 0;
     std::int64_t last_complete_ns_ = 0;
+    // Incident spike windows (flight-recorder triggers), under mu_.
+    std::int64_t shed_window_start_ns_ = 0;
+    std::int64_t shed_window_count_ = 0;
+    std::int64_t miss_window_start_ns_ = 0;
+    std::int64_t miss_window_count_ = 0;
 
     std::vector<std::unique_ptr<Worker>> workers_;
     int next_worker_id_ = 0;

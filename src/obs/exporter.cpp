@@ -1,0 +1,171 @@
+#include "obs/exporter.h"
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <mutex>
+#include <thread>
+
+#include "obs/json.h"
+#include "obs/metrics.h"
+#include "util/logging.h"
+#include "util/stopwatch.h"
+
+namespace hs::obs {
+namespace {
+
+struct Exporter {
+    std::mutex mu;
+    std::condition_variable cv;
+    std::thread thread;
+    bool running = false;
+    bool stop_requested = false;
+    std::string path;
+    std::int64_t interval_ms = 1000;
+    std::atomic<std::int64_t> ticks{0};
+    // Previous counter values, for the delta snapshot. Only the exporter
+    // thread (and the final flush after join) touches this.
+    std::map<std::string, std::int64_t> last_counters;
+};
+
+Exporter& exporter() {
+    // Leaked: stop_metrics_exporter runs from atexit.
+    static Exporter* e = new Exporter;
+    return *e;
+}
+
+/// Plain stdio + rename so a concurrent reader never sees a torn file.
+bool write_file_atomic(const std::string& path, const std::string& text) {
+    const std::string tmp = path + ".tmp";
+    std::FILE* f = std::fopen(tmp.c_str(), "wb");
+    if (f == nullptr) return false;
+    const std::size_t written = std::fwrite(text.data(), 1, text.size(), f);
+    std::fclose(f);
+    if (written != text.size()) {
+        std::remove(tmp.c_str());
+        return false;
+    }
+    return std::rename(tmp.c_str(), path.c_str()) == 0;
+}
+
+std::string delta_json(Exporter& e) {
+    const auto counters = Registry::instance().counters_snapshot();
+    const auto gauges = Registry::instance().gauges_snapshot();
+    const auto hdrs = Registry::instance().hdr_snapshots();
+
+    JsonWriter w;
+    w.begin_object();
+    w.key("ts_ns");
+    w.value(monotonic_ns());
+    w.key("tick");
+    w.value(e.ticks.load(std::memory_order_relaxed));
+    w.key("counters");
+    w.begin_object();
+    for (const auto& [name, value] : counters) {
+        const auto it = e.last_counters.find(name);
+        const std::int64_t prev = it == e.last_counters.end() ? 0 : it->second;
+        w.key(name);
+        w.value(value - prev);
+        e.last_counters[name] = value;
+    }
+    w.end_object();
+    w.key("gauges");
+    w.begin_object();
+    for (const auto& [name, value] : gauges) {
+        w.key(name);
+        w.value(value);
+    }
+    w.end_object();
+    w.key("hdr");
+    w.begin_object();
+    for (const auto& [name, s] : hdrs) {
+        w.key(name);
+        w.begin_object();
+        w.key("count");
+        w.value(s.count);
+        w.key("sum");
+        w.value(s.sum);
+        w.key("min");
+        w.value(s.min);
+        w.key("max");
+        w.value(s.max);
+        w.key("p50");
+        w.value(s.p50);
+        w.key("p90");
+        w.value(s.p90);
+        w.key("p99");
+        w.value(s.p99);
+        w.key("p999");
+        w.value(s.p999);
+        w.end_object();
+    }
+    w.end_object();
+    w.end_object();
+    return std::move(w).str();
+}
+
+/// One export tick: Prometheus text + delta JSON.
+void flush(Exporter& e) {
+    if (!write_file_atomic(e.path, Registry::instance().to_prometheus()))
+        log_warn("obs: cannot write metrics file " + e.path);
+    if (!write_file_atomic(e.path + ".delta.json", delta_json(e)))
+        log_warn("obs: cannot write metrics delta " + e.path + ".delta.json");
+    e.ticks.fetch_add(1, std::memory_order_relaxed);
+}
+
+void exporter_loop() {
+    Exporter& e = exporter();
+    std::unique_lock<std::mutex> lock(e.mu);
+    while (!e.stop_requested) {
+        const auto period = std::chrono::milliseconds(e.interval_ms);
+        e.cv.wait_for(lock, period, [&e] { return e.stop_requested; });
+        if (e.stop_requested) break;
+        lock.unlock(); // flush outside the lock: registry I/O can be slow
+        flush(e);
+        lock.lock();
+    }
+}
+
+} // namespace
+
+void start_metrics_exporter(std::string path, std::int64_t interval_ms) {
+    Exporter& e = exporter();
+    std::lock_guard<std::mutex> lock(e.mu);
+    if (e.running) {
+        log_warn("obs: metrics exporter already running (" + e.path + ")");
+        return;
+    }
+    e.path = std::move(path);
+    e.interval_ms = interval_ms < 1 ? 1 : interval_ms;
+    e.stop_requested = false;
+    e.running = true;
+    e.thread = std::thread(&exporter_loop);
+    // Guarantee files exist even for runs shorter than one interval.
+    std::atexit(&stop_metrics_exporter);
+    log_info("obs: metrics exporter -> " + e.path + " every " +
+             std::to_string(e.interval_ms) + " ms");
+}
+
+void stop_metrics_exporter() {
+    Exporter& e = exporter();
+    std::thread joinable;
+    {
+        std::lock_guard<std::mutex> lock(e.mu);
+        if (!e.running) return;
+        e.running = false;
+        e.stop_requested = true;
+        joinable = std::move(e.thread);
+    }
+    e.cv.notify_all();
+    if (joinable.joinable()) joinable.join();
+    flush(e); // final flush after the thread is gone: no concurrent writer
+}
+
+std::int64_t metrics_export_ticks() {
+    return exporter().ticks.load(std::memory_order_relaxed);
+}
+
+} // namespace hs::obs

@@ -1,0 +1,34 @@
+#pragma once
+
+// Background metrics exporter: a single thread that periodically writes
+//   <path>             Prometheus text exposition of the whole registry
+//   <path>.delta.json  a delta snapshot (counter deltas since the last
+//                      tick, current gauges, HDR quantiles) for log
+//                      shippers that want increments, not totals
+//
+// Armed from the environment by obs::configure_from_env():
+//   HS_METRICS_FILE=<path>        enables the exporter (and obs itself)
+//   HS_METRICS_INTERVAL_MS=<ms>   tick period, default 1000
+//
+// The Prometheus file is written via temp-file + rename so a scraper
+// sidecar never reads a torn file. A final flush runs at stop (and at
+// process exit via atexit), so even a run shorter than one interval
+// leaves both files on disk.
+
+#include <cstdint>
+#include <string>
+
+namespace hs::obs {
+
+/// Start the exporter thread. Idempotent: a second call while running is
+/// ignored (with a log line). Registers an atexit final flush/stop.
+void start_metrics_exporter(std::string path, std::int64_t interval_ms);
+
+/// Flush once more, then join the exporter thread. Safe to call when the
+/// exporter never started, and safe to call twice.
+void stop_metrics_exporter();
+
+/// Completed export ticks (including final flushes); tests poll this.
+[[nodiscard]] std::int64_t metrics_export_ticks();
+
+} // namespace hs::obs

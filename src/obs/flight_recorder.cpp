@@ -1,0 +1,340 @@
+#include "obs/flight_recorder.h"
+
+#include <algorithm>
+#include <atomic>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+#include <vector>
+
+#include "fault/fault.h"
+#include "obs/json.h"
+#include "obs/metrics.h"
+#include "util/logging.h"
+#include "util/stopwatch.h"
+
+namespace hs::obs {
+namespace {
+
+// ----------------------------------------------------------------- rings
+
+struct Ring {
+    std::mutex mu;
+    FlightEvent ev[kFlightRingEvents];
+    std::uint64_t next = 0; // total records ever; write slot = next % size
+    std::int32_t tid = 0;
+    std::atomic<bool> in_use{false};
+};
+
+struct RingRegistry {
+    std::mutex mu;
+    std::vector<Ring*> all;
+};
+
+RingRegistry& ring_registry() {
+    // Leaked: dumps can run from atexit or a fatal-signal handler, after
+    // function-local statics created later in the program are gone.
+    static RingRegistry* r = new RingRegistry;
+    return *r;
+}
+
+// A thread claims a recycled ring (or allocates one) on first record and
+// releases it when the thread exits, so watchdog worker respawns reuse
+// rings instead of growing memory forever. A recycled ring keeps its old
+// (still correctly timestamped) history.
+struct RingHandle {
+    Ring* ring = nullptr;
+    RingHandle() {
+        RingRegistry& rs = ring_registry();
+        std::lock_guard<std::mutex> lock(rs.mu);
+        for (Ring* r : rs.all) {
+            bool expected = false;
+            if (r->in_use.compare_exchange_strong(expected, true,
+                                                 std::memory_order_acq_rel)) {
+                ring = r;
+                return;
+            }
+        }
+        auto* r = new Ring;
+        r->tid = static_cast<std::int32_t>(rs.all.size());
+        r->in_use.store(true, std::memory_order_release);
+        rs.all.push_back(r);
+        ring = r;
+    }
+    ~RingHandle() { ring->in_use.store(false, std::memory_order_release); }
+};
+
+Ring& this_thread_ring() {
+    thread_local RingHandle handle;
+    return *handle.ring;
+}
+
+void copy_field(char* dst, std::size_t cap, std::string_view src) {
+    const std::size_t n = std::min(cap - 1, src.size());
+    std::memcpy(dst, src.data(), n);
+    dst[n] = '\0';
+}
+
+// ------------------------------------------------------------ dump state
+
+constexpr std::int64_t kMinDumpGapNs = 2'000'000'000; // >= 2 s apart
+constexpr std::int64_t kMaxDumps = 16;                // per process
+
+struct DumpState {
+    std::mutex mu;
+    std::string dir;
+    bool dir_set = false;
+    std::int64_t last_dump_ns = -1;
+    std::int64_t dumps = 0;
+    std::int64_t seq = 0; // monotonic even across flight_reset: no clobbering
+};
+
+DumpState& dump_state() {
+    static DumpState* s = new DumpState; // leaked, same reason as the rings
+    return *s;
+}
+
+std::string sanitize_reason(std::string_view reason) {
+    std::string out;
+    for (const char c : reason.substr(0, 48)) {
+        const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                        (c >= '0' && c <= '9') || c == '_' || c == '-';
+        out.push_back(ok ? c : '_');
+    }
+    if (out.empty()) out = "incident";
+    return out;
+}
+
+/// Gather every ring's contents, oldest first per ring, then merge-sort
+/// by start time. In best-effort (signal) mode a contended lock skips
+/// that ring instead of blocking on a thread we may have interrupted.
+std::vector<FlightEvent> collect_events(bool best_effort) {
+    std::vector<FlightEvent> out;
+    RingRegistry& rs = ring_registry();
+    std::unique_lock<std::mutex> reg_lock(rs.mu, std::defer_lock);
+    if (best_effort) {
+        if (!reg_lock.try_lock()) return out;
+    } else {
+        reg_lock.lock();
+    }
+    for (Ring* r : rs.all) {
+        std::unique_lock<std::mutex> lock(r->mu, std::defer_lock);
+        if (best_effort) {
+            if (!lock.try_lock()) continue;
+        } else {
+            lock.lock();
+        }
+        const std::uint64_t n =
+            std::min<std::uint64_t>(r->next, kFlightRingEvents);
+        const std::uint64_t first = r->next - n;
+        for (std::uint64_t i = 0; i < n; ++i)
+            out.push_back(r->ev[(first + i) % kFlightRingEvents]);
+    }
+    std::sort(out.begin(), out.end(),
+              [](const FlightEvent& a, const FlightEvent& b) {
+                  return a.start_ns < b.start_ns;
+              });
+    return out;
+}
+
+std::string flight_trace_json(const std::vector<FlightEvent>& events) {
+    JsonWriter w;
+    w.begin_object();
+    w.key("traceEvents");
+    w.begin_array();
+    for (const FlightEvent& e : events) {
+        w.begin_object();
+        w.key("name");
+        w.value(std::string_view(e.name));
+        w.key("cat");
+        w.value(std::string_view(e.category));
+        w.key("ph");
+        w.value("X");
+        w.key("ts");
+        w.value(e.start_ns / 1000);
+        w.key("dur");
+        w.value(std::max<std::int64_t>(0, (e.end_ns - e.start_ns) / 1000));
+        w.key("pid");
+        w.value(std::int64_t{1});
+        w.key("tid");
+        w.value(std::int64_t{e.tid});
+        w.key("args");
+        w.begin_object();
+        w.key("depth");
+        w.value(std::int64_t{e.depth});
+        w.end_object();
+        w.end_object();
+    }
+    w.end_array();
+    w.key("displayTimeUnit");
+    w.value("ms");
+    w.end_object();
+    return std::move(w).str();
+}
+
+/// Plain stdio on purpose: hs::fsio has its own fault site, and the
+/// fault fire hook lands here — writing through fsio would recurse.
+bool write_file_raw(const std::string& path, std::string_view text) {
+    std::FILE* f = std::fopen(path.c_str(), "wb");
+    if (f == nullptr) return false;
+    const std::size_t written = std::fwrite(text.data(), 1, text.size(), f);
+    std::fclose(f);
+    return written == text.size();
+}
+
+std::string dump_impl(std::string_view reason, bool best_effort) {
+    // Re-entrancy guard: the dump itself may execute instrumented code
+    // (logging, registry reads) that could loop back into a trigger.
+    thread_local bool dumping = false;
+    if (dumping) return {};
+    dumping = true;
+    struct Guard {
+        bool* flag;
+        ~Guard() { *flag = false; }
+    } guard{&dumping};
+
+    std::string prefix;
+    {
+        DumpState& ds = dump_state();
+        std::unique_lock<std::mutex> lock(ds.mu, std::defer_lock);
+        if (best_effort) {
+            if (!lock.try_lock()) return {};
+        } else {
+            lock.lock();
+        }
+        const std::int64_t now = monotonic_ns();
+        if (ds.dumps >= kMaxDumps) return {};
+        if (ds.last_dump_ns >= 0 && now - ds.last_dump_ns < kMinDumpGapNs)
+            return {};
+        if (!ds.dir_set) {
+            const char* env = std::getenv("HS_FLIGHT_DIR");
+            ds.dir = (env != nullptr && env[0] != '\0') ? env : ".";
+            ds.dir_set = true;
+        }
+        ds.last_dump_ns = now;
+        ++ds.dumps;
+        prefix = ds.dir + "/hs_flight_" + std::to_string(ds.seq++) + "_" +
+                 sanitize_reason(reason);
+    }
+
+    const std::vector<FlightEvent> events = collect_events(best_effort);
+    const std::string trace_path = prefix + ".trace.json";
+    const std::string metrics_path = prefix + ".metrics.json";
+    bool ok = write_file_raw(trace_path, flight_trace_json(events));
+    ok = write_file_raw(metrics_path, Registry::instance().to_json()) && ok;
+    if (!ok) {
+        log_warn("obs: flight dump to " + prefix + " failed");
+        return {};
+    }
+    log_warn("obs: flight recorder dumped " + std::to_string(events.size()) +
+             " events to " + trace_path + " (reason: " +
+             sanitize_reason(reason) + ")");
+    return trace_path;
+}
+
+// -------------------------------------------------------------- triggers
+
+void on_fault_fired(std::string_view site, const fault::Outcome& outcome) {
+    // Runs outside fault's internal lock (set_fire_hook contract), so the
+    // ring/dump locks taken here never nest under it.
+    (void)outcome;
+    char label[kFlightNameChars];
+    std::snprintf(label, sizeof(label), "fault:%.*s",
+                  static_cast<int>(site.size()), site.data());
+    flight_mark(label, "fault");
+    std::string reason = "fault_";
+    reason.append(site);
+    (void)dump_impl(reason, /*best_effort=*/false);
+}
+
+void fatal_signal_handler(int sig) {
+    // Not strictly async-signal-safe (the dump allocates); the process is
+    // dying anyway, and best-effort mode try_locks everything so the worst
+    // case is an incomplete dump, never a deadlock on a lock the
+    // interrupted thread holds.
+    char reason[24];
+    std::snprintf(reason, sizeof(reason), "signal_%d", sig);
+    (void)dump_impl(reason, /*best_effort=*/true);
+    std::signal(sig, SIG_DFL);
+    std::raise(sig);
+}
+
+} // namespace
+
+void flight_record(std::string_view name, std::string_view category,
+                   std::int64_t start_ns, std::int64_t end_ns, int depth) {
+    Ring& r = this_thread_ring();
+    std::lock_guard<std::mutex> lock(r.mu);
+    FlightEvent& e = r.ev[r.next % kFlightRingEvents];
+    copy_field(e.name, sizeof(e.name), name);
+    copy_field(e.category, sizeof(e.category), category);
+    e.start_ns = start_ns;
+    e.end_ns = end_ns;
+    e.tid = r.tid;
+    e.depth = static_cast<std::int32_t>(depth);
+    ++r.next;
+}
+
+void flight_mark(std::string_view name, std::string_view category) {
+    const std::int64_t now = monotonic_ns();
+    flight_record(name, category, now, now);
+}
+
+std::string flight_dump(std::string_view reason) {
+    return dump_impl(reason, /*best_effort=*/false);
+}
+
+void set_flight_dir(std::string dir) {
+    DumpState& ds = dump_state();
+    std::lock_guard<std::mutex> lock(ds.mu);
+    ds.dir = std::move(dir);
+    ds.dir_set = true;
+}
+
+std::string flight_dir() {
+    DumpState& ds = dump_state();
+    std::lock_guard<std::mutex> lock(ds.mu);
+    if (!ds.dir_set) {
+        const char* env = std::getenv("HS_FLIGHT_DIR");
+        ds.dir = (env != nullptr && env[0] != '\0') ? env : ".";
+        ds.dir_set = true;
+    }
+    return ds.dir;
+}
+
+std::int64_t flight_dump_count() {
+    DumpState& ds = dump_state();
+    std::lock_guard<std::mutex> lock(ds.mu);
+    return ds.dumps;
+}
+
+void flight_reset() {
+    {
+        RingRegistry& rs = ring_registry();
+        std::lock_guard<std::mutex> reg_lock(rs.mu);
+        for (Ring* r : rs.all) {
+            std::lock_guard<std::mutex> lock(r->mu);
+            r->next = 0;
+        }
+    }
+    DumpState& ds = dump_state();
+    std::lock_guard<std::mutex> lock(ds.mu);
+    ds.last_dump_ns = -1;
+    ds.dumps = 0; // seq stays monotonic so old files are never clobbered
+}
+
+void install_flight_triggers() {
+    static std::once_flag once;
+    std::call_once(once, [] {
+        fault::set_fire_hook(&on_fault_fired);
+        std::signal(SIGSEGV, &fatal_signal_handler);
+        std::signal(SIGABRT, &fatal_signal_handler);
+        std::signal(SIGBUS, &fatal_signal_handler);
+        std::signal(SIGFPE, &fatal_signal_handler);
+        std::signal(SIGILL, &fatal_signal_handler);
+    });
+}
+
+} // namespace hs::obs

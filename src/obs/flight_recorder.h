@@ -1,0 +1,74 @@
+#pragma once
+
+// Always-on flight recorder: fixed-size per-thread ring buffers of the
+// most recent span/event records, dumped as a Chrome trace + metrics
+// snapshot when something goes wrong — a watchdog worker respawn, a
+// shedding/deadline-miss spike, an hs::fault injection firing, or a
+// fatal signal. The goal is that the last ~100ms before an incident is
+// always reconstructible from disk, without anyone having had the
+// foresight to set HS_TRACE_FILE.
+//
+// Hot path: flight_record() copies one POD record (fixed-width name and
+// category, ns timestamps) into the calling thread's ring under a
+// per-ring mutex that is uncontended except while a dump is reading —
+// no allocation, no global lock. Rings are recycled across threads via
+// a free-list so worker restarts don't grow memory.
+//
+// Dump path: rate-limited (min gap + per-process cap), writes
+//   <dir>/hs_flight_<seq>_<reason>.trace.json    (Chrome trace_event)
+//   <dir>/hs_flight_<seq>_<reason>.metrics.json  (Registry::to_json)
+// where <dir> comes from set_flight_dir() / HS_FLIGHT_DIR (default ".").
+// Plain stdio, never hs::fsio: fsio has its own fault site, and the
+// fault fire hook calls into this file — routing the dump back through
+// fsio would recurse. From a fatal-signal handler the dump runs in
+// best-effort mode (try_lock everywhere, skip what's contended) — see
+// DESIGN.md §11.
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace hs::obs {
+
+inline constexpr int kFlightRingEvents = 2048;  ///< records kept per thread
+inline constexpr int kFlightNameChars = 24;     ///< incl. NUL; longer names truncate
+inline constexpr int kFlightCategoryChars = 16; ///< incl. NUL
+
+/// One ring record. POD on purpose: recording is a struct copy.
+struct FlightEvent {
+    char name[kFlightNameChars];
+    char category[kFlightCategoryChars];
+    std::int64_t start_ns = 0;
+    std::int64_t end_ns = 0;
+    std::int32_t tid = 0;
+    std::int32_t depth = 0;
+};
+
+/// Append one completed interval to the calling thread's ring.
+/// Timestamps are hs::monotonic_ns() values. Never allocates.
+void flight_record(std::string_view name, std::string_view category,
+                   std::int64_t start_ns, std::int64_t end_ns, int depth = 0);
+
+/// Append an instantaneous marker (start == end == now).
+void flight_mark(std::string_view name, std::string_view category = "incident");
+
+/// Dump every ring plus a metrics snapshot, tagged with `reason`.
+/// Returns the trace file path, or "" when rate-limited / failed.
+std::string flight_dump(std::string_view reason);
+
+/// Override the dump directory (otherwise HS_FLIGHT_DIR, default ".").
+void set_flight_dir(std::string dir);
+[[nodiscard]] std::string flight_dir();
+
+/// Dumps performed since process start (or the last flight_reset).
+[[nodiscard]] std::int64_t flight_dump_count();
+
+/// Drop all ring contents and reset the dump rate limiter (tests).
+void flight_reset();
+
+/// Install the incident triggers: the hs::fault fire hook and the
+/// fatal-signal handlers (SIGSEGV/SIGABRT/SIGBUS/SIGFPE/SIGILL).
+/// Idempotent; called from configure_from_env() when obs is armed.
+void install_flight_triggers();
+
+} // namespace hs::obs

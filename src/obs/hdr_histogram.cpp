@@ -1,0 +1,142 @@
+#include "obs/hdr_histogram.h"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+
+namespace hs::obs {
+
+namespace {
+// Dense per-thread ids for shard selection; threads beyond kShards wrap
+// (still lock-free, just shared counters for those threads).
+std::atomic<unsigned> g_next_shard_tid{0};
+} // namespace
+
+HdrHistogram::Shard& HdrHistogram::this_thread_shard() {
+    thread_local const unsigned tid =
+        g_next_shard_tid.fetch_add(1, std::memory_order_relaxed);
+    return shards_[tid % kShards];
+}
+
+int HdrHistogram::bucket_index(std::int64_t v) {
+    if (v < 0) v = 0;
+    const auto u = static_cast<std::uint64_t>(v);
+    if (u < static_cast<std::uint64_t>(kSubBuckets)) return static_cast<int>(u);
+    const int msb = 63 - std::countl_zero(u);
+    const int shift = msb - kSubBits;
+    const int sub = static_cast<int>((u >> shift) & (kSubBuckets - 1));
+    return ((msb - kSubBits + 1) << kSubBits) + sub;
+}
+
+std::int64_t HdrHistogram::bucket_lower(int i) {
+    if (i < kSubBuckets) return i;
+    const int g = i >> kSubBits; // octave group, >= 1
+    const int sub = i & (kSubBuckets - 1);
+    return static_cast<std::int64_t>(kSubBuckets + sub) << (g - 1);
+}
+
+std::int64_t HdrHistogram::bucket_mid(int i) {
+    if (i < kSubBuckets) return i; // exact region: width 1
+    const int g = i >> kSubBits;
+    const std::int64_t width = std::int64_t{1} << (g - 1);
+    return bucket_lower(i) + width / 2;
+}
+
+void HdrHistogram::observe(std::int64_t v) {
+    if (v < 0) v = 0;
+    Shard& s = this_thread_shard();
+    s.counts[bucket_index(v)].fetch_add(1, std::memory_order_relaxed);
+    s.sum.fetch_add(v, std::memory_order_relaxed);
+    // min/max update only when improving: the steady-state path is one
+    // relaxed load + compare, no write.
+    std::int64_t cur = s.min.load(std::memory_order_relaxed);
+    while (v < cur &&
+           !s.min.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+    }
+    cur = s.max.load(std::memory_order_relaxed);
+    while (v > cur &&
+           !s.max.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+    }
+}
+
+std::int64_t HdrHistogram::count() const {
+    std::int64_t total = 0;
+    for (const Shard& s : shards_)
+        for (const auto& c : s.counts)
+            total += c.load(std::memory_order_relaxed);
+    return total;
+}
+
+std::int64_t HdrHistogram::sum() const {
+    std::int64_t total = 0;
+    for (const Shard& s : shards_)
+        total += s.sum.load(std::memory_order_relaxed);
+    return total;
+}
+
+std::int64_t HdrHistogram::min() const {
+    std::int64_t best = INT64_MAX;
+    for (const Shard& s : shards_)
+        best = std::min(best, s.min.load(std::memory_order_relaxed));
+    return best == INT64_MAX ? 0 : best;
+}
+
+std::int64_t HdrHistogram::max() const {
+    std::int64_t best = -1;
+    for (const Shard& s : shards_)
+        best = std::max(best, s.max.load(std::memory_order_relaxed));
+    return best < 0 ? 0 : best;
+}
+
+std::vector<std::int64_t> HdrHistogram::merged_counts() const {
+    std::vector<std::int64_t> merged(kBucketCount, 0);
+    for (const Shard& s : shards_)
+        for (int i = 0; i < kBucketCount; ++i)
+            merged[static_cast<std::size_t>(i)] +=
+                s.counts[i].load(std::memory_order_relaxed);
+    return merged;
+}
+
+std::int64_t HdrHistogram::value_at_quantile(double q) const {
+    const std::vector<std::int64_t> merged = merged_counts();
+    std::int64_t total = 0;
+    for (const std::int64_t c : merged) total += c;
+    if (total == 0) return 0;
+    q = std::clamp(q, 0.0, 1.0);
+    const std::int64_t target = std::max<std::int64_t>(
+        1, static_cast<std::int64_t>(std::ceil(q * static_cast<double>(total))));
+    std::int64_t cum = 0;
+    for (int i = 0; i < kBucketCount; ++i) {
+        cum += merged[static_cast<std::size_t>(i)];
+        if (cum >= target) {
+            // The midpoint can overshoot the true extremes; the tracked
+            // min/max tighten the first and last occupied buckets.
+            return std::clamp(bucket_mid(i), min(), max());
+        }
+    }
+    return max();
+}
+
+void HdrHistogram::reset() {
+    for (Shard& s : shards_) {
+        for (auto& c : s.counts) c.store(0, std::memory_order_relaxed);
+        s.sum.store(0, std::memory_order_relaxed);
+        s.min.store(INT64_MAX, std::memory_order_relaxed);
+        s.max.store(-1, std::memory_order_relaxed);
+    }
+}
+
+HdrSnapshot snapshot(const HdrHistogram& h) {
+    HdrSnapshot s;
+    s.count = h.count();
+    s.sum = h.sum();
+    s.min = h.min();
+    s.max = h.max();
+    s.p50 = h.value_at_quantile(0.50);
+    s.p90 = h.value_at_quantile(0.90);
+    s.p99 = h.value_at_quantile(0.99);
+    s.p999 = h.value_at_quantile(0.999);
+    return s;
+}
+
+} // namespace hs::obs

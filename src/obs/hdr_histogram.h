@@ -1,0 +1,100 @@
+#pragma once
+
+// Lock-free log-bucketed latency histogram (HDR-style) with per-thread
+// shards and a merge-on-read quantile API — the production replacement
+// for "push every sample into a vector and sort it in stats()".
+//
+// Layout: non-negative integer values (the callers record microseconds)
+// index into a log-linear bucket grid. Values below 2^kSubBits land in
+// their own exact bucket; above that, each power-of-two octave is split
+// into 2^kSubBits linear sub-buckets, so the bucket width is always at
+// most value / 2^kSubBits — a bounded relative error of
+// kMaxRelativeError (1/32 ≈ 3.1% at kSubBits = 5) across the whole
+// int64 range. Memory is fixed at registration time: kBucketCount
+// counters per shard, nothing grows with the number of observations.
+//
+// Concurrency: observe() picks a shard from a thread-local id and does
+// two relaxed fetch_adds (bucket + sum) plus an occasional min/max CAS —
+// no mutex, no false sharing across shards (each shard is cache-line
+// aligned). Readers merge the shards on demand; quantiles are computed
+// over the merged counts. Reads are racy-by-design snapshots (relaxed
+// atomics), which is exactly what a monitoring read wants.
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+namespace hs::obs {
+
+/// Sharded log-bucketed histogram of non-negative int64 values.
+class HdrHistogram {
+public:
+    static constexpr int kSubBits = 5;            ///< 32 sub-buckets/octave
+    static constexpr int kSubBuckets = 1 << kSubBits;
+    static constexpr int kBucketCount = (64 - kSubBits) * kSubBuckets;
+    static constexpr int kShards = 8;
+    /// Worst-case relative error of any reported quantile value.
+    static constexpr double kMaxRelativeError = 1.0 / kSubBuckets;
+
+    HdrHistogram() = default;
+    HdrHistogram(const HdrHistogram&) = delete;
+    HdrHistogram& operator=(const HdrHistogram&) = delete;
+
+    /// Record one value (negative values clamp to 0). ~2 relaxed atomic
+    /// adds on the calling thread's shard.
+    void observe(std::int64_t v);
+
+    /// Merged observation count across all shards.
+    [[nodiscard]] std::int64_t count() const;
+    /// Merged sum of observed values (for means).
+    [[nodiscard]] std::int64_t sum() const;
+    /// Smallest / largest observed value; 0 when empty.
+    [[nodiscard]] std::int64_t min() const;
+    [[nodiscard]] std::int64_t max() const;
+
+    /// Value at quantile q in [0, 1] over the merged shards, within
+    /// kMaxRelativeError of the exact order statistic. 0 when empty.
+    [[nodiscard]] std::int64_t value_at_quantile(double q) const;
+
+    /// Merged per-bucket counts (size kBucketCount) — exporters only.
+    [[nodiscard]] std::vector<std::int64_t> merged_counts() const;
+
+    /// Drop every recorded observation (tests).
+    void reset();
+
+    /// Bucket index of a value (exposed for tests).
+    [[nodiscard]] static int bucket_index(std::int64_t v);
+    /// Inclusive lower bound of bucket `i`.
+    [[nodiscard]] static std::int64_t bucket_lower(int i);
+    /// Representative (midpoint) value of bucket `i`.
+    [[nodiscard]] static std::int64_t bucket_mid(int i);
+
+private:
+    struct alignas(64) Shard {
+        std::atomic<std::int64_t> counts[kBucketCount] = {};
+        std::atomic<std::int64_t> sum{0};
+        std::atomic<std::int64_t> min{INT64_MAX};
+        std::atomic<std::int64_t> max{-1};
+    };
+
+    Shard shards_[kShards];
+
+    [[nodiscard]] Shard& this_thread_shard();
+};
+
+/// Compact read-side summary of one HdrHistogram (export payloads).
+struct HdrSnapshot {
+    std::int64_t count = 0;
+    std::int64_t sum = 0;
+    std::int64_t min = 0;
+    std::int64_t max = 0;
+    std::int64_t p50 = 0;
+    std::int64_t p90 = 0;
+    std::int64_t p99 = 0;
+    std::int64_t p999 = 0;
+};
+
+/// Snapshot helper (merges once for count/sum and quantiles).
+[[nodiscard]] HdrSnapshot snapshot(const HdrHistogram& h);
+
+} // namespace hs::obs

@@ -1,5 +1,6 @@
 #include "obs/metrics.h"
 
+#include <cstdio>
 #include <map>
 #include <mutex>
 
@@ -51,6 +52,7 @@ struct Registry::Impl {
     std::map<std::string, std::unique_ptr<Counter>> counters;
     std::map<std::string, std::unique_ptr<Gauge>> gauges;
     std::map<std::string, std::unique_ptr<Histogram>> histograms;
+    std::map<std::string, std::unique_ptr<HdrHistogram>> hdrs;
 };
 
 Registry::Impl& Registry::impl() const {
@@ -86,6 +88,14 @@ Histogram& Registry::histogram(std::string_view name,
     std::lock_guard<std::mutex> lock(i.mutex);
     auto& slot = i.histograms[std::string(name)];
     if (!slot) slot = std::make_unique<Histogram>(std::move(bounds));
+    return *slot;
+}
+
+HdrHistogram& Registry::hdr(std::string_view name) {
+    Impl& i = impl();
+    std::lock_guard<std::mutex> lock(i.mutex);
+    auto& slot = i.hdrs[std::string(name)];
+    if (!slot) slot = std::make_unique<HdrHistogram>();
     return *slot;
 }
 
@@ -132,8 +142,133 @@ std::string Registry::to_json() const {
     }
     w.end_object();
 
+    w.key("hdr");
+    w.begin_object();
+    for (const auto& [name, h] : i.hdrs) {
+        const HdrSnapshot s = snapshot(*h);
+        w.key(name);
+        w.begin_object();
+        w.key("count");
+        w.value(s.count);
+        w.key("sum");
+        w.value(s.sum);
+        w.key("min");
+        w.value(s.min);
+        w.key("max");
+        w.value(s.max);
+        w.key("p50");
+        w.value(s.p50);
+        w.key("p90");
+        w.value(s.p90);
+        w.key("p99");
+        w.value(s.p99);
+        w.key("p999");
+        w.value(s.p999);
+        w.end_object();
+    }
+    w.end_object();
+
     w.end_object();
     return std::move(w).str();
+}
+
+namespace {
+
+/// Prometheus metric name: [a-zA-Z_:][a-zA-Z0-9_:]*; we map everything
+/// else to '_' and prefix "hs_" (which also fixes leading digits).
+std::string prom_name(std::string_view name) {
+    std::string out = "hs_";
+    for (const char c : name) {
+        const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                        (c >= '0' && c <= '9') || c == '_' || c == ':';
+        out.push_back(ok ? c : '_');
+    }
+    return out;
+}
+
+void prom_number(std::string& out, double v) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    out += buf;
+}
+
+} // namespace
+
+std::string Registry::to_prometheus() const {
+    Impl& i = impl();
+    std::lock_guard<std::mutex> lock(i.mutex);
+    std::string out;
+
+    for (const auto& [name, c] : i.counters) {
+        const std::string p = prom_name(name);
+        out += "# TYPE " + p + " counter\n";
+        out += p + " " + std::to_string(c->value()) + "\n";
+    }
+    for (const auto& [name, g] : i.gauges) {
+        const std::string p = prom_name(name);
+        out += "# TYPE " + p + " gauge\n";
+        out += p + " ";
+        prom_number(out, g->value());
+        out += "\n";
+    }
+    for (const auto& [name, h] : i.histograms) {
+        const std::string p = prom_name(name);
+        out += "# TYPE " + p + " histogram\n";
+        const std::vector<std::int64_t> buckets = h->bucket_counts();
+        std::int64_t cumulative = 0;
+        for (std::size_t b = 0; b < h->bounds().size(); ++b) {
+            cumulative += buckets[b];
+            out += p + "_bucket{le=\"";
+            prom_number(out, h->bounds()[b]);
+            out += "\"} " + std::to_string(cumulative) + "\n";
+        }
+        out += p + "_bucket{le=\"+Inf\"} " + std::to_string(h->count()) + "\n";
+        out += p + "_sum ";
+        prom_number(out, h->sum());
+        out += "\n";
+        out += p + "_count " + std::to_string(h->count()) + "\n";
+    }
+    for (const auto& [name, h] : i.hdrs) {
+        const std::string p = prom_name(name);
+        const HdrSnapshot s = snapshot(*h);
+        out += "# TYPE " + p + " summary\n";
+        out += p + "{quantile=\"0.5\"} " + std::to_string(s.p50) + "\n";
+        out += p + "{quantile=\"0.9\"} " + std::to_string(s.p90) + "\n";
+        out += p + "{quantile=\"0.99\"} " + std::to_string(s.p99) + "\n";
+        out += p + "{quantile=\"0.999\"} " + std::to_string(s.p999) + "\n";
+        out += p + "_sum " + std::to_string(s.sum) + "\n";
+        out += p + "_count " + std::to_string(s.count) + "\n";
+    }
+    return out;
+}
+
+std::vector<std::pair<std::string, std::int64_t>>
+Registry::counters_snapshot() const {
+    Impl& i = impl();
+    std::lock_guard<std::mutex> lock(i.mutex);
+    std::vector<std::pair<std::string, std::int64_t>> out;
+    out.reserve(i.counters.size());
+    for (const auto& [name, c] : i.counters) out.emplace_back(name, c->value());
+    return out;
+}
+
+std::vector<std::pair<std::string, double>> Registry::gauges_snapshot() const {
+    Impl& i = impl();
+    std::lock_guard<std::mutex> lock(i.mutex);
+    std::vector<std::pair<std::string, double>> out;
+    out.reserve(i.gauges.size());
+    for (const auto& [name, g] : i.gauges) out.emplace_back(name, g->value());
+    return out;
+}
+
+std::vector<std::pair<std::string, HdrSnapshot>>
+Registry::hdr_snapshots() const {
+    Impl& i = impl();
+    std::lock_guard<std::mutex> lock(i.mutex);
+    std::vector<std::pair<std::string, HdrSnapshot>> out;
+    out.reserve(i.hdrs.size());
+    for (const auto& [name, h] : i.hdrs) out.emplace_back(name, snapshot(*h));
+    return out;
 }
 
 void Registry::reset() {
@@ -142,6 +277,7 @@ void Registry::reset() {
     i.counters.clear();
     i.gauges.clear();
     i.histograms.clear();
+    i.hdrs.clear();
 }
 
 std::vector<double> default_time_buckets() {
@@ -161,6 +297,11 @@ void gauge_set(std::string_view name, double v) {
 void observe(std::string_view name, double v) {
     if (!enabled()) return;
     Registry::instance().histogram(name, default_time_buckets()).observe(v);
+}
+
+void observe_hdr_us(std::string_view name, std::int64_t us) {
+    if (!enabled()) return;
+    Registry::instance().hdr(name).observe(us);
 }
 
 } // namespace hs::obs

@@ -13,7 +13,10 @@
 #include <memory>
 #include <string>
 #include <string_view>
+#include <utility>
 #include <vector>
+
+#include "obs/hdr_histogram.h"
 
 namespace hs::obs {
 
@@ -78,9 +81,25 @@ public:
     Gauge& gauge(std::string_view name);
     /// `bounds` are used only on first registration of `name`.
     Histogram& histogram(std::string_view name, std::vector<double> bounds);
+    /// Sharded HDR histogram (integer values; callers record microseconds).
+    HdrHistogram& hdr(std::string_view name);
 
-    /// {"counters":{...},"gauges":{...},"histograms":{...}}
+    /// {"counters":{...},"gauges":{...},"histograms":{...},"hdr":{...}}
     [[nodiscard]] std::string to_json() const;
+
+    /// Prometheus text exposition of the whole registry: counters and
+    /// gauges verbatim, fixed-bucket histograms as `_bucket{le=...}`
+    /// series, HDR histograms as summaries with quantile labels. Names
+    /// are sanitized ('.' -> '_') and prefixed `hs_`.
+    [[nodiscard]] std::string to_prometheus() const;
+
+    /// Point-in-time copies for the delta exporter (name-sorted).
+    [[nodiscard]] std::vector<std::pair<std::string, std::int64_t>>
+    counters_snapshot() const;
+    [[nodiscard]] std::vector<std::pair<std::string, double>>
+    gauges_snapshot() const;
+    [[nodiscard]] std::vector<std::pair<std::string, HdrSnapshot>>
+    hdr_snapshots() const;
 
     /// Drop every registered instrument (tests).
     void reset();
@@ -98,5 +117,6 @@ private:
 void count(std::string_view name, std::int64_t delta = 1);
 void gauge_set(std::string_view name, double v);
 void observe(std::string_view name, double v); // default_time_buckets()
+void observe_hdr_us(std::string_view name, std::int64_t us);
 
 } // namespace hs::obs

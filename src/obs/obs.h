@@ -2,15 +2,25 @@
 
 // Umbrella header for the hs::obs observability subsystem.
 //
-//   * trace.h   — enabled()/set_enabled(), RAII Span, Chrome trace export
-//   * metrics.h — counters / gauges / histograms registry + JSON export
-//   * report.h  — whole-run JSON report (config, traces, estimates)
-//   * json.h    — the minimal writer/parser the exporters share
+//   * trace.h           — enabled()/set_enabled(), RAII Span, Chrome trace
+//   * metrics.h         — counters / gauges / histograms / HDR registry,
+//                         JSON + Prometheus export
+//   * hdr_histogram.h   — sharded log-bucketed latency histogram
+//   * flight_recorder.h — per-thread incident rings + auto-dump triggers
+//   * exporter.h        — background Prometheus / delta-JSON exporter
+//   * report.h          — whole-run JSON report (config, traces, roofline)
+//   * json.h            — the minimal writer/parser the exporters share
 //
 // Environment: HS_OBS=1 enables collection; HS_TRACE_FILE=<path> and
-// HS_REPORT_FILE=<path> additionally export the trace / report at exit.
-// Benches expose the same report through `--json <path>`.
+// HS_REPORT_FILE=<path> additionally export the trace / report at exit;
+// HS_METRICS_FILE=<path> starts the periodic exporter (period
+// HS_METRICS_INTERVAL_MS, default 1000); HS_FLIGHT_DIR=<dir> redirects
+// flight-recorder incident dumps (default "."). Benches expose the same
+// report through `--json <path>`.
 
+#include "obs/exporter.h"
+#include "obs/flight_recorder.h"
+#include "obs/hdr_histogram.h"
 #include "obs/json.h"
 #include "obs/metrics.h"
 #include "obs/report.h"

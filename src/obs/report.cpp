@@ -16,6 +16,7 @@ struct RunReport::Impl {
     std::vector<SearchTrace> searches;
     std::vector<LayerRow> layers;
     std::vector<DeviceEstimate> estimates;
+    std::vector<RooflineRow> rooflines;
     std::vector<std::pair<std::string, double>> sections;
 };
 
@@ -92,6 +93,13 @@ void RunReport::add_device_estimate(DeviceEstimate estimate) {
     i.estimates.push_back(std::move(estimate));
 }
 
+void RunReport::add_roofline(RooflineRow row) {
+    if (!enabled()) return;
+    Impl& i = impl();
+    std::lock_guard<std::mutex> lock(i.mutex);
+    i.rooflines.push_back(std::move(row));
+}
+
 void RunReport::add_section(std::string name, double seconds) {
     if (!enabled()) return;
     Impl& i = impl();
@@ -122,6 +130,7 @@ std::string RunReport::to_json() const {
         snapshot.searches = i.searches;
         snapshot.layers = i.layers;
         snapshot.estimates = i.estimates;
+        snapshot.rooflines = i.rooflines;
         snapshot.sections = i.sections;
     }
 
@@ -224,6 +233,36 @@ std::string RunReport::to_json() const {
     }
     w.end_array();
 
+    w.key("roofline");
+    w.begin_array();
+    for (const auto& r : snapshot.rooflines) {
+        w.begin_object();
+        w.key("model");
+        w.value(r.model);
+        w.key("precision");
+        w.value(r.precision);
+        w.key("layer");
+        w.value(r.layer);
+        w.key("kind");
+        w.value(r.kind);
+        w.key("macs");
+        w.value(r.macs);
+        w.key("bytes");
+        w.value(r.bytes);
+        w.key("wall_ns");
+        w.value(r.wall_ns);
+        w.key("images");
+        w.value(r.images);
+        w.key("gflops");
+        w.value(r.gflops);
+        w.key("intensity");
+        w.value(r.intensity);
+        w.key("pct_peak");
+        w.value(r.pct_peak);
+        w.end_object();
+    }
+    w.end_array();
+
     w.key("sections");
     w.begin_object();
     for (const auto& [name, seconds] : snapshot.sections) {
@@ -279,6 +318,7 @@ void RunReport::reset() {
     i.searches.clear();
     i.layers.clear();
     i.estimates.clear();
+    i.rooflines.clear();
     i.sections.clear();
 }
 

@@ -44,6 +44,26 @@ struct LayerRow {
     double elapsed_s = 0.0;
 };
 
+/// One measured per-layer roofline row: what a frozen Engine actually did
+/// for one layer at one precision (fp32/int8), plus the derived roofline
+/// coordinates. `pct_peak` compares achieved GFLOP/s (int8: G-MAC-ops/s
+/// counted as 2·MACs) against a measured in-cache GEMM peak for the same
+/// precision, so the number answers "how far from the best this machine's
+/// GEMM can do", not a datasheet fiction.
+struct RooflineRow {
+    std::string model;      ///< e.g. "vgg16-cifar"
+    std::string precision;  ///< "fp32" | "int8"
+    std::string layer;      ///< layer name, e.g. "conv4_1"
+    std::string kind;       ///< op kind, e.g. "conv", "linear"
+    std::int64_t macs = 0;      ///< multiply-accumulates per image
+    std::int64_t bytes = 0;     ///< weight + activation traffic, whole run
+    std::int64_t wall_ns = 0;   ///< total wall time across all calls
+    std::int64_t images = 0;    ///< images processed
+    double gflops = 0.0;        ///< 2·macs·images / wall
+    double intensity = 0.0;     ///< flops / byte
+    double pct_peak = 0.0;      ///< gflops / measured peak · 100
+};
+
 /// One gpusim roofline/energy evaluation.
 struct DeviceEstimate {
     std::string device;
@@ -69,6 +89,7 @@ public:
     void add_search(SearchTrace trace);
     void add_layer(LayerRow row);
     void add_device_estimate(DeviceEstimate estimate);
+    void add_roofline(RooflineRow row);
     /// Explicit named wall-clock section (coarser than spans).
     void add_section(std::string name, double seconds);
 

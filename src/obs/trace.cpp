@@ -7,6 +7,8 @@
 #include <map>
 #include <mutex>
 
+#include "obs/exporter.h"
+#include "obs/flight_recorder.h"
 #include "obs/json.h"
 #include "obs/report.h"
 #include "util/logging.h"
@@ -75,14 +77,29 @@ void configure_from_env() {
         const char* obs = std::getenv("HS_OBS");
         const char* trace = std::getenv("HS_TRACE_FILE");
         const char* report = std::getenv("HS_REPORT_FILE");
+        const char* metrics = std::getenv("HS_METRICS_FILE");
         if (trace != nullptr && trace[0] != '\0') g_trace_file = trace;
         if (report != nullptr && report[0] != '\0') g_report_file = report;
+        const std::string metrics_file =
+            (metrics != nullptr && metrics[0] != '\0') ? metrics : "";
         const bool obs_on =
             obs != nullptr && obs[0] != '\0' && std::strcmp(obs, "0") != 0;
-        if (obs_on || !g_trace_file.empty() || !g_report_file.empty()) {
+        if (obs_on || !g_trace_file.empty() || !g_report_file.empty() ||
+            !metrics_file.empty()) {
             detail::g_enabled.store(true, std::memory_order_relaxed);
             if (!g_trace_file.empty() || !g_report_file.empty())
                 std::atexit(export_at_exit);
+            // Incident triggers (fault fire hook, fatal-signal dumps) ride
+            // along whenever obs is armed: the flight recorder is the
+            // always-on part of the subsystem.
+            install_flight_triggers();
+            if (!metrics_file.empty()) {
+                std::int64_t interval_ms = 1000;
+                if (const char* iv = std::getenv("HS_METRICS_INTERVAL_MS");
+                    iv != nullptr && iv[0] != '\0')
+                    interval_ms = std::strtoll(iv, nullptr, 10);
+                start_metrics_exporter(metrics_file, interval_ms);
+            }
         }
     });
 }
@@ -103,6 +120,7 @@ Span::~Span() {
     if (!active_) return;
     const std::int64_t end_ns = monotonic_ns();
     --this_thread_depth();
+    flight_record(name_, category_, start_ns_, end_ns, depth_);
 
     SpanEvent event;
     event.name = std::move(name_);
@@ -126,6 +144,7 @@ Span::~Span() {
 void record_span(std::string name, std::string category,
                  std::int64_t start_ns, std::int64_t end_ns) {
     if (!enabled()) return;
+    flight_record(name, category, start_ns, end_ns);
     SpanEvent event;
     event.name = std::move(name);
     event.category = std::move(category);

@@ -1,0 +1,190 @@
+// HdrHistogram correctness: bucket math (exact low range, bounded
+// relative width everywhere), merged-shard quantiles against exact
+// sorted order statistics within the advertised error bound, and
+// multi-threaded recording (count/sum/min/max conservation when every
+// shard is exercised concurrently).
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "obs/hdr_histogram.h"
+
+namespace hs::obs {
+namespace {
+
+/// Deterministic 64-bit LCG (same stream on every platform).
+struct Lcg {
+    std::uint64_t s;
+    std::uint64_t next() {
+        s = s * 6364136223846793005ULL + 1442695040888963407ULL;
+        return s >> 11;
+    }
+};
+
+/// The rank convention value_at_quantile uses: the target-th smallest
+/// element with target = max(1, ceil(q * n)).
+std::int64_t exact_quantile(const std::vector<std::int64_t>& sorted, double q) {
+    const auto n = static_cast<double>(sorted.size());
+    auto target = static_cast<std::size_t>(std::ceil(q * n));
+    target = std::max<std::size_t>(1, std::min(target, sorted.size()));
+    return sorted[target - 1];
+}
+
+// ---------------------------------------------------------- bucket math
+
+TEST(HdrBuckets, LowValuesAreExact) {
+    for (std::int64_t v = 0; v < HdrHistogram::kSubBuckets; ++v) {
+        const int i = HdrHistogram::bucket_index(v);
+        EXPECT_EQ(HdrHistogram::bucket_lower(i), v);
+        EXPECT_EQ(HdrHistogram::bucket_mid(i), v);
+    }
+}
+
+TEST(HdrBuckets, NegativeClampsToZero) {
+    EXPECT_EQ(HdrHistogram::bucket_index(-5), HdrHistogram::bucket_index(0));
+}
+
+TEST(HdrBuckets, IndexIsMonotoneAndLowerBoundsContain) {
+    std::int64_t prev_index = -1;
+    for (std::int64_t v = 1; v > 0 && v < (std::int64_t{1} << 40); v = v * 3 + 7) {
+        const int i = HdrHistogram::bucket_index(v);
+        ASSERT_GE(i, prev_index) << "v=" << v;
+        prev_index = i;
+        ASSERT_LE(HdrHistogram::bucket_lower(i), v) << "v=" << v;
+        if (i + 1 < HdrHistogram::kBucketCount)
+            ASSERT_GT(HdrHistogram::bucket_lower(i + 1), v) << "v=" << v;
+    }
+}
+
+TEST(HdrBuckets, MidpointRelativeErrorIsBounded) {
+    Lcg rng{99};
+    for (int t = 0; t < 20000; ++t) {
+        // Log-uniform magnitudes: up to ~2^52.
+        const int shift = static_cast<int>(rng.next() % 47);
+        const auto v = static_cast<std::int64_t>(
+            (rng.next() % 63) + 1) << shift;
+        const std::int64_t mid =
+            HdrHistogram::bucket_mid(HdrHistogram::bucket_index(v));
+        const double err = std::abs(static_cast<double>(mid - v)) /
+                           static_cast<double>(v);
+        ASSERT_LE(err, HdrHistogram::kMaxRelativeError)
+            << "v=" << v << " mid=" << mid;
+    }
+}
+
+// ------------------------------------------------------------ recording
+
+TEST(HdrHistogramTest, EmptyReadsAreZero) {
+    HdrHistogram h;
+    EXPECT_EQ(h.count(), 0);
+    EXPECT_EQ(h.sum(), 0);
+    EXPECT_EQ(h.min(), 0);
+    EXPECT_EQ(h.max(), 0);
+    EXPECT_EQ(h.value_at_quantile(0.5), 0);
+    const HdrSnapshot s = snapshot(h);
+    EXPECT_EQ(s.count, 0);
+    EXPECT_EQ(s.p999, 0);
+}
+
+TEST(HdrHistogramTest, CountSumMinMaxExact) {
+    HdrHistogram h;
+    std::int64_t sum = 0;
+    for (std::int64_t v : {7, 0, 12345, 3, 999999, 42}) {
+        h.observe(v);
+        sum += v;
+    }
+    EXPECT_EQ(h.count(), 6);
+    EXPECT_EQ(h.sum(), sum);
+    EXPECT_EQ(h.min(), 0);
+    EXPECT_EQ(h.max(), 999999);
+}
+
+TEST(HdrHistogramTest, ResetDropsEverything) {
+    HdrHistogram h;
+    h.observe(17);
+    h.observe(100000);
+    h.reset();
+    EXPECT_EQ(h.count(), 0);
+    EXPECT_EQ(h.value_at_quantile(0.99), 0);
+}
+
+// ------------------------------------------------------------- quantiles
+
+TEST(HdrHistogramTest, QuantilesMatchExactWithinRelativeError) {
+    HdrHistogram h;
+    Lcg rng{7};
+    std::vector<std::int64_t> values;
+    values.reserve(50000);
+    for (int i = 0; i < 50000; ++i) {
+        // Mixed distribution: a dense low mode plus a heavy tail, like
+        // real latency data.
+        std::int64_t v;
+        if (rng.next() % 10 < 8)
+            v = static_cast<std::int64_t>(rng.next() % 2000);
+        else
+            v = static_cast<std::int64_t>(rng.next() % 5'000'000);
+        values.push_back(v);
+        h.observe(v);
+    }
+    std::vector<std::int64_t> sorted = values;
+    std::sort(sorted.begin(), sorted.end());
+
+    for (double q : {0.10, 0.50, 0.90, 0.95, 0.99, 0.999}) {
+        const std::int64_t exact = exact_quantile(sorted, q);
+        const std::int64_t got = h.value_at_quantile(q);
+        const double tol =
+            static_cast<double>(exact) * HdrHistogram::kMaxRelativeError + 1.0;
+        EXPECT_NEAR(static_cast<double>(got), static_cast<double>(exact), tol)
+            << "q=" << q;
+    }
+    // Extremes are clamped to the true observed range.
+    EXPECT_EQ(h.value_at_quantile(0.0), h.min());
+    EXPECT_EQ(h.value_at_quantile(1.0), h.max());
+}
+
+TEST(HdrHistogramTest, SnapshotAgreesWithDirectReads) {
+    HdrHistogram h;
+    for (std::int64_t v = 1; v <= 1000; ++v) h.observe(v);
+    const HdrSnapshot s = snapshot(h);
+    EXPECT_EQ(s.count, h.count());
+    EXPECT_EQ(s.sum, h.sum());
+    EXPECT_EQ(s.min, 1);
+    EXPECT_EQ(s.max, 1000);
+    EXPECT_EQ(s.p50, h.value_at_quantile(0.50));
+    EXPECT_EQ(s.p999, h.value_at_quantile(0.999));
+}
+
+// ----------------------------------------------------------- concurrency
+
+TEST(HdrHistogramTest, ConcurrentObserversConserveTotals) {
+    HdrHistogram h;
+    // More threads than shards so every shard sees contention.
+    constexpr int kThreads = 2 * HdrHistogram::kShards;
+    constexpr int kPerThread = 20000;
+    std::vector<std::thread> threads;
+    threads.reserve(kThreads);
+    for (int t = 0; t < kThreads; ++t) {
+        threads.emplace_back([&h, t] {
+            Lcg rng{static_cast<std::uint64_t>(t) + 1};
+            for (int i = 0; i < kPerThread; ++i)
+                h.observe(static_cast<std::int64_t>(rng.next() % 100000) + 1);
+        });
+    }
+    for (auto& th : threads) th.join();
+
+    EXPECT_EQ(h.count(), static_cast<std::int64_t>(kThreads) * kPerThread);
+    EXPECT_GE(h.min(), 1);
+    EXPECT_LE(h.max(), 100000);
+    // The median of ~uniform [1, 100000] must land near the middle.
+    const std::int64_t p50 = h.value_at_quantile(0.5);
+    EXPECT_GT(p50, 40000);
+    EXPECT_LT(p50, 60000);
+}
+
+} // namespace
+} // namespace hs::obs

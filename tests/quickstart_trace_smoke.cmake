@@ -1,13 +1,20 @@
 # CTest driver for the observability smoke test: run the quickstart
-# example with HS_TRACE_FILE set, then assert the emitted Chrome trace is
-# non-empty valid JSON with at least one traceEvent.
+# example with HS_TRACE_FILE and HS_METRICS_FILE set, then assert
+#  * the emitted Chrome trace is non-empty valid JSON with traceEvents;
+#  * the background exporter wrote a non-empty Prometheus-text snapshot
+#    and a delta-JSON snapshot with a counters object (the exporter's
+#    final flush guarantees both even for sub-interval runs).
 #
-# Variables (passed via -D): QUICKSTART, JSON_CHECK, TRACE_FILE
+# Variables (passed via -D): QUICKSTART, JSON_CHECK, TRACE_FILE,
+# METRICS_FILE
 
 file(REMOVE "${TRACE_FILE}")
+file(REMOVE "${METRICS_FILE}")
+file(REMOVE "${METRICS_FILE}.delta.json")
 
 execute_process(
   COMMAND ${CMAKE_COMMAND} -E env "HS_TRACE_FILE=${TRACE_FILE}"
+          "HS_METRICS_FILE=${METRICS_FILE}" "HS_METRICS_INTERVAL_MS=50"
           "${QUICKSTART}" --smoke
   RESULT_VARIABLE quickstart_rv
   OUTPUT_QUIET
@@ -26,4 +33,20 @@ execute_process(
 )
 if(NOT check_rv EQUAL 0)
   message(FATAL_ERROR "trace file ${TRACE_FILE} failed JSON validation")
+endif()
+
+if(NOT EXISTS "${METRICS_FILE}")
+  message(FATAL_ERROR "exporter did not write ${METRICS_FILE}")
+endif()
+file(SIZE "${METRICS_FILE}" metrics_size)
+if(metrics_size EQUAL 0)
+  message(FATAL_ERROR "Prometheus snapshot ${METRICS_FILE} is empty")
+endif()
+
+execute_process(
+  COMMAND "${JSON_CHECK}" "${METRICS_FILE}.delta.json" counters
+  RESULT_VARIABLE delta_rv
+)
+if(NOT delta_rv EQUAL 0)
+  message(FATAL_ERROR "delta snapshot ${METRICS_FILE}.delta.json failed JSON validation")
 endif()
