@@ -7,34 +7,51 @@
 //   serve_pruned [--smoke] [--int8] [--json <path>] [--weights <path>]
 //                [--requests N] [--rps R] [--workers N] [--batch N]
 //                [--delay-us N] [--deadline-us N] [--watchdog-us N]
-//                [--retries N]
+//                [--retries N] [--listen] [--port N]
+//                [--connect host:port]
+//
+// Three modes:
+//   * default — in-process round trip: synthetic open-loop traffic is
+//     submitted straight into the ServingEngine;
+//   * --listen — same model + engine, but fronted by the hs::net epoll
+//     TCP server (--port, default ephemeral). Runs until SIGTERM/SIGINT,
+//     then drains gracefully: stop accepting, NACK new requests
+//     kDraining, resolve everything accepted, flush, exit;
+//   * --connect host:port — pure client: drives the same open-loop
+//     traffic at a remote serve_pruned --listen over the frame protocol.
 //
 // `--smoke` shrinks the run to a couple of seconds (used by the CTest
 // smoke test); `--int8` quantizes the frozen plan (calibrating on a
 // synthetic batch) and round-trips it through the v4 frozen-model file
 // before serving, exercising the full deploy path; `--json` writes the
-// hs::obs run report with the serving percentiles as gauges. Backpressure is handled like a real client:
-// rejected submits are retried with exponential backoff (seeded from the
-// engine's retry-after hint) up to `--retries` times before giving up,
-// and the report includes the shed / deadline-missed / worker-restart
-// counters next to the latency percentiles.
+// hs::obs run report with the serving percentiles as gauges.
+// Backpressure is handled like a real client: rejected submits (local
+// admission verdicts and remote NACK frames alike) are retried through
+// net::Backoff — exponential, seeded from the engine's EWMA retry-after
+// hint — up to `--retries` times before giving up, and the report
+// includes the shed / deadline-missed / worker-restart counters next to
+// the latency percentiles.
 
 #include <algorithm>
 #include <chrono>
+#include <csignal>
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
 #include <future>
 #include <memory>
 #include <optional>
+#include <span>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "infer/infer.h"
 #include "models/vgg.h"
+#include "net/net.h"
 #include "nn/conv2d.h"
 #include "nn/serialize.h"
+#include "obs/hdr_histogram.h"
 #include "obs/obs.h"
 #include "pruning/surgery.h"
 #include "tensor/rng.h"
@@ -58,6 +75,9 @@ struct Options {
     std::int64_t deadline_us = 0;   ///< per-request deadline; 0 = none
     std::int64_t watchdog_us = 0;   ///< worker watchdog timeout; 0 = off
     int retries = 6;                ///< submit attempts after a rejection
+    bool listen = false;            ///< front the engine with hs::net
+    int port = 0;                   ///< --listen port; 0 = ephemeral
+    std::string connect;            ///< client mode: "host:port"
 };
 
 Options parse_options(int argc, char** argv) {
@@ -90,6 +110,11 @@ Options parse_options(int argc, char** argv) {
             opt.watchdog_us = std::atol(value(i));
         else if (std::strcmp(argv[i], "--retries") == 0)
             opt.retries = std::atoi(value(i));
+        else if (std::strcmp(argv[i], "--listen") == 0) opt.listen = true;
+        else if (std::strcmp(argv[i], "--port") == 0)
+            opt.port = std::atoi(value(i));
+        else if (std::strcmp(argv[i], "--connect") == 0)
+            opt.connect = value(i);
         else {
             std::fprintf(stderr, "unknown flag %s\n", argv[i]);
             std::exit(2);
@@ -130,10 +155,135 @@ std::vector<int> prune_vgg(models::VggModel& model) {
     return widths;
 }
 
+/// The signals that trigger a graceful drain in --listen mode.
+sigset_t drain_sigset() {
+    sigset_t set;
+    sigemptyset(&set);
+    sigaddset(&set, SIGTERM);
+    sigaddset(&set, SIGINT);
+    return set;
+}
+
+/// --listen: front the engine with the epoll server, run until
+/// SIGTERM/SIGINT, then the graceful drain sequence (stop accepting ->
+/// NACK new requests kDraining -> resolve accepted work -> flush -> exit).
+/// The drain signals must already be blocked (done in main before any
+/// thread was spawned, so every thread inherits the mask and sigwait is
+/// the only consumer).
+int run_listen(infer::ServingEngine& serving, const Options& opt) {
+    net::ServerConfig net_cfg;
+    net_cfg.port = static_cast<std::uint16_t>(opt.port);
+    net::Server server(serving, net_cfg);
+    server.start();
+    std::printf("serving on 127.0.0.1:%u — SIGTERM/SIGINT drains\n",
+                server.port());
+    std::fflush(stdout);
+
+    sigset_t set = drain_sigset();
+    int sig = 0;
+    while (sigwait(&set, &sig) != 0) {}
+    std::printf("caught %s: draining\n", sig == SIGTERM ? "SIGTERM" : "SIGINT");
+
+    server.begin_drain();  // refuse sockets, NACK new frames kDraining
+    const std::int64_t failed = serving.drain(/*timeout_us=*/5'000'000);
+    const bool flushed = server.drain(/*timeout_us=*/2'000'000);
+    server.stop();
+    serving.stop();
+
+    const net::NetStats net_stats = server.stats();
+    const infer::ServingStats stats = serving.stats();
+    TablePrinter table({"metric", "value"});
+    table.add_row({"connections", std::to_string(net_stats.accepted)});
+    table.add_row({"request frames", std::to_string(net_stats.frames_in)});
+    table.add_row({"responses", std::to_string(net_stats.responses)});
+    table.add_row({"NACKs", std::to_string(net_stats.nacks)});
+    table.add_row({"bad frames", std::to_string(net_stats.bad_frames)});
+    table.add_row({"completed", std::to_string(stats.completed)});
+    table.add_row({"shed (deadline)", std::to_string(stats.shed)});
+    table.add_row({"drained at exit", std::to_string(failed)});
+    table.add_row({"flushed in time", flushed ? "yes" : "no"});
+    table.add_row({"p99 latency (ms)", TablePrinter::num(stats.p99_ms, 3)});
+    table.print();
+    return 0;
+}
+
+/// --connect host:port — drive a remote serve_pruned --listen with the
+/// same open-loop traffic shape as the local mode, through the frame
+/// protocol, with NACK-hint-seeded Backoff retries inside call().
+int run_client(const Options& opt) {
+    const auto colon = opt.connect.rfind(':');
+    if (colon == std::string::npos) {
+        std::fprintf(stderr, "--connect expects host:port\n");
+        return 2;
+    }
+    const std::string host = opt.connect.substr(0, colon);
+    const int port = std::atoi(opt.connect.c_str() + colon + 1);
+
+    // Mirror the server side's default model geometry: the remote NACKs
+    // kBadRequest if the shapes disagree, which shows up as failures.
+    models::VggConfig cfg;
+    Tensor image({cfg.input_channels, cfg.input_size, cfg.input_size});
+    Rng rng(7);
+    rng.fill_normal(image, 0.0, 1.0);
+    const std::span<const float> input(
+        image.data().data(), static_cast<std::size_t>(image.numel()));
+
+    net::Client client;
+    client.connect(host, static_cast<std::uint16_t>(port));
+    std::printf("connected to %s:%d\n", host.c_str(), port);
+
+    obs::HdrHistogram latency_us;
+    std::int64_t ok = 0, failed = 0, retries = 0;
+    const std::int64_t gap_ns =
+        static_cast<std::int64_t>(1e9 / std::max(opt.rps, 1.0));
+    std::int64_t next_ns = monotonic_ns();
+    for (int i = 0; i < opt.requests; ++i) {
+        while (monotonic_ns() < next_ns) std::this_thread::yield();
+        next_ns += gap_ns;
+        const std::int64_t t0 = monotonic_ns();
+        const net::CallResult res = client.call(
+            input, static_cast<std::uint64_t>(opt.deadline_us), opt.retries);
+        retries += res.retries;
+        if (res.ok) {
+            latency_us.observe((monotonic_ns() - t0) / 1000);
+            ++ok;
+        } else {
+            ++failed;
+            if (res.reason == net::NackReason::kDraining) break;
+        }
+    }
+
+    TablePrinter table({"metric", "value"});
+    table.add_row({"requests", std::to_string(opt.requests)});
+    table.add_row({"completed", std::to_string(ok)});
+    table.add_row({"failed (NACK)", std::to_string(failed)});
+    table.add_row({"retries", std::to_string(retries)});
+    table.add_row(
+        {"p50 latency (ms)",
+         TablePrinter::num(
+             static_cast<double>(latency_us.value_at_quantile(0.5)) / 1000.0,
+             3)});
+    table.add_row(
+        {"p99 latency (ms)",
+         TablePrinter::num(
+             static_cast<double>(latency_us.value_at_quantile(0.99)) / 1000.0,
+             3)});
+    table.print();
+    return ok > 0 ? 0 : 1;
+}
+
 } // namespace
 
 int main(int argc, char** argv) {
     const Options opt = parse_options(argc, argv);
+    if (!opt.connect.empty()) return run_client(opt);
+    if (opt.listen) {
+        // Block the drain signals before any thread exists so every
+        // engine/server thread inherits the mask and run_listen's
+        // sigwait is the one consumer.
+        sigset_t set = drain_sigset();
+        pthread_sigmask(SIG_BLOCK, &set, nullptr);
+    }
     if (!opt.json_path.empty()) obs::set_enabled(true);
     Stopwatch total;
 
@@ -185,6 +335,12 @@ int main(int argc, char** argv) {
     serve_cfg.watchdog_timeout_us = opt.watchdog_us;
     infer::ServingEngine serving(frozen, serve_cfg);
 
+    if (opt.listen) {
+        const int rc = run_listen(serving, opt);
+        std::remove(opt.weights_path.c_str());
+        return rc;
+    }
+
     Tensor image({cfg.input_channels, cfg.input_size, cfg.input_size});
     Rng rng(7);
     rng.fill_normal(image, 0.0, 1.0);
@@ -199,9 +355,11 @@ int main(int argc, char** argv) {
     for (int i = 0; i < opt.requests; ++i) {
         while (monotonic_ns() < next_ns) std::this_thread::yield();
         next_ns += gap_ns;
-        // Backpressure loop: honor the engine's retry-after hint with
-        // exponential backoff instead of silently dropping the request.
-        std::int64_t backoff_us = 200;
+        // Backpressure loop: net::Backoff honors the engine's retry-after
+        // hint with capped exponential backoff instead of silently
+        // dropping the request — the same policy net::Client::call uses
+        // against NACK frames.
+        net::Backoff backoff;
         for (int attempt = 0;; ++attempt) {
             auto result = serving.submit(image, infer::SubmitOptions{});
             if (result.accepted()) {
@@ -214,8 +372,8 @@ int main(int argc, char** argv) {
                 break;
             }
             ++submit_retries;
-            backoff_us = std::max(backoff_us * 2, result.retry_after_us);
-            std::this_thread::sleep_for(std::chrono::microseconds(backoff_us));
+            std::this_thread::sleep_for(std::chrono::microseconds(
+                backoff.next_us(result.retry_after_us)));
         }
     }
     std::int64_t client_deadline_failures = 0;

@@ -3,6 +3,9 @@
 # Each table/figure bench additionally drops a machine-readable run report
 # BENCH_<name>.json (reward/l0 trajectories, per-layer traces, wall-clock
 # breakdown) next to the output file; see README "Observability".
+# bench_serve emits BENCH_serve.json — the network-serving capacity sweep
+# (max sustained QPS + latency percentiles under the SLO); see README
+# "Network serving".
 # Usage: ./run_benches.sh [output-file]
 out="${1:-/root/repo/bench_output.txt}"
 outdir=$(dirname "$out")

@@ -57,7 +57,47 @@ void ServingEngine::spawn_worker_locked() {
     workers_.push_back(std::move(worker));
 }
 
+void ServingEngine::fulfill_value(Request& req, Tensor&& out) {
+    if (req.done) {
+        AsyncOutcome outcome;
+        outcome.ok = true;
+        outcome.output = std::move(out);
+        req.done(std::move(outcome));
+    } else {
+        req.promise.set_value(std::move(out));
+    }
+}
+
+void ServingEngine::fulfill_failure(Request& req, FailReason reason,
+                                    const std::string& msg) {
+    if (req.done) {
+        AsyncOutcome outcome;
+        outcome.ok = false;
+        outcome.reason = reason;
+        outcome.error = msg;
+        req.done(std::move(outcome));
+    } else if (reason == FailReason::kDrained) {
+        req.promise.set_exception(
+            std::make_exception_ptr(RequestDrained(msg)));
+    } else {
+        req.promise.set_exception(
+            std::make_exception_ptr(DeadlineExceeded(msg)));
+    }
+}
+
 SubmitResult ServingEngine::submit(Tensor image, const SubmitOptions& opts) {
+    return submit_impl(std::move(image), opts, Completion{});
+}
+
+SubmitResult ServingEngine::submit(Tensor image, const SubmitOptions& opts,
+                                   Completion done) {
+    require(static_cast<bool>(done), "callback submit needs a completion");
+    return submit_impl(std::move(image), opts, std::move(done));
+}
+
+SubmitResult ServingEngine::submit_impl(Tensor image,
+                                        const SubmitOptions& opts,
+                                        Completion done) {
     // Start of the per-request trace: the admission decision itself is a
     // span, and the enqueue timestamp taken here anchors the request's
     // queue-wait span, which the worker closes when it lifts the request
@@ -79,9 +119,11 @@ SubmitResult ServingEngine::submit(Tensor image, const SubmitOptions& opts) {
 
     Request req;
     req.image = std::move(image);
+    req.done = std::move(done);
     req.enqueue_ns = monotonic_ns();
     if (deadline_us > 0) req.deadline_ns = req.enqueue_ns + deadline_us * 1000;
-    std::future<Tensor> fut = req.promise.get_future();
+    std::future<Tensor> fut;
+    if (!req.done) fut = req.promise.get_future();
 
     SubmitResult result;
     {
@@ -134,7 +176,7 @@ SubmitResult ServingEngine::submit(Tensor image, const SubmitOptions& opts) {
     }
     cv_.notify_one();
     result.admission = Admission::kAccepted;
-    result.future = std::move(fut);
+    if (fut.valid()) result.future = std::move(fut);
     return result;
 }
 
@@ -142,6 +184,37 @@ std::optional<std::future<Tensor>> ServingEngine::submit(Tensor image) {
     SubmitResult result = submit(std::move(image), SubmitOptions{});
     if (!result.accepted()) return std::nullopt;
     return std::move(result.future);
+}
+
+std::int64_t ServingEngine::drain(std::int64_t timeout_us) {
+    std::unique_lock<std::mutex> lock(mu_);
+    if (stopped_) return 0;
+    stopping_ = true;  // submits now answer kStopped; workers run dry
+    cv_.notify_all();
+    const auto idle = [this] {
+        return queue_.empty() && in_flight_batches_ == 0;
+    };
+    if (timeout_us < 0) {
+        drain_cv_.wait(lock, idle);
+    } else {
+        drain_cv_.wait_for(lock, std::chrono::microseconds(timeout_us), idle);
+    }
+    // Expiry: whatever is still queued never ran and never will — fail it
+    // now with the typed drain verdict instead of leaving clients hanging
+    // until the join. (Batches already on a worker keep running; their
+    // requests resolve with values when the worker finishes.)
+    std::int64_t failed = 0;
+    while (!queue_.empty()) {
+        fulfill_failure(queue_.front(), FailReason::kDrained,
+                        "request drained: engine shutting down before the "
+                        "request could execute");
+        ++drained_;
+        obs::count("serve.drained");
+        queue_.pop_front();
+        ++failed;
+    }
+    if (failed > 0) cv_.notify_all();  // wake workers: queue is empty now
+    return failed;
 }
 
 void ServingEngine::stop() {
@@ -157,6 +230,20 @@ void ServingEngine::stop() {
     if (watchdog_.joinable()) watchdog_.join();
     for (auto& worker : workers_)
         if (worker->thread.joinable()) worker->thread.join();
+    // Workers drain the queue before exiting, so normally nothing is left
+    // here. But if every worker retired (engine build failure, watchdog
+    // respawns racing stop) queued requests have no thread to run them —
+    // fail them with the typed drain verdict rather than dropping their
+    // promises on the floor.
+    std::lock_guard<std::mutex> lock(mu_);
+    while (!queue_.empty()) {
+        fulfill_failure(queue_.front(), FailReason::kDrained,
+                        "request drained: engine stopped with no live "
+                        "worker left to run it");
+        ++drained_;
+        obs::count("serve.drained");
+        queue_.pop_front();
+    }
 }
 
 ServingStats ServingEngine::stats() const {
@@ -165,6 +252,7 @@ ServingStats ServingEngine::stats() const {
     s.completed = completed_;
     s.rejected = rejected_;
     s.shed = shed_;
+    s.drained = drained_;
     s.deadline_missed = deadline_missed_;
     s.worker_restarts = worker_restarts_;
     s.batches = batches_;
@@ -208,9 +296,9 @@ void ServingEngine::shed_expired_locked(std::int64_t now_ns) {
         if (it->deadline_ns != 0 && now_ns >= it->deadline_ns) {
             const double late_ms =
                 static_cast<double>(now_ns - it->deadline_ns) * 1e-6;
-            it->promise.set_exception(std::make_exception_ptr(DeadlineExceeded(
-                "request shed: deadline exceeded by " +
-                std::to_string(late_ms) + " ms while queued")));
+            fulfill_failure(*it, FailReason::kDeadline,
+                            "request shed: deadline exceeded by " +
+                                std::to_string(late_ms) + " ms while queued");
             ++shed_;
             obs::count("serve.shed");
             note_spike_locked(now_ns, shed_window_start_ns_,
@@ -220,6 +308,9 @@ void ServingEngine::shed_expired_locked(std::int64_t now_ns) {
             ++it;
         }
     }
+    // Shedding may have emptied the queue: let a pending drain() observe
+    // the idle state without waiting for its timeout.
+    if (queue_.empty()) drain_cv_.notify_all();
 }
 
 std::int64_t ServingEngine::estimated_wait_us_locked() const {
@@ -338,6 +429,7 @@ void ServingEngine::worker_loop(Worker* self) {
             taken_ns = monotonic_ns();
             self->heartbeat_ns.store(taken_ns, std::memory_order_relaxed);
             self->busy.store(true, std::memory_order_relaxed);
+            ++in_flight_batches_;  // drain() waits for this to hit zero
         }
         if (batch.empty()) continue;
 
@@ -424,6 +516,9 @@ void ServingEngine::worker_loop(Worker* self) {
             if (completed_ == 0) first_complete_ns_ = done_ns;
             last_complete_ns_ = done_ns;
             completed_ += n;
+            --in_flight_batches_;
+            if (queue_.empty() && in_flight_batches_ == 0)
+                drain_cv_.notify_all();
         }
 
         Shape per_image = model_->output_shape;
@@ -434,8 +529,8 @@ void ServingEngine::worker_loop(Worker* self) {
                             static_cast<std::int64_t>(i) * model_->output_elems,
                         static_cast<std::size_t>(model_->output_elems) *
                             sizeof(float));
-            batch[static_cast<std::size_t>(i)].promise.set_value(
-                std::move(result));
+            fulfill_value(batch[static_cast<std::size_t>(i)],
+                          std::move(result));
         }
     }
 }

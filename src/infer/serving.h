@@ -25,8 +25,12 @@
 //     still delivered if it ever finishes, so futures resolve exactly
 //     once across a restart.
 //
-// Every accepted future is fulfilled exactly once — with a value or with
-// DeadlineExceeded; stop() drains accepted requests and is idempotent.
+// Every accepted request is fulfilled exactly once — through its future
+// or its completion callback, with a value or a typed failure
+// (DeadlineExceeded / RequestDrained). stop() drains accepted requests
+// and is idempotent; drain(timeout_us) is the graceful-shutdown phase the
+// TCP front-end runs on SIGTERM: stop admitting, wait for the queue and
+// in-flight batches, and NACK whatever remains at expiry.
 //
 // Per-request latency (submit -> result ready) feeds a bounded sharded
 // HDR histogram (obs::HdrHistogram) that backs the Stats percentiles —
@@ -54,6 +58,7 @@
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <future>
 #include <memory>
 #include <mutex>
@@ -75,6 +80,39 @@ class DeadlineExceeded : public Error {
 public:
     explicit DeadlineExceeded(const std::string& what) : Error(what) {}
 };
+
+/// Thrown into a request's future when the engine is drained (shutdown)
+/// before the request ever executed. Derives from DeadlineExceeded so
+/// existing "request was shed" handlers keep working; the type
+/// distinguishes "you were too late" from "we were shutting down".
+class RequestDrained : public DeadlineExceeded {
+public:
+    explicit RequestDrained(const std::string& what)
+        : DeadlineExceeded(what) {}
+};
+
+/// Why a callback-style request failed without executing.
+enum class FailReason {
+    kDeadline,  ///< deadline expired while queued (shed)
+    kDrained,   ///< engine drained/stopped before the request ran
+};
+
+/// Terminal state of a callback submit: exactly one delivery per accepted
+/// request, either a value (`ok`) or a typed failure.
+struct AsyncOutcome {
+    bool ok = false;
+    Tensor output;  ///< valid iff ok
+    FailReason reason = FailReason::kDeadline;  ///< valid iff !ok
+    std::string error;                          ///< detail iff !ok
+};
+
+/// Completion hook of the callback submit flavor. May be invoked on a
+/// worker thread, on the thread calling drain()/stop(), and — for shed
+/// requests — while the engine's internal lock is held: the callback must
+/// be fast, must never block, and must never call back into the
+/// ServingEngine (post to your own queue instead; the TCP front-end's
+/// event-loop mailbox is the intended consumer).
+using Completion = std::function<void(AsyncOutcome&&)>;
 
 struct ServingConfig {
     int workers = 2;           ///< worker threads (one Engine each)
@@ -121,6 +159,7 @@ struct ServingStats {
     std::int64_t completed = 0;
     std::int64_t rejected = 0;         ///< queue-full + overload rejections
     std::int64_t shed = 0;             ///< expired in queue, DeadlineExceeded
+    std::int64_t drained = 0;          ///< failed at drain()/stop() expiry
     std::int64_t deadline_missed = 0;  ///< completed but after the deadline
     std::int64_t worker_restarts = 0;  ///< watchdog respawns
     std::int64_t batches = 0;
@@ -148,21 +187,55 @@ public:
     /// any non-accepted admission.
     [[nodiscard]] std::optional<std::future<Tensor>> submit(Tensor image);
 
+    /// Callback flavor for event-driven callers (the hs::net TCP
+    /// front-end): instead of a future, `done` is invoked exactly once
+    /// with the output tensor or a typed failure. The returned
+    /// SubmitResult carries the admission verdict (its `future` member
+    /// stays empty); `done` is only retained when the verdict is
+    /// kAccepted. See Completion for the (strict) callback contract.
+    [[nodiscard]] SubmitResult submit(Tensor image, const SubmitOptions& opts,
+                                      Completion done);
+
+    /// Graceful shutdown, phase 1: stop admitting (submits return
+    /// kStopped) and wait until every accepted request has finished —
+    /// both the queued ones and the batches already on a worker. A
+    /// negative timeout waits forever; at a non-negative timeout's expiry
+    /// whatever still sits in the queue is failed with RequestDrained /
+    /// FailReason::kDrained (counted in stats().drained). Returns the
+    /// number of requests failed this way. Idempotent; stop() still has
+    /// to run afterwards to join the threads.
+    std::int64_t drain(std::int64_t timeout_us);
+
     /// Stop accepting requests, drain the queue, join the workers. Every
-    /// request accepted before stop() still gets its future fulfilled
-    /// (value or DeadlineExceeded). Idempotent: later calls are no-ops.
+    /// request accepted before stop() still gets fulfilled: workers run
+    /// the queue dry before exiting, and any request that no live worker
+    /// could take (e.g. every worker retired) is failed with
+    /// RequestDrained after the join rather than leaving a broken
+    /// promise. Idempotent: later calls are no-ops.
     void stop();
 
     [[nodiscard]] ServingStats stats() const;
     [[nodiscard]] const ServingConfig& config() const { return cfg_; }
+    /// The frozen model being served — front-ends validate request
+    /// shape/precision against it before building a tensor.
+    [[nodiscard]] std::shared_ptr<const FrozenModel> model() const {
+        return model_;
+    }
 
 private:
     struct Request {
         Tensor image;
-        std::promise<Tensor> promise;
+        std::promise<Tensor> promise;  ///< used iff `done` is empty
+        Completion done;               ///< callback flavor; empty = future
         std::int64_t enqueue_ns = 0;
         std::int64_t deadline_ns = 0;  ///< 0 = no deadline
     };
+
+    /// Deliver a value / typed failure through whichever channel the
+    /// request carries (callback or promise), exactly once.
+    static void fulfill_value(Request& req, Tensor&& out);
+    static void fulfill_failure(Request& req, FailReason reason,
+                                const std::string& msg);
 
     /// One worker thread plus the state the watchdog reads. Heap-stable
     /// (unique_ptr in workers_) so the thread can keep a pointer to it
@@ -177,6 +250,10 @@ private:
 
     void worker_loop(Worker* self);
     void watchdog_loop();
+    /// Shared body of the future- and callback-flavored submits.
+    [[nodiscard]] SubmitResult submit_impl(Tensor image,
+                                           const SubmitOptions& opts,
+                                           Completion done);
     /// Drop expired requests from the queue front-to-back, failing their
     /// futures with DeadlineExceeded. Caller holds mu_.
     void shed_expired_locked(std::int64_t now_ns);
@@ -196,13 +273,17 @@ private:
     mutable std::mutex mu_;
     std::condition_variable cv_;
     std::condition_variable watchdog_cv_;
+    /// Signals drain(): queue empty and no batch on any worker.
+    std::condition_variable drain_cv_;
     std::deque<Request> queue_;
     bool stopping_ = false;
     bool stopped_ = false;  ///< stop() already completed (idempotence)
+    std::int64_t in_flight_batches_ = 0;  ///< batches taken, not yet done
 
     std::int64_t completed_ = 0;
     std::int64_t rejected_ = 0;
     std::int64_t shed_ = 0;
+    std::int64_t drained_ = 0;
     std::int64_t deadline_missed_ = 0;
     std::int64_t worker_restarts_ = 0;
     std::int64_t batches_ = 0;

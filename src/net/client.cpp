@@ -1,0 +1,93 @@
+#include "net/client.h"
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <thread>
+#include <unistd.h>
+
+#include "util/error.h"
+
+namespace hs::net {
+
+void Client::connect(const std::string& host, std::uint16_t port) {
+    fd_ = connect_tcp(host, port);
+    rbuf_.clear();
+}
+
+std::uint64_t Client::send(std::span<const float> input,
+                           std::uint64_t deadline_us, bool int8_flag) {
+    require(fd_.valid(), "Client::send before connect");
+    const std::uint64_t id = next_id_++;
+    const std::string bytes = encode_request(id, deadline_us, int8_flag, input);
+    write_all(fd_.get(), bytes.data(), bytes.size());
+    return id;
+}
+
+Frame Client::recv_frame() {
+    require(fd_.valid(), "Client::recv_frame before connect");
+    char buf[65536];
+    for (;;) {
+        Frame frame;
+        const DecodeResult res = decode_frame(rbuf_, frame);
+        if (res.status == DecodeStatus::kOk) {
+            rbuf_.erase(0, res.consumed);
+            return frame;
+        }
+        if (res.status == DecodeStatus::kBad)
+            throw Error("client: corrupt frame from server: " + res.error);
+        const ssize_t got = ::read(fd_.get(), buf, sizeof(buf));
+        if (got > 0) {
+            rbuf_.append(buf, static_cast<std::size_t>(got));
+            continue;
+        }
+        if (got < 0 && errno == EINTR) continue;
+        if (got == 0)
+            throw Error("client: connection closed by server (" +
+                        std::to_string(rbuf_.size()) +
+                        " bytes of partial frame pending)");
+        throw Error(std::string("client: read failed: ") +
+                    std::strerror(errno));
+    }
+}
+
+CallResult Client::call_once(std::span<const float> input,
+                             std::uint64_t deadline_us, bool int8_flag) {
+    const std::uint64_t id = send(input, deadline_us, int8_flag);
+    for (;;) {
+        Frame frame = recv_frame();
+        if (frame.header.request_id != id) continue;  // stale pipeline frame
+        CallResult result;
+        if (frame.header.type == FrameType::kResponse) {
+            result.ok = true;
+            result.output = frame.floats();
+            return result;
+        }
+        if (frame.header.type == FrameType::kNack) {
+            if (const auto nack = parse_nack(frame)) {
+                result.reason = nack->reason;
+                result.retry_after_us = nack->retry_after_us;
+            }
+            return result;
+        }
+        throw Error("client: unexpected frame type from server");
+    }
+}
+
+CallResult Client::call(std::span<const float> input,
+                        std::uint64_t deadline_us, int max_retries,
+                        bool int8_flag) {
+    Backoff backoff;
+    for (int attempt = 0;; ++attempt) {
+        CallResult result = call_once(input, deadline_us, int8_flag);
+        result.retries = attempt;
+        if (result.ok || attempt >= max_retries) return result;
+        if (result.reason == NackReason::kBadRequest ||
+            result.reason == NackReason::kDraining)
+            return result;  // terminal: retrying cannot help
+        std::this_thread::sleep_for(std::chrono::microseconds(backoff.next_us(
+            static_cast<std::int64_t>(result.retry_after_us))));
+    }
+}
+
+} // namespace hs::net

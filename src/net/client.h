@@ -1,0 +1,107 @@
+#pragma once
+
+// hs::net::Client — blocking client for the frame protocol, plus the
+// Backoff policy that turns server NACK retry-after hints into actual
+// waits. Two usage shapes:
+//
+//   * request/response: call() sends one request and blocks for its
+//     response, retrying NACKed submissions with Backoff (the hint from
+//     the server's EWMA admission control seeds the wait);
+//   * pipelined: send() / recv_frame() are independent, so an open-loop
+//     load generator can keep submitting at its arrival schedule while a
+//     second thread drains responses (bench_serve does exactly this).
+//
+// One Client is one TCP connection and is NOT thread-safe as a whole;
+// the supported concurrent split is exactly one sender thread using
+// send() and one receiver thread using recv_frame() (they touch disjoint
+// state: the socket is full-duplex).
+
+#include <algorithm>
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "net/protocol.h"
+#include "net/socket.h"
+
+namespace hs::net {
+
+/// Exponential backoff seeded by server retry-after hints: the wait is
+/// max(hint, base·2^attempt), capped. Replaces ad-hoc fixed-sleep retry
+/// loops — honoring the hint means a loaded server sees retries arrive
+/// roughly when it predicted capacity, not in synchronized bursts.
+class Backoff {
+public:
+    explicit Backoff(std::int64_t base_us = 200,
+                     std::int64_t cap_us = 500'000)
+        : base_us_(base_us), cap_us_(cap_us) {}
+
+    /// Wait for the next attempt, honoring `hint_us` (0 = no hint).
+    [[nodiscard]] std::int64_t next_us(std::int64_t hint_us) {
+        std::int64_t wait = base_us_ << std::min(attempt_, 16);
+        ++attempt_;
+        wait = std::max(wait, hint_us);
+        return std::min(wait, cap_us_);
+    }
+    void reset() { attempt_ = 0; }
+    [[nodiscard]] int attempts() const { return attempt_; }
+
+private:
+    std::int64_t base_us_;
+    std::int64_t cap_us_;
+    int attempt_ = 0;
+};
+
+/// Result of one logical request (after any retries).
+struct CallResult {
+    bool ok = false;
+    std::vector<float> output;  ///< valid iff ok
+    /// Last NACK observed when !ok.
+    NackReason reason = NackReason::kBadRequest;
+    std::uint64_t retry_after_us = 0;
+    int retries = 0;  ///< NACK-triggered resubmissions performed
+};
+
+class Client {
+public:
+    Client() = default;
+    ~Client() = default;
+    Client(const Client&) = delete;
+    Client& operator=(const Client&) = delete;
+    Client(Client&&) = default;
+    Client& operator=(Client&&) = default;
+
+    /// Connect (blocking); throws hs::Error on failure.
+    void connect(const std::string& host, std::uint16_t port);
+    [[nodiscard]] bool connected() const { return fd_.valid(); }
+    void close() { fd_.reset(); }
+
+    /// Send one request frame (blocking write). Returns the request id.
+    std::uint64_t send(std::span<const float> input,
+                       std::uint64_t deadline_us, bool int8_flag = false);
+
+    /// Block until one whole frame arrives. Throws hs::Error on EOF or a
+    /// corrupt stream.
+    [[nodiscard]] Frame recv_frame();
+
+    /// Send one request and block for its response; no retries.
+    [[nodiscard]] CallResult call_once(std::span<const float> input,
+                                       std::uint64_t deadline_us,
+                                       bool int8_flag = false);
+
+    /// call_once() + Backoff retry loop on kQueueFull / kOverloaded /
+    /// kShedDeadline NACKs (kBadRequest and kDraining are terminal — the
+    /// server said "never" or "not any more", not "not yet").
+    [[nodiscard]] CallResult call(std::span<const float> input,
+                                  std::uint64_t deadline_us,
+                                  int max_retries, bool int8_flag = false);
+
+private:
+    ScopedFd fd_;
+    std::uint64_t next_id_ = 1;
+    std::string rbuf_;
+};
+
+} // namespace hs::net

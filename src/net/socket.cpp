@@ -1,0 +1,96 @@
+#include "net/socket.h"
+
+#include <arpa/inet.h>
+#include <cerrno>
+#include <cstring>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "util/error.h"
+
+namespace hs::net {
+
+void ScopedFd::reset() {
+    if (fd_ >= 0) {
+        ::close(fd_);
+        fd_ = -1;
+    }
+}
+
+void throw_errno(const std::string& context) {
+    throw Error(context + ": " + std::strerror(errno));
+}
+
+void set_nonblocking(int fd) {
+    const int flags = ::fcntl(fd, F_GETFL, 0);
+    if (flags < 0 || ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0)
+        throw_errno("fcntl(O_NONBLOCK)");
+}
+
+void set_nodelay(int fd) {
+    const int one = 1;
+    if (::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one)) < 0)
+        throw_errno("setsockopt(TCP_NODELAY)");
+}
+
+namespace {
+
+sockaddr_in make_addr(const std::string& host, std::uint16_t port) {
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    require(::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) == 1,
+            "not an IPv4 address: " + host);
+    return addr;
+}
+
+} // namespace
+
+std::pair<ScopedFd, std::uint16_t> listen_tcp(const std::string& host,
+                                              std::uint16_t port,
+                                              int backlog) {
+    ScopedFd fd(::socket(AF_INET, SOCK_STREAM, 0));
+    if (!fd.valid()) throw_errno("socket");
+    const int one = 1;
+    if (::setsockopt(fd.get(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one)) <
+        0)
+        throw_errno("setsockopt(SO_REUSEADDR)");
+    sockaddr_in addr = make_addr(host, port);
+    if (::bind(fd.get(), reinterpret_cast<const sockaddr*>(&addr),
+               sizeof(addr)) < 0)
+        throw_errno("bind " + host + ":" + std::to_string(port));
+    if (::listen(fd.get(), backlog) < 0) throw_errno("listen");
+    sockaddr_in bound{};
+    socklen_t len = sizeof(bound);
+    if (::getsockname(fd.get(), reinterpret_cast<sockaddr*>(&bound), &len) < 0)
+        throw_errno("getsockname");
+    return {std::move(fd), ntohs(bound.sin_port)};
+}
+
+ScopedFd connect_tcp(const std::string& host, std::uint16_t port) {
+    ScopedFd fd(::socket(AF_INET, SOCK_STREAM, 0));
+    if (!fd.valid()) throw_errno("socket");
+    sockaddr_in addr = make_addr(host, port);
+    if (::connect(fd.get(), reinterpret_cast<const sockaddr*>(&addr),
+                  sizeof(addr)) < 0)
+        throw_errno("connect " + host + ":" + std::to_string(port));
+    set_nodelay(fd.get());
+    return fd;
+}
+
+void write_all(int fd, const char* data, std::size_t n) {
+    std::size_t off = 0;
+    while (off < n) {
+        const ssize_t wrote = ::write(fd, data + off, n - off);
+        if (wrote < 0) {
+            if (errno == EINTR) continue;
+            throw_errno("write");
+        }
+        off += static_cast<std::size_t>(wrote);
+    }
+}
+
+} // namespace hs::net

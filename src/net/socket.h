@@ -1,0 +1,68 @@
+#pragma once
+
+// Thin POSIX socket helpers shared by the epoll server and the blocking
+// client: RAII fd ownership, option setters, and bind/connect wrappers
+// that fold errno into hs::Error messages. Nothing here knows about the
+// frame protocol.
+
+#include <cstdint>
+#include <string>
+#include <utility>
+
+namespace hs::net {
+
+/// RAII file descriptor (sockets, eventfds, epoll fds alike).
+class ScopedFd {
+public:
+    ScopedFd() = default;
+    explicit ScopedFd(int fd) : fd_(fd) {}
+    ~ScopedFd() { reset(); }
+
+    ScopedFd(const ScopedFd&) = delete;
+    ScopedFd& operator=(const ScopedFd&) = delete;
+    ScopedFd(ScopedFd&& other) noexcept : fd_(other.release()) {}
+    ScopedFd& operator=(ScopedFd&& other) noexcept {
+        if (this != &other) {
+            reset();
+            fd_ = other.release();
+        }
+        return *this;
+    }
+
+    [[nodiscard]] int get() const { return fd_; }
+    [[nodiscard]] bool valid() const { return fd_ >= 0; }
+    /// Close now (idempotent).
+    void reset();
+    /// Give up ownership without closing.
+    int release() {
+        const int fd = fd_;
+        fd_ = -1;
+        return fd;
+    }
+
+private:
+    int fd_ = -1;
+};
+
+/// errno -> "context: strerror" hs::Error thrower.
+[[noreturn]] void throw_errno(const std::string& context);
+
+void set_nonblocking(int fd);
+/// TCP_NODELAY: latency-bound request/response traffic must not wait for
+/// Nagle coalescing.
+void set_nodelay(int fd);
+
+/// Bind + listen a TCP socket on host:port (port 0 = ephemeral).
+/// Returns the listening fd and the actually bound port.
+[[nodiscard]] std::pair<ScopedFd, std::uint16_t> listen_tcp(
+    const std::string& host, std::uint16_t port, int backlog);
+
+/// Blocking connect to host:port; the returned socket is blocking with
+/// TCP_NODELAY set.
+[[nodiscard]] ScopedFd connect_tcp(const std::string& host,
+                                   std::uint16_t port);
+
+/// Write all of `data` to a blocking socket (loops over partial writes).
+void write_all(int fd, const char* data, std::size_t n);
+
+} // namespace hs::net

@@ -3,8 +3,10 @@
 // multi-threaded load, and lifecycle/validation edges.
 
 #include <chrono>
+#include <condition_variable>
 #include <future>
 #include <memory>
+#include <mutex>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -170,6 +172,69 @@ TEST(Serving, StopIsIdempotent) {
     // stats() after stop() on an idle engine is still safe.
     EXPECT_EQ(serving.stats().completed, 0);
     serving.stop();
+}
+
+// Callback submit flavor (the TCP front-end's path): the completion fires
+// exactly once per accepted request with that request's own output, and
+// the SubmitResult never carries a future.
+TEST(Serving, CallbackSubmitDeliversExactlyOnce) {
+    ServingConfig cfg;
+    cfg.workers = 2;
+    cfg.max_batch = 3;
+    cfg.max_delay_us = 200;
+    cfg.queue_capacity = 256;
+    ServingEngine serving(identity_model(), cfg);
+
+    constexpr int kRequests = 24;
+    std::mutex mu;
+    std::vector<int> deliveries(kRequests, 0);
+    std::condition_variable cv;
+    int resolved = 0;
+    for (int i = 0; i < kRequests; ++i) {
+        auto r = serving.submit(
+            tagged_image(static_cast<float>(i)), SubmitOptions{},
+            [&, i](AsyncOutcome&& out) {
+                std::lock_guard<std::mutex> lock(mu);
+                ++deliveries[static_cast<std::size_t>(i)];
+                EXPECT_TRUE(out.ok);
+                EXPECT_NEAR(out.output[0], static_cast<float>(i), 1e-6f)
+                    << "request " << i << " got someone else's response";
+                ++resolved;
+                cv.notify_all();
+            });
+        ASSERT_TRUE(r.accepted());
+        EXPECT_FALSE(r.future.has_value()) << "callback flavor has no future";
+    }
+    {
+        std::unique_lock<std::mutex> lock(mu);
+        ASSERT_TRUE(cv.wait_for(lock, std::chrono::seconds(10),
+                                [&] { return resolved == kRequests; }));
+        for (int i = 0; i < kRequests; ++i)
+            EXPECT_EQ(deliveries[static_cast<std::size_t>(i)], 1);
+    }
+    serving.stop();
+    EXPECT_EQ(serving.stats().completed, kRequests);
+}
+
+// drain(): stops admitting, resolves accepted work, and reports zero
+// requests failed when everything fit in the timeout.
+TEST(Serving, DrainResolvesAcceptedWorkThenRejects) {
+    ServingConfig cfg;
+    cfg.workers = 1;
+    cfg.max_batch = 4;
+    cfg.max_delay_us = 1000;
+    ServingEngine serving(identity_model(), cfg);
+
+    auto fut = serving.submit(tagged_image(8.0f));
+    ASSERT_TRUE(fut.has_value());
+    EXPECT_EQ(serving.drain(/*timeout_us=*/5'000'000), 0);
+    EXPECT_NEAR(fut->get()[0], 8.0f, 1e-6f);
+    // Post-drain the engine admits nothing.
+    const auto r = serving.submit(tagged_image(1.0f), SubmitOptions{});
+    EXPECT_EQ(r.admission, Admission::kStopped);
+    EXPECT_EQ(serving.drain(0), 0);  // idempotent on an empty engine
+    serving.stop();
+    EXPECT_EQ(serving.stats().drained, 0);
 }
 
 TEST(Serving, RejectsWrongShape) {

@@ -202,6 +202,49 @@ TEST_F(ServingFaultTest, EngineAllocFailureDegradesGracefully) {
     EXPECT_EQ(serving.stats().completed, 6);
 }
 
+// drain() under a stalled worker: at the timeout's expiry, requests still
+// queued fail with the typed RequestDrained (kDrained on the callback
+// path), are counted in stats().drained, and the in-flight batch still
+// resolves with its value when the worker wakes.
+TEST_F(ServingFaultTest, DrainExpiryFailsQueuedRemainder) {
+    ServingConfig cfg;
+    cfg.workers = 1;
+    cfg.max_batch = 1;
+    cfg.max_delay_us = 1000;
+    cfg.queue_capacity = 64;
+    ServingEngine serving(identity_model(), cfg);
+
+    fault::arm("serving.worker=delay:400000");  // every batch stalls 400 ms
+
+    // The worker takes this one and stalls on it…
+    auto busy = serving.submit(tagged_image(1.0f), SubmitOptions{});
+    ASSERT_TRUE(busy.accepted());
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    // …these wait in the queue and cannot start within the drain window.
+    auto queued_future = serving.submit(tagged_image(2.0f), SubmitOptions{});
+    ASSERT_TRUE(queued_future.accepted());
+    std::promise<AsyncOutcome> cb;
+    auto cb_result = cb.get_future();
+    auto queued_cb = serving.submit(
+        tagged_image(3.0f), SubmitOptions{},
+        [&cb](AsyncOutcome&& out) { cb.set_value(std::move(out)); });
+    ASSERT_TRUE(queued_cb.accepted());
+
+    // 50 ms drain << 400 ms stall: the two queued requests get NACKed.
+    EXPECT_EQ(serving.drain(/*timeout_us=*/50'000), 2);
+    EXPECT_THROW((void)queued_future.future->get(), RequestDrained);
+    AsyncOutcome out = cb_result.get();
+    EXPECT_FALSE(out.ok);
+    EXPECT_EQ(out.reason, FailReason::kDrained);
+
+    // The in-flight batch was never abandoned: its value still arrives.
+    EXPECT_NEAR(busy.future->get()[0], 1.0f, 1e-6f);
+    serving.stop();
+    const ServingStats stats = serving.stats();
+    EXPECT_EQ(stats.completed, 1);
+    EXPECT_EQ(stats.drained, 2);
+}
+
 // Forced admission verdicts via the serving.submit fault site.
 TEST_F(ServingFaultTest, ForcedAdmissionVerdicts) {
     ServingEngine serving(identity_model(), ServingConfig{});
