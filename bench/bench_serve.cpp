@@ -18,7 +18,15 @@
 // quotes. Latencies come from the same obs::HdrHistogram the engine uses
 // (≤ ~3% quantile error, O(1) memory under load).
 //
-//   bench_serve [--json <path>]
+// The whole sweep runs under continuous hot-swaps: a background thread
+// keeps reloading the default model from its HSWT file through the full
+// validation gauntlet while the ramp is climbing, so the capacity number
+// is measured with deploys in flight, not on a quiet server. With
+// --baseline <path> the run becomes a regression gate: it parses the
+// committed sweep artifact and exits non-zero when the fresh
+// max_sustained_qps drops more than 20% below it (same scale only).
+//
+//   bench_serve [--json <path>] [--baseline <path>]
 //
 // HEADSTART_BENCH_SCALE=smoke|quick|full sizes the windows and ramp.
 
@@ -27,7 +35,9 @@
 #include <chrono>
 #include <cstdint>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
+#include <filesystem>
 #include <memory>
 #include <mutex>
 #include <random>
@@ -160,13 +170,35 @@ SweepPoint run_window(net::Client& client, double rate_qps,
     return pt;
 }
 
+/// Pull one `"key":<scalar>` value out of a committed sweep artifact.
+/// Flat string scan on purpose: the artifact is written by obs::JsonWriter
+/// right above, and a JSON parser is not worth a dependency for a gate.
+std::string baseline_field(const std::string& text, const std::string& key) {
+    const std::string needle = "\"" + key + "\":";
+    const std::size_t at = text.find(needle);
+    if (at == std::string::npos) return {};
+    std::size_t from = at + needle.size();
+    std::size_t to = from;
+    if (from < text.size() && text[from] == '"') {
+        ++from;
+        to = text.find('"', from);
+    } else {
+        to = text.find_first_of(",}", from);
+    }
+    if (to == std::string::npos) return {};
+    return text.substr(from, to - from);
+}
+
 } // namespace
 
 int main(int argc, char** argv) {
     std::string json_path;
+    std::string baseline_path;
     for (int i = 1; i < argc; ++i) {
         if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc)
             json_path = argv[++i];
+        else if (std::strcmp(argv[i], "--baseline") == 0 && i + 1 < argc)
+            baseline_path = argv[++i];
     }
     Stopwatch total;
 
@@ -199,12 +231,22 @@ int main(int argc, char** argv) {
                 static_cast<double>(frozen->macs) * 1e-6,
                 static_cast<long long>(frozen->input_elems));
 
+    // Registry-hosted so the sweep can hot-swap the model mid-ramp: the
+    // frozen plan ships through the v4 container to a temp HSWT file that
+    // the reloader thread keeps re-reading through the gauntlet.
+    const std::string frozen_path =
+        (std::filesystem::temp_directory_path() / "hs_bench_serve.hswt")
+            .string();
+    infer::save_frozen(*frozen, frozen_path);
+    auto registry = std::make_shared<infer::ModelRegistry>();
+    registry->add("default", frozen, 1, frozen_path);
+
     infer::ServingConfig serve_cfg;
     serve_cfg.workers = 2;
     serve_cfg.max_batch = 8;
     serve_cfg.max_delay_us = 1000;
     serve_cfg.queue_capacity = 256;
-    infer::ServingEngine engine(frozen, serve_cfg);
+    infer::ServingEngine engine(registry, serve_cfg);
     net::ServerConfig net_cfg;  // loopback, ephemeral port, 2 loops
     net::Server server(engine, net_cfg);
     server.start();
@@ -244,6 +286,22 @@ int main(int argc, char** argv) {
                 static_cast<long long>(warm_us),
                 static_cast<double>(slo_us) / 1000.0, rate);
 
+    // Continuous deploys for the whole sweep: one full hot-swap (read +
+    // gauntlet + atomic swap + refcount drain of the old plan) roughly
+    // twice per measurement window. Capacity is quoted under this churn.
+    std::atomic<bool> reload_stop{false};
+    std::thread reloader([&] {
+        const auto gap =
+            std::chrono::milliseconds(static_cast<int>(window_s * 500.0));
+        while (!reload_stop.load(std::memory_order_acquire)) {
+            (void)engine.reload("default", frozen_path);
+            const auto deadline = std::chrono::steady_clock::now() + gap;
+            while (!reload_stop.load(std::memory_order_acquire) &&
+                   std::chrono::steady_clock::now() < deadline)
+                std::this_thread::sleep_for(std::chrono::milliseconds(5));
+        }
+    });
+
     std::vector<SweepPoint> sweep;
     double max_sustained_qps = 0.0;
     double p50_at_max = 0.0, p99_at_max = 0.0;
@@ -272,6 +330,11 @@ int main(int argc, char** argv) {
         rate *= kRampFactor;
     }
 
+    reload_stop.store(true, std::memory_order_release);
+    reloader.join();
+    const infer::ReloadStats reload_stats = registry->reload_stats();
+    std::remove(frozen_path.c_str());
+
     // Graceful teardown in the documented SIGTERM order.
     server.begin_drain();
     engine.drain(/*timeout_us=*/2'000'000);
@@ -291,7 +354,50 @@ int main(int argc, char** argv) {
                    TablePrinter::num(static_cast<double>(slo_us) / 1000.0, 1)});
     table.add_row({"frames in", std::to_string(net_stats.frames_in)});
     table.add_row({"NACKs", std::to_string(net_stats.nacks)});
+    table.add_row({"reloads attempted", std::to_string(reload_stats.attempts)});
+    table.add_row({"reloads succeeded", std::to_string(reload_stats.successes)});
+    table.add_row({"reload rollbacks", std::to_string(reload_stats.rollbacks)});
     table.print();
+
+    // Regression gate against the committed sweep artifact: the capacity
+    // under mid-ramp reloads must stay within 20% of the baseline. Scales
+    // size the model and windows differently, so only a same-scale
+    // baseline is comparable.
+    bool gate_failed = false;
+    double baseline_qps = 0.0;
+    if (!baseline_path.empty()) {
+        std::string text;
+        if (FILE* f = std::fopen(baseline_path.c_str(), "rb")) {
+            char buf[4096];
+            std::size_t n = 0;
+            while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0)
+                text.append(buf, n);
+            std::fclose(f);
+        }
+        const std::string qps_s = baseline_field(text, "max_sustained_qps");
+        const std::string scale_s = baseline_field(text, "scale");
+        const std::string this_scale =
+            bench::scale() == bench::Scale::kFull    ? "full"
+            : bench::scale() == bench::Scale::kQuick ? "quick"
+                                                     : "smoke";
+        if (qps_s.empty()) {
+            std::fprintf(stderr,
+                         "baseline %s: no max_sustained_qps; gate skipped\n",
+                         baseline_path.c_str());
+        } else if (scale_s != this_scale) {
+            std::printf("baseline scale '%s' != run scale '%s'; "
+                        "QPS gate skipped\n",
+                        scale_s.c_str(), this_scale.c_str());
+        } else {
+            baseline_qps = std::strtod(qps_s.c_str(), nullptr);
+            const double floor_qps = 0.8 * baseline_qps;
+            gate_failed = max_sustained_qps < floor_qps;
+            std::printf("QPS gate: %.1f measured vs %.1f baseline "
+                        "(floor %.1f) -> %s\n",
+                        max_sustained_qps, baseline_qps, floor_qps,
+                        gate_failed ? "FAIL" : "ok");
+        }
+    }
 
     if (!json_path.empty()) {
         obs::JsonWriter w;
@@ -336,6 +442,15 @@ int main(int argc, char** argv) {
         w.key("max_sustained_qps"); w.value(max_sustained_qps);
         w.key("p50_ms_at_max"); w.value(p50_at_max);
         w.key("p99_ms_at_max"); w.value(p99_at_max);
+        w.key("reload");
+        w.begin_object();
+        w.key("attempts"); w.value(reload_stats.attempts);
+        w.key("successes"); w.value(reload_stats.successes);
+        w.key("rollbacks"); w.value(reload_stats.rollbacks);
+        w.end_object();
+        if (baseline_qps > 0.0) {
+            w.key("baseline_max_sustained_qps"); w.value(baseline_qps);
+        }
         w.key("net");
         w.begin_object();
         w.key("accepted"); w.value(net_stats.accepted);
@@ -359,5 +474,6 @@ int main(int argc, char** argv) {
         }
     }
 
+    if (gate_failed) return 1;
     return max_sustained_qps > 0.0 ? 0 : 1;
 }

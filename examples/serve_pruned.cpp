@@ -8,7 +8,7 @@
 //                [--requests N] [--rps R] [--workers N] [--batch N]
 //                [--delay-us N] [--deadline-us N] [--watchdog-us N]
 //                [--retries N] [--listen] [--port N]
-//                [--connect host:port]
+//                [--connect host:port] [--models name=path,...]
 //
 // Three modes:
 //   * default — in-process round trip: synthetic open-loop traffic is
@@ -16,9 +16,18 @@
 //   * --listen — same model + engine, but fronted by the hs::net epoll
 //     TCP server (--port, default ephemeral). Runs until SIGTERM/SIGINT,
 //     then drains gracefully: stop accepting, NACK new requests
-//     kDraining, resolve everything accepted, flush, exit;
+//     kDraining, resolve everything accepted, flush, exit. SIGHUP
+//     triggers a zero-downtime reload: every registry model is re-read
+//     from its source file through the validation gauntlet (rollback on
+//     failure), and serving continues;
 //   * --connect host:port — pure client: drives the same open-loop
 //     traffic at a remote serve_pruned --listen over the frame protocol.
+//
+// `--models name=path,...` serves a fleet of pre-frozen v4 HSWT files
+// instead of the built-in pruned VGG; the first entry is the default
+// model (wire id 0). Without it, the pruned VGG is frozen, saved to a
+// temp HSWT file, and registered as "default" — so SIGHUP reload has a
+// file to re-read in either mode.
 //
 // `--smoke` shrinks the run to a couple of seconds (used by the CTest
 // smoke test); `--int8` quantizes the frozen plan (calibrating on a
@@ -78,6 +87,7 @@ struct Options {
     bool listen = false;            ///< front the engine with hs::net
     int port = 0;                   ///< --listen port; 0 = ephemeral
     std::string connect;            ///< client mode: "host:port"
+    std::string models;             ///< fleet spec: "name=path,..."
 };
 
 Options parse_options(int argc, char** argv) {
@@ -115,6 +125,8 @@ Options parse_options(int argc, char** argv) {
             opt.port = std::atoi(value(i));
         else if (std::strcmp(argv[i], "--connect") == 0)
             opt.connect = value(i);
+        else if (std::strcmp(argv[i], "--models") == 0)
+            opt.models = value(i);
         else {
             std::fprintf(stderr, "unknown flag %s\n", argv[i]);
             std::exit(2);
@@ -155,13 +167,38 @@ std::vector<int> prune_vgg(models::VggModel& model) {
     return widths;
 }
 
-/// The signals that trigger a graceful drain in --listen mode.
+/// The signals --listen mode waits on: SIGTERM/SIGINT drain and exit,
+/// SIGHUP hot-reloads the model fleet in place.
 sigset_t drain_sigset() {
     sigset_t set;
     sigemptyset(&set);
     sigaddset(&set, SIGTERM);
     sigaddset(&set, SIGINT);
+    sigaddset(&set, SIGHUP);
     return set;
+}
+
+/// SIGHUP handler body: re-deploy every registry model from its recorded
+/// source file through the gauntlet. A rolled-back reload leaves the
+/// incumbent serving — reload never takes the fleet down.
+void reload_fleet(infer::ServingEngine& serving) {
+    for (const auto& info : serving.registry()->list()) {
+        if (info.path.empty()) {
+            std::printf("reload '%s': skipped (no source file recorded)\n",
+                        info.name.c_str());
+            continue;
+        }
+        const infer::ReloadResult r = serving.reload(info.name, info.path);
+        if (r.ok)
+            std::printf("reload '%s': v%lld -> v%lld (agreement %.2f)\n",
+                        r.name.c_str(), static_cast<long long>(r.old_version),
+                        static_cast<long long>(r.new_version),
+                        r.canary_agreement);
+        else
+            std::printf("reload '%s': ROLLED BACK at %s stage: %s\n",
+                        info.name.c_str(), r.stage.c_str(), r.error.c_str());
+    }
+    std::fflush(stdout);
 }
 
 /// --listen: front the engine with the epoll server, run until
@@ -175,13 +212,19 @@ int run_listen(infer::ServingEngine& serving, const Options& opt) {
     net_cfg.port = static_cast<std::uint16_t>(opt.port);
     net::Server server(serving, net_cfg);
     server.start();
-    std::printf("serving on 127.0.0.1:%u — SIGTERM/SIGINT drains\n",
-                server.port());
+    std::printf(
+        "serving on 127.0.0.1:%u — SIGTERM/SIGINT drains, SIGHUP reloads\n",
+        server.port());
     std::fflush(stdout);
 
     sigset_t set = drain_sigset();
     int sig = 0;
-    while (sigwait(&set, &sig) != 0) {}
+    for (;;) {
+        while (sigwait(&set, &sig) != 0) {}
+        if (sig != SIGHUP) break;
+        std::printf("caught SIGHUP: reloading model fleet\n");
+        reload_fleet(serving);
+    }
     std::printf("caught %s: draining\n", sig == SIGTERM ? "SIGTERM" : "SIGINT");
 
     server.begin_drain();  // refuse sockets, NACK new frames kDraining
@@ -287,42 +330,78 @@ int main(int argc, char** argv) {
     if (!opt.json_path.empty()) obs::set_enabled(true);
     Stopwatch total;
 
-    // 1. Train-side: build, prune, checkpoint.
-    models::VggConfig cfg;
-    auto trained = models::make_vgg16(cfg);
-    const std::vector<int> widths = prune_vgg(trained);
-    nn::save_parameters(trained.net, opt.weights_path);
-    std::printf("checkpointed pruned VGG-16 (widths");
-    for (const int w : widths) std::printf(" %d", w);
-    std::printf(") to %s\n", opt.weights_path.c_str());
+    auto registry = std::make_shared<infer::ModelRegistry>();
+    std::string default_frozen_path;  // temp HSWT backing SIGHUP reloads
 
-    // 2. Serve-side: rebuild the pruned architecture fresh, restore the
-    //    checkpoint, freeze for the fixed input shape.
-    auto served = models::make_vgg16_widths(widths, cfg);
-    nn::load_parameters(served.net, opt.weights_path);
-    auto frozen = std::make_shared<const infer::FrozenModel>(infer::freeze(
-        served.net, {cfg.input_channels, cfg.input_size, cfg.input_size}));
-    std::printf("frozen: %zu ops, %.2f MMACs/image\n", frozen->ops.size(),
-                static_cast<double>(frozen->macs) * 1e-6);
+    if (!opt.models.empty()) {
+        // Fleet mode: serve pre-frozen v4 HSWT files; the first entry is
+        // the default model (wire id 0).
+        std::size_t pos = 0;
+        while (pos <= opt.models.size()) {
+            const std::size_t comma = opt.models.find(',', pos);
+            const std::string entry =
+                opt.models.substr(pos, comma == std::string::npos
+                                           ? std::string::npos
+                                           : comma - pos);
+            const std::size_t eq = entry.find('=');
+            if (eq == std::string::npos || eq == 0) {
+                std::fprintf(stderr, "--models expects name=path,...\n");
+                return 2;
+            }
+            const std::string name = entry.substr(0, eq);
+            const std::string path = entry.substr(eq + 1);
+            auto model = std::make_shared<const infer::FrozenModel>(
+                infer::load_frozen(path));
+            registry->add(name, model, 1, path);
+            std::printf("registered '%s' (id %zu) from %s: %zu ops, "
+                        "%.2f MMACs/image\n",
+                        name.c_str(), registry->size() - 1, path.c_str(),
+                        model->ops.size(),
+                        static_cast<double>(model->macs) * 1e-6);
+            if (comma == std::string::npos) break;
+            pos = comma + 1;
+        }
+    } else {
+        // 1. Train-side: build, prune, checkpoint.
+        models::VggConfig cfg;
+        auto trained = models::make_vgg16(cfg);
+        const std::vector<int> widths = prune_vgg(trained);
+        nn::save_parameters(trained.net, opt.weights_path);
+        std::printf("checkpointed pruned VGG-16 (widths");
+        for (const int w : widths) std::printf(" %d", w);
+        std::printf(") to %s\n", opt.weights_path.c_str());
 
-    // Optional int8 deploy path: calibrate + quantize, then round-trip
-    // the plan through the v4 frozen-model container exactly as a
-    // deployment would ship it to a serving host.
-    if (opt.int8) {
-        Tensor calib({8, cfg.input_channels, cfg.input_size, cfg.input_size});
-        Rng calib_rng(11);
-        calib_rng.fill_normal(calib, 0.0, 1.0);
-        const infer::FrozenModel quantized = infer::quantize(*frozen, calib);
-        const std::string frozen_path =
-            (std::filesystem::temp_directory_path() /
-             "hs_serve_pruned_frozen_int8.bin")
-                .string();
-        infer::save_frozen(quantized, frozen_path);
+        // 2. Serve-side: rebuild the pruned architecture fresh, restore
+        //    the checkpoint, freeze for the fixed input shape.
+        auto served = models::make_vgg16_widths(widths, cfg);
+        nn::load_parameters(served.net, opt.weights_path);
+        auto frozen = std::make_shared<const infer::FrozenModel>(infer::freeze(
+            served.net, {cfg.input_channels, cfg.input_size, cfg.input_size}));
+        std::printf("frozen: %zu ops, %.2f MMACs/image\n", frozen->ops.size(),
+                    static_cast<double>(frozen->macs) * 1e-6);
+
+        // Optional int8 deploy path: calibrate + quantize; the quantized
+        // plan then ships through the v4 container below like any deploy.
+        if (opt.int8) {
+            Tensor calib(
+                {8, cfg.input_channels, cfg.input_size, cfg.input_size});
+            Rng calib_rng(11);
+            calib_rng.fill_normal(calib, 0.0, 1.0);
+            frozen = std::make_shared<const infer::FrozenModel>(
+                infer::quantize(*frozen, calib));
+            std::printf("int8: plan quantized\n");
+        }
+
+        // Round-trip through the v4 frozen container and keep the file:
+        // it is both the deploy-path exercise and the source a SIGHUP
+        // reload re-reads.
+        default_frozen_path = (std::filesystem::temp_directory_path() /
+                               "hs_serve_pruned_frozen.hswt")
+                                  .string();
+        infer::save_frozen(*frozen, default_frozen_path);
         frozen = std::make_shared<const infer::FrozenModel>(
-            infer::load_frozen(frozen_path));
-        std::remove(frozen_path.c_str());
-        std::printf("int8: quantized plan round-tripped through %s\n",
-                    frozen_path.c_str());
+            infer::load_frozen(default_frozen_path));
+        registry->add("default", frozen, 1, default_frozen_path);
     }
 
     // 3. Open-loop synthetic traffic at a fixed request rate.
@@ -333,15 +412,17 @@ int main(int argc, char** argv) {
     serve_cfg.queue_capacity = 4 * opt.max_batch * opt.workers;
     serve_cfg.default_deadline_us = opt.deadline_us;
     serve_cfg.watchdog_timeout_us = opt.watchdog_us;
-    infer::ServingEngine serving(frozen, serve_cfg);
+    infer::ServingEngine serving(registry, serve_cfg);
 
     if (opt.listen) {
         const int rc = run_listen(serving, opt);
         std::remove(opt.weights_path.c_str());
+        if (!default_frozen_path.empty())
+            std::remove(default_frozen_path.c_str());
         return rc;
     }
 
-    Tensor image({cfg.input_channels, cfg.input_size, cfg.input_size});
+    Tensor image(registry->find_id(0)->model->input_chw);
     Rng rng(7);
     rng.fill_normal(image, 0.0, 1.0);
 
@@ -440,5 +521,7 @@ int main(int argc, char** argv) {
         std::printf("run report: %s\n", opt.json_path.c_str());
 
     std::remove(opt.weights_path.c_str());
+    if (!default_frozen_path.empty())
+        std::remove(default_frozen_path.c_str());
     return stats.completed > 0 ? 0 : 1;
 }

@@ -19,6 +19,14 @@ for b in build/bench/*; do
     bench_kernels)
       # google-benchmark binary: own flag parser, no --json run report.
       "$b" >> "$out" 2>&1 ;;
+    bench_serve)
+      # Gate the fresh capacity number (measured under mid-ramp model
+      # reloads) against the committed baseline before overwriting it:
+      # >20% QPS drop fails the run.
+      baseline=""
+      [ -f /root/repo/BENCH_serve.json ] && baseline="--baseline /root/repo/BENCH_serve.json"
+      # shellcheck disable=SC2086
+      "$b" --json "$outdir/BENCH_serve.json" $baseline >> "$out" 2>&1 ;;
     *)
       # Reports are named after the artifact, not the binary:
       # bench_infer -> BENCH_infer.json.

@@ -12,6 +12,8 @@
 //                   pre-planned arena (zero hot-path allocations)
 //   * serving.h   — thread-pool runtime with dynamic micro-batching and
 //                   bounded-queue backpressure, hosting either precision
+//   * registry.h  — versioned multi-model registry with the hot-reload
+//                   validation gauntlet (CRC, canary, rollback)
 //   * frozen_io.h — ship a compiled plan (v4 container) to a serving host
 //                   that never builds the live graph
 //
@@ -23,4 +25,5 @@
 #include "infer/freeze.h"
 #include "infer/frozen_io.h"
 #include "infer/quantize.h"
+#include "infer/registry.h"
 #include "infer/serving.h"

@@ -1,0 +1,318 @@
+#include "infer/registry.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "fault/fault.h"
+#include "infer/engine.h"
+#include "infer/frozen_io.h"
+#include "obs/flight_recorder.h"
+#include "obs/metrics.h"
+#include "tensor/rng.h"
+#include "util/error.h"
+#include "util/logging.h"
+#include "util/stopwatch.h"
+
+namespace hs::infer {
+namespace {
+
+ModelInfo snapshot_of(const std::string& name, std::uint8_t id,
+                      std::int64_t version, int weight,
+                      const std::string& path,
+                      std::shared_ptr<const FrozenModel> model) {
+    ModelInfo info;
+    info.name = name;
+    info.id = id;
+    info.version = version;
+    info.weight = weight;
+    info.path = path;
+    info.model = std::move(model);
+    return info;
+}
+
+std::size_t argmax(std::span<const float> values) {
+    return static_cast<std::size_t>(
+        std::max_element(values.begin(), values.end()) - values.begin());
+}
+
+} // namespace
+
+std::uint8_t ModelRegistry::add(const std::string& name,
+                                std::shared_ptr<const FrozenModel> model,
+                                int weight, std::string source_path) {
+    require(model != nullptr, "ModelRegistry::add: null model for '" + name +
+                                  "'");
+    require(!name.empty(), "ModelRegistry::add: empty model name");
+    require(weight >= 1, "ModelRegistry::add: weight must be >= 1");
+    std::lock_guard<std::mutex> lock(mu_);
+    require(entries_.size() < kMaxModels,
+            "ModelRegistry::add: registry full (" +
+                std::to_string(kMaxModels) + " models)");
+    for (const auto& e : entries_)
+        require(e->name != name,
+                "ModelRegistry::add: duplicate model name '" + name + "'");
+    auto entry = std::make_unique<Entry>();
+    entry->name = name;
+    entry->id = static_cast<std::uint8_t>(entries_.size());
+    entry->version = 1;
+    entry->weight = weight;
+    entry->path = std::move(source_path);
+    entry->model = std::move(model);
+    const std::uint8_t id = entry->id;
+    obs::gauge_set("reload.active_version." + name, 1.0);
+    entries_.push_back(std::move(entry));
+    return id;
+}
+
+std::optional<ModelInfo> ModelRegistry::find(std::string_view name) const {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto& e : entries_)
+        if (e->name == name)
+            return snapshot_of(e->name, e->id, e->version, e->weight, e->path,
+                               e->model);
+    return std::nullopt;
+}
+
+std::optional<ModelInfo> ModelRegistry::find_id(std::uint8_t id) const {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (id >= entries_.size()) return std::nullopt;
+    const Entry& e = *entries_[id];
+    return snapshot_of(e.name, e.id, e.version, e.weight, e.path, e.model);
+}
+
+std::vector<ModelInfo> ModelRegistry::list() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    std::vector<ModelInfo> out;
+    out.reserve(entries_.size());
+    for (const auto& e : entries_)
+        out.push_back(snapshot_of(e->name, e->id, e->version, e->weight,
+                                  e->path, e->model));
+    return out;
+}
+
+std::size_t ModelRegistry::size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return entries_.size();
+}
+
+ReloadStats ModelRegistry::reload_stats() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    ReloadStats s;
+    s.attempts = attempts_;
+    s.successes = successes_;
+    s.rollbacks = rollbacks_;
+    return s;
+}
+
+void ModelRegistry::rollback(ReloadResult& result, const std::string& stage,
+                             const std::string& error) {
+    result.ok = false;
+    result.stage = stage;
+    result.error = error;
+    result.new_version = result.old_version;
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        ++rollbacks_;
+    }
+    obs::count("reload.rollback");
+    log_warn("[registry] reload of '" + result.name + "' rolled back at " +
+             stage + " stage: " + error);
+    // The evidence dump: whatever the process was doing in the moments
+    // before a bad deploy is exactly what the flight rings hold.
+    obs::flight_mark("reload_rollback");
+    (void)obs::flight_dump("reload_rollback_" + stage);
+}
+
+ReloadResult ModelRegistry::reload(const std::string& name,
+                                   const std::string& path,
+                                   const ReloadPolicy& policy) {
+    std::lock_guard<std::mutex> deploy(reload_mu_);
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        ++attempts_;
+    }
+    obs::count("reload.attempts");
+
+    ReloadResult result;
+    result.name = name;
+    Entry* entry = nullptr;
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        for (const auto& e : entries_)
+            if (e->name == name) entry = e.get();
+        if (entry) {
+            result.old_version = entry->version;
+            result.model = entry->model;
+        }
+    }
+    if (entry == nullptr) {
+        rollback(result, "validate", "unknown model '" + name + "'");
+        return result;
+    }
+
+    // Stage: read. load_frozen gives us the HSWT header check, payload
+    // CRC-32, and structural revalidation for free; the fault site
+    // simulates the torn/short/unreadable file cases on top.
+    std::shared_ptr<const FrozenModel> candidate;
+    try {
+        if (const auto f = fault::at("reload.read"))
+            throw Error("injected " + f->action + " read of '" + path + "'");
+        candidate = std::make_shared<const FrozenModel>(load_frozen(path));
+    } catch (const Error& e) {
+        rollback(result, "read", e.what());
+        return result;
+    }
+
+    gauntlet_and_swap(entry, std::move(candidate), policy, path, result);
+    return result;
+}
+
+ReloadResult ModelRegistry::swap_model(
+    const std::string& name, std::shared_ptr<const FrozenModel> candidate,
+    const ReloadPolicy& policy, const std::string& source_path) {
+    std::lock_guard<std::mutex> deploy(reload_mu_);
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        ++attempts_;
+    }
+    obs::count("reload.attempts");
+
+    ReloadResult result;
+    result.name = name;
+    Entry* entry = nullptr;
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        for (const auto& e : entries_)
+            if (e->name == name) entry = e.get();
+        if (entry) {
+            result.old_version = entry->version;
+            result.model = entry->model;
+        }
+    }
+    if (entry == nullptr) {
+        rollback(result, "validate", "unknown model '" + name + "'");
+        return result;
+    }
+    gauntlet_and_swap(entry, std::move(candidate), policy, source_path,
+                      result);
+    return result;
+}
+
+void ModelRegistry::gauntlet_and_swap(
+    Entry* entry, std::shared_ptr<const FrozenModel> candidate,
+    const ReloadPolicy& policy, const std::string& source_path,
+    ReloadResult& result) {
+    const std::shared_ptr<const FrozenModel> incumbent = result.model;
+
+    // Stage: validate. Geometry/precision gates first (cheap), then the
+    // arena re-plan + canary (builds both engines — the candidate build
+    // is also its warm-up: page-in, plan, allocate exactly what serving
+    // workers will).
+    try {
+        if (const auto f = fault::at("reload.validate"))
+            throw Error("injected canary failure (" + f->action + ")");
+        require(candidate != nullptr, "null candidate model");
+        require(candidate->input_chw == incumbent->input_chw,
+                "input shape mismatch: incumbent " +
+                    shape_str(incumbent->input_chw) + ", candidate " +
+                    shape_str(candidate->input_chw));
+        require(candidate->output_shape == incumbent->output_shape,
+                "output shape mismatch: incumbent " +
+                    shape_str(incumbent->output_shape) + ", candidate " +
+                    shape_str(candidate->output_shape));
+        if (!policy.allow_precision_change)
+            require(candidate->precision == incumbent->precision,
+                    "precision change rejected by policy (set "
+                    "allow_precision_change to permit fp32<->int8 swaps)");
+
+        Engine incumbent_engine(incumbent, 1);
+        Engine candidate_engine(candidate, 1);
+
+        Shape batch_shape;
+        batch_shape.reserve(incumbent->input_chw.size() + 1);
+        batch_shape.push_back(1);
+        for (const int d : incumbent->input_chw) batch_shape.push_back(d);
+
+        Rng rng(policy.canary_seed);
+        const int n = std::max(policy.canary_inputs, 1);
+        int agree = 0;
+        std::int64_t incumbent_ns = 0;
+        std::int64_t candidate_ns = 0;
+        for (int i = 0; i < n; ++i) {
+            Tensor image(batch_shape);
+            for (float& v : image.data())
+                v = static_cast<float>(rng.uniform(-1.0, 1.0));
+            std::int64_t t0 = monotonic_ns();
+            const Tensor old_out = incumbent_engine.run(image);
+            const std::int64_t t1 = monotonic_ns();
+            const Tensor new_out = candidate_engine.run(image);
+            const std::int64_t t2 = monotonic_ns();
+            incumbent_ns += t1 - t0;
+            candidate_ns += t2 - t1;
+            if (argmax({old_out.data().data(),
+                        static_cast<std::size_t>(old_out.numel())}) ==
+                argmax({new_out.data().data(),
+                        static_cast<std::size_t>(new_out.numel())}))
+                ++agree;
+        }
+        result.canary_agreement =
+            static_cast<double>(agree) / static_cast<double>(n);
+        result.incumbent_canary_ms =
+            static_cast<double>(incumbent_ns) * 1e-6 / n;
+        result.candidate_canary_ms =
+            static_cast<double>(candidate_ns) * 1e-6 / n;
+        require(result.canary_agreement >= policy.min_argmax_agreement,
+                "canary argmax agreement " +
+                    std::to_string(result.canary_agreement) +
+                    " below threshold " +
+                    std::to_string(policy.min_argmax_agreement));
+        // The latency gate compares means over the same seeded inputs; the
+        // floor keeps a ~0ms incumbent from flagging timer noise.
+        const double floor_ms = 0.01;
+        require(result.candidate_canary_ms <=
+                    policy.max_latency_factor *
+                        std::max(result.incumbent_canary_ms, floor_ms),
+                "canary latency regression: candidate " +
+                    std::to_string(result.candidate_canary_ms) +
+                    " ms vs incumbent " +
+                    std::to_string(result.incumbent_canary_ms) + " ms (cap " +
+                    std::to_string(policy.max_latency_factor) + "x)");
+    } catch (const Error& e) {
+        rollback(result, "validate", e.what());
+        return;
+    }
+
+    // Stage: swap. The fault fires BEFORE publication: an injected
+    // mid-swap crash must leave the incumbent serving (exception safety
+    // is the rollback mechanism here — nothing was published yet).
+    try {
+        if (const auto f = fault::at("reload.swap"))
+            throw Error("injected mid-swap " + f->action);
+        std::lock_guard<std::mutex> lock(mu_);
+        entry->model = candidate;
+        entry->path = source_path;
+        ++entry->version;
+        ++successes_;
+        result.new_version = entry->version;
+    } catch (const Error& e) {
+        rollback(result, "swap", e.what());
+        return;
+    }
+
+    result.ok = true;
+    result.stage = "ok";
+    result.model = std::move(candidate);
+    obs::count("reload.success");
+    obs::gauge_set("reload.active_version." + result.name,
+                   static_cast<double>(result.new_version));
+    log_info("[registry] model '" + result.name + "' v" +
+             std::to_string(result.old_version) + " -> v" +
+             std::to_string(result.new_version) + " (canary agreement " +
+             std::to_string(result.canary_agreement) + ", " +
+             std::to_string(result.candidate_canary_ms) + " ms; old model " +
+             "drains via refcount, " +
+             std::to_string(incumbent.use_count() - 1) +
+             " outstanding handles)");
+}
+
+} // namespace hs::infer

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 #include <cstring>
+#include <unordered_map>
 #include <utility>
 
 #include "fault/fault.h"
@@ -24,10 +25,28 @@ constexpr std::int64_t kSpikeThreshold = 8;
 
 } // namespace
 
+namespace {
+
+std::shared_ptr<ModelRegistry> wrap_single_model(
+    std::shared_ptr<const FrozenModel> model) {
+    require(model != nullptr, "ServingEngine needs a frozen model");
+    auto registry = std::make_shared<ModelRegistry>();
+    registry->add("default", std::move(model));
+    return registry;
+}
+
+} // namespace
+
 ServingEngine::ServingEngine(std::shared_ptr<const FrozenModel> model,
                              ServingConfig cfg)
-    : model_(std::move(model)), cfg_(cfg) {
-    require(model_ != nullptr, "ServingEngine needs a frozen model");
+    : ServingEngine(wrap_single_model(std::move(model)), cfg) {}
+
+ServingEngine::ServingEngine(std::shared_ptr<ModelRegistry> registry,
+                             ServingConfig cfg)
+    : registry_(std::move(registry)), cfg_(cfg) {
+    require(registry_ != nullptr, "ServingEngine needs a model registry");
+    require(registry_->size() >= 1,
+            "ServingEngine needs a registry with at least one model");
     require(cfg_.workers >= 1, "ServingEngine needs at least one worker");
     require(cfg_.max_batch >= 1, "ServingEngine max_batch must be >= 1");
     require(cfg_.max_delay_us >= 0, "ServingEngine max_delay_us must be >= 0");
@@ -47,6 +66,50 @@ ServingEngine::ServingEngine(std::shared_ptr<const FrozenModel> model,
 }
 
 ServingEngine::~ServingEngine() { stop(); }
+
+std::shared_ptr<const FrozenModel> ServingEngine::model() const {
+    const auto info = registry_->find_id(0);
+    require(info.has_value(), "ServingEngine registry lost its default model");
+    return info->model;
+}
+
+ServingEngine::ModelQueue* ServingEngine::queue_for_locked(
+    const ModelInfo& info) {
+    if (queues_.size() <= info.id)
+        queues_.resize(static_cast<std::size_t>(info.id) + 1);
+    auto& slot = queues_[info.id];
+    if (!slot) {
+        slot = std::make_unique<ModelQueue>();
+        slot->name = info.name;
+        slot->id = info.id;
+        slot->weight = info.weight;
+        slot->latency_metric = "serve.latency_us." + info.name;
+    }
+    return slot.get();
+}
+
+ServingEngine::ModelQueue* ServingEngine::pick_queue_locked() {
+    // Smooth weighted round-robin: every contender earns its weight, the
+    // winner repays the round's total — interleaved shares, no bursts.
+    std::int64_t total = 0;
+    ModelQueue* best = nullptr;
+    for (auto& slot : queues_) {
+        if (!slot || slot->queue.empty()) continue;
+        slot->wrr_credit += static_cast<double>(slot->weight);
+        total += slot->weight;
+        if (best == nullptr || slot->wrr_credit > best->wrr_credit)
+            best = slot.get();
+    }
+    if (best != nullptr) best->wrr_credit -= static_cast<double>(total);
+    return best;
+}
+
+std::size_t ServingEngine::total_queued_locked() const {
+    std::size_t n = 0;
+    for (const auto& slot : queues_)
+        if (slot) n += slot->queue.size();
+    return n;
+}
 
 void ServingEngine::spawn_worker_locked() {
     auto worker = std::make_unique<Worker>();
@@ -109,9 +172,20 @@ SubmitResult ServingEngine::submit_impl(Tensor image,
     } else {
         require(image.rank() == 3, "submit() expects a [C, H, W] image");
     }
-    require(image.numel() == model_->input_elems,
+    // Resolve the target model before taking the engine lock (the
+    // registry has its own short mutex; never nest the two here).
+    const std::optional<ModelInfo> info = opts.model.empty()
+                                              ? registry_->find_id(0)
+                                              : registry_->find(opts.model);
+    SubmitResult result;
+    if (!info.has_value()) {
+        obs::count("serve.unknown_model");
+        result.admission = Admission::kUnknownModel;
+        return result;
+    }
+    require(image.numel() == info->model->input_elems,
             "submit() image shape mismatch: expected " +
-                shape_str(model_->input_chw) + ", got " +
+                shape_str(info->model->input_chw) + ", got " +
                 shape_str(image.shape()));
 
     const std::int64_t deadline_us =
@@ -125,7 +199,6 @@ SubmitResult ServingEngine::submit_impl(Tensor image,
     std::future<Tensor> fut;
     if (!req.done) fut = req.promise.get_future();
 
-    SubmitResult result;
     {
         std::lock_guard<std::mutex> lock(mu_);
         if (stopping_) {
@@ -146,8 +219,13 @@ SubmitResult ServingEngine::submit_impl(Tensor image,
                 return result;
             }
         }
-        if (queue_.size() >= static_cast<std::size_t>(cfg_.queue_capacity)) {
+        ModelQueue* mq = queue_for_locked(*info);
+        if (mq->queue.size() >=
+            static_cast<std::size_t>(cfg_.queue_capacity)) {
+            // Capacity is per model: one hot variant filling its queue
+            // must not close admission for the rest of the fleet.
             ++rejected_;
+            ++mq->rejected;
             obs::count("serve.rejected");
             result.admission = Admission::kQueueFull;
             // Hint: roughly the time one queued request takes to drain.
@@ -171,7 +249,7 @@ SubmitResult ServingEngine::submit_impl(Tensor image,
                 return result;
             }
         }
-        queue_.push_back(std::move(req));
+        mq->queue.push_back(std::move(req));
         obs::count("serve.requests");
     }
     cv_.notify_one();
@@ -192,7 +270,7 @@ std::int64_t ServingEngine::drain(std::int64_t timeout_us) {
     stopping_ = true;  // submits now answer kStopped; workers run dry
     cv_.notify_all();
     const auto idle = [this] {
-        return queue_.empty() && in_flight_batches_ == 0;
+        return total_queued_locked() == 0 && in_flight_batches_ == 0;
     };
     if (timeout_us < 0) {
         drain_cv_.wait(lock, idle);
@@ -204,16 +282,19 @@ std::int64_t ServingEngine::drain(std::int64_t timeout_us) {
     // until the join. (Batches already on a worker keep running; their
     // requests resolve with values when the worker finishes.)
     std::int64_t failed = 0;
-    while (!queue_.empty()) {
-        fulfill_failure(queue_.front(), FailReason::kDrained,
-                        "request drained: engine shutting down before the "
-                        "request could execute");
-        ++drained_;
-        obs::count("serve.drained");
-        queue_.pop_front();
-        ++failed;
+    for (auto& slot : queues_) {
+        if (!slot) continue;
+        while (!slot->queue.empty()) {
+            fulfill_failure(slot->queue.front(), FailReason::kDrained,
+                            "request drained: engine shutting down before "
+                            "the request could execute");
+            ++drained_;
+            obs::count("serve.drained");
+            slot->queue.pop_front();
+            ++failed;
+        }
     }
-    if (failed > 0) cv_.notify_all();  // wake workers: queue is empty now
+    if (failed > 0) cv_.notify_all();  // wake workers: queues are empty now
     return failed;
 }
 
@@ -236,18 +317,21 @@ void ServingEngine::stop() {
     // fail them with the typed drain verdict rather than dropping their
     // promises on the floor.
     std::lock_guard<std::mutex> lock(mu_);
-    while (!queue_.empty()) {
-        fulfill_failure(queue_.front(), FailReason::kDrained,
-                        "request drained: engine stopped with no live "
-                        "worker left to run it");
-        ++drained_;
-        obs::count("serve.drained");
-        queue_.pop_front();
+    for (auto& slot : queues_) {
+        if (!slot) continue;
+        while (!slot->queue.empty()) {
+            fulfill_failure(slot->queue.front(), FailReason::kDrained,
+                            "request drained: engine stopped with no live "
+                            "worker left to run it");
+            ++drained_;
+            obs::count("serve.drained");
+            slot->queue.pop_front();
+        }
     }
 }
 
 ServingStats ServingEngine::stats() const {
-    std::lock_guard<std::mutex> lock(mu_);
+    std::unique_lock<std::mutex> lock(mu_);
     ServingStats s;
     s.completed = completed_;
     s.rejected = rejected_;
@@ -270,6 +354,28 @@ ServingStats ServingEngine::stats() const {
     if (completed_ > 1 && span_ns > 0)
         s.throughput_rps = static_cast<double>(completed_ - 1) /
                            (static_cast<double>(span_ns) * 1e-9);
+    for (const auto& slot : queues_) {
+        if (!slot) continue;
+        ModelStats m;
+        m.name = slot->name;
+        m.id = slot->id;
+        m.queued = static_cast<std::int64_t>(slot->queue.size());
+        m.completed = slot->completed;
+        m.rejected = slot->rejected;
+        m.p50_ms =
+            static_cast<double>(slot->latency_us.value_at_quantile(0.50)) /
+            1000.0;
+        m.p99_ms =
+            static_cast<double>(slot->latency_us.value_at_quantile(0.99)) /
+            1000.0;
+        s.models.push_back(std::move(m));
+    }
+    lock.unlock();
+    // Version lookups go to the registry's own mutex — outside mu_ so the
+    // two locks never nest.
+    for (ModelStats& m : s.models)
+        if (const auto info = registry_->find_id(m.id))
+            m.version = info->version;
     return s;
 }
 
@@ -292,32 +398,36 @@ void ServingEngine::note_spike_locked(std::int64_t now_ns,
 }
 
 void ServingEngine::shed_expired_locked(std::int64_t now_ns) {
-    for (auto it = queue_.begin(); it != queue_.end();) {
-        if (it->deadline_ns != 0 && now_ns >= it->deadline_ns) {
-            const double late_ms =
-                static_cast<double>(now_ns - it->deadline_ns) * 1e-6;
-            fulfill_failure(*it, FailReason::kDeadline,
-                            "request shed: deadline exceeded by " +
-                                std::to_string(late_ms) + " ms while queued");
-            ++shed_;
-            obs::count("serve.shed");
-            note_spike_locked(now_ns, shed_window_start_ns_,
-                              shed_window_count_, "shed_spike");
-            it = queue_.erase(it);
-        } else {
-            ++it;
+    for (auto& slot : queues_) {
+        if (!slot) continue;
+        for (auto it = slot->queue.begin(); it != slot->queue.end();) {
+            if (it->deadline_ns != 0 && now_ns >= it->deadline_ns) {
+                const double late_ms =
+                    static_cast<double>(now_ns - it->deadline_ns) * 1e-6;
+                fulfill_failure(*it, FailReason::kDeadline,
+                                "request shed: deadline exceeded by " +
+                                    std::to_string(late_ms) +
+                                    " ms while queued");
+                ++shed_;
+                obs::count("serve.shed");
+                note_spike_locked(now_ns, shed_window_start_ns_,
+                                  shed_window_count_, "shed_spike");
+                it = slot->queue.erase(it);
+            } else {
+                ++it;
+            }
         }
     }
-    // Shedding may have emptied the queue: let a pending drain() observe
+    // Shedding may have emptied the queues: let a pending drain() observe
     // the idle state without waiting for its timeout.
-    if (queue_.empty()) drain_cv_.notify_all();
+    if (total_queued_locked() == 0) drain_cv_.notify_all();
 }
 
 std::int64_t ServingEngine::estimated_wait_us_locked() const {
     if (ewma_req_ms_ <= 0.0) return 0;  // no signal yet: admit optimistically
     const double per_req_us = ewma_req_ms_ * 1000.0;
     return static_cast<std::int64_t>(
-        per_req_us * static_cast<double>(queue_.size()) /
+        per_req_us * static_cast<double>(total_queued_locked()) /
         static_cast<double>(cfg_.workers));
 }
 
@@ -360,28 +470,45 @@ void ServingEngine::watchdog_loop() {
 }
 
 void ServingEngine::worker_loop(Worker* self) {
-    // Engine bring-up can fail (arena allocation — injectable via the
-    // "engine.alloc" fault site). A worker that cannot build its engine
-    // retires itself instead of tearing down the process; the remaining
-    // workers (or a later watchdog respawn) keep the queue draining.
-    std::optional<Engine> engine_slot;
-    try {
-        engine_slot.emplace(model_, cfg_.max_batch);
-    } catch (const Error& e) {
-        log_error("[serving] worker " + std::to_string(self->id) +
-                  " failed to build its engine: " + e.what());
-        self->retired.store(true, std::memory_order_relaxed);
-        return;
+    // One cached Engine per model id, rebuilt whenever the registry
+    // snapshot changes under a hot reload — the worker notices the
+    // pointer moved when it lifts the next batch for that model, rebuilds
+    // its private arena, and drops the old snapshot's refcount (the
+    // "drain the old engine" mechanism: the last rebuild frees it).
+    struct CachedEngine {
+        std::shared_ptr<const FrozenModel> model;
+        std::optional<Engine> engine;
+    };
+    std::unordered_map<std::uint8_t, CachedEngine> engines;
+
+    // Default-model bring-up stays eager: an arena failure here
+    // (injectable via "engine.alloc") retires this worker instead of
+    // tearing down the process; the remaining workers (or a later
+    // watchdog respawn) keep the queues draining. Other models' engines
+    // build lazily on their first batch.
+    {
+        const auto def = registry_->find_id(0);
+        try {
+            require(def.has_value(), "registry lost its default model");
+            CachedEngine cached;
+            cached.model = def->model;
+            cached.engine.emplace(def->model, cfg_.max_batch);
+            engines.emplace(std::uint8_t{0}, std::move(cached));
+        } catch (const Error& e) {
+            log_error("[serving] worker " + std::to_string(self->id) +
+                      " failed to build its engine: " + e.what());
+            self->retired.store(true, std::memory_order_relaxed);
+            return;
+        }
     }
-    Engine& engine = *engine_slot;
+
     std::vector<Request> batch;
-    std::vector<float> in(static_cast<std::size_t>(model_->input_elems) *
-                          static_cast<std::size_t>(cfg_.max_batch));
-    std::vector<float> out(static_cast<std::size_t>(model_->output_elems) *
-                           static_cast<std::size_t>(cfg_.max_batch));
+    std::vector<float> in;
+    std::vector<float> out;
 
     for (;;) {
         batch.clear();
+        ModelQueue* mq = nullptr;
         std::int64_t gather_start_ns = 0;  // batch-assembly span endpoints
         std::int64_t taken_ns = 0;
         {
@@ -390,39 +517,42 @@ void ServingEngine::worker_loop(Worker* self) {
             cv_.wait(lock, [this, self] {
                 return stopping_ ||
                        self->retired.load(std::memory_order_relaxed) ||
-                       !queue_.empty();
+                       total_queued_locked() > 0;
             });
             // A retired worker never takes new queue work — its
-            // replacement owns the queue now.
+            // replacement owns the queues now.
             if (self->retired.load(std::memory_order_relaxed)) return;
             shed_expired_locked(monotonic_ns());
-            if (queue_.empty()) {
-                // Stopping with a drained queue: exit. Otherwise keep
+            mq = pick_queue_locked();
+            if (mq == nullptr) {
+                // Stopping with drained queues: exit. Otherwise keep
                 // serving until every accepted request is fulfilled.
                 if (stopping_) return;
                 continue;
             }
-            // Micro-batch gather: wait for a full batch or until the
-            // oldest request's delay budget expires, whichever is first.
+            // Micro-batch gather on the picked model's queue: wait for a
+            // full batch or until the oldest request's delay budget
+            // expires, whichever is first.
             gather_start_ns = monotonic_ns();
             const std::int64_t gather_deadline_ns =
-                queue_.front().enqueue_ns + cfg_.max_delay_us * 1000;
+                mq->queue.front().enqueue_ns + cfg_.max_delay_us * 1000;
             while (!stopping_ &&
                    !self->retired.load(std::memory_order_relaxed) &&
-                   queue_.size() < static_cast<std::size_t>(cfg_.max_batch)) {
+                   mq->queue.size() <
+                       static_cast<std::size_t>(cfg_.max_batch)) {
                 const std::int64_t now = monotonic_ns();
                 if (now >= gather_deadline_ns) break;
                 cv_.wait_for(lock, std::chrono::nanoseconds(gather_deadline_ns -
                                                             now));
                 shed_expired_locked(monotonic_ns());
-                if (queue_.empty()) break; // another worker took the batch
+                if (mq->queue.empty()) break; // another worker took the batch
             }
-            if (queue_.empty()) continue;
+            if (mq->queue.empty()) continue;
             const std::size_t take = std::min(
-                queue_.size(), static_cast<std::size_t>(cfg_.max_batch));
+                mq->queue.size(), static_cast<std::size_t>(cfg_.max_batch));
             for (std::size_t i = 0; i < take; ++i) {
-                batch.push_back(std::move(queue_.front()));
-                queue_.pop_front();
+                batch.push_back(std::move(mq->queue.front()));
+                mq->queue.pop_front();
             }
             // Mark busy while still holding the lock so the watchdog sees
             // a consistent (busy, heartbeat) pair for this batch.
@@ -432,6 +562,46 @@ void ServingEngine::worker_loop(Worker* self) {
             ++in_flight_batches_;  // drain() waits for this to hit zero
         }
         if (batch.empty()) continue;
+
+        // Resolve the model snapshot AFTER the lift, outside the engine
+        // lock: the reload gauntlet guarantees geometry never changes, so
+        // a batch admitted against v(n) executes correctly on v(n+1) —
+        // this is what makes the pointer swap invisible to in-flight
+        // traffic.
+        const auto info = registry_->find_id(mq->id);
+        const std::shared_ptr<const FrozenModel> model =
+            info.has_value() ? info->model : nullptr;
+        CachedEngine& cached = engines[mq->id];
+        if (model != nullptr && cached.model != model) {
+            cached.engine.reset();  // free the old arena before re-planning
+            cached.model = nullptr;
+            try {
+                cached.engine.emplace(model, cfg_.max_batch);
+                cached.model = model;
+            } catch (const Error& e) {
+                log_error("[serving] worker " + std::to_string(self->id) +
+                          " failed to rebuild engine for model '" +
+                          mq->name + "': " + e.what());
+            }
+        }
+        if (model == nullptr || !cached.engine.has_value()) {
+            // No engine to run this batch (registry anomaly or rebuild
+            // failure): fail it typed instead of crashing the worker —
+            // the next batch retries the rebuild.
+            std::lock_guard<std::mutex> lock(mu_);
+            for (Request& r : batch) {
+                fulfill_failure(r, FailReason::kDrained,
+                                "request drained: no engine available for "
+                                "model '" + mq->name + "'");
+                ++drained_;
+                obs::count("serve.drained");
+            }
+            --in_flight_batches_;
+            if (total_queued_locked() == 0 && in_flight_batches_ == 0)
+                drain_cv_.notify_all();
+            continue;
+        }
+        Engine& engine = *cached.engine;
 
         if (obs::enabled()) {
             // Close the per-request queue-wait spans (opened at submit via
@@ -461,18 +631,24 @@ void ServingEngine::worker_loop(Worker* self) {
         const int n = static_cast<int>(batch.size());
         {
             obs::Span compute_span("serve.batch_compute", "serving");
+            // Grow-only scratch sized for this model (a heterogeneous
+            // fleet can mix geometries across queues).
+            in.resize(static_cast<std::size_t>(n) *
+                      static_cast<std::size_t>(model->input_elems));
+            out.resize(static_cast<std::size_t>(n) *
+                       static_cast<std::size_t>(model->output_elems));
             for (int i = 0; i < n; ++i)
                 std::memcpy(
                     in.data() +
-                        static_cast<std::int64_t>(i) * model_->input_elems,
+                        static_cast<std::int64_t>(i) * model->input_elems,
                     batch[static_cast<std::size_t>(i)].image.data().data(),
-                    static_cast<std::size_t>(model_->input_elems) *
+                    static_cast<std::size_t>(model->input_elems) *
                         sizeof(float));
             engine.run(
-                {in.data(), static_cast<std::size_t>(n * model_->input_elems)},
+                {in.data(), static_cast<std::size_t>(n * model->input_elems)},
                 n,
                 {out.data(),
-                 static_cast<std::size_t>(n * model_->output_elems)});
+                 static_cast<std::size_t>(n * model->output_elems)});
         }
 
         const std::int64_t done_ns = monotonic_ns();
@@ -498,10 +674,12 @@ void ServingEngine::worker_loop(Worker* self) {
             for (int i = 0; i < n; ++i) {
                 const Request& r = batch[static_cast<std::size_t>(i)];
                 const std::int64_t us = (done_ns - r.enqueue_ns) / 1000;
-                // Unconditional: this histogram backs stats() whether or
+                // Unconditional: these histograms back stats() whether or
                 // not obs is enabled (bounded memory either way).
                 latency_us_.observe(us);
+                mq->latency_us.observe(us);
                 obs::observe_hdr_us("serve.latency_us", us);
+                obs::observe_hdr_us(mq->latency_metric, us);
                 obs::observe_hdr_us("serve.queue_wait_us",
                                     (taken_ns - r.enqueue_ns) / 1000);
                 obs::observe("serve.latency_ms",
@@ -516,18 +694,19 @@ void ServingEngine::worker_loop(Worker* self) {
             if (completed_ == 0) first_complete_ns_ = done_ns;
             last_complete_ns_ = done_ns;
             completed_ += n;
+            mq->completed += n;
             --in_flight_batches_;
-            if (queue_.empty() && in_flight_batches_ == 0)
+            if (total_queued_locked() == 0 && in_flight_batches_ == 0)
                 drain_cv_.notify_all();
         }
 
-        Shape per_image = model_->output_shape;
+        Shape per_image = model->output_shape;
         for (int i = 0; i < n; ++i) {
             Tensor result(per_image);
             std::memcpy(result.data().data(),
                         out.data() +
-                            static_cast<std::int64_t>(i) * model_->output_elems,
-                        static_cast<std::size_t>(model_->output_elems) *
+                            static_cast<std::int64_t>(i) * model->output_elems,
+                        static_cast<std::size_t>(model->output_elems) *
                             sizeof(float));
             fulfill_value(batch[static_cast<std::size_t>(i)],
                           std::move(result));

@@ -1,12 +1,31 @@
 #pragma once
 
 // Batch-serving runtime over the frozen engine. A ServingEngine owns a
-// pool of worker threads, each with its own Engine (private arena), fed
-// from one bounded request queue. Workers gather dynamic micro-batches:
-// a batch is flushed as soon as `max_batch` requests are waiting, or when
-// the oldest queued request has waited `max_delay_us` — the standard
-// latency/throughput trade (larger batches amortize the GEMM, the delay
-// cap bounds tail latency).
+// pool of worker threads, each with its own Engines (private arenas), fed
+// from per-model bounded request queues. Workers gather dynamic
+// micro-batches: a batch is flushed as soon as `max_batch` requests are
+// waiting on one model, or when the oldest queued request has waited
+// `max_delay_us` — the standard latency/throughput trade (larger batches
+// amortize the GEMM, the delay cap bounds tail latency).
+//
+// Fleet serving: the engine hosts every model in its ModelRegistry (a
+// single-model convenience constructor wraps one FrozenModel into a
+// private registry as "default"). Each model gets its own bounded queue
+// (queue_capacity applies per model, so one hot variant cannot starve
+// another's admission) and its own HDR latency histogram; the shared
+// workers pick the next batch across non-empty queues by smooth weighted
+// round-robin on the registry weights. SubmitOptions::model routes a
+// request ("" = the default model); an unregistered name is rejected with
+// Admission::kUnknownModel.
+//
+// Hot reload: reload(name, path) forwards to the registry's validation
+// gauntlet (registry.h). Workers resolve the current model snapshot when
+// they lift a batch — the gauntlet guarantees identical geometry, so a
+// batch admitted against the old version can execute on the new one —
+// and cache one Engine per model id, rebuilding only when the snapshot
+// pointer changed. The outgoing model drains via shared_ptr refcount: the
+// last worker to rebuild drops the last reference, freeing the arenas,
+// with zero dropped requests across the swap.
 //
 // Overload behavior is explicit rather than emergent:
 //   * submit() never blocks: a full queue rejects with kQueueFull, and
@@ -68,6 +87,7 @@
 
 #include "infer/engine.h"
 #include "infer/freeze.h"
+#include "infer/registry.h"
 #include "obs/hdr_histogram.h"
 #include "tensor/tensor.h"
 #include "util/error.h"
@@ -131,10 +151,18 @@ struct SubmitOptions {
     /// Deadline in microseconds from submit; 0 = none, negative = use
     /// ServingConfig::default_deadline_us.
     std::int64_t deadline_us = -1;
+    /// Registry name of the model to run; "" = the default model (id 0).
+    std::string model;
 };
 
 /// Admission verdict of one submit.
-enum class Admission { kAccepted, kQueueFull, kOverloaded, kStopped };
+enum class Admission {
+    kAccepted,
+    kQueueFull,
+    kOverloaded,
+    kStopped,
+    kUnknownModel,  ///< SubmitOptions::model not in the registry
+};
 
 struct SubmitResult {
     Admission admission = Admission::kStopped;
@@ -155,6 +183,19 @@ struct SubmitResult {
 /// histogram (no per-request samples are retained; quantiles carry
 /// ≤ ~3% relative error). All fields are zero (not garbage, not NaN)
 /// when no request has completed yet.
+/// Per-model slice of the aggregate stats (fleet dashboards key on the
+/// name; `version` is the registry version the gauge tracks).
+struct ModelStats {
+    std::string name;
+    std::uint8_t id = 0;
+    std::int64_t version = 0;
+    std::int64_t queued = 0;     ///< requests waiting right now
+    std::int64_t completed = 0;
+    std::int64_t rejected = 0;   ///< queue-full rejections on this model
+    double p50_ms = 0.0;
+    double p99_ms = 0.0;
+};
+
 struct ServingStats {
     std::int64_t completed = 0;
     std::int64_t rejected = 0;         ///< queue-full + overload rejections
@@ -168,11 +209,18 @@ struct ServingStats {
     double p95_ms = 0.0;
     double p99_ms = 0.0;
     double throughput_rps = 0.0;  ///< completed / wall span of completions
+    std::vector<ModelStats> models;  ///< per-model rows, registry id order
 };
 
 class ServingEngine {
 public:
+    /// Single-model convenience: wraps `model` into a private registry as
+    /// "default" (id 0).
     ServingEngine(std::shared_ptr<const FrozenModel> model, ServingConfig cfg);
+    /// Fleet serving: host every model in `registry` (which must hold at
+    /// least one entry; the first — id 0 — is the default model). The
+    /// registry may gain models and reloads while serving.
+    ServingEngine(std::shared_ptr<ModelRegistry> registry, ServingConfig cfg);
     ~ServingEngine();
 
     ServingEngine(const ServingEngine&) = delete;
@@ -216,10 +264,21 @@ public:
 
     [[nodiscard]] ServingStats stats() const;
     [[nodiscard]] const ServingConfig& config() const { return cfg_; }
-    /// The frozen model being served — front-ends validate request
-    /// shape/precision against it before building a tensor.
-    [[nodiscard]] std::shared_ptr<const FrozenModel> model() const {
-        return model_;
+    /// Current snapshot of the default model (registry id 0) — front-ends
+    /// validate request shape/precision against it before building a
+    /// tensor. Re-fetch after a reload; the snapshot does not follow
+    /// swaps.
+    [[nodiscard]] std::shared_ptr<const FrozenModel> model() const;
+    /// The registry behind this engine (shared with front-ends for
+    /// per-request model resolution and with deploy tooling for reloads).
+    [[nodiscard]] const std::shared_ptr<ModelRegistry>& registry() const {
+        return registry_;
+    }
+    /// Deploy: run the registry's validation gauntlet on `path` and swap
+    /// atomically on success (see registry.h). Safe while serving.
+    ReloadResult reload(const std::string& name, const std::string& path,
+                        const ReloadPolicy& policy = {}) {
+        return registry_->reload(name, path, policy);
     }
 
 private:
@@ -229,6 +288,22 @@ private:
         Completion done;               ///< callback flavor; empty = future
         std::int64_t enqueue_ns = 0;
         std::int64_t deadline_ns = 0;  ///< 0 = no deadline
+    };
+
+    /// One model's bounded queue + per-model telemetry. Heap-stable
+    /// (unique_ptr) because HdrHistogram is neither copyable nor movable
+    /// and workers keep raw pointers across unlock. Indexed by registry
+    /// wire id in queues_; created lazily on first submit for that model.
+    struct ModelQueue {
+        std::string name;
+        std::uint8_t id = 0;
+        int weight = 1;
+        double wrr_credit = 0.0;  ///< smooth weighted-round-robin state
+        std::deque<Request> queue;
+        std::int64_t completed = 0;
+        std::int64_t rejected = 0;
+        obs::HdrHistogram latency_us;
+        std::string latency_metric;  ///< "serve.latency_us.<name>"
     };
 
     /// Deliver a value / typed failure through whichever channel the
@@ -254,8 +329,18 @@ private:
     [[nodiscard]] SubmitResult submit_impl(Tensor image,
                                            const SubmitOptions& opts,
                                            Completion done);
-    /// Drop expired requests from the queue front-to-back, failing their
-    /// futures with DeadlineExceeded. Caller holds mu_.
+    /// Queue slot for a registry model, created on first use. Caller
+    /// holds mu_.
+    [[nodiscard]] ModelQueue* queue_for_locked(const ModelInfo& info);
+    /// Next queue to serve: smooth weighted round-robin over the
+    /// non-empty queues (nginx-style — every pick earns each contender
+    /// its weight in credit, the winner pays the total back), so a
+    /// weight-3 model gets 3 of every 4 batches against a weight-1 peer
+    /// without ever starving it. Caller holds mu_.
+    [[nodiscard]] ModelQueue* pick_queue_locked();
+    [[nodiscard]] std::size_t total_queued_locked() const;
+    /// Drop expired requests from every queue front-to-back, failing
+    /// their futures with DeadlineExceeded. Caller holds mu_.
     void shed_expired_locked(std::int64_t now_ns);
     /// Estimated time a request entering the queue now waits before
     /// executing, from the service-time EWMA. Caller holds mu_.
@@ -267,15 +352,17 @@ private:
     void note_spike_locked(std::int64_t now_ns, std::int64_t& window_start_ns,
                            std::int64_t& window_count, const char* reason);
 
-    std::shared_ptr<const FrozenModel> model_;
+    std::shared_ptr<ModelRegistry> registry_;
     ServingConfig cfg_;
 
     mutable std::mutex mu_;
     std::condition_variable cv_;
     std::condition_variable watchdog_cv_;
-    /// Signals drain(): queue empty and no batch on any worker.
+    /// Signals drain(): every queue empty and no batch on any worker.
     std::condition_variable drain_cv_;
-    std::deque<Request> queue_;
+    /// Per-model queues indexed by registry wire id (nullptr until that
+    /// model first sees traffic).
+    std::vector<std::unique_ptr<ModelQueue>> queues_;
     bool stopping_ = false;
     bool stopped_ = false;  ///< stop() already completed (idempotence)
     std::int64_t in_flight_batches_ = 0;  ///< batches taken, not yet done

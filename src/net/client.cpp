@@ -12,14 +12,18 @@ namespace hs::net {
 
 void Client::connect(const std::string& host, std::uint16_t port) {
     fd_ = connect_tcp(host, port);
+    host_ = host;
+    port_ = port;
     rbuf_.clear();
 }
 
 std::uint64_t Client::send(std::span<const float> input,
-                           std::uint64_t deadline_us, bool int8_flag) {
+                           std::uint64_t deadline_us, bool int8_flag,
+                           std::uint8_t model_id) {
     require(fd_.valid(), "Client::send before connect");
     const std::uint64_t id = next_id_++;
-    const std::string bytes = encode_request(id, deadline_us, int8_flag, input);
+    const std::string bytes =
+        encode_request(id, deadline_us, int8_flag, input, model_id);
     write_all(fd_.get(), bytes.data(), bytes.size());
     return id;
 }
@@ -52,8 +56,9 @@ Frame Client::recv_frame() {
 }
 
 CallResult Client::call_once(std::span<const float> input,
-                             std::uint64_t deadline_us, bool int8_flag) {
-    const std::uint64_t id = send(input, deadline_us, int8_flag);
+                             std::uint64_t deadline_us, bool int8_flag,
+                             std::uint8_t model_id) {
+    const std::uint64_t id = send(input, deadline_us, int8_flag, model_id);
     for (;;) {
         Frame frame = recv_frame();
         if (frame.header.request_id != id) continue;  // stale pipeline frame
@@ -76,18 +81,88 @@ CallResult Client::call_once(std::span<const float> input,
 
 CallResult Client::call(std::span<const float> input,
                         std::uint64_t deadline_us, int max_retries,
-                        bool int8_flag) {
+                        bool int8_flag, std::uint8_t model_id) {
     Backoff backoff;
     for (int attempt = 0;; ++attempt) {
-        CallResult result = call_once(input, deadline_us, int8_flag);
+        CallResult result;
+        bool transport_error = false;
+        try {
+            result = call_once(input, deadline_us, int8_flag, model_id);
+        } catch (const Error&) {
+            // Refused/reset/EOF: a server bouncing under a rolling
+            // restart. The request frame is idempotent, so reconnect and
+            // resend — but a stale half-frame must never be glued onto
+            // the new stream.
+            transport_error = true;
+            fd_.reset();
+            rbuf_.clear();
+        }
         result.retries = attempt;
-        if (result.ok || attempt >= max_retries) return result;
-        if (result.reason == NackReason::kBadRequest ||
-            result.reason == NackReason::kDraining)
-            return result;  // terminal: retrying cannot help
-        std::this_thread::sleep_for(std::chrono::microseconds(backoff.next_us(
-            static_cast<std::int64_t>(result.retry_after_us))));
+        if (!transport_error) {
+            if (result.ok || attempt >= max_retries) return result;
+            if (result.reason == NackReason::kBadRequest ||
+                result.reason == NackReason::kDraining ||
+                result.reason == NackReason::kUnknownModel)
+                return result;  // terminal: retrying cannot help
+            std::this_thread::sleep_for(
+                std::chrono::microseconds(backoff.next_us(
+                    static_cast<std::int64_t>(result.retry_after_us))));
+            continue;
+        }
+        if (attempt >= max_retries) return result;  // !ok
+        std::this_thread::sleep_for(
+            std::chrono::microseconds(backoff.next_us(0)));
+        try {
+            fd_ = connect_tcp(host_, port_);
+            ++stats_.reconnects;
+        } catch (const Error&) {
+            // Still down; burn this attempt and keep backing off — the
+            // next iteration dials again.
+            fd_.reset();
+        }
     }
+}
+
+AdminResponse Client::recv_admin(std::uint64_t id) {
+    for (;;) {
+        Frame frame = recv_frame();
+        if (frame.header.request_id != id) continue;  // stale pipeline frame
+        if (frame.header.type == FrameType::kAdminResponse) {
+            if (auto resp = parse_admin_response(frame)) return *resp;
+            throw Error("client: malformed admin response payload");
+        }
+        if (frame.header.type == FrameType::kNack) {
+            AdminResponse resp;
+            resp.ok = false;
+            if (const auto nack = parse_nack(frame))
+                resp.text = std::string("nacked: ") +
+                            nack_reason_name(nack->reason);
+            else
+                resp.text = "nacked";
+            return resp;
+        }
+        throw Error("client: unexpected frame type for admin request");
+    }
+}
+
+AdminResponse Client::reload(const std::string& name,
+                             const std::string& path) {
+    require(fd_.valid(), "Client::reload before connect");
+    const std::uint64_t id = next_id_++;
+    const std::string bytes = encode_reload(id, name, path);
+    write_all(fd_.get(), bytes.data(), bytes.size());
+    return recv_admin(id);
+}
+
+std::string Client::health() {
+    require(fd_.valid(), "Client::health before connect");
+    const std::uint64_t id = next_id_++;
+    const std::string bytes = encode_health(id);
+    write_all(fd_.get(), bytes.data(), bytes.size());
+    const AdminResponse resp = recv_admin(id);
+    require(resp.ok, "Client::health: server rejected health probe: " +
+                         resp.text);
+    return resp.text;
 }
 
 } // namespace hs::net

@@ -4,6 +4,7 @@
 #include <cstring>
 
 #include "util/crc32.h"
+#include "util/error.h"
 
 namespace hs::net {
 namespace {
@@ -41,19 +42,33 @@ const char* nack_reason_name(NackReason reason) {
         case NackReason::kShedDeadline: return "shed_deadline";
         case NackReason::kDraining: return "draining";
         case NackReason::kBadRequest: return "bad_request";
+        case NackReason::kUnknownModel: return "unknown_model";
     }
     return "unknown";
 }
 
 void append_frame(std::string& out, FrameType type, std::uint8_t flags,
                   std::uint64_t request_id, std::uint64_t deadline_us,
-                  std::string_view payload) {
+                  std::string_view payload, std::uint8_t model_id,
+                  std::uint8_t version) {
+    require(version >= kMinProtocolVersion && version <= kProtocolVersion,
+            "append_frame: cannot encode protocol version " +
+                std::to_string(static_cast<int>(version)));
+    if (version < 2) {
+        // v1 had no model-id byte (reserved-zero) and no admin types;
+        // refusing here keeps "answer a v1 client in v1" honest.
+        require(model_id == 0,
+                "append_frame: nonzero model id needs protocol v2");
+        require(type == FrameType::kRequest || type == FrameType::kResponse ||
+                    type == FrameType::kNack,
+                "append_frame: admin frame types need protocol v2");
+    }
     out.reserve(out.size() + kHeaderBytes + payload.size());
     put<std::uint32_t>(out, kMagic);
-    put<std::uint8_t>(out, kProtocolVersion);
+    put<std::uint8_t>(out, version);
     put<std::uint8_t>(out, static_cast<std::uint8_t>(type));
     put<std::uint8_t>(out, flags);
-    put<std::uint8_t>(out, 0);  // reserved
+    put<std::uint8_t>(out, model_id);
     put<std::uint64_t>(out, request_id);
     put<std::uint64_t>(out, deadline_us);
     put<std::uint32_t>(out, static_cast<std::uint32_t>(payload.size()));
@@ -63,36 +78,76 @@ void append_frame(std::string& out, FrameType type, std::uint8_t flags,
 
 std::string encode_request(std::uint64_t request_id,
                            std::uint64_t deadline_us, bool int8_flag,
-                           std::span<const float> input) {
+                           std::span<const float> input,
+                           std::uint8_t model_id) {
     std::string out;
     append_frame(out, FrameType::kRequest,
                  int8_flag ? kFlagInt8 : std::uint8_t{0}, request_id,
                  deadline_us,
                  std::string_view(
                      reinterpret_cast<const char*>(input.data()),
-                     input.size() * sizeof(float)));
+                     input.size() * sizeof(float)),
+                 model_id);
     return out;
 }
 
 std::string encode_response(std::uint64_t request_id, bool int8_flag,
-                            std::span<const float> output) {
+                            std::span<const float> output,
+                            std::uint8_t model_id, std::uint8_t version) {
     std::string out;
     append_frame(out, FrameType::kResponse,
                  int8_flag ? kFlagInt8 : std::uint8_t{0}, request_id, 0,
                  std::string_view(
                      reinterpret_cast<const char*>(output.data()),
-                     output.size() * sizeof(float)));
+                     output.size() * sizeof(float)),
+                 version < 2 ? std::uint8_t{0} : model_id, version);
     return out;
 }
 
 std::string encode_nack(std::uint64_t request_id, NackReason reason,
-                        std::uint64_t retry_after_us) {
+                        std::uint64_t retry_after_us, std::uint8_t version) {
+    // kUnknownModel did not exist in v1; the closest verdict an old
+    // client can parse is "your request is bad" (it is — for this server).
+    if (version < 2 && reason == NackReason::kUnknownModel)
+        reason = NackReason::kBadRequest;
     std::string payload;
     put<std::uint16_t>(payload, static_cast<std::uint16_t>(reason));
     put<std::uint16_t>(payload, 0);  // reserved
     put<std::uint64_t>(payload, retry_after_us);
     std::string out;
-    append_frame(out, FrameType::kNack, 0, request_id, 0, payload);
+    append_frame(out, FrameType::kNack, 0, request_id, 0, payload, 0,
+                 version);
+    return out;
+}
+
+std::string encode_reload(std::uint64_t request_id, std::string_view name,
+                          std::string_view path) {
+    require(name.size() <= 0xFFFF && path.size() <= 0xFFFF,
+            "encode_reload: name/path too long");
+    std::string payload;
+    put<std::uint16_t>(payload, static_cast<std::uint16_t>(name.size()));
+    put<std::uint16_t>(payload, static_cast<std::uint16_t>(path.size()));
+    payload.append(name);
+    payload.append(path);
+    std::string out;
+    append_frame(out, FrameType::kReload, 0, request_id, 0, payload);
+    return out;
+}
+
+std::string encode_health(std::uint64_t request_id) {
+    std::string out;
+    append_frame(out, FrameType::kHealth, 0, request_id, 0, {});
+    return out;
+}
+
+std::string encode_admin_response(std::uint64_t request_id, bool ok,
+                                  std::string_view text) {
+    std::string payload;
+    put<std::uint8_t>(payload, ok ? 1 : 0);
+    put<std::uint8_t>(payload, 0);  // reserved
+    payload.append(text);
+    std::string out;
+    append_frame(out, FrameType::kAdminResponse, 0, request_id, 0, payload);
     return out;
 }
 
@@ -116,30 +171,42 @@ DecodeResult decode_frame(std::string_view buffer, Frame& out) {
     h.version = static_cast<std::uint8_t>(buffer[4]);
     const auto raw_type = static_cast<std::uint8_t>(buffer[5]);
     h.flags = static_cast<std::uint8_t>(buffer[6]);
-    const auto reserved = static_cast<std::uint8_t>(buffer[7]);
+    const auto byte7 = static_cast<std::uint8_t>(buffer[7]);
     h.request_id = get<std::uint64_t>(buffer.data() + 8);
     h.deadline_us = get<std::uint64_t>(buffer.data() + 16);
     h.payload_len = get<std::uint32_t>(buffer.data() + 24);
     h.payload_crc = get<std::uint32_t>(buffer.data() + 28);
 
-    if (h.version != kProtocolVersion) {
+    if (h.version < kMinProtocolVersion || h.version > kProtocolVersion) {
         result.status = DecodeStatus::kBad;
         result.error = "unsupported protocol version " +
                        std::to_string(static_cast<int>(h.version)) +
                        " (this build speaks " +
+                       std::to_string(static_cast<int>(kMinProtocolVersion)) +
+                       ".." +
                        std::to_string(static_cast<int>(kProtocolVersion)) +
                        ")";
         return result;
     }
+    // v1 frames may only carry the original three types; admin frames
+    // arrived with v2.
+    const auto max_type = h.version >= 2
+                              ? static_cast<std::uint8_t>(
+                                    FrameType::kAdminResponse)
+                              : static_cast<std::uint8_t>(FrameType::kNack);
     if (raw_type < static_cast<std::uint8_t>(FrameType::kRequest) ||
-        raw_type > static_cast<std::uint8_t>(FrameType::kNack)) {
+        raw_type > max_type) {
         result.status = DecodeStatus::kBad;
         result.error =
-            "unknown frame type " + std::to_string(static_cast<int>(raw_type));
+            "unknown frame type " + std::to_string(static_cast<int>(raw_type)) +
+            " for protocol version " +
+            std::to_string(static_cast<int>(h.version));
         return result;
     }
     h.type = static_cast<FrameType>(raw_type);
-    if (reserved != 0) {
+    if (h.version >= 2) {
+        h.model_id = byte7;  // the v1 reserved byte became the model id
+    } else if (byte7 != 0) {
         result.status = DecodeStatus::kBad;
         result.error = "nonzero reserved header byte";
         return result;
@@ -174,12 +241,38 @@ std::optional<Nack> parse_nack(const Frame& frame) {
         return std::nullopt;
     const std::uint16_t raw = get<std::uint16_t>(frame.payload.data());
     if (raw < static_cast<std::uint16_t>(NackReason::kQueueFull) ||
-        raw > static_cast<std::uint16_t>(NackReason::kBadRequest))
+        raw > static_cast<std::uint16_t>(NackReason::kUnknownModel))
         return std::nullopt;
     Nack nack;
     nack.reason = static_cast<NackReason>(raw);
     nack.retry_after_us = get<std::uint64_t>(frame.payload.data() + 4);
     return nack;
+}
+
+std::optional<ReloadRequest> parse_reload(const Frame& frame) {
+    if (frame.header.type != FrameType::kReload || frame.payload.size() < 4)
+        return std::nullopt;
+    const std::uint16_t name_len = get<std::uint16_t>(frame.payload.data());
+    const std::uint16_t path_len =
+        get<std::uint16_t>(frame.payload.data() + 2);
+    if (frame.payload.size() !=
+        4u + static_cast<std::size_t>(name_len) + path_len)
+        return std::nullopt;
+    ReloadRequest req;
+    req.name = frame.payload.substr(4, name_len);
+    req.path = frame.payload.substr(4u + name_len, path_len);
+    if (req.name.empty()) return std::nullopt;
+    return req;
+}
+
+std::optional<AdminResponse> parse_admin_response(const Frame& frame) {
+    if (frame.header.type != FrameType::kAdminResponse ||
+        frame.payload.size() < 2)
+        return std::nullopt;
+    AdminResponse resp;
+    resp.ok = static_cast<std::uint8_t>(frame.payload[0]) != 0;
+    resp.text = frame.payload.substr(2);
+    return resp;
 }
 
 } // namespace hs::net

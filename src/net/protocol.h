@@ -9,10 +9,10 @@
 //
 //   offset size field
 //        0    4 magic        "HSN1" (0x48 0x53 0x4E 0x31 on the wire)
-//        4    1 version      kProtocolVersion (1)
-//        5    1 type         FrameType (request / response / nack)
+//        4    1 version      kProtocolVersion (2); v1 still accepted
+//        5    1 type         FrameType (request / response / nack / admin)
 //        6    1 flags        bit 0: int8 precision requested/served
-//        7    1 reserved     must be 0
+//        7    1 model_id     registry wire id (v2); reserved-zero in v1
 //        8    8 request_id   caller-chosen correlation id, echoed back
 //       16    8 deadline_us  request budget from send, µs; 0 = none
 //       24    4 payload_len  bytes following the header (≤ kMaxPayload)
@@ -20,9 +20,20 @@
 //       32    … payload
 //
 // Payloads:
-//   * kRequest   raw fp32 input tensor (input_elems floats)
-//   * kResponse  raw fp32 output tensor (output_elems floats)
-//   * kNack      NackReason (u16) + reserved (u16) + retry_after_us (u64)
+//   * kRequest        raw fp32 input tensor (input_elems floats)
+//   * kResponse       raw fp32 output tensor (output_elems floats)
+//   * kNack           NackReason (u16) + reserved (u16) + retry_after_us (u64)
+//   * kReload         u16 name_len + u16 path_len + name + path (admin)
+//   * kHealth         empty (admin)
+//   * kAdminResponse  u8 ok + u8 reserved + UTF-8 text (result / health json)
+//
+// Versioning: v2 added the model-id byte and the admin frame types
+// (kReload / kHealth / kAdminResponse). Decoders accept both versions;
+// a v1 frame must keep byte 7 zero (it was reserved) and may only carry
+// types 1..3. The compatibility rule falls out of the layout: an old v1
+// client's reserved byte decodes as model_id 0 = the default model, and
+// the server answers it with v1 frames it can parse. Bump
+// kProtocolVersion for any further layout change.
 //
 // The header CRC guards the tensor bytes end to end (a serving host
 // should never run inference on a bit-flipped image); length is bounded
@@ -42,7 +53,10 @@ namespace hs::net {
 
 /// "HSN1" read as a little-endian u32 (so the wire bytes spell it out).
 inline constexpr std::uint32_t kMagic = 0x314E5348u;
-inline constexpr std::uint8_t kProtocolVersion = 1;
+inline constexpr std::uint8_t kProtocolVersion = 2;
+/// Oldest version this build still decodes (v1: no model id, no admin
+/// frames).
+inline constexpr std::uint8_t kMinProtocolVersion = 1;
 inline constexpr std::size_t kHeaderBytes = 32;
 /// Hard cap on payload_len: a frame longer than this is malformed, not
 /// merely large — readers must reject it without buffering it.
@@ -55,6 +69,11 @@ enum class FrameType : std::uint8_t {
     kRequest = 1,
     kResponse = 2,
     kNack = 3,
+    // Admin frames (v2+): deployment and introspection on the same
+    // connection — no side-channel port to firewall separately.
+    kReload = 4,         ///< client -> server: reload a named model
+    kHealth = 5,         ///< client -> server: fleet health snapshot
+    kAdminResponse = 6,  ///< server -> client: reload/health result
 };
 
 /// Typed rejection reasons carried by NACK frames. The first three mirror
@@ -66,6 +85,7 @@ enum class NackReason : std::uint16_t {
     kShedDeadline = 3,  ///< accepted, but the deadline expired in queue
     kDraining = 4,      ///< server shutting down (SIGTERM drain)
     kBadRequest = 5,    ///< malformed frame / wrong tensor shape
+    kUnknownModel = 6,  ///< model_id not in the server's registry (v2)
 };
 
 /// Decoded fixed-size frame header.
@@ -73,6 +93,9 @@ struct FrameHeader {
     std::uint8_t version = kProtocolVersion;
     FrameType type = FrameType::kRequest;
     std::uint8_t flags = 0;
+    /// Registry wire id of the target model; always 0 on a v1 frame (the
+    /// byte was reserved-zero, which is exactly the default model).
+    std::uint8_t model_id = 0;
     std::uint64_t request_id = 0;
     std::uint64_t deadline_us = 0;
     std::uint32_t payload_len = 0;
@@ -101,26 +124,51 @@ struct Nack {
     std::uint64_t retry_after_us = 0;
 };
 
+/// kReload payload: deploy `path` into the registry slot `name`.
+struct ReloadRequest {
+    std::string name;
+    std::string path;
+};
+
+/// kAdminResponse payload: outcome flag plus human/JSON text (the reload
+/// verdict line, or the health snapshot).
+struct AdminResponse {
+    bool ok = false;
+    std::string text;
+};
+
 /// Stable display name of a NACK reason ("queue_full", ...).
 [[nodiscard]] const char* nack_reason_name(NackReason reason);
 
 // --- Encoding -----------------------------------------------------------
 
-/// Append one frame (header + payload) to `out`.
+/// Append one frame (header + payload) to `out`. `version` lets a server
+/// answer a v1 client with frames it can parse; encoding a v2-only type
+/// or a nonzero model_id at version 1 throws.
 void append_frame(std::string& out, FrameType type, std::uint8_t flags,
                   std::uint64_t request_id, std::uint64_t deadline_us,
-                  std::string_view payload);
+                  std::string_view payload, std::uint8_t model_id = 0,
+                  std::uint8_t version = kProtocolVersion);
 
 [[nodiscard]] std::string encode_request(std::uint64_t request_id,
                                          std::uint64_t deadline_us,
                                          bool int8_flag,
-                                         std::span<const float> input);
-[[nodiscard]] std::string encode_response(std::uint64_t request_id,
-                                          bool int8_flag,
-                                          std::span<const float> output);
+                                         std::span<const float> input,
+                                         std::uint8_t model_id = 0);
+[[nodiscard]] std::string encode_response(
+    std::uint64_t request_id, bool int8_flag, std::span<const float> output,
+    std::uint8_t model_id = 0, std::uint8_t version = kProtocolVersion);
 [[nodiscard]] std::string encode_nack(std::uint64_t request_id,
                                       NackReason reason,
-                                      std::uint64_t retry_after_us);
+                                      std::uint64_t retry_after_us,
+                                      std::uint8_t version = kProtocolVersion);
+[[nodiscard]] std::string encode_reload(std::uint64_t request_id,
+                                        std::string_view name,
+                                        std::string_view path);
+[[nodiscard]] std::string encode_health(std::uint64_t request_id);
+[[nodiscard]] std::string encode_admin_response(std::uint64_t request_id,
+                                                bool ok,
+                                                std::string_view text);
 
 // --- Decoding -----------------------------------------------------------
 
@@ -139,11 +187,19 @@ struct DecodeResult {
 /// Try to decode one frame from the front of `buffer`. Incremental:
 /// returns kNeedMore on any valid-but-short prefix (including an empty
 /// buffer), kBad as soon as the prefix can never become a valid frame
-/// (wrong magic/version/type, nonzero reserved byte, oversized length,
-/// payload CRC mismatch).
+/// (wrong magic/version/type, nonzero reserved byte on a v1 frame,
+/// admin type on a v1 frame, oversized length, payload CRC mismatch).
 [[nodiscard]] DecodeResult decode_frame(std::string_view buffer, Frame& out);
 
 /// Interpret a decoded kNack frame's payload; nullopt if malformed.
 [[nodiscard]] std::optional<Nack> parse_nack(const Frame& frame);
+
+/// Interpret a decoded kReload frame's payload; nullopt if malformed.
+[[nodiscard]] std::optional<ReloadRequest> parse_reload(const Frame& frame);
+
+/// Interpret a decoded kAdminResponse frame's payload; nullopt if
+/// malformed.
+[[nodiscard]] std::optional<AdminResponse> parse_admin_response(
+    const Frame& frame);
 
 } // namespace hs::net

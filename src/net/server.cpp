@@ -80,7 +80,7 @@ struct Server::EventLoop {
 };
 
 Server::Server(infer::ServingEngine& engine, ServerConfig cfg)
-    : engine_(engine), model_(engine.model()), cfg_(std::move(cfg)) {
+    : engine_(engine), registry_(engine.registry()), cfg_(std::move(cfg)) {
     require(cfg_.event_loops >= 1, "Server needs at least one event loop");
     require(cfg_.write_low_water <= cfg_.write_high_water,
             "Server write_low_water must not exceed write_high_water");
@@ -121,6 +121,12 @@ void Server::start() {
         EventLoop* raw = loop.get();
         loop->thread = std::thread([this, raw] { event_loop(raw); });
     }
+    {
+        std::lock_guard<std::mutex> lock(admin_mu_);
+        admin_stop_ = false;
+        admin_jobs_.clear();
+    }
+    admin_thread_ = std::thread([this] { admin_loop(); });
     acceptor_ = std::thread([this] { acceptor_loop(); });
     log_info("[net] listening on " + cfg_.host + ":" + std::to_string(port_) +
              " (" + std::to_string(cfg_.event_loops) + " event loops)");
@@ -152,6 +158,12 @@ void Server::stop() {
     if (acceptor_.joinable()) acceptor_.join();
     for (auto& loop : loops_)
         if (loop->thread.joinable()) loop->thread.join();
+    {
+        std::lock_guard<std::mutex> lock(admin_mu_);
+        admin_stop_ = true;
+    }
+    admin_cv_.notify_all();
+    if (admin_thread_.joinable()) admin_thread_.join();
     listen_fd_.reset();
 }
 
@@ -326,7 +338,6 @@ void Server::close_conn(EventLoop& loop, std::uint64_t conn_id) {
 }
 
 bool Server::process_frames(EventLoop& loop, Conn& conn) {
-    const bool model_int8 = model_->precision == infer::Precision::kInt8;
     for (;;) {
         Frame frame;
         const DecodeResult res = decode_frame(conn.rbuf, frame);
@@ -346,48 +357,107 @@ bool Server::process_frames(EventLoop& loop, Conn& conn) {
         }
         conn.rbuf.erase(0, res.consumed);
 
+        // Every reply to this frame speaks the client's version, so a v1
+        // client never sees bytes it cannot parse.
+        const std::uint8_t wire_version = frame.header.version;
+        const std::uint64_t req_id = frame.header.request_id;
+
+        if (frame.header.type == FrameType::kHealth) {
+            // Cheap, read-only: answered inline on the loop thread.
+            queue_bytes(loop, conn,
+                        encode_admin_response(req_id, true, health_json()));
+            responses_.fetch_add(1, std::memory_order_relaxed);
+            continue;
+        }
+        if (frame.header.type == FrameType::kReload) {
+            const auto req = parse_reload(frame);
+            if (!req.has_value()) {
+                queue_bytes(loop, conn,
+                            encode_nack(req_id, NackReason::kBadRequest, 0));
+                nacks_.fetch_add(1, std::memory_order_relaxed);
+                continue;
+            }
+            if (draining_.load(std::memory_order_acquire) ||
+                stopping_.load(std::memory_order_acquire)) {
+                queue_bytes(loop, conn,
+                            encode_nack(req_id, NackReason::kDraining, 0));
+                nacks_.fetch_add(1, std::memory_order_relaxed);
+                continue;
+            }
+            AdminJob job;
+            job.loop_index = loop.index;
+            job.conn_id = conn.id;
+            job.request_id = req_id;
+            job.name = req->name;
+            job.path = req->path;
+            in_flight_.fetch_add(1, std::memory_order_acq_rel);
+            {
+                std::lock_guard<std::mutex> lock(admin_mu_);
+                admin_jobs_.push_back(std::move(job));
+            }
+            admin_cv_.notify_one();
+            continue;
+        }
         if (frame.header.type != FrameType::kRequest) {
             // Clients must only send requests; echoing garbage back and
             // forth helps nobody.
             queue_bytes(loop, conn,
-                        encode_nack(frame.header.request_id,
-                                    NackReason::kBadRequest, 0));
+                        encode_nack(req_id, NackReason::kBadRequest, 0,
+                                    wire_version));
             nacks_.fetch_add(1, std::memory_order_relaxed);
             continue;
         }
         frames_in_.fetch_add(1, std::memory_order_relaxed);
         obs::count("net.frames_in");
 
-        const std::uint64_t req_id = frame.header.request_id;
         if (draining_.load(std::memory_order_acquire) ||
             stopping_.load(std::memory_order_acquire)) {
             queue_bytes(loop, conn,
-                        encode_nack(req_id, NackReason::kDraining, 0));
+                        encode_nack(req_id, NackReason::kDraining, 0,
+                                    wire_version));
             nacks_.fetch_add(1, std::memory_order_relaxed);
             continue;
         }
+        // Resolve the target model per frame — a hot swap between two
+        // frames of one connection must route the second to the new
+        // snapshot. A v1 frame's model_id is always 0: the default model.
+        const std::uint8_t model_id = frame.header.model_id;
+        const auto info = registry_->find_id(model_id);
+        if (!info.has_value()) {
+            queue_bytes(loop, conn,
+                        encode_nack(req_id, NackReason::kUnknownModel, 0,
+                                    wire_version));
+            nacks_.fetch_add(1, std::memory_order_relaxed);
+            obs::count("net.nacks");
+            continue;
+        }
+        const infer::FrozenModel& model = *info->model;
+        const bool model_int8 = model.precision == infer::Precision::kInt8;
         const std::size_t want_bytes =
-            static_cast<std::size_t>(model_->input_elems) * sizeof(float);
+            static_cast<std::size_t>(model.input_elems) * sizeof(float);
         if (frame.int8_flag() != model_int8 ||
             frame.payload.size() != want_bytes) {
             queue_bytes(loop, conn,
-                        encode_nack(req_id, NackReason::kBadRequest, 0));
+                        encode_nack(req_id, NackReason::kBadRequest, 0,
+                                    wire_version));
             nacks_.fetch_add(1, std::memory_order_relaxed);
             continue;
         }
 
-        Tensor image(model_->input_chw);
+        Tensor image(model.input_chw);
         std::memcpy(image.data().data(), frame.payload.data(),
                     frame.payload.size());
         infer::SubmitOptions opts;
         opts.deadline_us =
             static_cast<std::int64_t>(frame.header.deadline_us);
+        opts.model = info->name;
 
         const std::size_t loop_index = loop.index;
         const std::uint64_t conn_id = conn.id;
         in_flight_.fetch_add(1, std::memory_order_acq_rel);
-        auto completion = [this, loop_index, conn_id, req_id,
-                           model_int8](infer::AsyncOutcome&& outcome) {
+        auto completion = [this, loop_index, conn_id, req_id, model_int8,
+                           model_id,
+                           wire_version](infer::AsyncOutcome&& outcome) {
             // Runs on an engine worker (or inside the engine lock for
             // shed/drain) — encode and post to the owning loop's mailbox,
             // never touch the connection directly.
@@ -398,13 +468,14 @@ bool Server::process_frames(EventLoop& loop, Conn& conn) {
                     req_id, model_int8,
                     std::span<const float>(
                         outcome.output.data().data(),
-                        static_cast<std::size_t>(outcome.output.numel())));
+                        static_cast<std::size_t>(outcome.output.numel())),
+                    model_id, wire_version);
             } else {
                 const NackReason reason =
                     outcome.reason == infer::FailReason::kDrained
                         ? NackReason::kDraining
                         : NackReason::kShedDeadline;
-                bytes = encode_nack(req_id, reason, 0);
+                bytes = encode_nack(req_id, reason, 0, wire_version);
                 is_nack = true;
             }
             post_completion(loop_index, conn_id, std::move(bytes), is_nack);
@@ -419,11 +490,14 @@ bool Server::process_frames(EventLoop& loop, Conn& conn) {
                 reason = NackReason::kQueueFull;
             else if (sr.admission == infer::Admission::kOverloaded)
                 reason = NackReason::kOverloaded;
+            else if (sr.admission == infer::Admission::kUnknownModel)
+                reason = NackReason::kUnknownModel;
             queue_bytes(loop, conn,
                         encode_nack(req_id, reason,
                                     static_cast<std::uint64_t>(
                                         std::max<std::int64_t>(
-                                            sr.retry_after_us, 0))));
+                                            sr.retry_after_us, 0)),
+                                    wire_version));
             nacks_.fetch_add(1, std::memory_order_relaxed);
             obs::count("net.nacks");
         }
@@ -585,6 +659,73 @@ void Server::event_loop(EventLoop* loop) {
     closed_.fetch_add(static_cast<std::int64_t>(open_conns),
                       std::memory_order_relaxed);
     loop->quiescent.store(true, std::memory_order_release);
+}
+
+void Server::admin_loop() {
+    for (;;) {
+        AdminJob job;
+        {
+            std::unique_lock<std::mutex> lock(admin_mu_);
+            admin_cv_.wait(lock, [this] {
+                return admin_stop_ || !admin_jobs_.empty();
+            });
+            if (admin_jobs_.empty()) {
+                if (admin_stop_) return;
+                continue;
+            }
+            job = std::move(admin_jobs_.front());
+            admin_jobs_.pop_front();
+        }
+        // The gauntlet (load + canary inference) runs here, off every
+        // event loop; the hot path keeps serving the incumbent meanwhile.
+        infer::ReloadResult r;
+        try {
+            r = engine_.reload(job.name, job.path);
+        } catch (const std::exception& e) {
+            r.ok = false;
+            r.stage = "swap";
+            r.error = e.what();
+        }
+        std::string text;
+        if (r.ok) {
+            text = "reloaded '" + r.name + "' v" +
+                   std::to_string(r.old_version) + " -> v" +
+                   std::to_string(r.new_version);
+        } else {
+            text = "reload '" + job.name + "' rolled back at stage '" +
+                   r.stage + "': " + r.error;
+        }
+        post_completion(job.loop_index, job.conn_id,
+                        encode_admin_response(job.request_id, r.ok, text),
+                        !r.ok);
+        in_flight_.fetch_sub(1, std::memory_order_acq_rel);
+    }
+}
+
+std::string Server::health_json() const {
+    const infer::ServingStats s = engine_.stats();
+    std::string json = "{\"models\":[";
+    bool first = true;
+    for (const auto& m : s.models) {
+        if (!first) json += ',';
+        first = false;
+        json += "{\"name\":\"" + m.name +
+                "\",\"id\":" + std::to_string(static_cast<int>(m.id)) +
+                ",\"version\":" + std::to_string(m.version) +
+                ",\"queued\":" + std::to_string(m.queued) +
+                ",\"completed\":" + std::to_string(m.completed) +
+                ",\"rejected\":" + std::to_string(m.rejected) +
+                ",\"p50_ms\":" + std::to_string(m.p50_ms) +
+                ",\"p99_ms\":" + std::to_string(m.p99_ms) + "}";
+    }
+    const auto rs = registry_->reload_stats();
+    json += "],\"completed\":" + std::to_string(s.completed) +
+            ",\"rejected\":" + std::to_string(s.rejected) +
+            ",\"shed\":" + std::to_string(s.shed) +
+            ",\"reload_attempts\":" + std::to_string(rs.attempts) +
+            ",\"reload_successes\":" + std::to_string(rs.successes) +
+            ",\"reload_rollbacks\":" + std::to_string(rs.rollbacks) + "}";
+    return json;
 }
 
 } // namespace hs::net

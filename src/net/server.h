@@ -27,6 +27,20 @@
 // engine queue. The engine's own bounded queue rejects the rest with
 // typed NACK frames carrying the EWMA retry-after hint.
 //
+// Fleet serving (protocol v2): the request header's model-id byte routes
+// each frame to a registry model — the server resolves the id per frame
+// (never caching a snapshot), validates shape/precision against that
+// model's current version, and NACKs an unregistered id with the typed
+// kUnknownModel. v1 clients keep working untouched: their reserved byte
+// decodes as model id 0 (the default model) and every reply to a v1
+// frame is encoded at v1.
+//
+// Admin frames ride the same connection: kHealth is answered inline from
+// engine stats (cheap, read-only); kReload is queued to a dedicated admin
+// thread — the validation gauntlet runs canary inference, which must
+// never block an event loop — and the verdict comes back as a
+// kAdminResponse through the normal completion mailbox.
+//
 // Shutdown (the SIGTERM path): begin_drain() stops accepting sockets and
 // NACKs new request frames with kDraining; the caller then drains the
 // ServingEngine (completing or NACKing everything in flight) and calls
@@ -42,8 +56,11 @@
 // net.nacks / net.bad_frames / net.bytes_in / net.bytes_out.
 
 #include <atomic>
+#include <condition_variable>
 #include <cstdint>
+#include <deque>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
@@ -112,8 +129,23 @@ private:
     struct Conn;
     struct EventLoop;
 
+    /// One queued kReload frame, run by the admin thread off the event
+    /// loops (the gauntlet's canary inference is far too slow for a loop
+    /// thread).
+    struct AdminJob {
+        std::size_t loop_index = 0;
+        std::uint64_t conn_id = 0;
+        std::uint64_t request_id = 0;
+        std::string name;
+        std::string path;
+    };
+
     void acceptor_loop();
     void event_loop(EventLoop* loop);
+    void admin_loop();
+    /// Fleet health snapshot (JSON): per-model name/id/version/queue
+    /// depth/completions plus aggregate counters.
+    [[nodiscard]] std::string health_json() const;
     void post_completion(std::size_t loop_index, std::uint64_t conn_id,
                          std::string bytes, bool is_nack);
     void handle_readable(EventLoop& loop, Conn& conn);
@@ -127,9 +159,18 @@ private:
     void close_conn(EventLoop& loop, std::uint64_t conn_id);
 
     infer::ServingEngine& engine_;
-    std::shared_ptr<const infer::FrozenModel> model_;
+    /// Model resolution is per request frame via the registry — never a
+    /// cached snapshot, or a hot swap would be invisible here.
+    std::shared_ptr<infer::ModelRegistry> registry_;
     ServerConfig cfg_;
     std::uint16_t port_ = 0;
+
+    // Admin (reload) worker: jobs in, verdicts out via post_completion.
+    std::thread admin_thread_;
+    std::mutex admin_mu_;
+    std::condition_variable admin_cv_;
+    std::deque<AdminJob> admin_jobs_;
+    bool admin_stop_ = false;
 
     ScopedFd listen_fd_;
     ScopedFd acceptor_wake_;

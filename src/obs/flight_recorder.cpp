@@ -7,6 +7,7 @@
 #include <cstdlib>
 #include <cstring>
 #include <mutex>
+#include <sys/stat.h>
 #include <vector>
 
 #include "fault/fault.h"
@@ -17,6 +18,10 @@
 
 namespace hs::obs {
 namespace {
+
+/// Dumps land in a subdirectory by default so incident artifacts never
+/// litter the working directory; HS_FLIGHT_DIR / set_flight_dir override.
+constexpr const char* kDefaultDir = "hs_flight";
 
 // ----------------------------------------------------------------- rings
 
@@ -210,11 +215,15 @@ std::string dump_impl(std::string_view reason, bool best_effort) {
             return {};
         if (!ds.dir_set) {
             const char* env = std::getenv("HS_FLIGHT_DIR");
-            ds.dir = (env != nullptr && env[0] != '\0') ? env : ".";
+            ds.dir = (env != nullptr && env[0] != '\0') ? env : kDefaultDir;
             ds.dir_set = true;
         }
         ds.last_dump_ns = now;
         ++ds.dumps;
+        // Create the dump directory on first use so the default
+        // "hs_flight/" subdirectory needs no setup step. EEXIST (or any
+        // failure) falls through to write_file_raw's own error path.
+        if (ds.dir != ".") (void)::mkdir(ds.dir.c_str(), 0755);
         prefix = ds.dir + "/hs_flight_" + std::to_string(ds.seq++) + "_" +
                  sanitize_reason(reason);
     }
@@ -298,7 +307,7 @@ std::string flight_dir() {
     std::lock_guard<std::mutex> lock(ds.mu);
     if (!ds.dir_set) {
         const char* env = std::getenv("HS_FLIGHT_DIR");
-        ds.dir = (env != nullptr && env[0] != '\0') ? env : ".";
+        ds.dir = (env != nullptr && env[0] != '\0') ? env : kDefaultDir;
         ds.dir_set = true;
     }
     return ds.dir;

@@ -17,7 +17,8 @@
 // Dump path: rate-limited (min gap + per-process cap), writes
 //   <dir>/hs_flight_<seq>_<reason>.trace.json    (Chrome trace_event)
 //   <dir>/hs_flight_<seq>_<reason>.metrics.json  (Registry::to_json)
-// where <dir> comes from set_flight_dir() / HS_FLIGHT_DIR (default ".").
+// where <dir> comes from set_flight_dir() / HS_FLIGHT_DIR (default
+// "hs_flight/", created on first dump).
 // Plain stdio, never hs::fsio: fsio has its own fault site, and the
 // fault fire hook calls into this file — routing the dump back through
 // fsio would recurse. From a fatal-signal handler the dump runs in

@@ -1,0 +1,220 @@
+// ModelRegistry semantics: id assignment and lookup, the reload
+// validation gauntlet (geometry, canary agreement), automatic rollback
+// with flight-recorder evidence on every failure stage, refcount-driven
+// drain of the outgoing model, and the v4 file round trip behind
+// reload().
+
+#include <filesystem>
+#include <fstream>
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "fault/fault.h"
+#include "infer/infer.h"
+#include "nn/conv2d.h"
+#include "nn/pooling.h"
+#include "nn/sequential.h"
+#include "obs/flight_recorder.h"
+#include "tensor/rng.h"
+#include "util/error.h"
+
+namespace fs = std::filesystem;
+
+namespace hs::infer {
+namespace {
+
+constexpr int kChannels = 4;
+
+/// Global average pooling is the identity on per-channel means — the
+/// canonical observable model for serving tests.
+std::shared_ptr<const FrozenModel> identity_model(int channels = kChannels) {
+    nn::Sequential net;
+    net.emplace<nn::GlobalAvgPool>();
+    return std::make_shared<const FrozenModel>(freeze(net, {channels, 2, 2}));
+}
+
+/// 1x1 conv with weight scale·I then GAP: output = scale × per-channel
+/// mean. scale=2 agrees with the identity on argmax everywhere; scale=-1
+/// flips the ranking, so the canary must reject it.
+std::shared_ptr<const FrozenModel> scaled_model(float scale) {
+    nn::Sequential net;
+    Rng rng(1);
+    auto& conv = net.emplace<nn::Conv2d>(kChannels, kChannels, 1, 1, 0,
+                                         /*bias=*/false, rng);
+    Tensor w({kChannels, kChannels, 1, 1});
+    for (int f = 0; f < kChannels; ++f)
+        w.data()[static_cast<std::size_t>(f * kChannels + f)] = scale;
+    conv.replace_parameters(std::move(w), std::nullopt);
+    net.emplace<nn::GlobalAvgPool>();
+    return std::make_shared<const FrozenModel>(freeze(net, {kChannels, 2, 2}));
+}
+
+fs::path test_tmp_dir() {
+    const auto dir =
+        fs::path(::testing::TempDir()) /
+        ("registry_" +
+         std::string(
+             ::testing::UnitTest::GetInstance()->current_test_info()->name()));
+    fs::remove_all(dir);
+    fs::create_directories(dir);
+    return dir;
+}
+
+class ModelRegistryTest : public ::testing::Test {
+protected:
+    void SetUp() override {
+        fault::disarm();
+        obs::set_flight_dir((dir_ = test_tmp_dir()).string());
+        obs::flight_reset();
+    }
+    void TearDown() override {
+        fault::disarm();
+        obs::flight_reset();
+        fs::remove_all(dir_);
+    }
+    fs::path dir_;
+};
+
+TEST_F(ModelRegistryTest, AddFindAndWireIds) {
+    ModelRegistry registry;
+    EXPECT_EQ(registry.add("default", identity_model()), 0);
+    EXPECT_EQ(registry.add("variant", scaled_model(2.0f), 3), 1);
+    EXPECT_EQ(registry.size(), 2u);
+
+    const auto by_name = registry.find("variant");
+    ASSERT_TRUE(by_name.has_value());
+    EXPECT_EQ(by_name->id, 1);
+    EXPECT_EQ(by_name->version, 1);
+    EXPECT_EQ(by_name->weight, 3);
+
+    const auto by_id = registry.find_id(0);
+    ASSERT_TRUE(by_id.has_value());
+    EXPECT_EQ(by_id->name, "default");
+    EXPECT_FALSE(registry.find("nope").has_value());
+    EXPECT_FALSE(registry.find_id(9).has_value());
+
+    const auto all = registry.list();
+    ASSERT_EQ(all.size(), 2u);
+    EXPECT_EQ(all[0].name, "default");
+    EXPECT_EQ(all[1].name, "variant");
+
+    EXPECT_THROW(registry.add("default", identity_model()), Error);
+    EXPECT_THROW(registry.add("null", nullptr), Error);
+}
+
+TEST_F(ModelRegistryTest, SwapBumpsVersionAndDrainsOldByRefcount) {
+    ModelRegistry registry;
+    auto old_model = identity_model();
+    std::weak_ptr<const FrozenModel> old_ref = old_model;
+    registry.add("m", std::move(old_model));
+
+    auto result = registry.swap_model("m", scaled_model(2.0f));
+    ASSERT_TRUE(result.ok) << result.stage << ": " << result.error;
+    EXPECT_EQ(result.stage, "ok");
+    EXPECT_EQ(result.old_version, 1);
+    EXPECT_EQ(result.new_version, 2);
+    EXPECT_GE(result.canary_agreement, 0.75);
+
+    const auto info = registry.find("m");
+    ASSERT_TRUE(info.has_value());
+    EXPECT_EQ(info->version, 2);
+    // The candidate is live; the incumbent dies with its last reference —
+    // the refcount IS the drain mechanism, nothing else holds it.
+    result.model.reset();
+    EXPECT_TRUE(old_ref.expired());
+
+    const auto stats = registry.reload_stats();
+    EXPECT_EQ(stats.attempts, 1);
+    EXPECT_EQ(stats.successes, 1);
+    EXPECT_EQ(stats.rollbacks, 0);
+}
+
+TEST_F(ModelRegistryTest, GeometryMismatchRollsBack) {
+    ModelRegistry registry;
+    registry.add("m", identity_model());
+    const auto incumbent = registry.find("m")->model;
+
+    const auto result = registry.swap_model("m", identity_model(2));
+    EXPECT_FALSE(result.ok);
+    EXPECT_EQ(result.stage, "validate");
+    EXPECT_EQ(result.new_version, 1);
+    EXPECT_EQ(registry.find("m")->model.get(), incumbent.get());
+    EXPECT_EQ(registry.reload_stats().rollbacks, 1);
+}
+
+TEST_F(ModelRegistryTest, CanaryDisagreementRollsBackWithFlightDump) {
+    ModelRegistry registry;
+    registry.add("m", identity_model());
+
+    // Negated outputs invert the argmax ranking on every canary input.
+    const auto result = registry.swap_model("m", scaled_model(-1.0f));
+    EXPECT_FALSE(result.ok);
+    EXPECT_EQ(result.stage, "validate");
+    EXPECT_LT(result.canary_agreement, 0.75);
+    EXPECT_EQ(registry.find("m")->version, 1);
+    // The bad deploy left evidence on disk for the postmortem.
+    EXPECT_GE(obs::flight_dump_count(), 1);
+}
+
+TEST_F(ModelRegistryTest, FaultSitesProduceTypedRollbacks) {
+    ModelRegistry registry;
+    registry.add("m", identity_model());
+    const auto incumbent = registry.find("m")->model;
+
+    fault::arm("reload.validate=fail#1");
+    auto result = registry.swap_model("m", scaled_model(2.0f));
+    EXPECT_FALSE(result.ok);
+    EXPECT_EQ(result.stage, "validate");
+    EXPECT_NE(result.error.find("injected"), std::string::npos);
+
+    // The swap site fires BEFORE publication: an injected crash there
+    // must leave the incumbent serving (exception-safe swap).
+    fault::disarm();
+    fault::arm("reload.swap=crash#1");
+    result = registry.swap_model("m", scaled_model(2.0f));
+    EXPECT_FALSE(result.ok);
+    EXPECT_EQ(result.stage, "swap");
+    EXPECT_EQ(registry.find("m")->model.get(), incumbent.get());
+    EXPECT_EQ(registry.find("m")->version, 1);
+    fault::disarm();
+
+    // Third time is clean.
+    result = registry.swap_model("m", scaled_model(2.0f));
+    EXPECT_TRUE(result.ok) << result.stage << ": " << result.error;
+    const auto stats = registry.reload_stats();
+    EXPECT_EQ(stats.attempts, 3);
+    EXPECT_EQ(stats.successes, 1);
+    EXPECT_EQ(stats.rollbacks, 2);
+}
+
+TEST_F(ModelRegistryTest, ReloadFromFileAndCorruptFileRollsBack) {
+    ModelRegistry registry;
+    registry.add("m", identity_model());
+
+    const fs::path good = dir_ / "v2.hswt";
+    save_frozen(*scaled_model(2.0f), good.string());
+    auto result = registry.reload("m", good.string());
+    ASSERT_TRUE(result.ok) << result.stage << ": " << result.error;
+    EXPECT_EQ(result.new_version, 2);
+    EXPECT_EQ(registry.find("m")->path, good.string());
+
+    // A torn/corrupt file fails the read stage (v4 CRC) and rolls back.
+    const fs::path bad = dir_ / "torn.hswt";
+    {
+        std::ofstream out(bad, std::ios::binary);
+        out << "HSWTgarbage-not-a-frozen-model";
+    }
+    result = registry.reload("m", bad.string());
+    EXPECT_FALSE(result.ok);
+    EXPECT_EQ(result.stage, "read");
+    EXPECT_EQ(registry.find("m")->version, 2);
+
+    // Unknown slot name is a validate-stage failure, not a crash.
+    result = registry.reload("ghost", good.string());
+    EXPECT_FALSE(result.ok);
+    EXPECT_FALSE(result.error.empty());
+}
+
+} // namespace
+} // namespace hs::infer

@@ -12,6 +12,7 @@
 #include <gtest/gtest.h>
 
 #include "net/protocol.h"
+#include "util/error.h"
 
 namespace hs::net {
 namespace {
@@ -113,7 +114,7 @@ TEST(NetProtocol, BadMagicRejectedEarly) {
 
 TEST(NetProtocol, UnsupportedVersionRejected) {
     std::string bytes = encode_request(1, 0, false, ramp(4));
-    bytes[4] = 2;  // future version
+    bytes[4] = kProtocolVersion + 1;  // future version
     Frame frame;
     const auto res = decode_frame(bytes, frame);
     EXPECT_EQ(res.status, DecodeStatus::kBad);
@@ -126,9 +127,90 @@ TEST(NetProtocol, UnknownTypeAndReservedByteRejected) {
     bytes[5] = 9;  // not a FrameType
     EXPECT_EQ(decode_frame(bytes, frame).status, DecodeStatus::kBad);
 
+    // On a v1 frame byte 7 was reserved-zero; a v2 frame reads it as the
+    // model id instead.
     bytes = encode_request(1, 0, false, ramp(4));
-    bytes[7] = 1;  // reserved must be zero
+    bytes[4] = 1;  // downgrade to v1
+    bytes[7] = 1;  // reserved must be zero in v1
     EXPECT_EQ(decode_frame(bytes, frame).status, DecodeStatus::kBad);
+}
+
+// v1 <-> v2 interop: the v1 reserved byte became the v2 model id, so an
+// old client's frames route to model 0 and its replies stay v1-shaped.
+TEST(NetProtocol, VersionCompat) {
+    // A v2 request carries its model id through the round trip.
+    Frame frame;
+    auto res = decode_frame(encode_request(7, 100, false, ramp(4), 3), frame);
+    ASSERT_EQ(res.status, DecodeStatus::kOk);
+    EXPECT_EQ(frame.header.version, 2);
+    EXPECT_EQ(frame.header.model_id, 3);
+
+    // A v1-encoded frame decodes with model id 0 (the default model).
+    std::string v1;
+    append_frame(v1, FrameType::kRequest, 0, 8, 0,
+                 std::string_view("\0\0\0\0", 4), 0, 1);
+    res = decode_frame(v1, frame);
+    ASSERT_EQ(res.status, DecodeStatus::kOk);
+    EXPECT_EQ(frame.header.version, 1);
+    EXPECT_EQ(frame.header.model_id, 0);
+
+    // Answering a v1 client: the model id is masked off a response and a
+    // kUnknownModel NACK downgrades to the v1-parsable kBadRequest.
+    res = decode_frame(encode_response(8, false, ramp(2), 5, 1), frame);
+    ASSERT_EQ(res.status, DecodeStatus::kOk);
+    EXPECT_EQ(frame.header.version, 1);
+    EXPECT_EQ(frame.header.model_id, 0);
+    res = decode_frame(encode_nack(8, NackReason::kUnknownModel, 0, 1), frame);
+    ASSERT_EQ(res.status, DecodeStatus::kOk);
+    const auto nack = parse_nack(frame);
+    ASSERT_TRUE(nack.has_value());
+    EXPECT_EQ(nack->reason, NackReason::kBadRequest);
+
+    // v2-only payloads cannot be encoded at v1, and a v1 frame cannot
+    // carry an admin type on the wire.
+    EXPECT_THROW(
+        { std::string out; append_frame(out, FrameType::kHealth, 0, 1, 0,
+                                        {}, 0, 1); },
+        Error);
+    std::string admin = encode_health(9);
+    admin[4] = 1;  // claim v1
+    EXPECT_EQ(decode_frame(admin, frame).status, DecodeStatus::kBad);
+}
+
+TEST(NetProtocol, ReloadAndAdminRoundTrip) {
+    Frame frame;
+    auto res = decode_frame(encode_reload(40, "resnet", "/tmp/m.hswt"), frame);
+    ASSERT_EQ(res.status, DecodeStatus::kOk);
+    EXPECT_EQ(frame.header.type, FrameType::kReload);
+    const auto req = parse_reload(frame);
+    ASSERT_TRUE(req.has_value());
+    EXPECT_EQ(req->name, "resnet");
+    EXPECT_EQ(req->path, "/tmp/m.hswt");
+
+    // Truncated / length-mangled reload payloads parse as "no request".
+    Frame bad = frame;
+    bad.payload.resize(3);
+    EXPECT_FALSE(parse_reload(bad).has_value());
+    bad = frame;
+    bad.payload[0] = static_cast<char>(200);  // name_len lies
+    EXPECT_FALSE(parse_reload(bad).has_value());
+    res = decode_frame(encode_reload(41, "m", ""), frame);
+    ASSERT_EQ(res.status, DecodeStatus::kOk);
+    EXPECT_TRUE(parse_reload(frame).has_value());  // empty path is legal
+
+    res = decode_frame(encode_health(42), frame);
+    ASSERT_EQ(res.status, DecodeStatus::kOk);
+    EXPECT_EQ(frame.header.type, FrameType::kHealth);
+    EXPECT_TRUE(frame.payload.empty());
+
+    res = decode_frame(
+        encode_admin_response(42, false, "rolled back at stage 'read'"),
+        frame);
+    ASSERT_EQ(res.status, DecodeStatus::kOk);
+    const auto resp = parse_admin_response(frame);
+    ASSERT_TRUE(resp.has_value());
+    EXPECT_FALSE(resp->ok);
+    EXPECT_EQ(resp->text, "rolled back at stage 'read'");
 }
 
 // An attacker-controlled length prefix must not drive allocation: any
@@ -197,6 +279,8 @@ TEST(NetProtocol, NackReasonNamesAreStable) {
                  "shed_deadline");
     EXPECT_STREQ(nack_reason_name(NackReason::kDraining), "draining");
     EXPECT_STREQ(nack_reason_name(NackReason::kBadRequest), "bad_request");
+    EXPECT_STREQ(nack_reason_name(NackReason::kUnknownModel),
+                 "unknown_model");
 }
 
 } // namespace
