@@ -10,13 +10,28 @@
 // and int8 on a synthetic eval set (labels exact by construction), their
 // delta in points, and the per-image argmax agreement — all exported as
 // gauges into BENCH_infer.json so a regression in either speed or
-// fidelity is machine-visible.
+// fidelity is machine-visible. The unpruned-VGG agreement additionally
+// has a hard in-process floor (kMinVggAgreement): fidelity below it
+// fails the bench outright.
+//
+// A batch-8 row times the same int8 VGG quantized FOR batch 8 (tuner
+// target_batch = 8, so stacked-GEMM tactics can win) on 8-image inputs —
+// the throughput operating point next to the batch-1 latency one.
+//
+// With --baseline <path> (run_benches.sh passes the committed
+// BENCH_infer.json) the run also becomes a speed-regression gate,
+// mirroring bench_serve's QPS gate: the fresh batch-1 int8 VGG speedup
+// must stay within 20% of the baseline's, scale-matched, else exit 1.
+//
+//   bench_infer [--json <path>] [--baseline <path>]
 //
 // Timing is median-of-k single-image forwards after warmup, so one-off
 // page faults and allocator warmup do not skew any side.
 
 #include <algorithm>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <memory>
 #include <string>
 #include <vector>
@@ -46,6 +61,32 @@ Tensor random_image(int c, int s, std::uint64_t seed) {
     Rng rng(seed);
     rng.fill_normal(t, 0.0, 1.0);
     return t;
+}
+
+/// Hard fidelity floor for the unpruned-VGG int8 argmax agreement. The
+/// pre-tuner per-tensor 7-bit scheme measured 0.80 here; the floored
+/// per-channel + full-range scheme measures ~0.87 — the floor catches a
+/// return to (or below) the old fidelity without flapping on the ~±0.02
+/// eval-set noise between scales.
+constexpr double kMinVggAgreement = 0.80;
+
+/// Minimal JSON field scrape (same contract as bench_serve): finds
+/// "key":<value> in `text` and returns the raw value token, or "" when
+/// absent. Good enough for our own run reports.
+std::string baseline_field(const std::string& text, const std::string& key) {
+    const std::string needle = "\"" + key + "\":";
+    const std::size_t at = text.find(needle);
+    if (at == std::string::npos) return {};
+    std::size_t from = at + needle.size();
+    std::size_t to = from;
+    if (from < text.size() && text[from] == '"') {
+        ++from;
+        to = text.find('"', from);
+    } else {
+        to = text.find_first_of(",}", from);
+    }
+    if (to == std::string::npos) return {};
+    return text.substr(from, to - from);
 }
 
 /// Median wall-clock milliseconds of `fn()` over `reps` runs (after 2
@@ -257,6 +298,39 @@ RowResult bench_model(TablePrinter& table, const char* name,
     return r;
 }
 
+/// Batch-8 int8 throughput: the same VGG re-quantized FOR batch 8
+/// (tuner target_batch = 8 lets stacked-GEMM and wider tilings win the
+/// race) run on 8-image inputs. Returns images/s; also exported as
+/// gauges so BENCH_infer.json carries both operating points.
+double bench_vgg_batch8(nn::Sequential& net, int input_size, int reps) {
+    constexpr int kBatch = 8;
+    const Shape chw{3, input_size, input_size};
+    auto frozen =
+        std::make_shared<const infer::FrozenModel>(infer::freeze(net, chw));
+    Tensor calib({kBatch, 3, input_size, input_size});
+    {
+        Rng rng(23);
+        rng.fill_normal(calib, 0.0, 1.0);
+    }
+    infer::QuantizeOptions opts;
+    opts.tuner.target_batch = kBatch;
+    auto int8 = std::make_shared<const infer::FrozenModel>(
+        infer::quantize(*frozen, calib, opts));
+    infer::Engine engine(int8, kBatch);
+    Tensor x({kBatch, 3, input_size, input_size});
+    {
+        Rng rng(29);
+        rng.fill_normal(x, 0.0, 1.0);
+    }
+    const double ms = median_ms(reps, [&] { (void)engine.run(x); });
+    const double fps = kBatch * 1e3 / ms;
+    std::printf("int8 VGG batch-%d: %.3f ms/batch, %.1f images/s\n", kBatch,
+                ms, fps);
+    obs::gauge_set("infer.int8_vgg_b8_ms", ms);
+    obs::gauge_set("infer.int8_vgg_b8_fps", fps);
+    return fps;
+}
+
 void export_row(const char* key, const RowResult& r) {
     const std::string k(key);
     obs::gauge_set("infer." + k + "_speedup", r.naive_ms / r.frozen_ms);
@@ -270,6 +344,10 @@ void export_row(const char* key, const RowResult& r) {
 
 int main(int argc, char** argv) {
     const bench::BenchRun run = bench::bench_run("infer", argc, argv);
+    std::string baseline_path;
+    for (int i = 1; i < argc; ++i)
+        if (std::strcmp(argv[i], "--baseline") == 0 && i + 1 < argc)
+            baseline_path = argv[++i];
     Stopwatch total;
 
     const int reps = bench::scale() == bench::Scale::kFull    ? 51
@@ -325,6 +403,8 @@ int main(int argc, char** argv) {
                                       fp32_peak, int8_peak);
     table.print();
 
+    const double b8_fps = bench_vgg_batch8(vgg.net, vgg_cfg.input_size, reps);
+
     export_row("vgg", base);
     export_row("vgg_pruned", pruned);
     export_row("resnet", res);
@@ -333,6 +413,58 @@ int main(int argc, char** argv) {
     obs::RunReport::global().set_config(
         "eval_images", static_cast<std::int64_t>(eval.test().size()));
 
+    // Fidelity floor: the unpruned VGG is the hardest int8 row; its
+    // agreement dropping to (or below) the pre-tuner level fails the run.
+    bool gate_failed = false;
+    if (base.agreement < kMinVggAgreement) {
+        std::fprintf(stderr,
+                     "fidelity gate: int8 VGG argmax agreement %.3f below "
+                     "floor %.2f -> FAIL\n",
+                     base.agreement, kMinVggAgreement);
+        gate_failed = true;
+    }
+
+    // Speed gate against the committed baseline (mirrors bench_serve's
+    // absolute-QPS gate): fresh batch-1 int8 VGG latency must stay
+    // within 25% of the baseline run's, same scale. Latency — not the
+    // fp32/int8 speedup ratio — because the fp32 numerator's run-to-run
+    // noise on a small box would make a ratio gate flap.
+    if (!baseline_path.empty()) {
+        std::string text;
+        if (FILE* f = std::fopen(baseline_path.c_str(), "rb")) {
+            char buf[4096];
+            std::size_t n = 0;
+            while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0)
+                text.append(buf, n);
+            std::fclose(f);
+        }
+        const std::string ms_s = baseline_field(text, "infer.int8_vgg_ms");
+        const std::string scale_s = baseline_field(text, "scale");
+        const std::string this_scale =
+            bench::scale() == bench::Scale::kFull    ? "full"
+            : bench::scale() == bench::Scale::kQuick ? "quick"
+                                                     : "smoke";
+        if (ms_s.empty()) {
+            std::fprintf(stderr,
+                         "baseline %s: no infer.int8_vgg_ms; gate skipped\n",
+                         baseline_path.c_str());
+        } else if (scale_s != this_scale) {
+            std::printf("baseline scale '%s' != run scale '%s'; "
+                        "latency gate skipped\n",
+                        scale_s.c_str(), this_scale.c_str());
+        } else {
+            const double baseline_ms = std::strtod(ms_s.c_str(), nullptr);
+            const double cap_ms = 1.25 * baseline_ms;
+            const bool fail = base.int8_ms > cap_ms;
+            std::printf("int8 latency gate: %.3f ms measured vs %.3f ms "
+                        "baseline (cap %.3f) -> %s\n",
+                        base.int8_ms, baseline_ms, cap_ms,
+                        fail ? "FAIL" : "ok");
+            gate_failed = gate_failed || fail;
+        }
+    }
+
     bench::bench_finish(run, total.seconds());
-    return 0;
+    if (gate_failed) return 1;
+    return b8_fps > 0.0 ? 0 : 1;
 }

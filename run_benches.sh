@@ -5,7 +5,9 @@
 # breakdown) next to the output file; see README "Observability".
 # bench_serve emits BENCH_serve.json — the network-serving capacity sweep
 # (max sustained QPS + latency percentiles under the SLO); see README
-# "Network serving".
+# "Network serving". bench_kernels emits BENCH_kernels.json — per-kernel
+# and per-int8-tactic GFLOP/s (README "Kernel autotuning"). bench_infer
+# and bench_serve both self-gate against their committed baselines.
 # Usage: ./run_benches.sh [output-file]
 out="${1:-/root/repo/bench_output.txt}"
 outdir=$(dirname "$out")
@@ -16,9 +18,15 @@ for b in build/bench/*; do
   name=$(basename "$b")
   echo "##### $b" >> "$out"
   case "$name" in
-    bench_kernels)
-      # google-benchmark binary: own flag parser, no --json run report.
-      "$b" >> "$out" 2>&1 ;;
+    bench_infer)
+      # Gate the fresh int8 speedup and fidelity numbers against the
+      # committed baseline before overwriting it: a >20% batch-1 int8
+      # slowdown or an argmax-agreement drop below the floor fails the
+      # run.
+      baseline=""
+      [ -f /root/repo/BENCH_infer.json ] && baseline="--baseline /root/repo/BENCH_infer.json"
+      # shellcheck disable=SC2086
+      "$b" --json "$outdir/BENCH_infer.json" $baseline >> "$out" 2>&1 ;;
     bench_serve)
       # Gate the fresh capacity number (measured under mid-ramp model
       # reloads) against the committed baseline before overwriting it:

@@ -53,7 +53,9 @@ LayerProfile make_profile(const FrozenOp& op, Precision precision, int idx) {
     const std::int64_t f32 = static_cast<std::int64_t>(sizeof(float));
     if (gemm_op && precision == Precision::kInt8) {
         lp.weight_bytes = static_cast<std::int64_t>(op.qweight.size()) +
-                          static_cast<std::int64_t>(op.qscale.size()) * f32 +
+                          static_cast<std::int64_t>(op.qscale.size() +
+                                                    op.act_scales.size()) *
+                              f32 +
                           op.bias.numel() * f32;
         // fp32 input read + u8 quantized write, fp32 output write.
         lp.act_bytes = 5 * op.in_elems + 4 * op.out_elems;
@@ -87,13 +89,18 @@ Engine::Engine(std::shared_ptr<const FrozenModel> model, int max_batch)
     if (model_->precision == Precision::kInt8) {
         for (const FrozenOp& op : model_->ops) {
             if (op.kind == OpKind::kConv) {
-                // Quantized image + padded patch rows (exec_conv_q).
+                // Quantized image + padded patch rows (exec_conv_q). A
+                // batch-stacking tactic gathers every image's patch rows
+                // before one wide GEMM, so its scratch scales with
+                // max_batch; the image buffer itself is reused per image.
+                const std::int64_t stack =
+                    op.tactic.batch_stack ? max_batch_ : 1;
                 const std::int64_t patch =
                     op.in_elems + padded_k(op.geom.col_rows()) *
-                                      op.geom.col_cols();
+                                      op.geom.col_cols() * stack;
                 const std::int64_t acc =
                     static_cast<std::int64_t>(op.out_channels) *
-                    op.geom.col_cols();
+                    op.geom.col_cols() * stack;
                 if (patch > q_elems) q_elems = patch;
                 if (acc > acc_elems) acc_elems = acc;
             } else if (op.kind == OpKind::kLinear) {
@@ -170,8 +177,9 @@ void Engine::run(std::span<const float> input, int batch,
     }
 }
 
-void Engine::run_calibrate(const Tensor& input,
-                           std::vector<float>& op_in_maxabs) {
+void Engine::run_calibrate(
+    const Tensor& input, std::vector<float>& op_in_maxabs,
+    std::vector<std::vector<float>>* op_in_chan_maxabs) {
     require(model_->precision == Precision::kFloat32,
             "run_calibrate needs the fp32 plan (calibration precedes "
             "quantization)");
@@ -182,12 +190,15 @@ void Engine::run_calibrate(const Tensor& input,
     require(input.numel() == model_->input_elems * batch,
             "run_calibrate input shape mismatch");
     op_in_maxabs.resize(model_->ops.size(), 0.0f);
+    if (op_in_chan_maxabs != nullptr)
+        op_in_chan_maxabs->resize(model_->ops.size());
     std::memcpy(slot(0), input.data().data(),
                 static_cast<std::size_t>(input.numel()) * sizeof(float));
-    exec_ops(batch, op_in_maxabs.data());
+    exec_ops(batch, op_in_maxabs.data(), op_in_chan_maxabs);
 }
 
-void Engine::exec_ops(int batch, float* op_in_maxabs) {
+void Engine::exec_ops(int batch, float* op_in_maxabs,
+                      std::vector<std::vector<float>>* op_in_chan_maxabs) {
     const bool int8 = model_->precision == Precision::kInt8;
     // One relaxed load for the whole plan: per-op timing costs two clock
     // reads per op only while obs is on.
@@ -204,6 +215,29 @@ void Engine::exec_ops(int batch, float* op_in_maxabs) {
                 if (a > m) m = a;
             }
             op_in_maxabs[idx] = m;
+            // Per-input-channel maxima (conv only): the raw material for
+            // per-channel activation scales (quantize.h).
+            if (op_in_chan_maxabs != nullptr && op.kind == OpKind::kConv &&
+                op.geom.channels > 0) {
+                std::vector<float>& chan = (*op_in_chan_maxabs)[idx];
+                const int ch = op.geom.channels;
+                if (chan.empty()) chan.assign(static_cast<std::size_t>(ch),
+                                              0.0f);
+                const std::int64_t plane = op.in_elems / ch;
+                for (int b = 0; b < batch; ++b)
+                    for (int ci = 0; ci < ch; ++ci) {
+                        const float* p = src +
+                                         static_cast<std::int64_t>(b) *
+                                             op.in_elems +
+                                         ci * plane;
+                        float cm = chan[static_cast<std::size_t>(ci)];
+                        for (std::int64_t j = 0; j < plane; ++j) {
+                            const float a = p[j] < 0.0f ? -p[j] : p[j];
+                            if (a > cm) cm = a;
+                        }
+                        chan[static_cast<std::size_t>(ci)] = cm;
+                    }
+            }
         }
         const std::int64_t t0 = prof ? monotonic_ns() : 0;
         switch (op.kind) {
@@ -286,11 +320,81 @@ void Engine::exec_conv_q(const FrozenOp& op, int batch) {
     const std::int64_t ohw = g.col_cols();
     const int f = op.out_channels;
     const auto bias = op.bias.data();
-    const float inv_in = op.in_scale > 0.0f ? 1.0f / op.in_scale : 0.0f;
     const std::int64_t k_pad = padded_k(ckk);
     std::uint8_t* qimg = qarena_.data();
     std::uint8_t* qrows = qimg + op.in_elems;
     std::int32_t* acc = iarena_.data();
+
+    // Quantize one image into qimg. Per-channel plans (act_scales ==
+    // geom.channels entries) quantize each input plane with its own
+    // scale — the matching weight fold happened at quantize() time, so
+    // the dequant factor below stays qscale[f]·in_scale (in_scale == 1).
+    // Per-tensor plans quantize the whole image with act_scales[0]
+    // (== in_scale, the v4 scheme).
+    const std::size_t n_as = op.act_scales.size();
+    const bool per_chan =
+        n_as > 1 && n_as == static_cast<std::size_t>(g.channels);
+    const std::int64_t plane = g.channels > 0 ? op.in_elems / g.channels : 0;
+    const float inv_in = op.in_scale > 0.0f ? 1.0f / op.in_scale : 0.0f;
+    const auto quantize_image = [&](const float* image) {
+        if (per_chan) {
+            for (int c = 0; c < g.channels; ++c) {
+                const float s = op.act_scales[static_cast<std::size_t>(c)];
+                quantize_u8({image + c * plane,
+                             static_cast<std::size_t>(plane)},
+                            s > 0.0f ? 1.0f / s : 0.0f,
+                            {qimg + c * plane,
+                             static_cast<std::size_t>(plane)});
+            }
+        } else {
+            const float inv =
+                n_as == 1 ? (op.act_scales[0] > 0.0f
+                                 ? 1.0f / op.act_scales[0]
+                                 : 0.0f)
+                          : inv_in;
+            quantize_u8({image, static_cast<std::size_t>(op.in_elems)}, inv,
+                        {qimg, static_cast<std::size_t>(op.in_elems)});
+        }
+    };
+
+    if (op.tactic.batch_stack && batch > 1) {
+        // Batch-stacked tactic: gather every image's padded patch rows
+        // into one [batch·oh·ow, k_pad] operand and run a single wide
+        // GEMM — per-call fixed costs (row corrections, tile ramp-up,
+        // dispatch) amortize across the batch.
+        for (int i = 0; i < batch; ++i) {
+            quantize_image(in + static_cast<std::int64_t>(i) * op.in_elems);
+            im2row_u8(g, {qimg, static_cast<std::size_t>(op.in_elems)},
+                      k_pad,
+                      {qrows + static_cast<std::int64_t>(i) * k_pad * ohw,
+                       static_cast<std::size_t>(k_pad * ohw)});
+        }
+        const std::int64_t cols = static_cast<std::int64_t>(batch) * ohw;
+        qgemm(op.tactic, f, static_cast<int>(cols), static_cast<int>(k_pad),
+              {op.qweight.data(), op.qweight.size()},
+              {qrows, static_cast<std::size_t>(k_pad * cols)},
+              {acc, static_cast<std::size_t>(f * cols)});
+        for (int r = 0; r < f; ++r) {
+            const float s =
+                op.qscale[static_cast<std::size_t>(r)] * op.in_scale;
+            const float b = bias[r];
+            const std::int32_t* arow = acc + r * cols;
+            for (int i = 0; i < batch; ++i) {
+                const std::int32_t* asub = arow + i * ohw;
+                float* drow = out +
+                              static_cast<std::int64_t>(i) * op.out_elems +
+                              static_cast<std::int64_t>(r) * ohw;
+                if (op.relu_after)
+                    for (std::int64_t j = 0; j < ohw; ++j)
+                        drow[j] = std::max(
+                            0.0f, s * static_cast<float>(asub[j]) + b);
+                else
+                    for (std::int64_t j = 0; j < ohw; ++j)
+                        drow[j] = s * static_cast<float>(asub[j]) + b;
+            }
+        }
+        return;
+    }
 
     for (int i = 0; i < batch; ++i) {
         const float* image = in + static_cast<std::int64_t>(i) * op.in_elems;
@@ -298,14 +402,13 @@ void Engine::exec_conv_q(const FrozenOp& op, int batch) {
         // Quantize the image once, then gather padded byte patch rows
         // ([oh·ow, k_pad]) — the Bᵀ operand of the fused GEMM. Rows are
         // padded with the zero point so the kernel never runs a k-tail.
-        quantize_u8({image, static_cast<std::size_t>(op.in_elems)}, inv_in,
-                    {qimg, static_cast<std::size_t>(op.in_elems)});
+        quantize_image(image);
         im2row_u8(g, {qimg, static_cast<std::size_t>(op.in_elems)}, k_pad,
                   {qrows, static_cast<std::size_t>(k_pad * ohw)});
-        gemm_s8u8_bt(f, static_cast<int>(ohw), static_cast<int>(k_pad),
-                     {op.qweight.data(), op.qweight.size()},
-                     {qrows, static_cast<std::size_t>(k_pad * ohw)},
-                     {acc, static_cast<std::size_t>(f * ohw)});
+        qgemm(op.tactic, f, static_cast<int>(ohw), static_cast<int>(k_pad),
+              {op.qweight.data(), op.qweight.size()},
+              {qrows, static_cast<std::size_t>(k_pad * ohw)},
+              {acc, static_cast<std::size_t>(f * ohw)});
         // Fused requantize epilogue: one pass writes fp32 + bias + ReLU.
         for (int r = 0; r < f; ++r) {
             const float s = op.qscale[static_cast<std::size_t>(r)] *
@@ -369,12 +472,12 @@ void Engine::exec_linear_q(const FrozenOp& op, int batch) {
     }
     // acc is [out_f, batch] (the kernel's natural layout); the epilogue
     // restores [batch, out_f] while dequantizing.
-    gemm_s8u8_bt(out_f, batch, static_cast<int>(in_pad),
-                 {op.qweight.data(), op.qweight.size()},
-                 {qin, static_cast<std::size_t>(batch) *
-                           static_cast<std::size_t>(in_pad)},
-                 {acc, static_cast<std::size_t>(out_f) *
-                           static_cast<std::size_t>(batch)});
+    qgemm(op.tactic, out_f, batch, static_cast<int>(in_pad),
+          {op.qweight.data(), op.qweight.size()},
+          {qin, static_cast<std::size_t>(batch) *
+                    static_cast<std::size_t>(in_pad)},
+          {acc, static_cast<std::size_t>(out_f) *
+                    static_cast<std::size_t>(batch)});
     for (int r = 0; r < out_f; ++r) {
         const float s = op.qscale[static_cast<std::size_t>(r)] * op.in_scale;
         const float b = bias[r];

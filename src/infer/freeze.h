@@ -29,6 +29,7 @@
 #include <vector>
 
 #include "nn/layer.h"
+#include "tensor/gemm_int8.h"
 #include "tensor/im2col.h"
 #include "tensor/tensor.h"
 
@@ -95,7 +96,21 @@ struct FrozenOp {
     // `transposed` repack does not apply (the flag is ignored in int8).
     std::vector<std::int8_t> qweight;
     std::vector<float> qscale;  ///< per-output-channel weight scale
-    float in_scale = 0.0f;      ///< per-tensor input activation scale
+    float in_scale = 0.0f;      ///< dequant factor paired with qscale (see act_scales)
+
+    /// Input activation quantization scales. One entry: per-tensor (the
+    /// v4 scheme; in_scale holds the same value and the engine dequantizes
+    /// with qscale[f]·in_scale). geom.channels entries (conv only):
+    /// per-input-channel — channel c quantizes with act_scales[c], the
+    /// scales were folded into the weight rows before weight quantization
+    /// (quantize.h), and in_scale is exactly 1 so the same epilogue
+    /// applies.
+    std::vector<float> act_scales;
+    /// Tuner-chosen execution tactic for this op's GEMM (gemm_int8.h).
+    /// Default (kAuto, 1-way) reproduces the pre-tuner heuristic
+    /// dispatch; deserialized tactics are normalized onto this host's
+    /// capabilities at load.
+    QGemmTactic tactic;
 };
 
 /// A compiled model: flat op list + the memory plan for one image.

@@ -1,13 +1,13 @@
 #pragma once
 
 // Frozen-plan serialization: ship a compiled FrozenModel — fp32 or int8 —
-// to a serving host that never builds the live layer graph. This is v4 of
+// to a serving host that never builds the live layer graph. This is v5 of
 // the "HSWT" container (serialize.h documents v3, the training
 // checkpoint): same header discipline (magic, endian canary, version,
 // payload CRC-32, atomic temp+fsync+rename writes, path+byte-offset error
 // messages), different payload:
 //
-//   magic "HSWT" | u32 endian tag 0x01020304 | u32 version (= 4)
+//   magic "HSWT" | u32 endian tag 0x01020304 | u32 version (= 5)
 //   u32 crc32(payload) | u64 payload_len | payload
 //   payload = u8 precision | input_chw | output_shape | u32 output_slot
 //           | u64 slot_elems[3] | u64 cols_elems | u64 tr_elems | u64 macs
@@ -17,14 +17,21 @@
 //               | u32 geom{channels,height,width,kernel,stride,pad}
 //               | in_shape | out_shape | bias tensor | optional f32 weight
 //               | optional int8 block (qweight bytes, per-channel scales,
-//                 activation scale)
+//                 activation scale,
+//                 v5 only: u8 tactic{kernel,ways,wbits,batch_stack}
+//                 | u32 act_scale_count | f32 act_scales)
+//
+// v4 files load with per-tensor activation semantics and the heuristic
+// dispatch tactic; v5 tactics whose kernel id is unknown (a newer
+// writer) or not executable on this host degrade via normalize_tactic()
+// to the heuristic/scalar fallback instead of failing the load.
 //
 // Shapes are u32 rank + u32 dims; tensors are a shape + f32 data. A v3
-// file handed to load_frozen() (or a v4 file handed to load_parameters())
-// is rejected with a message naming the right API, not a cryptic
-// mismatch. Loading revalidates structure (op kinds, slot indices,
-// geometry/shape agreement) so a corrupt-but-CRC-valid file cannot build
-// an out-of-bounds plan.
+// file handed to load_frozen() (or a v4/v5 file handed to
+// load_parameters()) is rejected with a message naming the right API,
+// not a cryptic mismatch. Loading revalidates structure (op kinds, slot
+// indices, geometry/shape agreement, activation-scale counts) so a
+// corrupt-but-CRC-valid file cannot build an out-of-bounds plan.
 
 #include <string>
 
@@ -42,8 +49,12 @@ void save_frozen(const FrozenModel& model, const std::string& path);
 [[nodiscard]] FrozenModel load_frozen(const std::string& path);
 
 /// In-memory round trip helpers (tests, remote transports). `source`
-/// labels the byte stream in error messages.
-[[nodiscard]] std::string serialize_frozen(const FrozenModel& model);
+/// labels the byte stream in error messages. `version` selects the
+/// container revision: 5 (default) carries per-op tactics + activation
+/// scales; 4 is the downgrade path for old readers and refuses plans a
+/// v4 reader would misinterpret (per-channel scales, 8-bit weights).
+[[nodiscard]] std::string serialize_frozen(const FrozenModel& model,
+                                           int version = 5);
 [[nodiscard]] FrozenModel deserialize_frozen(
     const std::string& bytes, const std::string& source = "<memory>");
 

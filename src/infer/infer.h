@@ -8,14 +8,17 @@
 //   * quantize.h  — post-training int8 quantization of a frozen plan
 //                   (per-channel weight scales, calibrated activation
 //                   scales)
+//   * tuner.h     — freeze-time kernel autotuner: times the applicable
+//                   int8 GEMM kernel/tiling/batch-stacking candidates per
+//                   shape and commits the winner into FrozenOp::tactic
 //   * engine.h    — execute a FrozenModel (fp32 or int8) with a
 //                   pre-planned arena (zero hot-path allocations)
 //   * serving.h   — thread-pool runtime with dynamic micro-batching and
 //                   bounded-queue backpressure, hosting either precision
 //   * registry.h  — versioned multi-model registry with the hot-reload
 //                   validation gauntlet (CRC, canary, rollback)
-//   * frozen_io.h — ship a compiled plan (v4 container) to a serving host
-//                   that never builds the live graph
+//   * frozen_io.h — ship a compiled plan (v5 container, v4-read compat)
+//                   to a serving host that never builds the live graph
 //
 // Typical deployment path: train/prune -> save_parameters -> (new process)
 // load_parameters -> freeze -> [quantize] -> [save_frozen/load_frozen] ->
@@ -27,3 +30,4 @@
 #include "infer/quantize.h"
 #include "infer/registry.h"
 #include "infer/serving.h"
+#include "infer/tuner.h"

@@ -1,5 +1,6 @@
 #include "infer/quantize.h"
 
+#include <algorithm>
 #include <cmath>
 #include <memory>
 #include <vector>
@@ -10,7 +11,8 @@
 
 namespace hs::infer {
 
-FrozenModel quantize(const FrozenModel& model, const Tensor& calibration) {
+FrozenModel quantize(const FrozenModel& model, const Tensor& calibration,
+                     const QuantizeOptions& opts) {
     require(model.precision == Precision::kFloat32,
             "quantize: model is already int8");
     require(calibration.rank() == 4 && calibration.dim(0) >= 1,
@@ -22,13 +24,28 @@ FrozenModel quantize(const FrozenModel& model, const Tensor& calibration) {
                 shape_str(chw) + "], got " + shape_str(calibration.shape()));
 
     // Activation-scale calibration: one fp32 pass recording per-op input
-    // max-abs. The engine is temporary; its arena dies with this scope.
+    // max-abs (and per-channel maxima for conv inputs when the
+    // per-channel scheme is on). The engine is temporary; its arena dies
+    // with this scope.
     std::vector<float> op_in_maxabs;
+    std::vector<std::vector<float>> op_in_chan_maxabs;
     {
         auto fp32 = std::make_shared<const FrozenModel>(model);
         Engine engine(fp32, calibration.dim(0));
-        engine.run_calibrate(calibration, op_in_maxabs);
+        engine.run_calibrate(calibration, op_in_maxabs,
+                             opts.per_channel_acts ? &op_in_chan_maxabs
+                                                   : nullptr);
     }
+
+    // Full 8-bit weights need a kernel whose accumulation is exact for
+    // them, and a committed tactic saying so; without tuning every op
+    // stays on the heuristic (7-bit) dispatch.
+    const int wbits =
+        opts.prefer_full_range && opts.tuner.enable && cpu_supports_vnni()
+            ? 8
+            : 7;
+    const int qmax = wbits == 8 ? kWeightQMaxFull : kWeightQMax;
+    Tuner tuner(opts.tuner);
 
     FrozenModel q = model;
     q.precision = Precision::kInt8;
@@ -38,9 +55,34 @@ FrozenModel quantize(const FrozenModel& model, const Tensor& calibration) {
         if (op.kind != OpKind::kConv && op.kind != OpKind::kLinear) continue;
 
         const int f = op.out_channels;
-        const std::int64_t cols = op.kind == OpKind::kConv
-                                      ? op.geom.col_rows()
-                                      : op.in_elems;
+        const bool is_conv = op.kind == OpKind::kConv;
+        const std::int64_t cols =
+            is_conv ? op.geom.col_rows() : op.in_elems;
+        // Per-channel activation scales (conv only): channel c of the
+        // input quantizes with s_c; folding s_c into the weight columns
+        // below makes the dequant factor qscale[f] alone (in_scale = 1).
+        const bool per_chan = is_conv && opts.per_channel_acts &&
+                              op.geom.channels > 0 &&
+                              !op_in_chan_maxabs.empty() &&
+                              !op_in_chan_maxabs[i].empty();
+        if (per_chan) {
+            // Clamp each channel scale to chan_scale_floor of the
+            // per-tensor scale (see quantize.h: unclamped channel scales
+            // trade saturation and folded-weight range spread for the
+            // resolution win, and lose on balance).
+            const std::vector<float>& chan = op_in_chan_maxabs[i];
+            const float floor_max =
+                op_in_maxabs[i] *
+                std::clamp(opts.chan_scale_floor, 0.0f, 1.0f);
+            op.act_scales.resize(chan.size());
+            for (std::size_t c = 0; c < chan.size(); ++c)
+                op.act_scales[c] = std::max(chan[c], floor_max) /
+                                   static_cast<float>(kActQMax);
+            op.in_scale = 1.0f;
+        } else {
+            op.in_scale = op_in_maxabs[i] / static_cast<float>(kActQMax);
+            op.act_scales.assign(1, op.in_scale);
+        }
         // Rows are padded to the kernel's byte alignment with zero
         // weights, so the GEMM over padded activations never runs a
         // scalar k-tail (gemm_int8.h).
@@ -50,27 +92,46 @@ FrozenModel quantize(const FrozenModel& model, const Tensor& calibration) {
                               static_cast<std::size_t>(k_pad),
                           0);
         op.qscale.resize(static_cast<std::size_t>(f));
+        const std::int64_t kk2 =
+            is_conv ? static_cast<std::int64_t>(op.geom.kernel) *
+                          op.geom.kernel
+                    : 0;
         std::vector<float> row(static_cast<std::size_t>(cols));
         for (int r = 0; r < f; ++r) {
             // Transposed convs store the weight [C·k·k, F]; regather the
-            // filter row so qweight is uniformly [F, C·k·k].
-            for (std::int64_t j = 0; j < cols; ++j)
-                row[static_cast<std::size_t>(j)] =
-                    op.transposed
-                        ? w[static_cast<std::size_t>(j * f + r)]
-                        : w[static_cast<std::size_t>(r * cols + j)];
+            // filter row so qweight is uniformly [F, C·k·k]. The fold
+            // multiplies column j (input channel j / k²) by that
+            // channel's activation scale.
+            for (std::int64_t j = 0; j < cols; ++j) {
+                float v = op.transposed
+                              ? w[static_cast<std::size_t>(j * f + r)]
+                              : w[static_cast<std::size_t>(r * cols + j)];
+                if (per_chan)
+                    v *= op.act_scales[static_cast<std::size_t>(j / kk2)];
+                row[static_cast<std::size_t>(j)] = v;
+            }
             float maxw = 0.0f;
             for (const float v : row) maxw = std::max(maxw, std::fabs(v));
-            const float scale = maxw / static_cast<float>(kWeightQMax);
+            const float scale = maxw / static_cast<float>(qmax);
             op.qscale[static_cast<std::size_t>(r)] = scale;
             quantize_s8({row.data(), row.size()},
-                        scale > 0.0f ? 1.0f / scale : 0.0f, kWeightQMax,
+                        scale > 0.0f ? 1.0f / scale : 0.0f, qmax,
                         {op.qweight.data() +
                              static_cast<std::size_t>(r) *
                                  static_cast<std::size_t>(k_pad),
                          static_cast<std::size_t>(cols)});
         }
-        op.in_scale = op_in_maxabs[i] / static_cast<float>(kActQMax);
+        // Tactic selection: measure the applicable kernel/tiling/
+        // stacking candidates for this GEMM shape and commit the winner.
+        if (opts.tuner.enable) {
+            op.tactic = is_conv
+                            ? tuner.pick(f, op.geom.col_cols(), k_pad,
+                                         wbits, /*can_stack=*/true)
+                            : tuner.pick(f, opts.tuner.target_batch, k_pad,
+                                         wbits, /*can_stack=*/false);
+        } else {
+            op.tactic = QGemmTactic{};  // heuristic dispatch, 7-bit
+        }
         op.weight = Tensor();      // int8 engine never reads fp32 weights
         op.transposed = false;     // qweight is row-major filter rows
     }

@@ -225,6 +225,43 @@ void ModelRegistry::gauntlet_and_swap(
                     "precision change rejected by policy (set "
                     "allow_precision_change to permit fp32<->int8 swaps)");
 
+        // Tactic gate (int8 plans): every GEMM op's activation-scale
+        // layout must be one the engine can execute ({1} per-tensor, or
+        // one per conv input channel), and its tuned tactic must run on
+        // THIS host. A tactic normalize_tactic() would rewrite (unknown
+        // kernel id, VNNI plan on a non-VNNI box) still serves — qgemm
+        // degrades it per call — but it means the plan was tuned for
+        // different silicon, so surface it instead of swapping silently.
+        if (candidate->precision == Precision::kInt8) {
+            int fallbacks = 0;
+            for (std::size_t i = 0; i < candidate->ops.size(); ++i) {
+                const FrozenOp& op = candidate->ops[i];
+                if (op.kind != OpKind::kConv && op.kind != OpKind::kLinear)
+                    continue;
+                const std::size_t n_as = op.act_scales.size();
+                require(n_as <= 1 ||
+                            (op.kind == OpKind::kConv &&
+                             n_as == static_cast<std::size_t>(
+                                         op.geom.channels)),
+                        "op " + std::to_string(i) + ": activation-scale "
+                            "count " + std::to_string(n_as) +
+                            " matches neither per-tensor (1) nor conv "
+                            "input channels (" +
+                            std::to_string(op.geom.channels) + ")");
+                QGemmTactic t = op.tactic;
+                if (normalize_tactic(t)) ++fallbacks;
+            }
+            if (fallbacks > 0) {
+                obs::gauge_set("reload.tactic_fallbacks",
+                               static_cast<double>(fallbacks));
+                log_warn("[registry] candidate for '" + result.name + "': " +
+                         std::to_string(fallbacks) +
+                         " tuned tactic(s) not executable on this host; "
+                         "they degrade to the heuristic/scalar kernel "
+                         "(re-tune the plan here for full speed)");
+            }
+        }
+
         Engine incumbent_engine(incumbent, 1);
         Engine candidate_engine(candidate, 1);
 

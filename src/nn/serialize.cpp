@@ -146,9 +146,9 @@ void deserialize_parameters(Layer& model, const std::string& bytes,
             "unsupported weight file version 2 in '" + source +
                 "': re-save the checkpoint with this build (v3 adds the "
                 "payload checksum)");
-    require(version != 4u,
-            "'" + source +
-                "' is a v4 frozen-model file, not a training checkpoint: "
+    require(version != 4u && version != 5u,
+            "'" + source + "' is a v" + std::to_string(version) +
+                " frozen-model file, not a training checkpoint: "
                 "load it with hs::infer::load_frozen");
     require(version == kVersion, "unsupported weight file version " +
                                      std::to_string(version) + " in '" +

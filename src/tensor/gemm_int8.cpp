@@ -3,6 +3,7 @@
 #include <cmath>
 #include <cstring>
 
+#include "tensor/tile_pool.h"
 #include "util/error.h"
 
 #if defined(__AVX2__)
@@ -140,6 +141,27 @@ inline std::int32_t dot_s8u8(const std::int8_t* a, const std::uint8_t* b,
 }
 
 #endif // __AVX512BW__
+
+#if defined(__AVX512VNNI__) && defined(__AVX512BW__)
+
+/// Raw dot of k bytes through vpdpbusd: products accumulate straight
+/// into int32 lanes, so the full s8 weight range is exact.
+inline std::int32_t dot_vnni(const std::int8_t* a, const std::uint8_t* b,
+                             int k) {
+    __m512i acc = _mm512_setzero_si512();
+    int p = 0;
+    for (; p + 64 <= k; p += 64)
+        acc = _mm512_dpbusd_epi32(acc, _mm512_loadu_si512(b + p),
+                                  _mm512_loadu_si512(a + p));
+    if (p < k) {
+        const __mmask64 mk = tail_mask(k - p);
+        acc = _mm512_dpbusd_epi32(acc, _mm512_maskz_loadu_epi8(mk, b + p),
+                                  _mm512_maskz_loadu_epi8(mk, a + p));
+    }
+    return hsum(fold512(acc));
+}
+
+#endif // __AVX512VNNI__ && __AVX512BW__
 
 #endif // __AVX2__
 
@@ -396,6 +418,256 @@ void gemm_s8u8_bt(int m, int n, int k, std::span<const std::int8_t> a,
         }
     }
 #endif
+}
+
+void gemm_s8u8_bt_ref(int m, int n, int k, std::span<const std::int8_t> a,
+                      std::span<const std::uint8_t> b,
+                      std::span<std::int32_t> c) {
+    require(static_cast<std::int64_t>(a.size()) >=
+                    static_cast<std::int64_t>(m) * k &&
+                static_cast<std::int64_t>(b.size()) >=
+                    static_cast<std::int64_t>(n) * k &&
+                static_cast<std::int64_t>(c.size()) >=
+                    static_cast<std::int64_t>(m) * n,
+            "gemm_s8u8_bt_ref: span sizes too small for the given "
+            "dimensions");
+    for (int i = 0; i < m; ++i) {
+        const std::int8_t* arow =
+            a.data() + static_cast<std::int64_t>(i) * k;
+        std::int32_t* crow = c.data() + static_cast<std::int64_t>(i) * n;
+        for (int j = 0; j < n; ++j) {
+            const std::uint8_t* brow =
+                b.data() + static_cast<std::int64_t>(j) * k;
+            // int64 accumulator: dodges the gcc-12 AVX-512 usdot
+            // autovectorizer miscompile (see tests/gemm_int8_test.cpp);
+            // the true value fits int32 for every supported shape.
+            std::int64_t acc = 0;
+            for (int p = 0; p < k; ++p)
+                acc += static_cast<std::int64_t>(arow[p]) *
+                       (static_cast<std::int64_t>(brow[p]) - kActZeroPoint);
+            crow[j] = static_cast<std::int32_t>(acc);
+        }
+    }
+}
+
+bool cpu_supports_vnni() {
+#if defined(__AVX512VNNI__) && defined(__AVX512BW__)
+    return __builtin_cpu_supports("avx512vnni") > 0;
+#else
+    return false;
+#endif
+}
+
+void gemm_s8u8_bt_vnni(int m, int n, int k, std::span<const std::int8_t> a,
+                       std::span<const std::uint8_t> b,
+                       std::span<std::int32_t> c) {
+#if defined(__AVX512VNNI__) && defined(__AVX512BW__)
+    if (!cpu_supports_vnni()) {
+        gemm_s8u8_bt_ref(m, n, k, a, b, c);
+        return;
+    }
+    require(static_cast<std::int64_t>(a.size()) >=
+                    static_cast<std::int64_t>(m) * k &&
+                static_cast<std::int64_t>(b.size()) >=
+                    static_cast<std::int64_t>(n) * k &&
+                static_cast<std::int64_t>(c.size()) >=
+                    static_cast<std::int64_t>(m) * n,
+            "gemm_s8u8_bt_vnni: span sizes too small for the given "
+            "dimensions");
+    const int m2 = m & ~1;
+    const int n4 = n & ~3;
+    for (int i0 = 0; i0 < m2; i0 += 2) {
+        const std::int8_t* __restrict a0 =
+            a.data() + static_cast<std::int64_t>(i0) * k;
+        const std::int8_t* __restrict a1 = a0 + k;
+        std::int32_t* __restrict c0 =
+            c.data() + static_cast<std::int64_t>(i0) * n;
+        std::int32_t* __restrict c1 = c0 + n;
+        const std::int32_t corr0 = row_correction(a0, k);
+        const std::int32_t corr1 = row_correction(a1, k);
+        for (int j0 = 0; j0 < n4; j0 += 4) {
+            const std::uint8_t* __restrict b0 =
+                b.data() + static_cast<std::int64_t>(j0) * k;
+            const std::uint8_t* __restrict b1 = b0 + k;
+            const std::uint8_t* __restrict b2 = b1 + k;
+            const std::uint8_t* __restrict b3 = b2 + k;
+            // 2×4 tile, one vpdpbusd per operand pair per 64-byte step —
+            // half the µops of the maddubs+madd+add chain, and int32
+            // accumulation means no reduced-range weight contract.
+            __m512i t00 = _mm512_setzero_si512();
+            __m512i t01 = _mm512_setzero_si512();
+            __m512i t02 = _mm512_setzero_si512();
+            __m512i t03 = _mm512_setzero_si512();
+            __m512i t10 = _mm512_setzero_si512();
+            __m512i t11 = _mm512_setzero_si512();
+            __m512i t12 = _mm512_setzero_si512();
+            __m512i t13 = _mm512_setzero_si512();
+            const int k64 = k & ~63;
+            int p = 0;
+            for (; p < k64; p += 64) {
+                const __m512i va0 = _mm512_loadu_si512(a0 + p);
+                const __m512i va1 = _mm512_loadu_si512(a1 + p);
+                const __m512i vb0 = _mm512_loadu_si512(b0 + p);
+                const __m512i vb1 = _mm512_loadu_si512(b1 + p);
+                const __m512i vb2 = _mm512_loadu_si512(b2 + p);
+                const __m512i vb3 = _mm512_loadu_si512(b3 + p);
+                t00 = _mm512_dpbusd_epi32(t00, vb0, va0);
+                t01 = _mm512_dpbusd_epi32(t01, vb1, va0);
+                t02 = _mm512_dpbusd_epi32(t02, vb2, va0);
+                t03 = _mm512_dpbusd_epi32(t03, vb3, va0);
+                t10 = _mm512_dpbusd_epi32(t10, vb0, va1);
+                t11 = _mm512_dpbusd_epi32(t11, vb1, va1);
+                t12 = _mm512_dpbusd_epi32(t12, vb2, va1);
+                t13 = _mm512_dpbusd_epi32(t13, vb3, va1);
+            }
+            if (p < k) {
+                const __mmask64 mk = tail_mask(k - p);
+                const __m512i va0 = _mm512_maskz_loadu_epi8(mk, a0 + p);
+                const __m512i va1 = _mm512_maskz_loadu_epi8(mk, a1 + p);
+                const __m512i vb0 = _mm512_maskz_loadu_epi8(mk, b0 + p);
+                const __m512i vb1 = _mm512_maskz_loadu_epi8(mk, b1 + p);
+                const __m512i vb2 = _mm512_maskz_loadu_epi8(mk, b2 + p);
+                const __m512i vb3 = _mm512_maskz_loadu_epi8(mk, b3 + p);
+                t00 = _mm512_dpbusd_epi32(t00, vb0, va0);
+                t01 = _mm512_dpbusd_epi32(t01, vb1, va0);
+                t02 = _mm512_dpbusd_epi32(t02, vb2, va0);
+                t03 = _mm512_dpbusd_epi32(t03, vb3, va0);
+                t10 = _mm512_dpbusd_epi32(t10, vb0, va1);
+                t11 = _mm512_dpbusd_epi32(t11, vb1, va1);
+                t12 = _mm512_dpbusd_epi32(t12, vb2, va1);
+                t13 = _mm512_dpbusd_epi32(t13, vb3, va1);
+            }
+            alignas(16) std::int32_t s0[4];
+            alignas(16) std::int32_t s1[4];
+            _mm_store_si128(reinterpret_cast<__m128i*>(s0),
+                            hsum4(fold512(t00), fold512(t01), fold512(t02),
+                                  fold512(t03)));
+            _mm_store_si128(reinterpret_cast<__m128i*>(s1),
+                            hsum4(fold512(t10), fold512(t11), fold512(t12),
+                                  fold512(t13)));
+            for (int jj = 0; jj < 4; ++jj) {
+                c0[j0 + jj] = s0[jj] - corr0;
+                c1[j0 + jj] = s1[jj] - corr1;
+            }
+        }
+        for (int j = n4; j < n; ++j) {
+            const std::uint8_t* brow =
+                b.data() + static_cast<std::int64_t>(j) * k;
+            c0[j] = dot_vnni(a0, brow, k) - corr0;
+            c1[j] = dot_vnni(a1, brow, k) - corr1;
+        }
+    }
+    for (int i = m2; i < m; ++i) {
+        const std::int8_t* arow =
+            a.data() + static_cast<std::int64_t>(i) * k;
+        std::int32_t* crow = c.data() + static_cast<std::int64_t>(i) * n;
+        const std::int32_t corr = row_correction(arow, k);
+        for (int j = 0; j < n; ++j)
+            crow[j] = dot_vnni(arow,
+                               b.data() + static_cast<std::int64_t>(j) * k,
+                               k) -
+                      corr;
+    }
+#else
+    gemm_s8u8_bt_ref(m, n, k, a, b, c);
+#endif
+}
+
+bool normalize_tactic(QGemmTactic& t) {
+    bool changed = false;
+    if (t.ways != 1 && t.ways != 2 && t.ways != 4) {
+        t.ways = 1;
+        changed = true;
+    }
+    if (t.wbits != 7 && t.wbits != 8) {
+        // Unknown width: assume the widest, which forces a full-range
+        // kernel below.
+        t.wbits = 8;
+        changed = true;
+    }
+    const auto raw = static_cast<std::uint8_t>(t.kernel);
+    const bool unknown = raw > static_cast<std::uint8_t>(QKernel::kVnni);
+    const bool unavailable =
+        t.kernel == QKernel::kVnni && !cpu_supports_vnni();
+    const bool contract_violation =
+        !unknown && t.wbits == 8 &&
+        kernel_weight_qmax(t.kernel) < kWeightQMaxFull;
+    if (unknown || unavailable || contract_violation) {
+        t.kernel = t.wbits == 8 ? QKernel::kScalarRef : QKernel::kAuto;
+        changed = true;
+    }
+    return changed;
+}
+
+namespace {
+
+using QKernelFn = void (*)(int, int, int, std::span<const std::int8_t>,
+                           std::span<const std::uint8_t>,
+                           std::span<std::int32_t>);
+
+QKernelFn resolve_kernel(QKernel k) {
+    switch (k) {
+    case QKernel::kScalarRef: return gemm_s8u8_bt_ref;
+    case QKernel::kVnni: return gemm_s8u8_bt_vnni;
+    case QKernel::kAuto:
+    case QKernel::kMaddubs: break;
+    }
+    return gemm_s8u8_bt;
+}
+
+/// Caller-stack context of one tiled qgemm: partition `part` of `ways`
+/// covers A rows [m·part/ways, m·(part+1)/ways) and the matching C rows;
+/// every partition reads all of B. Disjoint C regions — no synchronization
+/// beyond the pool's own join.
+struct QGemmTileCtx {
+    QKernelFn fn;
+    int m, n, k, ways;
+    const std::int8_t* a;
+    const std::uint8_t* b;
+    std::int32_t* c;
+};
+
+void qgemm_tile(void* vctx, int part) {
+    const auto* ctx = static_cast<const QGemmTileCtx*>(vctx);
+    const int lo = static_cast<int>(static_cast<std::int64_t>(ctx->m) *
+                                    part / ctx->ways);
+    const int hi = static_cast<int>(static_cast<std::int64_t>(ctx->m) *
+                                    (part + 1) / ctx->ways);
+    if (lo >= hi) return;
+    ctx->fn(hi - lo, ctx->n, ctx->k,
+            {ctx->a + static_cast<std::int64_t>(lo) * ctx->k,
+             static_cast<std::size_t>(hi - lo) *
+                 static_cast<std::size_t>(ctx->k)},
+            {ctx->b, static_cast<std::size_t>(ctx->n) *
+                         static_cast<std::size_t>(ctx->k)},
+            {ctx->c + static_cast<std::int64_t>(lo) * ctx->n,
+             static_cast<std::size_t>(hi - lo) *
+                 static_cast<std::size_t>(ctx->n)});
+}
+
+} // namespace
+
+void qgemm(const QGemmTactic& t, int m, int n, int k,
+           std::span<const std::int8_t> a, std::span<const std::uint8_t> b,
+           std::span<std::int32_t> c) {
+    QGemmTactic tac = t;
+    normalize_tactic(tac);
+    QKernelFn fn = resolve_kernel(tac.kernel);
+    int ways = tac.ways;
+    while (ways > 1 && ways > m) ways /= 2;
+    if (ways <= 1) {
+        fn(m, n, k, a, b, c);
+        return;
+    }
+    require(static_cast<std::int64_t>(a.size()) >=
+                    static_cast<std::int64_t>(m) * k &&
+                static_cast<std::int64_t>(b.size()) >=
+                    static_cast<std::int64_t>(n) * k &&
+                static_cast<std::int64_t>(c.size()) >=
+                    static_cast<std::int64_t>(m) * n,
+            "qgemm: span sizes too small for the given dimensions");
+    QGemmTileCtx ctx{fn, m, n, k, ways, a.data(), b.data(), c.data()};
+    TilePool::instance().run(ways, qgemm_tile, &ctx);
 }
 
 void quantize_s8(std::span<const float> x, float inv_scale, int qmax,

@@ -53,6 +53,10 @@ inline constexpr int kActZeroPoint = 128;
 /// Weight quantization ceiling: signed 7-bit, saturation-free under
 /// the AVX2 maddubs inner loop.
 inline constexpr int kWeightQMax = 63;
+/// Full signed 8-bit weight ceiling, usable by kernels whose inner loop
+/// accumulates into int32 directly (VNNI vpdpbusd, scalar reference) —
+/// the maddubs int16 intermediate contract does not apply to them.
+inline constexpr int kWeightQMaxFull = 127;
 /// Activation quantization ceiling (symmetric around the zero point).
 inline constexpr int kActQMax = 127;
 /// Packed-operand row alignment: one AVX2 register of bytes.
@@ -75,6 +79,78 @@ void gemm_s8(int m, int n, int k, std::span<const std::int8_t> a,
 void gemm_s8u8_bt(int m, int n, int k, std::span<const std::int8_t> a,
                   std::span<const std::uint8_t> b,
                   std::span<std::int32_t> c);
+
+// ---------------------------------------------------------------------
+// Tactic catalog (DESIGN.md §14). The frozen plan records, per conv/FC
+// op, which kernel + partitioning the freeze-time tuner measured fastest
+// for that layer's GEMM shape; qgemm() dispatches on it at run time.
+// ---------------------------------------------------------------------
+
+/// Inner-loop kernel of an int8 GEMM tactic. Values are serialized into
+/// HSWT v5 plans — append new kernels, never renumber. A loader that
+/// meets an id it does not know (or whose kernel this host cannot run)
+/// falls back via normalize_tactic().
+enum class QKernel : std::uint8_t {
+    kAuto = 0,     ///< heuristic dispatch: gemm_s8u8_bt (7-bit contract)
+    kScalarRef = 1, ///< portable reference loop; full 8-bit safe
+    kMaddubs = 2,  ///< AVX2/AVX-512BW maddubs path; |w| ≤ kWeightQMax
+    kVnni = 3,     ///< AVX-512 VNNI vpdpbusd; full 8-bit weights
+};
+
+/// One dispatch decision for a conv/FC GEMM shape: inner kernel, intra-op
+/// row partitioning (TilePool fan-out), the weight range the plan was
+/// quantized to, and — for convs — whether im2row patch rows are stacked
+/// across the batch into one wide GEMM.
+struct QGemmTactic {
+    QKernel kernel = QKernel::kAuto;
+    std::uint8_t ways = 1;        ///< row partitions: 1, 2 or 4
+    std::uint8_t wbits = 7;       ///< weight width: 7 (|w| ≤ 63) or 8 (≤ 127)
+    bool batch_stack = false;     ///< conv: one GEMM over the whole batch
+};
+
+/// True when this host can execute the VNNI kernel (compiled in and the
+/// CPU reports AVX512-VNNI at run time).
+[[nodiscard]] bool cpu_supports_vnni();
+
+/// Weight quantization ceiling implied by a kernel's contract.
+[[nodiscard]] inline int kernel_weight_qmax(QKernel k) {
+    return (k == QKernel::kScalarRef || k == QKernel::kVnni)
+               ? kWeightQMaxFull
+               : kWeightQMax;
+}
+
+/// Clamp a (possibly deserialized-from-the-future) tactic onto something
+/// this host can execute exactly: unknown or unavailable kernels fall
+/// back to the heuristic path (kAuto) for 7-bit plans and to the scalar
+/// reference for 8-bit plans (the maddubs contract would saturate);
+/// out-of-range `ways` collapses to 1. Returns true when anything
+/// changed — callers surface that as a fallback event.
+bool normalize_tactic(QGemmTactic& t);
+
+/// Tactic-dispatched GEMM: same contract as gemm_s8u8_bt (C(m×n) s32 =
+/// A(m×k, s8) · Bᵀ(n×k, u8 − 128)) but the inner kernel and row
+/// partitioning come from `t`. ways > 1 splits A's rows into contiguous
+/// chunks executed on the TilePool; every chunk runs the same kernel
+/// over the full reduction length, so the result is bit-identical to the
+/// 1-way run of the same kernel. The tactic is normalized on entry.
+void qgemm(const QGemmTactic& t, int m, int n, int k,
+           std::span<const std::int8_t> a, std::span<const std::uint8_t> b,
+           std::span<std::int32_t> c);
+
+/// Portable reference kernel: exact for the full s8 weight range. The
+/// bit-exactness oracle every catalog kernel is tested against, and the
+/// execution fallback for 8-bit plans on hosts without a wide 8-bit
+/// kernel.
+void gemm_s8u8_bt_ref(int m, int n, int k, std::span<const std::int8_t> a,
+                      std::span<const std::uint8_t> b,
+                      std::span<std::int32_t> c);
+
+/// AVX-512 VNNI kernel: vpdpbusd accumulates u8·s8 products straight
+/// into int32, so the full 8-bit weight range is exact — no reduced-range
+/// contract. Falls back to gemm_s8u8_bt_ref when the host lacks VNNI.
+void gemm_s8u8_bt_vnni(int m, int n, int k, std::span<const std::int8_t> a,
+                       std::span<const std::uint8_t> b,
+                       std::span<std::int32_t> c);
 
 /// q[i] = clamp(round(x[i] · inv_scale), −qmax, qmax). With
 /// inv_scale == 0 (an all-zero source channel) every output is 0.

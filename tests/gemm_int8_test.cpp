@@ -195,6 +195,115 @@ TEST(GemmInt8, S8U8BtExtremeOperandsNoSaturation) {
     for (const auto v : c) EXPECT_EQ(want2, v);
 }
 
+TEST(GemmInt8, RefMatchesNaiveFullRangeOverOddShapes) {
+    // gemm_s8u8_bt_ref is the oracle the tactic catalog is judged
+    // against, so it gets its own naive check — at the FULL ±127 weight
+    // range (it accumulates in int32/int64, no maddubs headroom limit).
+    for (const auto& s : kShapes) {
+        const auto a = random_s8(static_cast<std::size_t>(s.m * s.k), 43,
+                                 -kWeightQMaxFull, kWeightQMaxFull);
+        const auto b = random_u8(static_cast<std::size_t>(s.n * s.k), 44);
+        std::vector<std::int32_t> got(static_cast<std::size_t>(s.m * s.n),
+                                      -1);
+        gemm_s8u8_bt_ref(s.m, s.n, s.k, a, b, got);
+        for (int i = 0; i < s.m; ++i)
+            for (int j = 0; j < s.n; ++j) {
+                std::int64_t want = 0;  // s64: see the note in the s8 test
+                for (int p = 0; p < s.k; ++p)
+                    want += static_cast<std::int64_t>(
+                                a[static_cast<std::size_t>(i * s.k + p)]) *
+                            (static_cast<std::int32_t>(
+                                 b[static_cast<std::size_t>(j * s.k + p)]) -
+                             kActZeroPoint);
+                ASSERT_EQ(want, got[static_cast<std::size_t>(i * s.n + j)])
+                    << "gemm_s8u8_bt_ref mismatch at (" << i << "," << j
+                    << ") m=" << s.m << " n=" << s.n << " k=" << s.k;
+            }
+    }
+}
+
+TEST(GemmInt8, VnniMatchesRefFullRangeOverOddShapes) {
+    // On a non-VNNI host gemm_s8u8_bt_vnni IS the ref (runtime
+    // fallback), so this degenerates to a self-check there and bit-
+    // compares the AVX-512 VNNI tiles on hosts that have them.
+    for (const auto& s : kShapes) {
+        const auto a = random_s8(static_cast<std::size_t>(s.m * s.k), 45,
+                                 -kWeightQMaxFull, kWeightQMaxFull);
+        const auto b = random_u8(static_cast<std::size_t>(s.n * s.k), 46);
+        std::vector<std::int32_t> want(static_cast<std::size_t>(s.m * s.n),
+                                       -1);
+        std::vector<std::int32_t> got(want.size(), -2);
+        gemm_s8u8_bt_ref(s.m, s.n, s.k, a, b, want);
+        gemm_s8u8_bt_vnni(s.m, s.n, s.k, a, b, got);
+        ASSERT_EQ(want, got) << "m=" << s.m << " n=" << s.n << " k=" << s.k;
+    }
+}
+
+TEST(GemmInt8, QgemmEveryCatalogTacticBitExactOverOddShapes) {
+    // Every executable (kernel, ways) combination must produce bit-
+    // identical results to the scalar reference — including m < ways
+    // (the dispatcher folds the tiling down) and shapes whose k is not a
+    // multiple of any pack width. 7-bit operands so the maddubs kernel's
+    // reduced-range contract holds for every candidate.
+    for (const auto& s : kShapes) {
+        const auto a = random_s8(static_cast<std::size_t>(s.m * s.k), 47,
+                                 -kWeightQMax, kWeightQMax);
+        const auto b = random_u8(static_cast<std::size_t>(s.n * s.k), 48);
+        std::vector<std::int32_t> want(static_cast<std::size_t>(s.m * s.n),
+                                       -1);
+        gemm_s8u8_bt_ref(s.m, s.n, s.k, a, b, want);
+        for (const QKernel kern :
+             {QKernel::kAuto, QKernel::kScalarRef, QKernel::kMaddubs,
+              QKernel::kVnni}) {
+            for (const int ways : {1, 2, 4}) {
+                QGemmTactic t;
+                t.kernel = kern;
+                t.ways = static_cast<std::uint8_t>(ways);
+                t.wbits = 7;
+                QGemmTactic probe = t;
+                if (normalize_tactic(probe) && probe.kernel != t.kernel)
+                    continue;  // not executable on this host (e.g. VNNI)
+                std::vector<std::int32_t> got(want.size(), -2);
+                qgemm(t, s.m, s.n, s.k, a, b, got);
+                ASSERT_EQ(want, got)
+                    << "kernel " << static_cast<int>(kern) << " ways "
+                    << ways << " m=" << s.m << " n=" << s.n
+                    << " k=" << s.k;
+            }
+        }
+    }
+}
+
+TEST(GemmInt8, NormalizeTacticDegradesBogusAndInexecutable) {
+    // Unknown kernel ids (a v5 file from a newer writer) degrade to a
+    // contract-respecting fallback instead of executing garbage.
+    QGemmTactic bogus;
+    bogus.kernel = static_cast<QKernel>(0xEE);
+    bogus.ways = 3;
+    bogus.wbits = 8;
+    EXPECT_TRUE(normalize_tactic(bogus));
+    EXPECT_EQ(QKernel::kScalarRef, bogus.kernel);  // 8-bit needs full range
+    EXPECT_EQ(1, bogus.ways);
+
+    QGemmTactic bogus7;
+    bogus7.kernel = static_cast<QKernel>(0x7F);
+    bogus7.wbits = 7;
+    EXPECT_TRUE(normalize_tactic(bogus7));
+    EXPECT_EQ(QKernel::kAuto, bogus7.kernel);  // heuristic dispatch
+
+    // A maddubs tactic claiming 8-bit weights violates the kernel's
+    // reduced-range contract and must not keep the kernel.
+    QGemmTactic narrow;
+    narrow.kernel = QKernel::kMaddubs;
+    narrow.wbits = 8;
+    EXPECT_TRUE(normalize_tactic(narrow));
+    EXPECT_EQ(QKernel::kScalarRef, narrow.kernel);
+
+    // The default tactic is already normal.
+    QGemmTactic ok;
+    EXPECT_FALSE(normalize_tactic(ok));
+}
+
 TEST(QuantizeInt8, S8RoundTripWithinHalfStep) {
     const auto x = random_floats(257, 51, 2.0f);
     float maxabs = 0.0f;

@@ -48,9 +48,12 @@ int argmax_row(std::span<const float> row) {
 
 // Quantization quality gate shared by the model tests: per-image argmax
 // agreement and logit error bounded relative to the fp32 logit range.
-// The bounds encode the w8a8 scheme's expected fidelity (per-channel
-// 7-bit weights, per-tensor 8-bit activations) with slack for the
-// random tiny models used here.
+// The bounds encode the default scheme's expected fidelity (per-channel
+// weight scales, floored per-input-channel activation scales, 8-bit
+// weights on VNNI hosts / 7-bit elsewhere) with slack for the random
+// tiny models used here — wide enough to hold on both weight widths,
+// tight enough that a wrong scale anywhere (errors of the full output
+// range) still fails.
 void expect_int8_tracks_fp32(const FrozenModel& fp32_model, int classes,
                              int channels, int input_size,
                              std::uint64_t seed, double min_agreement,
@@ -122,14 +125,21 @@ TEST(Quantize, ResNetInt8TracksFp32) {
     model.net.zero_grad();
     const FrozenModel fp32 =
         freeze(model.net, {3, cfg.input_size, cfg.input_size});
+    // Gaussian eval inputs step outside the 8-image calibration range
+    // more often per channel than per tensor, so the floored per-channel
+    // scheme trades a little worst-case logit error (~0.06 of range
+    // here) for its resolution win; 0.08 still fails on any scale bug.
     expect_int8_tracks_fp32(fp32, cfg.num_classes, 3, cfg.input_size, 9,
-                            0.9, 0.05f);
+                            0.9, 0.08f);
 }
 
 TEST(Quantize, TransposedDeepConvRepackedToFilterRows) {
     // A deep VGG plan compiles some convs `transposed` (oh·ow < F); the
     // int8 twin must repack those to filter-row qweights and clear the
-    // flag, with scales matching the fp32 filter rows.
+    // flag, with scales matching the fp32 filter rows. Quantized with
+    // the v4 recipe so the qscale check below (max|row| / 63, no
+    // activation-scale folding) stays a direct function of the fp32
+    // weights.
     models::VggConfig cfg;
     auto model = models::make_vgg16(cfg);
     const FrozenModel fp32 =
@@ -140,7 +150,7 @@ TEST(Quantize, TransposedDeepConvRepackedToFilterRows) {
         << "test premise broken: no transposed conv in the fp32 plan";
 
     const Tensor calib = random_batch(4, 3, cfg.input_size, 31);
-    const FrozenModel int8 = quantize(fp32, calib);
+    const FrozenModel int8 = quantize(fp32, calib, QuantizeOptions::v4());
     ASSERT_EQ(fp32.ops.size(), int8.ops.size());
     EXPECT_EQ(0, int8.tr_elems);
     for (std::size_t i = 0; i < int8.ops.size(); ++i) {
