@@ -1,0 +1,193 @@
+// Parallel pruning-search bench (DESIGN.md §15): end-to-end wall-clock of
+// the whole-model HeadStart run at --workers 1 / 2 / 4 on a trimmed
+// quick-scale configuration, asserting along the way that all three runs
+// produce bit-identical pruning traces (the determinism contract of the
+// worker pool).
+//
+// Speedup is reported two ways:
+//  * measured   — wall(workers=1) / wall(workers=N) on THIS machine;
+//  * projected  — Amdahl's law T1 / (T1 − B + B/N), where B is the busy
+//    time the workers=1 run accumulated inside the parallelizable
+//    evaluation regions (the "parallel.busy_us" counter). On a 1-core CI
+//    box the measured ratio is physics-bound near 1.0 while the projection
+//    says what an N-core box gets; `search.cores` records which regime the
+//    numbers came from.
+// The quick/full-scale gate passes when max(measured, projected) at
+// workers=2 reaches 1.6x; smoke scale only validates the harness.
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/common.h"
+#include "nn/trainer.h"
+#include "obs/obs.h"
+#include "util/stopwatch.h"
+#include "util/table.h"
+
+namespace {
+
+using namespace hs;
+
+/// Operating point: the full search depth of the regular bench scale —
+/// the candidate evaluations ARE the workload being parallelized, so
+/// trimming them would bench a serial-dominated strawman — with only the
+/// (serial) fine-tune cut to one epoch to bound wall time. Smoke cuts
+/// everything; it only validates the harness.
+core::HeadStartConfig search_bench_config() {
+    core::HeadStartConfig cfg = bench::headstart_bench(2.0);
+    cfg.finetune_epochs = 1;
+    if (bench::scale() == bench::Scale::kSmoke) {
+        cfg.search.max_iters = 4;
+        cfg.search.stable_window = 4;
+        cfg.reward_subset = 32;
+    } else if (bench::scale() == bench::Scale::kQuick) {
+        // Between quick's 96 and full's 192: quick trims the reward batch
+        // for turnaround, but here the reward evaluations are the measured
+        // workload, and at 96 the one fine-tune epoch (serial by design)
+        // still dominates the layer.
+        cfg.reward_subset = 160;
+    }
+    return cfg;
+}
+
+struct RunStats {
+    double wall_s = 0.0;
+    double busy_s = 0.0;        ///< parallel-region busy time (all lanes)
+    double fanout_wall_s = 0.0; ///< coordinator wall across fan-outs
+    core::HeadStartResult result;
+};
+
+RunStats timed_prune(const models::VggModel& base,
+                     const data::SyntheticImageDataset& dataset, int workers) {
+    models::VggModel model = base;  // deep copy: identical starting weights
+    core::HeadStartConfig cfg = search_bench_config();
+    cfg.workers = workers;
+
+    auto& busy = obs::Registry::instance().counter("parallel.busy_us");
+    auto& fanout = obs::Registry::instance().counter("parallel.fanout_wall_us");
+    const std::int64_t busy0 = busy.value();
+    const std::int64_t fanout0 = fanout.value();
+
+    RunStats stats;
+    Stopwatch watch;
+    stats.result = core::headstart_prune_vgg(model, dataset, cfg);
+    stats.wall_s = watch.seconds();
+    stats.busy_s = static_cast<double>(busy.value() - busy0) * 1e-6;
+    stats.fanout_wall_s = static_cast<double>(fanout.value() - fanout0) * 1e-6;
+    return stats;
+}
+
+bool traces_identical(const core::HeadStartResult& a,
+                      const core::HeadStartResult& b) {
+    if (a.trace.size() != b.trace.size()) return false;
+    for (std::size_t i = 0; i < a.trace.size(); ++i) {
+        const auto& ra = a.trace[i];
+        const auto& rb = b.trace[i];
+        if (ra.name != rb.name || ra.maps_before != rb.maps_before ||
+            ra.maps_after != rb.maps_after ||
+            ra.search_iterations != rb.search_iterations ||
+            ra.acc_inception != rb.acc_inception ||
+            ra.acc_finetuned != rb.acc_finetuned || ra.params != rb.params ||
+            ra.flops != rb.flops)
+            return false;
+    }
+    return a.final_accuracy == b.final_accuracy &&
+           a.compression_ratio == b.compression_ratio;
+}
+
+} // namespace
+
+int main(int argc, char** argv) {
+    const auto run = bench::bench_run("search", argc, argv);
+    // The Amdahl projection needs the parallel-region counters even when
+    // no --json report was requested.
+    obs::set_enabled(true);
+
+    const data::SyntheticImageDataset dataset(bench::cifar_bench());
+    auto base = models::make_vgg16(bench::vgg_bench(dataset.config()));
+
+    Stopwatch total;
+    std::printf("pretraining base VGG-16 ...\n");
+    const double base_acc =
+        bench::pretrain(base, dataset, bench::base_epochs() / 2);
+    std::printf("base accuracy %.3f\n\n", base_acc);
+
+    const int cores =
+        static_cast<int>(std::thread::hardware_concurrency());
+    const std::vector<int> worker_counts{1, 2, 4};
+    std::vector<RunStats> runs;
+    for (const int w : worker_counts) {
+        std::printf("pruning with --workers %d ...\n", w);
+        runs.push_back(timed_prune(base, dataset, w));
+    }
+
+    // Determinism contract before any timing claims: the three traces
+    // must agree bit-for-bit.
+    for (std::size_t i = 1; i < runs.size(); ++i) {
+        if (!traces_identical(runs[0].result, runs[i].result)) {
+            std::fprintf(stderr,
+                         "FAIL: workers=%d trace differs from workers=1 — "
+                         "parallel search broke determinism\n",
+                         worker_counts[i]);
+            return 1;
+        }
+    }
+
+    const double t1 = runs[0].wall_s;
+    const double busy1 = std::min(runs[0].busy_s, t1);
+    const double parallel_fraction = t1 > 0.0 ? busy1 / t1 : 0.0;
+    auto projected = [&](int n) {
+        const double serial = t1 - busy1;
+        return t1 / (serial + busy1 / n);
+    };
+
+    TablePrinter table({"WORKERS", "WALL (S)", "SPEEDUP", "PROJECTED",
+                        "EFFICIENCY"});
+    obs::gauge_set("search.cores", cores);
+    obs::gauge_set("search.parallel_fraction", parallel_fraction);
+    for (std::size_t i = 0; i < runs.size(); ++i) {
+        const int w = worker_counts[i];
+        const double measured = runs[i].wall_s > 0.0 ? t1 / runs[i].wall_s : 0.0;
+        const double proj = w == 1 ? 1.0 : projected(w);
+        const double eff =
+            w > 1 && runs[i].fanout_wall_s > 0.0
+                ? std::min(1.0, runs[i].busy_s / (runs[i].fanout_wall_s * w))
+                : 1.0;
+        const std::string tag = "w" + std::to_string(w);
+        obs::gauge_set("search.wall_s_" + tag, runs[i].wall_s);
+        if (w > 1) {
+            obs::gauge_set("search.speedup_" + tag, measured);
+            obs::gauge_set("search.speedup_" + tag + "_projected", proj);
+            obs::gauge_set("search.parallel_efficiency_" + tag, eff);
+        }
+        table.add_row({std::to_string(w), TablePrinter::num(runs[i].wall_s, 2),
+                       TablePrinter::num(measured, 2),
+                       TablePrinter::num(proj, 2), TablePrinter::num(eff, 2)});
+    }
+    table.print();
+    std::printf(
+        "\ncores=%d  parallel fraction of workers=1 wall: %.0f%%\n",
+        cores, 100.0 * parallel_fraction);
+
+    int status = 0;
+    if (bench::scale() != bench::Scale::kSmoke) {
+        const double measured_w2 = runs[1].wall_s > 0.0 ? t1 / runs[1].wall_s : 0.0;
+        const double best_w2 = std::max(measured_w2, projected(2));
+        if (best_w2 < 1.6) {
+            std::fprintf(stderr,
+                         "FAIL: workers=2 speedup %.2fx (measured %.2fx, "
+                         "projected %.2fx) below the 1.6x gate\n",
+                         best_w2, measured_w2, projected(2));
+            status = 1;
+        } else {
+            std::printf("PASS: workers=2 speedup %.2fx (gate 1.6x)\n", best_w2);
+        }
+    }
+
+    bench::bench_finish(run, total.seconds());
+    return status;
+}

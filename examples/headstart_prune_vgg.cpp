@@ -1,0 +1,104 @@
+// Domain example: whole-model HeadStart pruning with the parallel search.
+//
+// Trains a scaled VGG-16 on synthetic CIFAR-100-like data, then prunes it
+// bottom-up with the REINFORCE search fanned over --workers lanes
+// (DESIGN.md §15): the k Monte-Carlo rollouts of each search iteration
+// evaluate concurrently on per-lane model clones, fine-tuning of layer i
+// overlaps the policy preparation of layer i+1, and checkpoints commit to
+// disk asynchronously. The pruning trace is bit-identical at every worker
+// count — rerun with a different --workers and diff the table.
+//
+// Usage: headstart_prune_vgg [--workers N] [--sp S] [--smoke]
+//                            [--checkpoint DIR]
+//
+//   --workers N       evaluation fan-out lanes (default 1 = sequential)
+//   --sp S            preset per-layer speedup target (default 2.0)
+//   --smoke           tiny configuration for a seconds-long run
+//   --checkpoint DIR  crash-safe layer checkpoints; rerun to resume
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "core/model_pruner.h"
+#include "data/dataloader.h"
+#include "nn/trainer.h"
+#include "util/stopwatch.h"
+#include "util/table.h"
+
+int main(int argc, char** argv) {
+    using namespace hs;
+
+    int workers = 1;
+    double sp = 2.0;
+    bool smoke = false;
+    std::string checkpoint_dir;
+    for (int a = 1; a < argc; ++a) {
+        if (std::strcmp(argv[a], "--workers") == 0 && a + 1 < argc) {
+            workers = std::atoi(argv[++a]);
+        } else if (std::strcmp(argv[a], "--sp") == 0 && a + 1 < argc) {
+            sp = std::atof(argv[++a]);
+        } else if (std::strcmp(argv[a], "--smoke") == 0) {
+            smoke = true;
+        } else if (std::strcmp(argv[a], "--checkpoint") == 0 && a + 1 < argc) {
+            checkpoint_dir = argv[++a];
+        } else {
+            std::fprintf(stderr,
+                         "usage: headstart_prune_vgg [--workers N] [--sp S] "
+                         "[--smoke] [--checkpoint DIR]\n");
+            return 2;
+        }
+    }
+    if (workers < 1) workers = 1;
+
+    data::SyntheticConfig data_cfg = data::cifar100_like();
+    data_cfg.num_classes = smoke ? 8 : 15;
+    data_cfg.train_per_class = smoke ? 24 : 60;
+    data_cfg.test_per_class = smoke ? 8 : 20;
+    const data::SyntheticImageDataset dataset(data_cfg);
+
+    models::VggConfig cfg;
+    cfg.input_size = data_cfg.image_size;
+    cfg.num_classes = data_cfg.num_classes;
+    cfg.width_scale = smoke ? 0.0625 : 0.125;
+    auto model = models::make_vgg16(cfg);
+
+    data::DataLoader loader(dataset.train(), 32, /*shuffle=*/true);
+    std::printf("training base VGG-16 ...\n");
+    (void)nn::finetune(model.net, loader, smoke ? 3 : 10, 1e-2f);
+    const double base_acc = nn::evaluate(model.net, dataset.test());
+    std::printf("base accuracy %.3f; pruning with sp=%.1f on %d worker%s\n\n",
+                base_acc, sp, workers, workers == 1 ? "" : "s");
+
+    core::HeadStartConfig hs_cfg;
+    hs_cfg.workers = workers;
+    hs_cfg.search.speedup = sp;
+    hs_cfg.search.max_iters = smoke ? 10 : 30;
+    hs_cfg.finetune_epochs = smoke ? 1 : 2;
+    hs_cfg.checkpoint_dir = checkpoint_dir;
+
+    Stopwatch watch;
+    const auto result = core::headstart_prune_vgg(model, dataset, hs_cfg);
+    const double elapsed = watch.seconds();
+
+    TablePrinter table({"LAYER", "MAPS", "ITERS", "ACC (INC)", "ACC (FT)"});
+    for (const auto& row : result.trace) {
+        table.add_row({row.name,
+                       std::to_string(row.maps_before) + " -> " +
+                           std::to_string(row.maps_after),
+                       std::to_string(row.search_iterations),
+                       TablePrinter::num(100.0 * row.acc_inception, 2),
+                       TablePrinter::num(100.0 * row.acc_finetuned, 2)});
+    }
+    table.print();
+    std::printf(
+        "\nfinal accuracy %.3f, compression %.3f, %lld params, "
+        "%.1fs wall (%d workers)\n",
+        result.final_accuracy, result.compression_ratio,
+        static_cast<long long>(result.params), elapsed, workers);
+    if (result.start_layer > 0)
+        std::printf("resumed from layer %d via %s\n", result.start_layer,
+                    checkpoint_dir.c_str());
+    return 0;
+}

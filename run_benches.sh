@@ -6,8 +6,13 @@
 # bench_serve emits BENCH_serve.json — the network-serving capacity sweep
 # (max sustained QPS + latency percentiles under the SLO); see README
 # "Network serving". bench_kernels emits BENCH_kernels.json — per-kernel
-# and per-int8-tactic GFLOP/s (README "Kernel autotuning"). bench_infer
-# and bench_serve both self-gate against their committed baselines.
+# and per-int8-tactic GFLOP/s (README "Kernel autotuning"). bench_search
+# emits BENCH_search.json — end-to-end pruning-search wall-clock at
+# --workers 1/2/4 with measured + Amdahl-projected speedup and parallel
+# efficiency; it self-gates on trace bit-identity across worker counts
+# and on the 1.6x workers=2 speedup floor (README "Parallel search").
+# bench_infer and bench_serve both self-gate against their committed
+# baselines.
 # Usage: ./run_benches.sh [output-file]
 out="${1:-/root/repo/bench_output.txt}"
 outdir=$(dirname "$out")

@@ -39,16 +39,34 @@ BlockPruneResult headstart_prune_blocks(models::ResNetModel& model,
     search.seed = config.seed * 977 + 3;
     search.label = "blocks";
 
-    auto evaluate = [&model, &droppable, &reward_batch,
-                     total_blocks](std::span<const float> action) {
+    // Per-lane evaluation contexts (DESIGN.md §15): lane 0 gates the live
+    // model exactly as the historical sequential evaluator did; lanes >= 1
+    // gate a private deep copy each (ResNetModel is a value type — its
+    // Sequential deep-copies), so the Monte-Carlo rollouts of one search
+    // iteration evaluate concurrently with bit-identical accuracies.
+    auto gated_accuracy = [&droppable, &reward_batch,
+                           total_blocks](models::ResNetModel& m,
+                                         std::span<const float> action) {
         std::vector<float> gates(static_cast<std::size_t>(total_blocks), 1.0f);
         for (std::size_t i = 0; i < droppable.size(); ++i)
             gates[static_cast<std::size_t>(droppable[i])] = action[i];
-        pruning::apply_block_gates(model, gates);
-        return nn::evaluate_batch(model.net, reward_batch);
+        pruning::apply_block_gates(m, gates);
+        return nn::evaluate_batch(m.net, reward_batch);
+    };
+    EvaluatorFactory factory = [&model,
+                                gated_accuracy](int lane) -> StochasticEvaluator {
+        if (lane == 0) {
+            return [&model, gated_accuracy](std::span<const float> action, Rng&) {
+                return gated_accuracy(model, action);
+            };
+        }
+        auto copy = std::make_shared<models::ResNetModel>(model);
+        return [copy, gated_accuracy](std::span<const float> action, Rng&) {
+            return gated_accuracy(*copy, action);
+        };
     };
 
-    ActionSearch driver(static_cast<int>(droppable.size()), evaluate, acc_orig,
+    ActionSearch driver(static_cast<int>(droppable.size()), factory, acc_orig,
                         search);
     const SearchResult sr = driver.run();
 
@@ -72,13 +90,15 @@ BlockPruneResult headstart_prune_blocks(models::ResNetModel& model,
 
     result.pruned = pruning::remove_dropped_blocks(model);
     result.blocks_per_group = result.pruned.blocks_per_group();
-    result.inception_accuracy = nn::evaluate(result.pruned.net, dataset.test());
+    result.inception_accuracy = nn::evaluate_parallel(
+        result.pruned.net, dataset.test(), config.search.workers);
 
     data::DataLoader loader(dataset.train(), config.batch_size, /*shuffle=*/true,
                             config.seed + 1);
     (void)nn::finetune(result.pruned.net, loader, config.finetune_epochs,
                        config.lr, config.weight_decay);
-    result.final_accuracy = nn::evaluate(result.pruned.net, dataset.test());
+    result.final_accuracy = nn::evaluate_parallel(
+        result.pruned.net, dataset.test(), config.search.workers);
 
     if (obs::enabled()) {
         obs::count("headstart.blocks_removed",

@@ -24,6 +24,16 @@ struct HeadStartConfig {
     bool prune_last_conv = false; ///< paper keeps conv5_3 intact
     std::uint64_t seed = 47;
 
+    /// Evaluation fan-out lanes (DESIGN.md §15). Forwarded to every layer
+    /// search (Monte-Carlo rollouts evaluate on per-lane model clones) and
+    /// to the whole-split accuracy evaluations. workers > 1 additionally
+    /// software-pipelines the layer loop: fine-tuning of layer i overlaps
+    /// the inception-accuracy evaluation (on a post-surgery snapshot), the
+    /// policy preparation of layer i+1, and the checkpoint disk write.
+    /// Results are bit-identical at every worker count; workers == 1 runs
+    /// the historical fully sequential schedule.
+    int workers = 1;
+
     /// Crash safety: when non-empty, model + trace are checkpointed into
     /// this directory after every layer (atomic writes), and a fresh call
     /// with the same unpruned model resumes from the last completed layer.

@@ -7,8 +7,23 @@
 //   R(A) = log(acc(A)/acc_orig + 1) − |C/‖A‖₀ − sp|.
 // The search owns a HeadStartNet policy; the caller supplies the accuracy
 // evaluator (which applies the action to the model being pruned).
+//
+// Parallel evaluation (DESIGN.md §15). Every iteration evaluates 1 + k
+// candidate actions (the thresholded inference action plus k Monte-Carlo
+// samples), and none of those evaluations consumes the policy RNG — so
+// the coordinator draws all actions up front in the exact sequential
+// order, fans the evaluations across `config.workers` lanes (hs::TaskPool),
+// and reduces rewards/gradients back in sample order. Results are
+// therefore bit-identical at every worker count: `workers = 1` reproduces
+// the historical sequential trace, and fixed-N runs are deterministic
+// run-to-run. Each lane owns a private evaluation context built by the
+// caller's EvaluatorFactory (a deep model clone for the built-in pruners),
+// and each (iteration, sample) pair gets a counter-based Rng stream
+// (Rng::counter_stream) so even stochastic evaluators stay
+// schedule-independent.
 
 #include <functional>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -33,6 +48,11 @@ struct SearchConfig {
     BaselineMode baseline = BaselineMode::kInferenceAction;
     PolicyConfig policy;
     std::uint64_t seed = 11;
+    /// Evaluation fan-out lanes. 1 = fully sequential (no pool traffic);
+    /// N > 1 spreads the per-iteration candidate evaluations over N lanes
+    /// with bit-identical results (requires an EvaluatorFactory — a plain
+    /// ActionEvaluator is a single shared context and clamps this to 1).
+    int workers = 1;
     /// Observability label of this search ("conv4_1", "blocks", …); shows
     /// up in trace spans and the run report. Empty → "search".
     std::string label;
@@ -45,26 +65,71 @@ struct SearchResult {
     std::vector<int> l0_history;         ///< ‖A^l‖₀ per iteration
     double inception_accuracy = 0.0;     ///< acc(A^l) at convergence
     int iterations = 0;
+    int workers = 1;                     ///< lanes actually used
+    /// Busy/(wall × workers) over the fan-out regions (1.0 when workers=1).
+    double parallel_efficiency = 1.0;
 };
 
 /// Evaluator: accuracy (in [0,1]) of the model under a binary action.
 using ActionEvaluator = std::function<double(std::span<const float>)>;
 
+/// Stochastic flavour: additionally receives this sample's counter-based
+/// Rng stream, derived from (config.seed, iteration, sample index) — the
+/// same stream no matter which lane runs the sample or how many lanes
+/// exist. Deterministic evaluators may ignore it.
+using StochasticEvaluator =
+    std::function<double(std::span<const float>, Rng&)>;
+
+/// Builds lane `lane`'s private evaluator (0 ≤ lane < workers). Evaluators
+/// from different lanes run concurrently, so each must own its state (the
+/// built-in pruners deep-clone the model per lane); all lanes must agree
+/// bit-for-bit on deterministic inputs.
+using EvaluatorFactory = std::function<StochasticEvaluator(int lane)>;
+
 /// REINFORCE search driver.
 class ActionSearch {
 public:
+    /// Policy state plus the pre-drawn iteration-0 rollouts. prepare()
+    /// consumes no model weights, so the whole-model pruner overlaps it
+    /// with the previous layer's fine-tuning (the pipeline of DESIGN.md
+    /// §15); run() continues from the exact RNG state prepare() left, so
+    /// eager preparation never changes the trace.
+    struct Prepared {
+        Prepared(int actions, const SearchConfig& config);
+        int actions;
+        std::uint64_t seed;                      ///< config.seed it was built for
+        HeadStartNet policy;
+        Rng rng;
+        std::vector<float> probs0;               ///< iteration-0 keep probs
+        std::vector<std::vector<float>> samples0; ///< k iteration-0 samples
+    };
+
+    /// Draw the policy init and iteration-0 rollouts for a search that has
+    /// not been constructed yet (layer pipelining).
+    [[nodiscard]] static std::unique_ptr<Prepared> prepare(
+        int actions, const SearchConfig& config);
+
+    /// Single shared evaluation context: `config.workers` is clamped to 1.
     /// `acc_orig` is f_W(D|W): the unpruned accuracy on the reward set.
     ActionSearch(int actions, ActionEvaluator evaluate, double acc_orig,
                  const SearchConfig& config);
+
+    /// Parallel-capable constructor. `prepared` (optional) adopts rollouts
+    /// drawn earlier via prepare(); a mismatched Prepared (different
+    /// actions/seed) is discarded and re-drawn.
+    ActionSearch(int actions, EvaluatorFactory factory, double acc_orig,
+                 const SearchConfig& config,
+                 std::unique_ptr<Prepared> prepared = nullptr);
 
     /// Run until the inference-action reward is stable or max_iters.
     [[nodiscard]] SearchResult run();
 
 private:
     int actions_;
-    ActionEvaluator evaluate_;
+    EvaluatorFactory factory_;
     double acc_orig_;
     SearchConfig config_;
+    std::unique_ptr<Prepared> prepared_;
 };
 
 } // namespace hs::core

@@ -25,6 +25,8 @@
 //   HS_FAULT="fsio.atomic_write=torn:64@3#1"   tear the 3rd atomic write
 //   HS_FAULT="serving.worker=delay:50000"      every batch sleeps 50 ms
 //   HS_FAULT="trainer.nan_grad=nan@2#1~0.5"    maybe-NaN the 2nd batch
+//   HS_FAULT="search.worker=crash"             search lanes die and respawn
+//                                              (samples replayed, bit-equal)
 //
 // Hit counters are tracked per armed site only; arming and disarming are
 // mutex-protected (fault paths are never hot once armed), and a given

@@ -1,10 +1,16 @@
 #include "nn/trainer.h"
 
+#include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <limits>
+#include <memory>
+#include <span>
+#include <vector>
 
 #include "fault/fault.h"
 #include "obs/obs.h"
+#include "tensor/task_pool.h"
 #include "util/stopwatch.h"
 
 namespace hs::nn {
@@ -81,6 +87,77 @@ double evaluate(Layer& model, const data::Split& split, int batch_size) {
     const double acc = static_cast<double>(correct) / split.size();
     if (obs::enabled()) {
         const double elapsed = watch.seconds();
+        obs::count("eval.samples", split.size());
+        obs::gauge_set("eval.accuracy", acc);
+        if (elapsed > 0.0)
+            obs::gauge_set("eval.samples_per_s", split.size() / elapsed);
+    }
+    return acc;
+}
+
+namespace {
+
+/// Shared state of one evaluate_parallel() fan-out.
+struct EvalShards {
+    data::DataLoader* loader = nullptr;
+    std::span<Layer*> lanes;
+    std::vector<std::int64_t>* correct = nullptr;  // per batch index
+    std::atomic<std::int64_t> busy_us{0};
+};
+
+void eval_shard(void* ctx, int lane) {
+    auto& s = *static_cast<EvalShards*>(ctx);
+    const int nlanes = static_cast<int>(s.lanes.size());
+    const int batches = s.loader->batches_per_epoch();
+    Stopwatch watch;
+    for (int b = lane; b < batches; b += nlanes) {
+        const data::Batch batch = s.loader->batch(b);
+        const Tensor logits =
+            s.lanes[static_cast<std::size_t>(lane)]->forward(batch.images,
+                                                             /*train=*/false);
+        (*s.correct)[static_cast<std::size_t>(b)] = static_cast<std::int64_t>(
+            accuracy(logits, batch.labels) * batch.size() + 0.5);
+    }
+    s.busy_us.fetch_add(static_cast<std::int64_t>(watch.seconds() * 1e6),
+                        std::memory_order_relaxed);
+}
+
+} // namespace
+
+double evaluate_parallel(Layer& model, const data::Split& split, int workers,
+                         int batch_size) {
+    obs::Span span("eval.split_parallel", "eval");
+    Stopwatch watch;
+    data::DataLoader loader(split, batch_size, /*shuffle=*/false);
+    const int batches = loader.batches_per_epoch();
+    const int nlanes = std::clamp(workers, 1, std::max(1, batches));
+
+    // Per-batch integer correct counts, reduced in batch order below —
+    // identical arithmetic to the sequential evaluate() loop.
+    std::vector<std::int64_t> correct(static_cast<std::size_t>(batches), 0);
+    std::vector<std::unique_ptr<Layer>> clones;
+    std::vector<Layer*> lanes(static_cast<std::size_t>(nlanes), &model);
+    for (int l = 1; l < nlanes; ++l) {
+        clones.push_back(model.clone());
+        lanes[static_cast<std::size_t>(l)] = clones.back().get();
+    }
+
+    EvalShards shards;
+    shards.loader = &loader;
+    shards.lanes = lanes;
+    shards.correct = &correct;
+    TaskPool::instance().run(nlanes, &eval_shard, &shards);
+
+    std::int64_t total_correct = 0;
+    for (const std::int64_t c : correct) total_correct += c;
+    const double acc = static_cast<double>(total_correct) / split.size();
+
+    if (obs::enabled()) {
+        const double elapsed = watch.seconds();
+        obs::count("parallel.busy_us",
+                   shards.busy_us.load(std::memory_order_relaxed));
+        obs::count("parallel.fanout_wall_us",
+                   static_cast<std::int64_t>(elapsed * 1e6));
         obs::count("eval.samples", split.size());
         obs::gauge_set("eval.accuracy", acc);
         if (elapsed > 0.0)

@@ -38,6 +38,17 @@ EpochStats train_epoch(Layer& model, SoftmaxCrossEntropy& loss, Optimizer& opt,
 /// Top-1 accuracy of `model` on one pre-gathered batch (eval mode).
 [[nodiscard]] double evaluate_batch(Layer& model, const data::Batch& batch);
 
+/// evaluate(), with the mini-batches fanned over `workers` lanes of the
+/// shared TaskPool. Lane 0 reuses `model`; lanes 1.. run deep clones, and
+/// batches are assigned round-robin by index with per-batch integer
+/// correct counts summed in batch order — so the result is bit-identical
+/// to evaluate() at every worker count (per-image forwards do not depend
+/// on batch composition). workers <= 1 falls through to the sequential
+/// loop (but still books the elapsed time as parallelizable work, which
+/// the search bench's Amdahl projection reads).
+[[nodiscard]] double evaluate_parallel(Layer& model, const data::Split& split,
+                                       int workers, int batch_size = 64);
+
 /// Fine-tune `model` for `epochs` epochs with the paper's hyper-parameters
 /// (SGD, lr, momentum 0.9, weight decay 5e-4). Returns final-epoch stats.
 EpochStats finetune(Layer& model, data::DataLoader& loader, int epochs,

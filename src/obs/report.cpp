@@ -164,6 +164,10 @@ std::string RunReport::to_json() const {
         w.value(s.inception_accuracy);
         w.key("elapsed_s");
         w.value(s.elapsed_s);
+        w.key("workers");
+        w.value(s.workers);
+        w.key("parallel_efficiency");
+        w.value(s.parallel_efficiency);
         w.key("reward_history");
         w.begin_array();
         for (const double r : s.reward_history) w.value(r);

@@ -28,6 +28,11 @@ struct SearchTrace {
     int iterations = 0;
     double inception_accuracy = 0.0;
     double elapsed_s = 0.0;
+    int workers = 1;                    ///< evaluation fan-out lanes used
+    /// Busy/(wall × workers) over the evaluation fan-out regions of this
+    /// search — 1.0 means every lane was saturated whenever work was
+    /// fanned out (DESIGN.md §15).
+    double parallel_efficiency = 1.0;
 };
 
 /// One layer/block pruning step (Table 1 raw material).

@@ -7,67 +7,11 @@ TilePool& TilePool::instance() {
     return pool;
 }
 
-TilePool::~TilePool() {
-    {
-        std::lock_guard<std::mutex> lock(mu_);
-        stop_ = true;
-        ++epoch_;
-    }
-    work_cv_.notify_all();
-    for (std::thread& t : threads_) t.join();
-}
-
-int TilePool::workers() const {
-    std::lock_guard<std::mutex> lock(mu_);
-    return static_cast<int>(threads_.size());
-}
-
-void TilePool::ensure_workers(int n) {
-    std::lock_guard<std::mutex> lock(mu_);
-    while (static_cast<int>(threads_.size()) < n) {
-        const int idx = static_cast<int>(threads_.size());
-        threads_.emplace_back([this, idx] { worker_main(idx); });
-    }
-}
-
-void TilePool::worker_main(int idx) {
-    std::uint64_t seen = 0;
-    std::unique_lock<std::mutex> lock(mu_);
-    for (;;) {
-        work_cv_.wait(lock, [&] { return epoch_ != seen || stop_; });
-        if (stop_) return;
-        seen = epoch_;
-        // Workers beyond the current fan-out just sleep through the epoch.
-        if (idx >= ways_ - 1) continue;
-        void (*fn)(void*, int) = fn_;
-        void* ctx = ctx_;
-        lock.unlock();
-        fn(ctx, idx);
-        lock.lock();
-        if (--pending_ == 0) done_cv_.notify_one();
-    }
-}
-
 void TilePool::run(int ways, void (*fn)(void*, int), void* ctx) {
     if (ways > kMaxWays) ways = kMaxWays;
-    if (ways <= 1) {
-        fn(ctx, 0);
-        return;
-    }
-    std::lock_guard<std::mutex> run_lock(run_mu_);
-    ensure_workers(ways - 1);
-    {
-        std::lock_guard<std::mutex> lock(mu_);
-        fn_ = fn;
-        ctx_ = ctx;
-        ways_ = ways;
-        pending_ = ways - 1;
-        ++epoch_;
-    }
-    work_cv_.notify_all();
-    fn(ctx, ways - 1);
-    std::unique_lock<std::mutex> lock(mu_);
-    done_cv_.wait(lock, [&] { return pending_ == 0; });
+    TaskPool::instance().run(ways, fn, ctx);
 }
+
+int TilePool::workers() const { return TaskPool::instance().workers(); }
 
 } // namespace hs

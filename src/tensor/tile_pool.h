@@ -1,29 +1,23 @@
 #pragma once
 
-// Persistent worker pool for intra-op GEMM tiling (DESIGN.md §14). The
-// tuner (infer/tuner.h) may commit a 2- or 4-way row-partitioned tactic
-// for a layer shape; qgemm() then fans the partitions out here instead of
+// Intra-op GEMM tiling front-end (DESIGN.md §14). The tuner
+// (infer/tuner.h) may commit a 2- or 4-way row-partitioned tactic for a
+// layer shape; qgemm() then fans the partitions out here instead of
 // spawning threads per call.
 //
-// Design constraints, in order:
-//  * zero allocation on the hot path — work is a raw function pointer
-//    plus a caller-owned context, dispatched through preexisting threads;
-//  * the calling thread is worker `ways-1`, so a w-way run wakes only
-//    w−1 pool threads and a 1-way run never touches the pool at all;
-//  * pool threads are created lazily on the first multi-way run (a
-//    process that only ever executes 1-way tactics pays nothing) and
-//    joined at process exit;
-//  * one tiled op runs at a time: concurrent callers (several
-//    ServingEngine workers hitting multi-way layers) serialize on an
-//    internal mutex rather than oversubscribing the machine. The tuner
-//    only commits multi-way tactics where they measured faster, which
-//    already prices in this serialization on low-core hosts.
+// Since PR 10 this is a thin facade over the shared hs::TaskPool
+// (tensor/task_pool.h): partitions of one tiled op are queued as one job
+// and the calling thread executes alongside the pool. The PR-9
+// implementation owned its own threads and serialized *whole* tiled ops on
+// a single dispatch mutex — concurrent multi-way layers from several
+// ServingEngine workers queued head-to-tail even when cores were idle.
+// TaskPool removes that bottleneck: concurrent tiled ops interleave their
+// partition claims in FIFO order, and the same threads also serve the
+// pruning-search fan-out. The per-op contract is unchanged: run() blocks
+// until every partition returns, part ways−1 executes on the calling
+// thread, and a 1-way run never touches the pool.
 
-#include <condition_variable>
-#include <cstdint>
-#include <mutex>
-#include <thread>
-#include <vector>
+#include "tensor/task_pool.h"
 
 namespace hs {
 
@@ -35,9 +29,8 @@ public:
     static TilePool& instance();
 
     /// Run fn(ctx, part) for part ∈ [0, ways), blocking until all parts
-    /// return. Part ways−1 executes on the calling thread. ways is
-    /// clamped to [1, kMaxWays]. fn must not re-enter run() (the pool
-    /// holds its dispatch lock for the duration).
+    /// return. ways is clamped to [1, kMaxWays]. Nested/concurrent tiled
+    /// ops are allowed (they share the TaskPool queue).
     void run(int ways, void (*fn)(void* ctx, int part), void* ctx);
 
     /// Pool threads currently alive (test/introspection hook).
@@ -48,21 +41,6 @@ public:
 
 private:
     TilePool() = default;
-    ~TilePool();
-    void ensure_workers(int n);
-    void worker_main(int idx);
-
-    std::mutex run_mu_;  ///< serializes whole run() invocations
-    mutable std::mutex mu_;
-    std::condition_variable work_cv_;
-    std::condition_variable done_cv_;
-    std::vector<std::thread> threads_;
-    void (*fn_)(void*, int) = nullptr;
-    void* ctx_ = nullptr;
-    int ways_ = 0;
-    int pending_ = 0;
-    std::uint64_t epoch_ = 0;
-    bool stop_ = false;
 };
 
 } // namespace hs

@@ -224,7 +224,8 @@ TEST(ActionSearch, RejectsBadArguments) {
     SearchConfig cfg;
     EXPECT_THROW(ActionSearch(0, [](std::span<const float>) { return 0.5; }, 0.5, cfg),
                  Error);
-    EXPECT_THROW(ActionSearch(4, nullptr, 0.5, cfg), Error);
+    EXPECT_THROW(ActionSearch(4, ActionEvaluator(nullptr), 0.5, cfg), Error);
+    EXPECT_THROW(ActionSearch(4, EvaluatorFactory(nullptr), 0.5, cfg), Error);
     EXPECT_THROW(ActionSearch(4, [](std::span<const float>) { return 0.5; }, 0.0, cfg),
                  Error);
 }
